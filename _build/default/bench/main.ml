@@ -1,0 +1,142 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§6–§7) and runs Bechamel micro-benchmarks of the
+   operations each figure's cost model is built on.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- --only fig7  -- one figure
+     dune exec bench/main.exe -- --skip-micro -- figures only
+*)
+
+module Figures = Mycelium_costmodel.Figures
+module Device_compute = Mycelium_costmodel.Device_compute
+module Rng = Mycelium_util.Rng
+module Params = Mycelium_bgv.Params
+module Bgv = Mycelium_bgv.Bgv
+module Ntt = Mycelium_math.Ntt
+module Sha256 = Mycelium_crypto.Sha256
+module Chacha20 = Mycelium_crypto.Chacha20
+module Elgamal = Mycelium_crypto.Elgamal
+module Merkle = Mycelium_crypto.Merkle
+module Onion = Mycelium_mixnet.Onion
+module Shamir = Mycelium_secrets.Shamir
+
+let only =
+  let rec find = function
+    | "--only" :: v :: _ -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
+
+let wants id = match only with None -> true | Some o -> o = id
+
+let emit fig = if wants fig.Figures.id then print_string (Figures.render fig)
+
+(* ------------------------------------------------------------------ *)
+(* Figures from the closed-form cost model                             *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_endline "Mycelium evaluation reproduction (SOSP 2021, Roth et al.)";
+  print_endline "==========================================================";
+  List.iter emit (Figures.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Measurement-backed figures                                          *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  if wants "sec6_4" then begin
+    let costs = Device_compute.measure (Rng.create 1L) in
+    emit (Figures.sec6_4_device_costs costs)
+  end;
+  if wants "fig5-mc" then emit (Figures.fig5_monte_carlo ~n:400 ~seed:7L);
+  if wants "sec7" then emit (Figures.sec7_baseline ~n:20_000 ~seed:11L)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Rng.create 42L in
+  (* BGV at the medium test parameters: the per-operation costs behind
+     §6.4 and Figure 9b. *)
+  let ctx = Bgv.make_ctx Params.test_medium in
+  let sk, pk = Bgv.keygen ctx rng in
+  let ct_a = Bgv.encrypt_value ctx rng pk 1 in
+  let ct_b = Bgv.encrypt_value ctx rng pk 2 in
+  let prod = Bgv.mul ct_a ct_b in
+  let rk = Bgv.relin_keygen ctx rng sk ~max_degree:2 in
+  (* NTT at N=1024 (the figure-scaling primitive), plus the schoolbook
+     oracle as an ablation. *)
+  let p = List.hd (Ntt.find_primes ~degree:1024 ~bits:28 ~count:1) in
+  let plan = Ntt.make_plan ~p ~degree:1024 in
+  let poly_a = Array.init 1024 (fun i -> (i * 7) mod p) in
+  let poly_b = Array.init 1024 (fun i -> (i * 13) mod p) in
+  let p256 = List.hd (Ntt.find_primes ~degree:256 ~bits:28 ~count:1) in
+  let small_plan = Ntt.make_plan ~p:p256 ~degree:256 in
+  let small_a = Array.init 256 (fun i -> (i * 7) mod p256) in
+  let small_b = Array.init 256 (fun i -> (i * 13) mod p256) in
+  (* Crypto primitives behind the mixnet figures. *)
+  let msg_4k = Bytes.create 4096 in
+  let key32 = Rng.bytes rng 32 in
+  let hop_keys = List.init 3 (fun _ -> Rng.bytes rng 32) in
+  let eg_pk, eg_sk = Elgamal.generate rng in
+  let eg_ct = Elgamal.encrypt rng eg_pk key32 in
+  let leaves = Array.init 256 (fun i -> Bytes.of_string (string_of_int i)) in
+  let tree = Merkle.build leaves in
+  let shamir_p = 1073479681 in
+  [
+    Test.make ~name:"fig9b/bgv-add" (Staged.stage (fun () -> ignore (Bgv.add ct_a ct_b)));
+    Test.make ~name:"sec6_4/bgv-encrypt" (Staged.stage (fun () -> ignore (Bgv.encrypt_value ctx rng pk 3)));
+    Test.make ~name:"sec6_4/bgv-mul" (Staged.stage (fun () -> ignore (Bgv.mul ct_a ct_b)));
+    Test.make ~name:"sec6_4/bgv-relinearize" (Staged.stage (fun () -> ignore (Bgv.relinearize ctx rk prod)));
+    Test.make ~name:"ablation/ntt-mul-1024" (Staged.stage (fun () -> ignore (Ntt.multiply plan poly_a poly_b)));
+    Test.make ~name:"ablation/naive-mul-256" (Staged.stage (fun () -> ignore (Ntt.multiply_naive ~p:p256 small_a small_b)));
+    Test.make ~name:"ablation/ntt-mul-256" (Staged.stage (fun () -> ignore (Ntt.multiply small_plan small_a small_b)));
+    Test.make ~name:"fig5/sha256-4k" (Staged.stage (fun () -> ignore (Sha256.digest msg_4k)));
+    Test.make ~name:"fig5/chacha20-4k"
+      (Staged.stage (fun () ->
+           ignore (Chacha20.encrypt ~key:key32 ~nonce:(Chacha20.nonce_of_round 1) msg_4k)));
+    Test.make ~name:"fig5/onion-wrap-3hops"
+      (Staged.stage (fun () -> ignore (Onion.wrap ~hop_keys ~round:1 msg_4k)));
+    Test.make ~name:"fig5d/elgamal-encrypt" (Staged.stage (fun () -> ignore (Elgamal.encrypt rng eg_pk key32)));
+    Test.make ~name:"fig5d/elgamal-decrypt" (Staged.stage (fun () -> ignore (Elgamal.decrypt eg_sk eg_ct)));
+    Test.make ~name:"fig9a/merkle-build-256" (Staged.stage (fun () -> ignore (Merkle.build leaves)));
+    Test.make ~name:"fig9a/merkle-prove" (Staged.stage (fun () -> ignore (Merkle.prove tree 17)));
+    Test.make ~name:"fig8/shamir-share-c10"
+      (Staged.stage (fun () ->
+           ignore (Shamir.share_secret ~p:shamir_p rng ~threshold:4 ~parties:10 123456)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"mycelium" (micro_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  print_endline "";
+  print_endline "=== Micro-benchmarks (Bechamel) ===";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+          else Printf.sprintf "%8.0f ns" est
+        in
+        Printf.printf "  %-32s %s\n" name pretty
+      | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    rows
+
+let () = if (not skip_micro) && only = None then run_micro ()

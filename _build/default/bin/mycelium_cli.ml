@@ -1,0 +1,141 @@
+(* Command-line front end: generate a synthetic population, run
+   differentially-private graph queries over it, or inspect a query's
+   static analysis.
+
+     dune exec bin/mycelium_cli.exe -- analyze "SELECT ..."
+     dune exec bin/mycelium_cli.exe -- run --population 30 --epsilon 1.0 "SELECT ..."
+     dune exec bin/mycelium_cli.exe -- corpus
+*)
+
+module Rng = Mycelium_util.Rng
+module Cg = Mycelium_graph.Contact_graph
+module Epidemic = Mycelium_graph.Epidemic
+module Parser = Mycelium_query.Parser
+module Analysis = Mycelium_query.Analysis
+module Semantics = Mycelium_query.Semantics
+module Corpus = Mycelium_query.Corpus
+module Ast = Mycelium_query.Ast
+module Params = Mycelium_bgv.Params
+module Runtime = Mycelium_core.Runtime
+module Engine = Mycelium_baseline.Engine
+
+open Cmdliner
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query (or a corpus id like Q5).")
+
+let resolve_query src =
+  match Corpus.find src with
+  | e -> e.Corpus.sql
+  | exception Not_found -> src
+
+let print_result = function
+  | Semantics.Histogram groups ->
+    Array.iter
+      (fun (label, bins) ->
+        Printf.printf "%-16s" label;
+        Array.iteri (fun i v -> if Float.abs v > 0.4 then Printf.printf " %d:%.1f" i v) bins;
+        print_newline ())
+      groups
+  | Semantics.Sums groups ->
+    Array.iter (fun (label, v) -> Printf.printf "%-16s %.3f\n" label v) groups
+
+(* --- analyze ------------------------------------------------------- *)
+
+let analyze_cmd =
+  let doc = "Parse a query and print its static analysis." in
+  let run src =
+    let src = resolve_query src in
+    match Parser.parse src with
+    | Error e -> Printf.eprintf "parse error at %d: %s\n" e.Parser.position e.Parser.message; 1
+    | Ok q -> (
+      match Analysis.analyze q with
+      | Error e -> Printf.eprintf "analysis error: %s\n" e; 1
+      | Ok info ->
+        Printf.printf "query:           %s\n" (Ast.to_string q);
+        Printf.printf "hops:            %d\n" q.Ast.hops;
+        Printf.printf "ciphertexts/row: %d\n" info.Analysis.ciphertext_count;
+        Printf.printf "groups:          %d\n" info.Analysis.layout.Analysis.group_count;
+        Printf.printf "bins needed:     %d\n" info.Analysis.layout.Analysis.total_bins;
+        Printf.printf "multiplications: %d\n" info.Analysis.multiplications;
+        Printf.printf "sensitivity:     %.1f\n" info.Analysis.sensitivity;
+        (match Analysis.feasible info Params.paper with
+        | Ok () -> Printf.printf "paper params:    feasible\n"
+        | Error m -> Printf.printf "paper params:    infeasible (%s)\n" m);
+        0)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ query_arg)
+
+(* --- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Generate a population and run a query end to end (encrypted pipeline)." in
+  let population =
+    Arg.(value & opt int 30 & info [ "population"; "n" ] ~doc:"Number of devices.")
+  in
+  let degree = Arg.(value & opt int 4 & info [ "degree"; "d" ] ~doc:"Degree bound d.") in
+  let epsilon = Arg.(value & opt float 1.0 & info [ "epsilon" ] ~doc:"Privacy epsilon (0 = exact, non-private).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let plaintext =
+    Arg.(value & flag & info [ "plaintext" ] ~doc:"Use the clear-text baseline engine instead.")
+  in
+  let run population degree epsilon seed plaintext src =
+    let src = resolve_query src in
+    let rng = Rng.create (Int64.of_int seed) in
+    let graph =
+      Cg.generate
+        { Cg.default_config with Cg.population; degree_bound = degree; extra_contact_rate = 1.5 }
+        rng
+    in
+    let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng graph in
+    let eps = if epsilon <= 0. then Float.infinity else epsilon in
+    if plaintext then begin
+      match Parser.parse src with
+      | Error e -> Printf.eprintf "parse error: %s\n" e.Parser.message; 1
+      | Ok q -> (
+        match Analysis.analyze ~degree_bound:degree q with
+        | Error e -> Printf.eprintf "analysis error: %s\n" e; 1
+        | Ok info ->
+          print_result (Engine.run info graph);
+          0)
+    end
+    else begin
+      let sys =
+        Runtime.init
+          { Runtime.default_config with Runtime.params = Params.test_small; degree_bound = degree }
+          graph
+      in
+      match Runtime.run_query ~epsilon:eps sys src with
+      | Ok r ->
+        print_result r.Runtime.result;
+        Printf.printf "(origins: %d, discarded: %d, committee generation: %d)\n"
+          r.Runtime.origins_included r.Runtime.discarded_contributions
+          r.Runtime.committee_generation;
+        0
+      | Error (Runtime.Parse_error m) -> Printf.eprintf "parse error: %s\n" m; 1
+      | Error (Runtime.Analysis_error m) -> Printf.eprintf "analysis error: %s\n" m; 1
+      | Error (Runtime.Infeasible m) -> Printf.eprintf "infeasible: %s\n" m; 1
+      | Error (Runtime.Budget_exhausted v) -> Printf.eprintf "budget exhausted (%.2f left)\n" v; 1
+      | Error (Runtime.Pipeline_error m) -> Printf.eprintf "pipeline error: %s\n" m; 1
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ population $ degree $ epsilon $ seed $ plaintext $ query_arg)
+
+(* --- corpus -------------------------------------------------------- *)
+
+let corpus_cmd =
+  let doc = "List the paper's ten queries (Figure 2)." in
+  let run () =
+    List.iter
+      (fun (e : Corpus.entry) ->
+        Printf.printf "%-4s %s\n     %s\n" e.Corpus.id e.Corpus.description e.Corpus.sql)
+      Corpus.all;
+    0
+  in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Mycelium: large-scale distributed graph queries with differential privacy" in
+  let info = Cmd.info "mycelium" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; corpus_cmd ]))

@@ -1,0 +1,1 @@
+examples/epidemic_study.mli:

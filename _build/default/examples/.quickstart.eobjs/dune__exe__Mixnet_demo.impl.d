@@ -1,0 +1,1 @@
+examples/mixnet_demo.ml: Array Bytes Mycelium_mixnet Mycelium_util Printf

@@ -1,0 +1,1 @@
+examples/mixnet_demo.mli:

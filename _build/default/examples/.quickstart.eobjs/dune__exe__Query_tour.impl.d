@@ -1,0 +1,1 @@
+examples/query_tour.ml: List Mycelium_bgv Mycelium_query Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Mycelium_bgv Mycelium_core Mycelium_dp Mycelium_graph Mycelium_query Mycelium_util Printf

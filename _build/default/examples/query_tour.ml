@@ -1,0 +1,64 @@
+(* A tour of the query language: parse the paper's ten queries, show
+   what the static analysis derives for each — predicate placement,
+   ciphertext counts (Figure 6), sensitivity (§4.7), exponent-space
+   layout, and HE feasibility at the paper's parameters (§6.2).
+
+     dune exec examples/query_tour.exe *)
+
+module Corpus = Mycelium_query.Corpus
+module Analysis = Mycelium_query.Analysis
+module Ast = Mycelium_query.Ast
+module Parser = Mycelium_query.Parser
+module Params = Mycelium_bgv.Params
+
+let () =
+  Printf.printf "%-4s %-5s %-4s %-6s %-6s %-6s %-6s %s\n" "id" "hops" "cts" "groups" "bins"
+    "mults" "sens" "feasible at paper params";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let info = Analysis.analyze_exn ~degree_bound:10 e.Corpus.query in
+      let feasible =
+        match Analysis.feasible info Params.paper with
+        | Ok () -> "yes"
+        | Error msg -> "NO: " ^ msg
+      in
+      Printf.printf "%-4s %-5d %-4d %-6d %-6d %-6d %-6.0f %s\n" e.Corpus.id
+        e.Corpus.query.Ast.hops info.Analysis.ciphertext_count
+        info.Analysis.layout.Analysis.group_count info.Analysis.layout.Analysis.total_bins
+        info.Analysis.multiplications info.Analysis.sensitivity feasible)
+    Corpus.all;
+  Printf.printf "\nHE multiplication budget at N=32768, 570-bit q: ~%d\n"
+    (Analysis.max_multiplications Params.paper);
+
+  (* The language also rejects things the protocol cannot place. *)
+  print_endline "\nrejected by the language / placement rules:";
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Error e -> Printf.printf "  parse error (%s): %s\n" e.Parser.message src
+      | Ok q -> (
+        match Mycelium_query.Semantics.split_where q.Ast.where with
+        | Error msg -> Printf.printf "  placement error (%s): %s\n" msg src
+        | Ok _ -> (
+          match Analysis.analyze q with
+          | Error msg -> Printf.printf "  analysis error (%s): %s\n" msg src
+          | Ok info -> (
+            match Analysis.feasible info Params.paper with
+            | Error msg -> Printf.printf "  infeasible (%s): %s\n" msg src
+            | Ok () -> Printf.printf "  unexpectedly fine: %s\n" src))))
+    [
+      "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf OR dest.inf";
+      "SELECT HISTO(SUM(dest.location)) FROM neigh(1)";
+      "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf AND self.inf";
+    ];
+
+  (* Round-tripping: the canonical printer emits parseable syntax. *)
+  print_endline "\nprint/parse round-trip:";
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let printed = Ast.to_string e.Corpus.query in
+      let again = Parser.parse_exn printed in
+      Printf.printf "  %s: %s\n" e.Corpus.id
+        (if Ast.to_string again = printed then "stable" else "UNSTABLE"))
+    Corpus.all

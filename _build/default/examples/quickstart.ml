@@ -1,0 +1,67 @@
+(* Quickstart: stand up a small Mycelium deployment and run one
+   differentially-private graph query end to end.
+
+     dune exec examples/quickstart.exe
+
+   Every number below comes out of the real pipeline: BGV-encrypted
+   contributions with well-formedness proofs, homomorphic neighborhood
+   aggregation, threshold decryption by a device committee, and Laplace
+   noise added inside the committee before release. *)
+
+module Rng = Mycelium_util.Rng
+module Cg = Mycelium_graph.Contact_graph
+module Epidemic = Mycelium_graph.Epidemic
+module Runtime = Mycelium_core.Runtime
+module Semantics = Mycelium_query.Semantics
+module Params = Mycelium_bgv.Params
+
+let () =
+  (* 1. A population of devices forming a contact graph, with a
+     simulated epidemic providing the private per-device data. *)
+  let rng = Rng.create 2026L in
+  let graph =
+    Cg.generate
+      { Cg.default_config with Cg.population = 30; degree_bound = 4; extra_contact_rate = 1.5 }
+      rng
+  in
+  let outcome = Epidemic.run Epidemic.default_config rng graph in
+  Printf.printf "population: %d devices, %d contact edges, %d infected (%.0f%%)\n"
+    (Cg.population graph) (Cg.edge_count graph) outcome.Epidemic.infected_count
+    (100. *. outcome.Epidemic.attack_rate);
+
+  (* 2. Initialize the system: genesis key ceremony, first committee,
+     ZKP trusted setup. *)
+  let sys =
+    Runtime.init
+      { Runtime.default_config with Runtime.params = Params.test_small; degree_bound = 4 }
+      graph
+  in
+  print_endline "system initialized: BGV keys shared among a 10-device committee";
+
+  (* 3. An analyst submits a query: how many contacts do people in each
+     age group have? (Q5 from the paper.) *)
+  let query = "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY self.age" in
+  Printf.printf "\nanalyst query (epsilon = 1.0):\n  %s\n\n" query;
+  match Runtime.run_query ~epsilon:1.0 sys query with
+  | Error _ -> prerr_endline "query failed"
+  | Ok r ->
+    (match r.Runtime.result with
+    | Semantics.Histogram groups ->
+      print_endline "released histogram (noisy counts of devices per contact count):";
+      Array.iter
+        (fun (label, bins) ->
+          let total = Array.fold_left ( +. ) 0. bins in
+          if Float.abs total > 0.5 then begin
+            Printf.printf "  %-10s" label;
+            Array.iteri (fun i v -> if Float.abs v > 0.4 then Printf.printf " [%d contacts: %.1f]" i v) bins;
+            print_newline ()
+          end)
+        groups
+    | Semantics.Sums _ -> ());
+    print_endline
+      "\n(the noise dwarfs a 30-person toy cohort: sensitivity 22 at epsilon 1; at the paper's\n\
+      \ millions of devices the same noise is negligible relative to the counts)";
+    Printf.printf "\ncommittee generation after query: %d (rotated by VSR)\n"
+      r.Runtime.committee_generation;
+    Printf.printf "privacy budget remaining: %.1f\n"
+      (Mycelium_dp.Dp.budget_remaining (Runtime.budget sys))

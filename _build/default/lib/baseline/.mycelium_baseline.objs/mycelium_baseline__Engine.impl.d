@@ -1,0 +1,1 @@
+lib/baseline/engine.ml: Array Fun Hashtbl List Mycelium_graph Mycelium_query Unix

@@ -1,0 +1,1 @@
+lib/baseline/engine.mli: Mycelium_graph Mycelium_query

@@ -1,0 +1,1 @@
+lib/baseline/pregel.ml: Array List Mycelium_graph

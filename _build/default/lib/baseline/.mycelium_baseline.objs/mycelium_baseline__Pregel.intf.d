@@ -1,0 +1,1 @@
+lib/baseline/pregel.mli: Mycelium_graph

@@ -1,0 +1,57 @@
+module Cg = Mycelium_graph.Contact_graph
+
+type ('state, 'msg) vertex_ctx = {
+  vertex : int;
+  superstep : int;
+  state : 'state;
+  messages : 'msg list;
+  send : int -> 'msg -> unit;
+  send_all_neighbors : 'msg -> unit;
+  vote_halt : unit -> unit;
+}
+
+type ('state, 'msg) program = ('state, 'msg) vertex_ctx -> 'state
+
+let run graph ~init ~program ~max_supersteps =
+  let n = Cg.population graph in
+  let states = Array.init n init in
+  let active = Array.make n true in
+  let inbox = Array.make n [] in
+  let outbox = Array.make n [] in
+  let superstep = ref 0 in
+  let keep_going = ref true in
+  while !keep_going && !superstep < max_supersteps do
+    let any_activity = ref false in
+    for v = 0 to n - 1 do
+      if active.(v) || inbox.(v) <> [] then begin
+        any_activity := true;
+        active.(v) <- true;
+        let halted = ref false in
+        let neighbor_ids = List.map fst (Cg.neighbors graph v) in
+        let send u m =
+          if not (List.mem u neighbor_ids) then
+            invalid_arg "Pregel: send to non-neighbor";
+          outbox.(u) <- m :: outbox.(u)
+        in
+        let ctx =
+          {
+            vertex = v;
+            superstep = !superstep;
+            state = states.(v);
+            messages = List.rev inbox.(v);
+            send;
+            send_all_neighbors = (fun m -> List.iter (fun u -> outbox.(u) <- m :: outbox.(u)) neighbor_ids);
+            vote_halt = (fun () -> halted := true);
+          }
+        in
+        states.(v) <- program ctx;
+        if !halted then active.(v) <- false
+      end
+    done;
+    for v = 0 to n - 1 do
+      inbox.(v) <- outbox.(v);
+      outbox.(v) <- []
+    done;
+    if !any_activity then incr superstep else keep_going := false
+  done;
+  (states, !superstep)

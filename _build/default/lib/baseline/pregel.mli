@@ -1,0 +1,30 @@
+(** A minimal Pregel-style bulk-synchronous graph engine (Malewicz et
+    al. [65]) — the stand-in for GraphX in the §7 plaintext baseline,
+    and the computation model Mycelium's queries compile to (§2.5).
+
+    Computation proceeds in supersteps: every active vertex receives
+    the messages sent to it in the previous superstep, updates its
+    state, and may send messages along its edges or vote to halt. The
+    engine is polymorphic in state and message types. *)
+
+type ('state, 'msg) vertex_ctx = {
+  vertex : int;
+  superstep : int;
+  state : 'state;
+  messages : 'msg list;  (** received this superstep *)
+  send : int -> 'msg -> unit;  (** to a neighbor (checked) *)
+  send_all_neighbors : 'msg -> unit;
+  vote_halt : unit -> unit;
+}
+
+type ('state, 'msg) program = ('state, 'msg) vertex_ctx -> 'state
+
+val run :
+  Mycelium_graph.Contact_graph.t ->
+  init:(int -> 'state) ->
+  program:('state, 'msg) program ->
+  max_supersteps:int ->
+  'state array * int
+(** Runs until every vertex halts with no messages in flight, or the
+    superstep bound is hit; returns final states and supersteps used.
+    A halted vertex reactivates when it receives a message. *)

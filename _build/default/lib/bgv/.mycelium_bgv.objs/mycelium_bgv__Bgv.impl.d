@@ -1,0 +1,1 @@
+lib/bgv/bgv.ml: Array Buffer Bytes Float Int32 Mycelium_math Mycelium_util Params Plaintext

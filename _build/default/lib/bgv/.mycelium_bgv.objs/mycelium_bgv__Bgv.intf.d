@@ -1,0 +1,1 @@
+lib/bgv/bgv.mli: Mycelium_math Mycelium_util Params Plaintext

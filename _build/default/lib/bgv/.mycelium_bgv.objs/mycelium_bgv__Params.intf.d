@@ -1,0 +1,1 @@
+lib/bgv/params.mli:

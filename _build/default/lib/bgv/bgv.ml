@@ -1,0 +1,423 @@
+module Rng = Mycelium_util.Rng
+module Bigint = Mycelium_math.Bigint
+module Rns = Mycelium_math.Rns
+module Rq = Mycelium_math.Rq
+module Modarith = Mycelium_math.Modarith
+
+type ctx = { p : Params.t; basis : Rns.t; fresh_noise_bits : float }
+
+let make_ctx p =
+  Params.validate p;
+  let basis = Rns.standard ~degree:p.Params.degree ~prime_bits:p.Params.prime_bits ~levels:p.Params.levels in
+  (* t must be invertible mod q for the scheme to be non-degenerate. *)
+  Array.iter
+    (fun prime ->
+      if p.Params.plain_modulus mod prime = 0 then
+        invalid_arg "Bgv.make_ctx: plain modulus shares a factor with q")
+    (Rns.primes basis);
+  let fresh_noise_bits =
+    (* |t (e1 + e2 s - e u)| <~ t * (2 N eta + eta): a worst-case bound. *)
+    let t_bits = log (float_of_int p.Params.plain_modulus) /. log 2. in
+    let n_bits = log (float_of_int p.Params.degree) /. log 2. in
+    let eta_bits = log (float_of_int p.Params.error_eta) /. log 2. in
+    t_bits +. n_bits +. eta_bits +. 2.
+  in
+  { p; basis; fresh_noise_bits }
+
+let params ctx = ctx.p
+let basis ctx = ctx.basis
+let plain_modulus ctx = ctx.p.Params.plain_modulus
+let modulus_bits ctx = Rns.modulus_bits ctx.basis
+
+type secret_key = { s : Rq.t }
+type public_key = { p0 : Rq.t; p1 : Rq.t }
+
+type ciphertext = { comps : Rq.t array; noise_bits : float }
+
+(* ksk for one power j: per digit index, (k0, k1). *)
+type relin_key = { digit_bits : int; keys : (Rq.t * Rq.t) array array (* [power-2].[digit] *) }
+
+let relin_max_degree rk = Array.length rk.keys + 1
+
+let plaintext_to_rq ctx pt =
+  if Plaintext.plain_modulus pt <> ctx.p.Params.plain_modulus then
+    invalid_arg "Bgv: plaintext modulus mismatch";
+  Rq.of_centered_coeffs ctx.basis (Plaintext.coeffs pt)
+
+let keygen ctx rng =
+  let s = Rq.sample_ternary ctx.basis rng in
+  let a = Rq.random_uniform ctx.basis rng in
+  let e = Rq.sample_cbd ctx.basis ~eta:ctx.p.Params.error_eta rng in
+  let te = Rq.mul_scalar e ctx.p.Params.plain_modulus in
+  let p0 = Rq.neg (Rq.add (Rq.mul a s) te) in
+  ({ s }, { p0; p1 = a })
+
+let encrypt ctx rng pk pt =
+  let m = plaintext_to_rq ctx pt in
+  let u = Rq.sample_ternary ctx.basis rng in
+  let eta = ctx.p.Params.error_eta in
+  let t = ctx.p.Params.plain_modulus in
+  let e1 = Rq.mul_scalar (Rq.sample_cbd ctx.basis ~eta rng) t in
+  let e2 = Rq.mul_scalar (Rq.sample_cbd ctx.basis ~eta rng) t in
+  let c0 = Rq.add (Rq.add (Rq.mul pk.p0 u) e1) m in
+  let c1 = Rq.add (Rq.mul pk.p1 u) e2 in
+  { comps = [| c0; c1 |]; noise_bits = ctx.fresh_noise_bits }
+
+let encrypt_value ctx rng pk v =
+  encrypt ctx rng pk
+    (Plaintext.monomial ~plain_modulus:ctx.p.Params.plain_modulus ~degree:ctx.p.Params.degree
+       ~exponent:v)
+
+let encrypt_zero_polynomial ctx rng pk =
+  encrypt ctx rng pk
+    (Plaintext.zero ~plain_modulus:ctx.p.Params.plain_modulus ~degree:ctx.p.Params.degree)
+
+let degree ct = Array.length ct.comps - 1
+let components ct = ct.comps
+
+(* c(s) = c_0 + c_1 s + ... + c_D s^D by Horner's rule. *)
+let eval_at_secret ct s =
+  let d = degree ct in
+  let acc = ref ct.comps.(d) in
+  for i = d - 1 downto 0 do
+    acc := Rq.add (Rq.mul !acc s) ct.comps.(i)
+  done;
+  !acc
+
+let decode_noisy ctx v =
+  let t = ctx.p.Params.plain_modulus in
+  let big_t = Bigint.of_int t in
+  let coeffs =
+    Array.map (fun c -> Bigint.to_int (Bigint.erem c big_t)) (Rq.to_bigint_coeffs v)
+  in
+  Plaintext.create ~plain_modulus:t coeffs
+
+let decrypt ctx sk ct = decode_noisy ctx (eval_at_secret ct sk.s)
+
+let pad comps n =
+  if Array.length comps >= n then comps
+  else begin
+    let basis = Rq.basis_of comps.(0) in
+    Array.init n (fun i -> if i < Array.length comps then comps.(i) else Rq.zero basis)
+  end
+
+let add a b =
+  let n = max (Array.length a.comps) (Array.length b.comps) in
+  let ca = pad a.comps n and cb = pad b.comps n in
+  {
+    comps = Array.init n (fun i -> Rq.add ca.(i) cb.(i));
+    noise_bits = Float.max a.noise_bits b.noise_bits +. 1.;
+  }
+
+let sub a b =
+  let n = max (Array.length a.comps) (Array.length b.comps) in
+  let ca = pad a.comps n and cb = pad b.comps n in
+  {
+    comps = Array.init n (fun i -> Rq.sub ca.(i) cb.(i));
+    noise_bits = Float.max a.noise_bits b.noise_bits +. 1.;
+  }
+
+let add_plain ctx ct pt =
+  let m = plaintext_to_rq ctx pt in
+  let comps = Array.copy ct.comps in
+  comps.(0) <- Rq.add comps.(0) m;
+  { ct with comps }
+
+let sub_plain ctx ct pt =
+  let m = plaintext_to_rq ctx pt in
+  let comps = Array.copy ct.comps in
+  comps.(0) <- Rq.sub comps.(0) m;
+  { ct with comps }
+
+let mul a b =
+  let da = Array.length a.comps and db = Array.length b.comps in
+  let basis = Rq.basis_of a.comps.(0) in
+  let out = Array.init (da + db - 1) (fun _ -> Rq.zero basis) in
+  for i = 0 to da - 1 do
+    for j = 0 to db - 1 do
+      out.(i + j) <- Rq.add out.(i + j) (Rq.mul a.comps.(i) b.comps.(j))
+    done
+  done;
+  let n_bits = log (float_of_int (Rns.degree basis)) /. log 2. in
+  { comps = out; noise_bits = a.noise_bits +. b.noise_bits +. n_bits +. 1. }
+
+let mul_plain ctx ct pt =
+  let m = plaintext_to_rq ctx pt in
+  let nonzero = Array.fold_left (fun acc c -> if c <> 0 then acc + 1 else acc) 0 (Plaintext.coeffs pt) in
+  let growth = log (float_of_int (max 2 nonzero * ctx.p.Params.plain_modulus)) /. log 2. in
+  {
+    comps = Array.map (fun c -> Rq.mul c m) ct.comps;
+    noise_bits = ct.noise_bits +. growth;
+  }
+
+let mul_many = function
+  | [] -> invalid_arg "Bgv.mul_many: empty list"
+  | [ ct ] -> ct
+  | cts ->
+    (* Balanced product tree keeps the degree identical but reduces the
+       depth-induced estimate pessimism. *)
+    let rec round = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: y :: rest -> mul x y :: round rest
+    in
+    let rec go = function [ x ] -> x | xs -> go (round xs) in
+    go cts
+
+(* --- relinearization ------------------------------------------------ *)
+
+let relin_keygen ctx rng sk ~max_degree =
+  if max_degree < 2 then invalid_arg "Bgv.relin_keygen: max_degree must be >= 2";
+  let digit_bits = 8 in
+  let qbits = modulus_bits ctx in
+  let ndigits = (qbits + digit_bits - 1) / digit_bits in
+  let t = ctx.p.Params.plain_modulus in
+  let base_big = Bigint.shift_left Bigint.one digit_bits in
+  (* Powers of the secret: s^2 .. s^max_degree. *)
+  let powers = Array.make (max_degree - 1) sk.s in
+  let cur = ref sk.s in
+  for i = 0 to max_degree - 2 do
+    cur := Rq.mul !cur sk.s;
+    powers.(i) <- !cur
+  done;
+  let keys =
+    Array.map
+      (fun s_pow ->
+        Array.init ndigits (fun idx ->
+            let a = Rq.random_uniform ctx.basis rng in
+            let e = Rq.mul_scalar (Rq.sample_cbd ctx.basis ~eta:ctx.p.Params.error_eta rng) t in
+            let weight = Bigint.pow base_big idx in
+            let weight_res =
+              Array.map (fun p -> Bigint.rem_int weight p) (Rns.primes ctx.basis)
+            in
+            let k0 =
+              Rq.add (Rq.neg (Rq.add (Rq.mul a sk.s) e)) (Rq.mul_scalar_residues s_pow weight_res)
+            in
+            (k0, a)))
+      powers
+  in
+  { digit_bits; keys }
+
+(* Base-2^w digits of every coefficient of [v], as ring elements. *)
+let digit_decompose ctx rk v =
+  let qbits = modulus_bits ctx in
+  let ndigits = (qbits + rk.digit_bits - 1) / rk.digit_bits in
+  let n = Rns.degree ctx.basis in
+  let digit_coeffs = Array.init ndigits (fun _ -> Array.make n 0) in
+  let big = Rq.to_bigint_coeffs v in
+  let q = Rns.modulus ctx.basis in
+  let mask = (1 lsl rk.digit_bits) - 1 in
+  Array.iteri
+    (fun i c ->
+      (* Non-negative representative in [0, q). *)
+      let c = if Bigint.sign c < 0 then Bigint.add c q else c in
+      (* Peel digits via limb arithmetic on the byte string. *)
+      let rec peel v idx =
+        if idx < ndigits && not (Bigint.is_zero v) then begin
+          let d = Bigint.rem_int v (mask + 1) in
+          digit_coeffs.(idx).(i) <- d;
+          peel (Bigint.shift_right v rk.digit_bits) (idx + 1)
+        end
+      in
+      peel c 0)
+    big;
+  Array.map (fun coeffs -> Rq.of_centered_coeffs ctx.basis coeffs) digit_coeffs
+
+let relinearize ctx rk ct =
+  let d = degree ct in
+  if d <= 1 then ct
+  else if d > relin_max_degree rk then
+    invalid_arg "Bgv.relinearize: ciphertext degree exceeds relin key"
+  else begin
+    let c0 = ref ct.comps.(0) and c1 = ref ct.comps.(1) in
+    for j = 2 to d do
+      let digits = digit_decompose ctx rk ct.comps.(j) in
+      let ksk = rk.keys.(j - 2) in
+      Array.iteri
+        (fun idx dig ->
+          let k0, k1 = ksk.(idx) in
+          c0 := Rq.add !c0 (Rq.mul dig k0);
+          c1 := Rq.add !c1 (Rq.mul dig k1))
+        digits
+    done;
+    let qbits = float_of_int (modulus_bits ctx) in
+    let relin_noise =
+      (* ndigits * B * N * eta * t *)
+      let ndigits = qbits /. float_of_int rk.digit_bits in
+      log (ndigits *. float_of_int (1 lsl rk.digit_bits)) /. log 2.
+      +. log (float_of_int ctx.p.Params.degree) /. log 2.
+      +. log (float_of_int (ctx.p.Params.error_eta * ctx.p.Params.plain_modulus)) /. log 2.
+    in
+    { comps = [| !c0; !c1 |]; noise_bits = Float.max ct.noise_bits relin_noise +. 1. }
+  end
+
+(* --- modulus switching ------------------------------------------------ *)
+
+let drop_level ctx =
+  if ctx.p.Params.levels < 2 then invalid_arg "Bgv.drop_level: single-prime context";
+  make_ctx { ctx.p with Params.levels = ctx.p.Params.levels - 1 }
+
+(* Modular inverse by extended Euclid; t need not be prime. *)
+let inv_mod m a =
+  let rec go old_r r old_s s =
+    if r = 0 then (old_r, old_s)
+    else begin
+      let q = old_r / r in
+      go r (old_r - (q * r)) s (old_s - (q * s))
+    end
+  in
+  let g, x = go m (((a mod m) + m) mod m) 0 1 in
+  if g <> 1 then invalid_arg "Bgv: modulus switching needs gcd(p, t) = 1";
+  ((x mod m) + m) mod m
+
+(* Rescale one ring element from q to q/p_last while keeping the
+   decryption invariant: write c = p_last * a + r and return
+   c' = a + k with k = centered(r * p_last^-1 mod t). Then
+   p_last * c' - c = p_last*k - r = 0 (mod t) and is divisible by
+   p_last, so [c'(s)]_{q/p_last} = ([c(s)]_q + small)/p_last and the
+   plaintext comes out scaled by p_last^-1 mod t (undone by the caller). *)
+let mod_switch_poly small_ctx big_basis v =
+  let primes = Rns.primes big_basis in
+  let p_last = primes.(Array.length primes - 1) in
+  let t = small_ctx.p.Params.plain_modulus in
+  let big_p = Bigint.of_int p_last in
+  let p_inv_t = inv_mod t p_last in
+  let coeffs = Rq.to_bigint_coeffs v in
+  let switched =
+    Array.map
+      (fun c ->
+        let r = Bigint.erem c big_p in
+        let a = Bigint.div (Bigint.sub c r) big_p in
+        let k = Modarith.mul t (Bigint.rem_int r t) p_inv_t in
+        let k = if k > t / 2 then k - t else k in
+        Bigint.add a (Bigint.of_int k))
+      coeffs
+  in
+  (* Project each (still centered, now smaller) coefficient onto the
+     reduced basis. *)
+  let rows =
+    Array.map
+      (fun p -> Array.map (fun c -> Bigint.rem_int c p) switched)
+      (Rns.primes small_ctx.basis)
+  in
+  Rq.of_residues small_ctx.basis rows
+
+let mod_switch small_ctx ct =
+  let big_basis = Rq.basis_of ct.comps.(0) in
+  if Rns.level_count big_basis <> Rns.level_count small_ctx.basis + 1 then
+    invalid_arg "Bgv.mod_switch: ciphertext must live one level above the target context";
+  let primes = Rns.primes big_basis in
+  let p_last = primes.(Array.length primes - 1) in
+  let t = small_ctx.p.Params.plain_modulus in
+  (* Dividing by p_last scales the plaintext by p_last^-1 mod t (our
+     NTT primes are not = 1 mod t, the textbook assumption that avoids
+     this); multiplying the switched ciphertext by the plaintext
+     constant (p_last mod t) undoes it, costing log2(t) of the freshly
+     gained noise budget. *)
+  let correction = Modarith.reduce t p_last in
+  let comps =
+    Array.map
+      (fun c -> Rq.mul_scalar (mod_switch_poly small_ctx big_basis c) correction)
+      ct.comps
+  in
+  let dropped_bits = log (float_of_int p_last) /. log 2. in
+  let t_bits = log (float_of_int t) /. log 2. in
+  let floor_bits =
+    (* the additive k*s^i terms: ~ t * N per component, times the
+       correction scalar *)
+    log (float_of_int (t * small_ctx.p.Params.degree)) /. log 2. +. t_bits
+  in
+  { comps; noise_bits = Float.max (ct.noise_bits -. dropped_bits +. t_bits) floor_bits }
+
+let project_secret_key small_ctx sk =
+  let coeffs = Rq.to_bigint_coeffs sk.s in
+  let rows =
+    Array.map
+      (fun p -> Array.map (fun c -> Bigint.rem_int c p) coeffs)
+      (Rns.primes small_ctx.basis)
+  in
+  { s = Rq.of_residues small_ctx.basis rows }
+
+(* --- noise measurement ---------------------------------------------- *)
+
+let noise_estimate_bits ct = ct.noise_bits
+
+let noise_budget ctx sk ct =
+  let v = eval_at_secret ct sk.s in
+  let coeffs = Rq.to_bigint_coeffs v in
+  (* The invariant noise is v with the (tiny, < t) message folded in;
+     budget = bits(q/2) - bits(max |v_i|). *)
+  let max_bits = Array.fold_left (fun acc c -> max acc (Bigint.num_bits c)) 0 coeffs in
+  modulus_bits ctx - 1 - max_bits
+
+(* --- serialization --------------------------------------------------- *)
+
+let ciphertext_bytes ctx ct = Params.ciphertext_bytes ctx.p ~degree:(degree ct)
+
+let serialize ct =
+  let buf = Buffer.create 4096 in
+  let add_i32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Buffer.add_bytes buf b
+  in
+  add_i32 (Array.length ct.comps);
+  Array.iter
+    (fun comp ->
+      let rows = Rq.residues comp in
+      add_i32 (Array.length rows);
+      Array.iter
+        (fun row ->
+          add_i32 (Array.length row);
+          Array.iter
+            (fun v ->
+              let b = Bytes.create 4 in
+              Bytes.set_int32_le b 0 (Int32.of_int v);
+              Buffer.add_bytes buf b)
+            row)
+        rows)
+    ct.comps;
+  Buffer.to_bytes buf
+
+let deserialize ctx data =
+  let pos = ref 0 in
+  let len = Bytes.length data in
+  let read_i32 () =
+    if !pos + 4 > len then raise Exit
+    else begin
+      let v = Int32.to_int (Bytes.get_int32_le data !pos) in
+      pos := !pos + 4;
+      v
+    end
+  in
+  try
+    let ncomps = read_i32 () in
+    if ncomps < 1 || ncomps > 64 then raise Exit;
+    let comps =
+      Array.init ncomps (fun _ ->
+          let nrows = read_i32 () in
+          if nrows <> Rns.level_count ctx.basis then raise Exit;
+          let rows =
+            Array.init nrows (fun j ->
+                let rowlen = read_i32 () in
+                if rowlen <> Rns.degree ctx.basis then raise Exit;
+                let prime = (Rns.primes ctx.basis).(j) in
+                Array.init rowlen (fun _ ->
+                    let v = read_i32 () in
+                    if v < 0 || v >= prime then raise Exit;
+                    v))
+          in
+          Rq.of_residues ctx.basis rows)
+    in
+    if !pos <> len then raise Exit;
+    Some { comps; noise_bits = float_of_int (modulus_bits ctx) }
+  with Exit -> None
+
+(* --- threshold-decryption hooks -------------------------------------- *)
+
+let secret_poly sk = sk.s
+let secret_key_of_poly _ctx s = { s }
+
+let linear_eval ct ~s =
+  if degree ct <> 1 then invalid_arg "Bgv.linear_eval: ciphertext must be degree 1";
+  Rq.add ct.comps.(0) (Rq.mul ct.comps.(1) s)

@@ -1,0 +1,46 @@
+(** BGV parameter sets.
+
+    The paper (§5) uses N = 32768, a 550-bit ciphertext modulus, and
+    plaintext modulus 2^30 — large enough to "bin"-aggregate over a
+    billion devices and encode values of up to 30 bits. Running those
+    parameters in a pure-OCaml simulation of millions of devices would
+    be pointless, so, like the paper itself (§6.1), we benchmark
+    scaled-down parameters and extrapolate with {!paper}'s dimensions
+    (see [Mycelium_costmodel]). *)
+
+type t = {
+  degree : int;  (** ring degree N (a power of two) *)
+  plain_modulus : int;  (** t; must be coprime with every prime *)
+  prime_bits : int;  (** bits per RNS prime (<= 30) *)
+  levels : int;  (** number of RNS primes; q has ~levels*prime_bits bits *)
+  error_eta : int;  (** centered-binomial error parameter *)
+}
+
+val test_small : t
+(** N=256: fast unit tests. *)
+
+val test_medium : t
+(** N=1024, deeper modulus: multi-hop aggregation tests. *)
+
+val test_wide : t
+(** N=4096 with a 16-prime modulus: supports products of ~10
+    ciphertexts, the degree bound d of Figure 4. *)
+
+val paper : t
+(** N=32768, 19 30-bit primes (~550-bit q), t=2^30: the paper's
+    parameter set. Never instantiated as a ring in tests — used by the
+    cost model for sizes and by benchmarks that measure per-operation
+    cost at smaller N and extrapolate. *)
+
+val modulus_bits : t -> int
+(** Approximate bits of q. *)
+
+val ciphertext_bytes : t -> degree:int -> int
+(** Serialized size of a ciphertext with [degree+1] ring components:
+    each stores N coefficients of [modulus_bits] bits. With {!paper}
+    and degree 1 this is ~4.5 MB, matching the paper's 4.3 MB. *)
+
+val plaintext_bytes : t -> int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent settings. *)

@@ -1,0 +1,64 @@
+type t = { t_mod : int; n : int; c : int array }
+
+let create ~plain_modulus coeffs =
+  if plain_modulus < 2 then invalid_arg "Plaintext.create: bad modulus";
+  let c = Array.map (fun v -> ((v mod plain_modulus) + plain_modulus) mod plain_modulus) coeffs in
+  { t_mod = plain_modulus; n = Array.length coeffs; c }
+
+let zero ~plain_modulus ~degree = { t_mod = plain_modulus; n = degree; c = Array.make degree 0 }
+
+let monomial ~plain_modulus ~degree ~exponent =
+  if exponent < 0 || exponent >= degree then
+    invalid_arg "Plaintext.monomial: exponent out of ring degree (too many bins)";
+  let c = Array.make degree 0 in
+  c.(exponent) <- 1;
+  { t_mod = plain_modulus; n = degree; c }
+
+let value_encode ~plain_modulus ~degree v = monomial ~plain_modulus ~degree ~exponent:v
+
+let coeffs t = t.c
+let plain_modulus t = t.t_mod
+let degree t = t.n
+
+let coeff t i = if i < Array.length t.c then t.c.(i) else 0
+
+let is_monomial t =
+  let found = ref None and multiple = ref false in
+  Array.iteri
+    (fun i v ->
+      if v <> 0 then
+        match !found with Some _ -> multiple := true | None -> found := Some (i, v))
+    t.c;
+  if !multiple then None else !found
+
+let add a b =
+  if a.t_mod <> b.t_mod then invalid_arg "Plaintext.add: modulus mismatch";
+  let n = max a.n b.n in
+  let c = Array.init n (fun i -> (coeff a i + coeff b i) mod a.t_mod) in
+  { t_mod = a.t_mod; n; c }
+
+let equal a b =
+  a.t_mod = b.t_mod
+  &&
+  let n = max (Array.length a.c) (Array.length b.c) in
+  let rec go i = i >= n || (coeff a i = coeff b i && go (i + 1)) in
+  go 0
+
+let histogram t ~max_bin =
+  Array.init (max_bin + 1) (fun i ->
+      let v = coeff t i in
+      if v > t.t_mod / 2 then v - t.t_mod else v)
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  let printed = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v <> 0 && !printed < 12 then begin
+        if !printed > 0 then Format.fprintf fmt " + ";
+        if v = 1 then Format.fprintf fmt "x^%d" i else Format.fprintf fmt "%d*x^%d" v i;
+        incr printed
+      end)
+    t.c;
+  if !printed = 0 then Format.fprintf fmt "0";
+  Format.fprintf fmt "]"

@@ -1,0 +1,1 @@
+lib/core/committee.ml: Array Fun List Mycelium_bgv Mycelium_dp Mycelium_query Mycelium_secrets Mycelium_util Mycelium_zkp

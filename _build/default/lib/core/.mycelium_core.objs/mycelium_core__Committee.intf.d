@@ -1,0 +1,1 @@
+lib/core/committee.mli: Mycelium_bgv Mycelium_query Mycelium_util Mycelium_zkp

@@ -1,0 +1,1 @@
+lib/core/contribution.ml: Array Buffer Bytes Int32 List Mycelium_bgv Mycelium_graph Mycelium_query Mycelium_util Mycelium_zkp Option

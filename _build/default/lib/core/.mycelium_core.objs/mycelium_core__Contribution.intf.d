@@ -1,0 +1,1 @@
+lib/core/contribution.mli: Mycelium_bgv Mycelium_graph Mycelium_query Mycelium_util Mycelium_zkp

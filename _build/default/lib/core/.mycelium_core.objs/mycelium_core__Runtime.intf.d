@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Committee Mycelium_bgv Mycelium_dp Mycelium_graph Mycelium_mixnet Mycelium_query

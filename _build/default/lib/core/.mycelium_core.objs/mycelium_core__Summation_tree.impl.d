@@ -1,0 +1,1 @@
+lib/core/summation_tree.ml: Array Bytes List Mycelium_bgv Mycelium_crypto

@@ -1,0 +1,1 @@
+lib/core/summation_tree.mli: Mycelium_bgv

@@ -1,0 +1,114 @@
+module Rng = Mycelium_util.Rng
+module Bgv = Mycelium_bgv.Bgv
+module Plaintext = Mycelium_bgv.Plaintext
+module Shamir = Mycelium_secrets.Shamir
+module Vsr = Mycelium_secrets.Vsr
+module Threshold = Mycelium_secrets.Threshold
+module Dp = Mycelium_dp.Dp
+module Analysis = Mycelium_query.Analysis
+module Semantics = Mycelium_query.Semantics
+module Ast = Mycelium_query.Ast
+module Zkp = Mycelium_zkp.Zkp
+
+type t = {
+  ctx : Bgv.ctx;
+  size : int;
+  thresh : int;
+  member_ids : int array;  (* device ids; -1 for genesis parties *)
+  shares : Threshold.key_share array;
+  generation : int;
+}
+
+let committee_size t = t.size
+let threshold t = t.thresh
+let members t = t.member_ids
+let generation t = t.generation
+
+let genesis ctx rng ~size ~threshold ~relin_degree =
+  if threshold + 1 > size then invalid_arg "Committee.genesis: threshold too high";
+  let sk, pk = Bgv.keygen ctx rng in
+  let relin = Bgv.relin_keygen ctx rng sk ~max_degree:relin_degree in
+  let srs = Zkp.setup rng in
+  let shares = Threshold.share_secret_key ctx rng ~threshold ~parties:size sk in
+  (* The genesis parties are outside the device population. *)
+  let t =
+    {
+      ctx;
+      size;
+      thresh = threshold;
+      member_ids = Array.make size (-1);
+      shares;
+      generation = 0;
+    }
+  in
+  (t, pk, relin, srs)
+
+let rotate t rng ~population =
+  let member_ids = Rng.sample_without_replacement rng t.size population in
+  (* Any threshold+1 current holders re-share to the new committee. *)
+  let dealers = Array.to_list (Array.sub t.shares 0 (t.thresh + 1)) in
+  let shares = Vsr.redistribute_rq rng ~new_threshold:t.thresh ~new_parties:t.size dealers in
+  { t with member_ids; shares; generation = t.generation + 1 }
+
+type release = {
+  noisy_bins : float array;
+  result : Mycelium_query.Semantics.result;
+  participants : int array;
+  attempts : int;
+}
+
+(* Keep sampling reachable members until threshold+1 answer or we give
+   up: "we simply have to wait for some amount of time before enough
+   members are back, and retry" (§6.5). *)
+let rec recruit rng ~size ~needed ~churn ~max_attempts ~attempt =
+  if attempt > max_attempts then None
+  else begin
+    let online =
+      List.filter (fun _ -> not (Rng.bernoulli rng churn)) (List.init size Fun.id)
+    in
+    if List.length online >= needed then begin
+      let arr = Array.of_list online in
+      Rng.shuffle rng arr;
+      Some (Array.sub arr 0 needed, attempt)
+    end
+    else recruit rng ~size ~needed ~churn ~max_attempts ~attempt:(attempt + 1)
+  end
+
+let decrypt_and_release ?(churn = 0.) ?(max_attempts = 10) t rng ctx ~info ~epsilon ct =
+  if Bgv.degree ct <> 1 then Error "ciphertext must be relinearized to degree 1"
+  else begin
+    match recruit rng ~size:t.size ~needed:(t.thresh + 1) ~churn ~max_attempts ~attempt:1 with
+    | None -> Error "committee liveness failure: too few members reachable"
+    | Some (idx, attempts) ->
+    let participants = Array.map (fun i -> t.shares.(i).Shamir.idx) idx in
+    let partials =
+      Array.to_list idx
+      |> List.map (fun i -> Threshold.partial_decrypt ctx rng ~participants t.shares.(i) ct)
+    in
+    let pt = Threshold.combine ctx ct partials in
+    let total_bins = info.Analysis.layout.Analysis.total_bins in
+    let counts = Array.init total_bins (fun i -> Plaintext.coeff pt i) in
+    let sensitivity = info.Analysis.sensitivity in
+    match info.Analysis.query.Ast.output with
+    | Ast.Histo _ ->
+      (* Laplace noise on every bin before anything leaves the MPC. *)
+      let noisy_bins = Dp.release_histogram rng ~sensitivity ~epsilon counts in
+      Ok { noisy_bins; result = Semantics.decode info noisy_bins; participants; attempts }
+    | Ast.Gsum _ ->
+      (* The committee computes the clipped sums from the exact bins
+         (§4.4's formula) and noises each group's output once. *)
+      let exact = Array.map float_of_int counts in
+      (match Semantics.decode info exact with
+      | Semantics.Sums groups ->
+        let noised =
+          Array.map
+            (fun (label, v) -> (label, Dp.release_sum rng ~sensitivity ~epsilon v))
+            groups
+        in
+        Ok { noisy_bins = exact; result = Semantics.Sums noised; participants; attempts }
+      | Semantics.Histogram _ -> Error "decode mismatch: GSUM query decoded to histogram")
+  end
+
+let reconstruct_for_tests t ctx =
+  Threshold.reconstruct_secret_key ctx
+    (Array.to_list (Array.sub t.shares 0 (t.thresh + 1)))

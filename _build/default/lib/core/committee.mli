@@ -1,0 +1,67 @@
+(** Committee lifecycle (§4.2, §5): a genesis committee generates the
+    BGV keys once and Shamir-shares the decryption key; each query is
+    then decrypted by a randomly drawn committee of user devices, and
+    ownership of the key moves committee-to-committee by verifiable
+    secret redistribution — Orchard's per-query key generation is gone
+    (Mycelium's second modification to Orchard).
+
+    Decryption adds the differential-privacy noise *inside* the MPC,
+    before anything reaches the aggregator. *)
+
+type t
+
+val committee_size : t -> int
+val threshold : t -> int
+val members : t -> int array
+(** Device ids of the current committee. *)
+
+val generation : t -> int
+(** How many VSR hand-offs have happened (0 = genesis holders). *)
+
+val genesis :
+  Mycelium_bgv.Bgv.ctx ->
+  Mycelium_util.Rng.t ->
+  size:int ->
+  threshold:int ->
+  relin_degree:int ->
+  t * Mycelium_bgv.Bgv.public_key * Mycelium_bgv.Bgv.relin_key * Mycelium_zkp.Zkp.srs
+(** The genesis ceremony: BGV keygen, relinearization keys, the ZKP
+    trusted setup, and the initial sharing. The secret key itself is
+    discarded — from here on it exists only as shares. *)
+
+val rotate : t -> Mycelium_util.Rng.t -> population:int -> t
+(** Draw the next committee from the device population and hand the key
+    over with VSR; the old committee's shares become useless (shares of
+    different sharings do not mix). *)
+
+type release = {
+  noisy_bins : float array;
+  result : Mycelium_query.Semantics.result;
+  participants : int array;
+  attempts : int;
+      (** decryption rounds needed before enough members were reachable
+          (1 when everyone answers; the Fig 8b liveness story) *)
+}
+
+val decrypt_and_release :
+  ?churn:float ->
+  ?max_attempts:int ->
+  t ->
+  Mycelium_util.Rng.t ->
+  Mycelium_bgv.Bgv.ctx ->
+  info:Mycelium_query.Analysis.info ->
+  epsilon:float ->
+  Mycelium_bgv.Bgv.ciphertext ->
+  (release, string) result
+(** Threshold-decrypt a relinearized aggregate, apply the §4.4 final
+    processing with calibrated Laplace noise (per histogram bin for
+    HISTO; per group sum for GSUM), and release. Each member is
+    independently unreachable with probability [churn] (default 0);
+    with fewer than threshold+1 present the committee "waits for some
+    amount of time... and retries" (§6.5) up to [max_attempts]
+    (default 10). Fails if the ciphertext is not degree 1 or liveness
+    never recovers. *)
+
+val reconstruct_for_tests : t -> Mycelium_bgv.Bgv.ctx -> Mycelium_bgv.Bgv.secret_key
+(** Rebuild the secret key from shares — the committee-capture failure
+    mode, available so tests can compare against direct decryption. *)

@@ -1,0 +1,426 @@
+module Rng = Mycelium_util.Rng
+module Cg = Mycelium_graph.Contact_graph
+module Schema = Mycelium_graph.Schema
+module Bgv = Mycelium_bgv.Bgv
+module Params = Mycelium_bgv.Params
+module Dp = Mycelium_dp.Dp
+module Zkp = Mycelium_zkp.Zkp
+module Merkle = Mycelium_crypto.Merkle
+module Analysis = Mycelium_query.Analysis
+module Semantics = Mycelium_query.Semantics
+module Parser = Mycelium_query.Parser
+module Ast = Mycelium_query.Ast
+module Sim = Mycelium_mixnet.Sim
+module Bulletin = Mycelium_mixnet.Bulletin
+
+type config = {
+  params : Params.t;
+  committee_size : int;
+  committee_threshold : int;
+  epsilon_budget : float;
+  degree_bound : int;
+  seed : int64;
+  byzantine_fraction : float;
+  route_through_mixnet : Sim.config option;
+  relin_degree : int option;
+      (** override the relinearization-key degree bound (multi-hop
+          queries grow products to the neighborhood-ball size) *)
+  accounting : Dp.accounting;
+}
+
+let default_config =
+  {
+    params = Params.test_medium;
+    committee_size = 10;
+    committee_threshold = 4;
+    epsilon_budget = 10.;
+    degree_bound = 6;
+    seed = 1L;
+    byzantine_fraction = 0.;
+    route_through_mixnet = None;
+    relin_degree = None;
+    accounting = Dp.Basic;
+  }
+
+type t = {
+  cfg : config;
+  ctx : Bgv.ctx;
+  rng : Rng.t;
+  graph : Cg.t;
+  pk : Bgv.public_key;
+  relin : Bgv.relin_key;
+  srs : Zkp.srs;
+  mutable comm : Committee.t;
+  budget : Dp.budget;
+  byzantine : bool array;
+  bulletin : Bulletin.t;
+  mixnet : Sim.t option;
+  mutable mixnet_ready : bool;
+}
+
+let public_key t = t.pk
+let committee t = t.comm
+let budget t = t.budget
+let graph t = t.graph
+
+let init cfg graph =
+  Params.validate cfg.params;
+  if Cg.max_degree graph > cfg.degree_bound then
+    invalid_arg "Runtime.init: graph exceeds the degree bound d";
+  let ctx = Bgv.make_ctx cfg.params in
+  let rng = Rng.create cfg.seed in
+  (* Relinearization must cover the largest 1-hop local product: up to
+     d neighbor rows, the origin's own row, and a filler. Multi-hop
+     tests pass smaller graphs so the same bound covers them. *)
+  let relin_degree =
+    match cfg.relin_degree with Some d -> d | None -> cfg.degree_bound + 3
+  in
+  let genesis, pk, relin, srs =
+    Committee.genesis ctx rng ~size:cfg.committee_size ~threshold:cfg.committee_threshold
+      ~relin_degree
+  in
+  (* Hand the key from the genesis parties to the first device
+     committee. *)
+  let comm = Committee.rotate genesis rng ~population:(Cg.population graph) in
+  let n = Cg.population graph in
+  let n_byz = int_of_float (Float.round (float_of_int n *. cfg.byzantine_fraction)) in
+  let byzantine = Array.make n false in
+  Array.iter (fun i -> byzantine.(i) <- true) (Rng.sample_without_replacement rng n_byz n);
+  let mixnet =
+    Option.map
+      (fun (mix_cfg : Sim.config) ->
+        Sim.create { mix_cfg with Sim.n_devices = n; degree = cfg.degree_bound })
+      cfg.route_through_mixnet
+  in
+  {
+    cfg;
+    ctx;
+    rng;
+    graph;
+    pk;
+    relin;
+    srs;
+    comm;
+    budget = Dp.budget_create ~accounting:cfg.accounting ~total:cfg.epsilon_budget ();
+    byzantine;
+    bulletin = Bulletin.create ();
+    mixnet;
+    mixnet_ready = false;
+  }
+
+type query_error =
+  | Parse_error of string
+  | Analysis_error of string
+  | Infeasible of string
+  | Budget_exhausted of float
+  | Pipeline_error of string
+
+type query_result = {
+  info : Analysis.info;
+  result : Semantics.result;
+  noisy_bins : float array;
+  discarded_contributions : int;
+  origins_included : int;
+  committee_generation : int;
+  mixnet_losses : int;
+  c_rounds : int;
+      (* communication cost in C-rounds: 2*hops vertex-program rounds,
+         each k_mix+1 C-rounds (§3.5, §6.3) *)
+}
+
+(* Pad every contribution of a query to one wire size so mixnet
+   messages are indistinguishable. *)
+let pad_to size b =
+  if Bytes.length b > size then invalid_arg "Runtime: contribution exceeds frame";
+  let out = Bytes.make (size + 4) '\x00' in
+  Bytes.set_int32_le out 0 (Int32.of_int (Bytes.length b));
+  Bytes.blit b 0 out 4 (Bytes.length b);
+  out
+
+let unpad b =
+  if Bytes.length b < 4 then None
+  else begin
+    let l = Int32.to_int (Bytes.get_int32_le b 0) in
+    if l < 0 || 4 + l > Bytes.length b then None else Some (Bytes.sub b 4 l)
+  end
+
+(* Collect, for every origin, the verified neighbor rows — either over
+   the abstract channel or through the mixnet. Returns
+   (rows per origin, discarded count, transit losses). *)
+let gather_rows t info =
+  let n = Cg.population t.graph in
+  let discarded = ref 0 and losses = ref 0 in
+  let build_for dest_dev edge =
+    if t.byzantine.(dest_dev) then
+      (* Over-weighted value with a forged proof (§4.6's attack). *)
+      Contribution.build_malicious t.ctx t.rng t.pk info ~exponent:1 ~coeff:200
+    else Contribution.build t.srs t.ctx t.rng t.pk info ~dest:(Cg.vertex t.graph dest_dev) ~edge
+  in
+  let rows = Array.make n [] in
+  (match t.mixnet with
+  | Some mix when info.Analysis.query.Ast.hops = 1 ->
+    (* Route every row through the onion-routing layer. *)
+    if not t.mixnet_ready then begin
+      let targets =
+        Array.init n (fun v ->
+            let neigh = List.map fst (Cg.neighbors t.graph v) in
+            (* Pad with self-loops to exactly d targets (§3.2). *)
+            let pad = t.cfg.degree_bound - List.length neigh in
+            Array.of_list (neigh @ List.init (max 0 pad) (fun _ -> v)))
+      in
+      ignore (Sim.setup_paths ~targets mix);
+      t.mixnet_ready <- true
+    end;
+    let frame = Contribution.wire_size t.ctx info in
+    let payload_of ~source ~dest =
+      if source = dest then pad_to frame (Bytes.make 1 '\x00') (* self-loop padding *)
+      else begin
+        let edge = Cg.edge t.graph source dest in
+        pad_to frame (Contribution.to_bytes (build_for source edge))
+      end
+    in
+    let (_ : Sim.round_stats) = Sim.run_query_round_with mix ~payload_of in
+    let delivered = Sim.deliveries mix in
+    (* Count expected edge messages that did not arrive. *)
+    let expected = Cg.edge_count t.graph * 2 in
+    let arrived = ref 0 in
+    List.iter
+      (fun (src, dst, body) ->
+        if src <> dst then begin
+          match Option.bind (unpad body) (Contribution.of_bytes t.ctx) with
+          | Some row ->
+            incr arrived;
+            if Contribution.verify t.srs t.ctx info row then
+              rows.(dst) <- (src, Cg.edge t.graph dst src, row) :: rows.(dst)
+            else incr discarded
+          | None -> incr discarded
+        end)
+      delivered;
+    losses := expected - !arrived
+  | Some _ | None ->
+    (* Abstract reliable channel: used when the experiment under
+       measurement is the query pipeline, not the mixnet. *)
+    for origin = 0 to n - 1 do
+      let members = Cg.k_hop t.graph origin ~k:info.Analysis.query.Ast.hops in
+      let parents = Cg.spanning_parents t.graph origin ~k:info.Analysis.query.Ast.hops in
+      let first_edge m =
+        let rec walk v =
+          match Hashtbl.find_opt parents v with
+          | Some p when p = origin -> Some v
+          | Some p -> walk p
+          | None -> None
+        in
+        match walk m with Some hop -> Cg.edge t.graph origin hop | None -> None
+      in
+      List.iter
+        (fun (m, _dist) ->
+          let row = build_for m (first_edge m) in
+          if Contribution.verify t.srs t.ctx info row then
+            rows.(origin) <- (m, first_edge m, row) :: rows.(origin)
+          else incr discarded)
+        members
+    done);
+  (rows, !discarded, !losses)
+
+let run_query_ast ?(epsilon = 1.0) t query =
+  let ( let* ) = Result.bind in
+  let* info =
+    match Analysis.analyze ~degree_bound:t.cfg.degree_bound query with
+    | Ok i -> Ok i
+    | Error e -> Error (Analysis_error e)
+  in
+  let* () =
+    match Analysis.feasible info t.cfg.params with
+    | Ok () -> Ok ()
+    | Error e -> Error (Infeasible e)
+  in
+  let* () =
+    (* Predicate placement must succeed before any device computes. *)
+    match Semantics.split_where query.Ast.where with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Analysis_error e)
+  in
+  let* () =
+    (* epsilon = infinity means "release exactly" — a debugging mode
+       that bypasses privacy entirely, so it is not budget-charged. *)
+    if epsilon = Float.infinity then Ok ()
+    else begin
+      match Dp.budget_charge t.budget epsilon with
+      | Ok () -> Ok ()
+      | Error (`Exhausted r) -> Error (Budget_exhausted r)
+    end
+  in
+  let* () =
+    (* The spanning-tree engine covers the paper's multi-hop query
+       class (Q1-style ungrouped counts/sums); §4.5's sequences and
+       GROUP BY packing are 1-hop constructs. *)
+    if
+      query.Ast.hops > 1
+      && (Semantics.is_ratio info
+         || info.Analysis.group_kind <> Analysis.Group_none
+         || Contribution.sequence_length info > 1)
+    then
+      Error
+        (Analysis_error
+           "multi-hop queries support only ungrouped aggregation without cross-column comparisons")
+    else Ok ()
+  in
+  let rows, discarded_rows, mixnet_losses = gather_rows t info in
+  (* Every origin aggregates its neighborhood and submits; Byzantine
+     origins submit garbage with forged transcript proofs. *)
+  let n = Cg.population t.graph in
+  let discarded = ref discarded_rows in
+  let origin_cts = ref [] in
+  let origins_included = ref 0 in
+  (* Multi-hop local aggregation follows the §4.4 spanning tree:
+     vertices at distance k send their (verified) contributions to
+     their upstream neighbors, interior vertices multiply children with
+     their own row and prove the product, and so on up to the origin.
+     A Byzantine interior vertex's forged product is caught by the
+     aggregator and its whole subtree is lost — the bias §4.7
+     acknowledges. *)
+  let tree_aggregate origin =
+    let hops = info.Analysis.query.Ast.hops in
+    let parents = Cg.spanning_parents t.graph origin ~k:hops in
+    let members = Cg.k_hop t.graph origin ~k:hops in
+    let children = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun child parent ->
+        Hashtbl.replace children parent (child :: Option.value ~default:[] (Hashtbl.find_opt children parent)))
+      parents;
+    let contribution_of = Hashtbl.create 16 in
+    List.iter (fun (m, _, (row : Contribution.t)) -> Hashtbl.replace contribution_of m row) rows.(origin);
+    (* Partial products, deepest first. *)
+    let by_depth = List.sort (fun (_, d1) (_, d2) -> compare d2 d1) members in
+    let products = Hashtbl.create 16 in
+    List.iter
+      (fun (m, _) ->
+        if not (t.byzantine.(m)) then begin
+          let own =
+            Option.map (fun (r : Contribution.t) -> r.Contribution.ciphertexts.(0))
+              (Hashtbl.find_opt contribution_of m)
+          in
+          let kids =
+            List.filter_map (fun c -> Hashtbl.find_opt products c)
+              (Option.value ~default:[] (Hashtbl.find_opt children m))
+          in
+          match Contribution.aggregate_subtree t.srs ~own ~children:kids with
+          | Ok (product, proof) ->
+            if Zkp.verify_transcript t.srs ~label:"subtree-aggregation" ~context:Bytes.empty
+                 ~inputs:(match own with Some ct -> ct :: kids | None -> kids)
+                 ~output:product proof
+            then Hashtbl.replace products m product
+            else incr discarded
+          | Error _ -> ()
+        end
+        else begin
+          (* Byzantine interior vertex: garbage product, forged proof —
+             rejected, subtree lost. *)
+          incr discarded
+        end)
+      by_depth;
+    (* The origin multiplies its own row with its children's products
+       (gate and shifts handled by aggregate_origin with the direct
+       children's products standing in as rows is not possible for
+       products — do it directly). *)
+    let self = Cg.vertex t.graph origin in
+    if not (Semantics.origin_gate info self) then
+      Ok (Bgv.encrypt_zero_polynomial t.ctx t.rng t.pk)
+    else begin
+      let own_ctx_row = { Semantics.self; dest = self; edge = None } in
+      let own_ct =
+        Bgv.encrypt_value t.ctx t.rng t.pk (Semantics.row_value info own_ctx_row)
+      in
+      let kids =
+        List.filter_map (fun c -> Hashtbl.find_opt products c)
+          (Option.value ~default:[] (Hashtbl.find_opt children origin))
+      in
+      match Contribution.aggregate_subtree t.srs ~own:(Some own_ct) ~children:kids with
+      | Ok (product, _proof) -> Ok product
+      | Error e -> Error e
+    end
+  in
+  for origin = 0 to n - 1 do
+    if t.byzantine.(origin) then begin
+      let bad = Contribution.build_malicious t.ctx t.rng t.pk info ~exponent:2 ~coeff:999 in
+      let forged = Zkp.forge t.rng in
+      (* The aggregator checks the transcript proof and discards. *)
+      if
+        Zkp.verify_transcript t.srs ~label:"origin-aggregation"
+          ~context:(Bytes.of_string info.Analysis.query.Ast.name)
+          ~inputs:[ bad.Contribution.ciphertexts.(0) ]
+          ~output:bad.Contribution.ciphertexts.(0) forged
+      then origin_cts := bad.Contribution.ciphertexts.(0) :: !origin_cts
+      else incr discarded
+    end
+    else if info.Analysis.query.Ast.hops > 1 then begin
+      match tree_aggregate origin with
+      | Ok ct ->
+        incr origins_included;
+        origin_cts := ct :: !origin_cts
+      | Error _ -> incr discarded
+    end
+    else begin
+      match
+        Contribution.aggregate_origin t.srs t.ctx t.rng t.pk info
+          ~self:(Cg.vertex t.graph origin)
+          ~rows:(List.map (fun (_, e, r) -> (e, r)) rows.(origin))
+      with
+      | Ok (ct, _proof) ->
+        incr origins_included;
+        origin_cts := ct :: !origin_cts
+      | Error _ -> incr discarded
+    end
+  done;
+  match !origin_cts with
+  | [] -> Error (Pipeline_error "no valid origin contributions")
+  | _ ->
+    (* Summation tree (§4.2): the aggregator sums up a committed binary
+       tree so every device can audit that its contribution is included
+       exactly once; the root goes on the bulletin board. *)
+    let leaves = Array.of_list !origin_cts in
+    let tree = Summation_tree.build leaves in
+    ignore (Bulletin.post t.bulletin ~author:"aggregator" (Summation_tree.root_hash tree));
+    (* Play one device's audit as a self-check of the commitment. *)
+    let probe = Rng.int t.rng (Array.length leaves) in
+    if
+      not
+        (Summation_tree.verify_audit leaves.(probe)
+           ~root_hash:(Summation_tree.root_hash tree)
+           ~root_sum:(Summation_tree.root_sum tree)
+           ~leaf_count:(Summation_tree.leaf_count tree)
+           (Summation_tree.audit tree probe))
+    then failwith "Runtime: summation-tree audit failed (aggregator bug)";
+    let sum = Summation_tree.root_sum tree in
+    (* Deferred relinearization at the aggregator (§5). *)
+    let linear =
+      if Bgv.degree sum <= 1 then sum else Bgv.relinearize t.ctx t.relin sum
+    in
+    (match
+       Committee.decrypt_and_release t.comm t.rng t.ctx ~info ~epsilon linear
+     with
+    | Error e -> Error (Pipeline_error e)
+    | Ok release ->
+      (* Rotate the committee for the next query (§4.2). *)
+      t.comm <- Committee.rotate t.comm t.rng ~population:n;
+      let mix_hops =
+        match t.cfg.route_through_mixnet with Some c -> c.Sim.hops | None -> 3
+      in
+      Ok
+        {
+          info;
+          result = release.Committee.result;
+          noisy_bins = release.Committee.noisy_bins;
+          discarded_contributions = !discarded;
+          origins_included = !origins_included;
+          committee_generation = Committee.generation t.comm - 1;
+          mixnet_losses;
+          c_rounds = 2 * query.Ast.hops * (mix_hops + 1);
+        })
+
+let run_query ?epsilon t src =
+  match Parser.parse src with
+  | Error e -> Error (Parse_error (Printf.sprintf "at %d: %s" e.Parser.position e.Parser.message))
+  | Ok q -> run_query_ast ?epsilon t q
+
+let exact_bins_for_tests t info = Semantics.global_histogram info t.graph

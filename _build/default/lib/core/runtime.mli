@@ -1,0 +1,80 @@
+(** The end-to-end Mycelium system (§4, §5): devices on a contact
+    graph, a global BGV key held in committee shares, the aggregator,
+    and the full query pipeline —
+
+    analyst query -> parse/analyze -> budget charge -> flooding ->
+    per-row encrypted contributions with well-formedness ZKPs ->
+    spanning-tree local aggregation with transcript ZKPs -> aggregator
+    verification + summation tree -> deferred relinearization ->
+    committee threshold decryption with in-MPC Laplace noise ->
+    released result -> committee rotation (VSR).
+
+    By default the contributions move over an abstract reliable channel
+    (the mixnet is exercised and measured separately); pass
+    [route_through_mixnet] to push every 1-hop contribution through the
+    full onion-routing simulator, where churn turns into the §6.3
+    default-value behaviour. *)
+
+type config = {
+  params : Mycelium_bgv.Params.t;
+  committee_size : int;
+  committee_threshold : int;
+  epsilon_budget : float;
+  degree_bound : int;  (** d; must be >= the graph's max degree *)
+  seed : int64;
+  byzantine_fraction : float;
+      (** fraction of devices submitting over-weighted contributions
+          with forged proofs (§4.6's attack) *)
+  route_through_mixnet : Mycelium_mixnet.Sim.config option;
+  relin_degree : int option;
+      (** relinearization-key degree bound; default d+3 covers 1-hop *)
+  accounting : Mycelium_dp.Dp.accounting;
+      (** budget accountant: Basic sequential composition (the paper's
+          conservative default) or Advanced composition (§4.4's
+          suggested refinement) *)
+}
+
+val default_config : config
+(** test_medium BGV parameters, committee of 10 with threshold 4,
+    budget 10, d=6, honest devices, abstract channel. *)
+
+type t
+
+val init : config -> Mycelium_graph.Contact_graph.t -> t
+
+val public_key : t -> Mycelium_bgv.Bgv.public_key
+val committee : t -> Committee.t
+val budget : t -> Mycelium_dp.Dp.budget
+val graph : t -> Mycelium_graph.Contact_graph.t
+
+type query_error =
+  | Parse_error of string
+  | Analysis_error of string
+  | Infeasible of string
+  | Budget_exhausted of float
+  | Pipeline_error of string
+
+type query_result = {
+  info : Mycelium_query.Analysis.info;
+  result : Mycelium_query.Semantics.result;
+  noisy_bins : float array;
+  discarded_contributions : int;  (** rows rejected by ZKP checks *)
+  origins_included : int;
+  committee_generation : int;
+  mixnet_losses : int;  (** rows lost in transit (mixnet mode only) *)
+  c_rounds : int;
+      (** C-rounds the query's communication occupies: 2*hops
+          vertex-program rounds of k_mix+1 C-rounds each (§3.5); with
+          hour-long rounds, the wall-clock the paper quotes in §6.3 *)
+}
+
+val run_query : ?epsilon:float -> t -> string -> (query_result, query_error) result
+(** Parse and execute a query (default epsilon 1.0). On success the
+    committee rotates. *)
+
+val run_query_ast :
+  ?epsilon:float -> t -> Mycelium_query.Ast.t -> (query_result, query_error) result
+
+val exact_bins_for_tests : t -> Mycelium_query.Analysis.info -> int array
+(** The plaintext oracle on the same graph (for equality checks with
+    epsilon = infinity). *)

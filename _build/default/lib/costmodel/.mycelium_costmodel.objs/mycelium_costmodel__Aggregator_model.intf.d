@@ -1,0 +1,1 @@
+lib/costmodel/aggregator_model.mli: Defaults

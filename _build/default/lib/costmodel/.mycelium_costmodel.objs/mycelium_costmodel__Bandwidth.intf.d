@@ -1,0 +1,1 @@
+lib/costmodel/bandwidth.mli: Defaults

@@ -1,0 +1,1 @@
+lib/costmodel/committee_model.ml: Defaults Float

@@ -1,0 +1,1 @@
+lib/costmodel/defaults.ml: Format Mycelium_bgv Mycelium_query

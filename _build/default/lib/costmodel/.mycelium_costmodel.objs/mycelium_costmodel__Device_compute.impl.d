@@ -1,0 +1,1 @@
+lib/costmodel/device_compute.ml: Defaults Mycelium_bgv Mycelium_util Mycelium_zkp Unix

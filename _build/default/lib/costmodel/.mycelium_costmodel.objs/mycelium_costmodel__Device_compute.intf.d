@@ -1,0 +1,1 @@
+lib/costmodel/device_compute.mli: Defaults Mycelium_bgv Mycelium_util

@@ -1,0 +1,1 @@
+lib/costmodel/figures.mli: Device_compute

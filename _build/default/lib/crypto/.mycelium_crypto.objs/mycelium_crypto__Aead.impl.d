@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Buffer Bytes Chacha20 Int64 Poly1305

@@ -1,0 +1,1 @@
+lib/crypto/elgamal.ml: Aead Bytes Chacha20 Mycelium_math Mycelium_util Sha256

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Buffer Bytes Int32 Mycelium_math Mycelium_util Sha256

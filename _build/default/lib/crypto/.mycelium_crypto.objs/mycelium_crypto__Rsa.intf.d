@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Mycelium_math Mycelium_util

@@ -1,0 +1,44 @@
+let key_size = 32
+let overhead = Poly1305.tag_size
+
+let pad16 buf len = Buffer.add_bytes buf (Bytes.make ((16 - (len mod 16)) mod 16) '\x00')
+
+let le64 buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let poly_input ~aad ~ct =
+  let buf = Buffer.create (Bytes.length aad + Bytes.length ct + 48) in
+  Buffer.add_bytes buf aad;
+  pad16 buf (Bytes.length aad);
+  Buffer.add_bytes buf ct;
+  pad16 buf (Bytes.length ct);
+  le64 buf (Bytes.length aad);
+  le64 buf (Bytes.length ct);
+  Buffer.to_bytes buf
+
+let one_time_key ~key ~nonce = Bytes.sub (Chacha20.block ~key ~nonce ~counter:0) 0 32
+
+let seal_nonce ~key ~nonce ?(aad = Bytes.empty) msg =
+  let ct = Chacha20.encrypt ~key ~nonce ~counter:1 msg in
+  let otk = one_time_key ~key ~nonce in
+  let tag = Poly1305.mac ~key:otk (poly_input ~aad ~ct) in
+  Bytes.cat ct tag
+
+let open_nonce ~key ~nonce ?(aad = Bytes.empty) data =
+  let len = Bytes.length data in
+  if len < overhead then None
+  else begin
+    let ct = Bytes.sub data 0 (len - overhead) in
+    let tag = Bytes.sub data (len - overhead) overhead in
+    let otk = one_time_key ~key ~nonce in
+    if Poly1305.verify ~key:otk ~tag (poly_input ~aad ~ct) then
+      Some (Chacha20.encrypt ~key ~nonce ~counter:1 ct)
+    else None
+  end
+
+let seal ~key ~round ?aad msg = seal_nonce ~key ~nonce:(Chacha20.nonce_of_round round) ?aad msg
+
+let open_ ~key ~round ?aad data =
+  open_nonce ~key ~nonce:(Chacha20.nonce_of_round round) ?aad data

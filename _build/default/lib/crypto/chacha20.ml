@@ -1,0 +1,84 @@
+let key_size = 32
+let nonce_size = 12
+
+let mask = 0xFFFFFFFF
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let le32 b off =
+  Bytes.get_uint8 b off
+  lor (Bytes.get_uint8 b (off + 1) lsl 8)
+  lor (Bytes.get_uint8 b (off + 2) lsl 16)
+  lor (Bytes.get_uint8 b (off + 3) lsl 24)
+
+let store_le32 b off v =
+  Bytes.set_uint8 b off (v land 0xFF);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b (off + 2) ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 b (off + 3) ((v lsr 24) land 0xFF)
+
+let init_state ~key ~nonce ~counter =
+  if Bytes.length key <> key_size then invalid_arg "Chacha20: bad key size";
+  if Bytes.length nonce <> nonce_size then invalid_arg "Chacha20: bad nonce size";
+  let st = Array.make 16 0 in
+  (* "expand 32-byte k" *)
+  st.(0) <- 0x61707865;
+  st.(1) <- 0x3320646e;
+  st.(2) <- 0x79622d32;
+  st.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    st.(4 + i) <- le32 key (4 * i)
+  done;
+  st.(12) <- counter land mask;
+  for i = 0 to 2 do
+    st.(13 + i) <- le32 nonce (4 * i)
+  done;
+  st
+
+let block ~key ~nonce ~counter =
+  let st = init_state ~key ~nonce ~counter in
+  let work = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round work 0 4 8 12;
+    quarter_round work 1 5 9 13;
+    quarter_round work 2 6 10 14;
+    quarter_round work 3 7 11 15;
+    quarter_round work 0 5 10 15;
+    quarter_round work 1 6 11 12;
+    quarter_round work 2 7 8 13;
+    quarter_round work 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    store_le32 out (4 * i) ((work.(i) + st.(i)) land mask)
+  done;
+  out
+
+let encrypt ~key ~nonce ?(counter = 1) data =
+  let len = Bytes.length data in
+  let out = Bytes.create len in
+  let nblocks = (len + 63) / 64 in
+  for b = 0 to nblocks - 1 do
+    let ks = block ~key ~nonce ~counter:(counter + b) in
+    let off = b * 64 in
+    let chunk = min 64 (len - off) in
+    for i = 0 to chunk - 1 do
+      Bytes.set_uint8 out (off + i) (Bytes.get_uint8 data (off + i) lxor Bytes.get_uint8 ks i)
+    done
+  done;
+  out
+
+let nonce_of_round round =
+  let b = Bytes.make nonce_size '\x00' in
+  Bytes.set_int64_le b 4 (Int64.of_int round);
+  b

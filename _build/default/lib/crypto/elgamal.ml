@@ -1,0 +1,70 @@
+module Bigint = Mycelium_math.Bigint
+module Rng = Mycelium_util.Rng
+
+(* A fixed 256-bit safe prime (generated once with
+   Bigint.random_safe_prime, seed 20260706). 256 bits is far below
+   cryptographic strength — deliberately: the simulation spends one
+   modexp per PEnc across thousands of simulated devices, and the
+   protocol logic is what matters here. Swap in RFC 3526 constants for
+   a production build. *)
+let p =
+  Bigint.of_hex "90109c1cdccd1bf85cde95dee93ea51985ddccdef6b802a9ad2d527a156ad5bb"
+
+(* q = (p-1)/2 is prime; g = 4 generates the order-q subgroup of
+   quadratic residues. *)
+let q = Bigint.shift_right (Bigint.sub p Bigint.one) 1
+let g = Bigint.of_int 4
+
+let group_bytes = 32 (* 256 bits *)
+
+type public_key = Bigint.t
+type private_key = { x : Bigint.t; pk : Bigint.t }
+
+let generate rng =
+  let x = Bigint.add (Bigint.random rng (Bigint.sub q Bigint.one)) Bigint.one in
+  let pk = Bigint.mod_pow g x p in
+  (pk, { x; pk })
+
+let encode_element e =
+  let b = Bigint.to_bytes_be e in
+  let out = Bytes.make group_bytes '\x00' in
+  Bytes.blit b 0 out (group_bytes - Bytes.length b) (Bytes.length b);
+  out
+
+let kdf shared =
+  Sha256.digest (encode_element shared)
+
+let zero_nonce = Bytes.make Chacha20.nonce_size '\x00'
+
+let encrypt rng pk msg =
+  let y = Bigint.add (Bigint.random rng (Bigint.sub q Bigint.one)) Bigint.one in
+  let eph = Bigint.mod_pow g y p in
+  let shared = Bigint.mod_pow pk y p in
+  (* Fresh key per encryption, so a fixed nonce is safe. *)
+  let sealed = Aead.seal_nonce ~key:(kdf shared) ~nonce:zero_nonce msg in
+  Bytes.cat (encode_element eph) sealed
+
+let ciphertext_overhead = group_bytes + Aead.overhead
+
+let decrypt sk ct =
+  if Bytes.length ct < ciphertext_overhead then None
+  else begin
+    let eph = Bigint.of_bytes_be (Bytes.sub ct 0 group_bytes) in
+    if Bigint.compare eph p >= 0 || Bigint.sign eph <= 0 then None
+    else begin
+      let shared = Bigint.mod_pow eph sk.x p in
+      Aead.open_nonce ~key:(kdf shared) ~nonce:zero_nonce
+        (Bytes.sub ct group_bytes (Bytes.length ct - group_bytes))
+    end
+  end
+
+let pub_to_bytes pk = encode_element pk
+
+let pub_of_bytes b =
+  if Bytes.length b <> group_bytes then None
+  else begin
+    let v = Bigint.of_bytes_be b in
+    if Bigint.sign v <= 0 || Bigint.compare v p >= 0 then None else Some v
+  end
+
+let fingerprint pk = Sha256.digest (pub_to_bytes pk)

@@ -1,0 +1,31 @@
+(** ElGamal KEM + AEAD public-key encryption over a fixed safe-prime
+    group (RFC 2409 Oakley Group 1, 768 bits).
+
+    The paper instantiates PEnc with RSA-PKCS1; {!Rsa} provides that,
+    but RSA key generation is too slow to give thousands of simulated
+    devices individual keypairs. This module is the simulation's
+    default PEnc: key generation is a single modular exponentiation,
+    and the scheme is still genuinely asymmetric, so the simulated
+    adversary learns nothing it shouldn't. Costs at paper scale are
+    charged by the cost model regardless of which PEnc the simulation
+    uses. *)
+
+type public_key
+type private_key
+
+val generate : Mycelium_util.Rng.t -> public_key * private_key
+
+val encrypt : Mycelium_util.Rng.t -> public_key -> bytes -> bytes
+(** KEM-DEM: g^y || ChaCha20-Poly1305 under H(pk^y). *)
+
+val decrypt : private_key -> bytes -> bytes option
+
+val ciphertext_overhead : int
+(** Bytes added to the plaintext: the 96-byte group element plus the
+    16-byte AEAD tag. *)
+
+val fingerprint : public_key -> bytes
+(** SHA-256 of the encoded key: the pseudonym derivation h = H(pk). *)
+
+val pub_to_bytes : public_key -> bytes
+val pub_of_bytes : bytes -> public_key option

@@ -1,0 +1,63 @@
+module Bigint = Mycelium_math.Bigint
+
+let tag_size = 16
+
+(* p = 2^130 - 5 *)
+let p = Bigint.sub (Bigint.shift_left Bigint.one 130) (Bigint.of_int 5)
+let two_128 = Bigint.shift_left Bigint.one 128
+
+let le_number b off len =
+  (* Little-endian bytes to Bigint. *)
+  let acc = ref Bigint.zero in
+  for i = len - 1 downto 0 do
+    acc := Bigint.add_int (Bigint.shift_left !acc 8) (Bytes.get_uint8 b (off + i))
+  done;
+  !acc
+
+let clamp_r key =
+  let r = Bytes.sub key 0 16 in
+  Bytes.set_uint8 r 3 (Bytes.get_uint8 r 3 land 15);
+  Bytes.set_uint8 r 7 (Bytes.get_uint8 r 7 land 15);
+  Bytes.set_uint8 r 11 (Bytes.get_uint8 r 11 land 15);
+  Bytes.set_uint8 r 15 (Bytes.get_uint8 r 15 land 15);
+  Bytes.set_uint8 r 4 (Bytes.get_uint8 r 4 land 252);
+  Bytes.set_uint8 r 8 (Bytes.get_uint8 r 8 land 252);
+  Bytes.set_uint8 r 12 (Bytes.get_uint8 r 12 land 252);
+  r
+
+let mac ~key msg =
+  if Bytes.length key <> 32 then invalid_arg "Poly1305.mac: bad key size";
+  let r = le_number (clamp_r key) 0 16 in
+  let s = le_number key 16 16 in
+  let len = Bytes.length msg in
+  let acc = ref Bigint.zero in
+  let off = ref 0 in
+  while !off < len do
+    let chunk = min 16 (len - !off) in
+    (* Block value with the 2^(8*len) high bit appended. *)
+    let n = Bigint.add (le_number msg !off chunk) (Bigint.shift_left Bigint.one (8 * chunk)) in
+    acc := Bigint.erem (Bigint.mul (Bigint.add !acc n) r) p;
+    off := !off + 16
+  done;
+  let tag_num = Bigint.erem (Bigint.add !acc s) two_128 in
+  let out = Bytes.make 16 '\x00' in
+  let bytes_be = Bigint.to_bytes_be tag_num in
+  (* Convert the big-endian magnitude to little-endian, padded to 16. *)
+  let nb = Bytes.length bytes_be in
+  for i = 0 to nb - 1 do
+    Bytes.set out i (Bytes.get bytes_be (nb - 1 - i))
+  done;
+  out
+
+let verify ~key ~tag msg =
+  if Bytes.length tag <> 16 then false
+  else begin
+    let expected = mac ~key msg in
+    (* Accumulate differences so timing does not depend on the first
+       mismatching byte. *)
+    let diff = ref 0 in
+    for i = 0 to 15 do
+      diff := !diff lor (Bytes.get_uint8 expected i lxor Bytes.get_uint8 tag i)
+    done;
+    !diff = 0
+  end

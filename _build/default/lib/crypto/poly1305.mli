@@ -1,0 +1,11 @@
+(** Poly1305 one-time authenticator (RFC 8439). Combined with
+    {!Chacha20} it forms Mycelium's AE scheme for telescoping-circuit
+    control messages and the innermost onion layer. *)
+
+val tag_size : int (* 16 *)
+
+val mac : key:bytes -> bytes -> bytes
+(** [mac ~key msg] with a 32-byte one-time key; returns 16 bytes. *)
+
+val verify : key:bytes -> tag:bytes -> bytes -> bool
+(** Constant-time-shaped comparison of the expected and received tag. *)

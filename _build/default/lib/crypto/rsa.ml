@@ -1,0 +1,116 @@
+module Bigint = Mycelium_math.Bigint
+module Rng = Mycelium_util.Rng
+
+type public_key = { n : Bigint.t; e : Bigint.t }
+type private_key = { pub : public_key; d : Bigint.t }
+
+let e_fixed = Bigint.of_int 65537
+
+let generate rng ~bits =
+  if bits < 128 then invalid_arg "Rsa.generate: key too small";
+  let half = bits / 2 in
+  let rec gen () =
+    let p = Bigint.random_prime rng ~bits:half in
+    let q = Bigint.random_prime rng ~bits:(bits - half) in
+    if Bigint.equal p q then gen ()
+    else begin
+      let n = Bigint.mul p q in
+      let p1 = Bigint.sub p Bigint.one and q1 = Bigint.sub q Bigint.one in
+      let phi = Bigint.mul p1 q1 in
+      if not (Bigint.equal (Bigint.gcd e_fixed phi) Bigint.one) then gen ()
+      else begin
+        let d = Bigint.mod_inv e_fixed phi in
+        let pub = { n; e = e_fixed } in
+        (pub, { pub; d })
+      end
+    end
+  in
+  gen ()
+
+let public_of_private sk = sk.pub
+
+let modulus_bytes pk = (Bigint.num_bits pk.n + 7) / 8
+
+(* EB = 00 || 02 || PS (>= 8 nonzero bytes) || 00 || D *)
+let max_plaintext pk = modulus_bytes pk - 11
+
+let encrypt rng pk msg =
+  let k = modulus_bytes pk in
+  let mlen = Bytes.length msg in
+  if mlen > max_plaintext pk then invalid_arg "Rsa.encrypt: message too long";
+  let eb = Bytes.create k in
+  Bytes.set_uint8 eb 0 0;
+  Bytes.set_uint8 eb 1 2;
+  let ps_len = k - 3 - mlen in
+  for i = 0 to ps_len - 1 do
+    Bytes.set_uint8 eb (2 + i) (1 + Rng.int rng 255)
+  done;
+  Bytes.set_uint8 eb (2 + ps_len) 0;
+  Bytes.blit msg 0 eb (3 + ps_len) mlen;
+  let m = Bigint.of_bytes_be eb in
+  let c = Bigint.mod_pow m pk.e pk.n in
+  let cb = Bigint.to_bytes_be c in
+  (* Left-pad the ciphertext to the modulus size. *)
+  let out = Bytes.make k '\x00' in
+  Bytes.blit cb 0 out (k - Bytes.length cb) (Bytes.length cb);
+  out
+
+let decrypt sk ct =
+  let k = modulus_bytes sk.pub in
+  if Bytes.length ct <> k then None
+  else begin
+    let c = Bigint.of_bytes_be ct in
+    if Bigint.compare c sk.pub.n >= 0 then None
+    else begin
+      let m = Bigint.mod_pow c sk.d sk.pub.n in
+      let mb = Bigint.to_bytes_be m in
+      let eb = Bytes.make k '\x00' in
+      Bytes.blit mb 0 eb (k - Bytes.length mb) (Bytes.length mb);
+      if Bytes.get_uint8 eb 0 <> 0 || Bytes.get_uint8 eb 1 <> 2 then None
+      else begin
+        (* Find the 0x00 separator after at least 8 padding bytes. *)
+        let rec find i =
+          if i >= k then None
+          else if Bytes.get_uint8 eb i = 0 then Some i
+          else find (i + 1)
+        in
+        match find 2 with
+        | Some sep when sep >= 10 -> Some (Bytes.sub eb (sep + 1) (k - sep - 1))
+        | _ -> None
+      end
+    end
+  end
+
+let pub_to_bytes pk =
+  let nb = Bigint.to_bytes_be pk.n and eb = Bigint.to_bytes_be pk.e in
+  let buf = Buffer.create (Bytes.length nb + Bytes.length eb + 8) in
+  let le32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    b
+  in
+  Buffer.add_bytes buf (le32 (Bytes.length nb));
+  Buffer.add_bytes buf nb;
+  Buffer.add_bytes buf (le32 (Bytes.length eb));
+  Buffer.add_bytes buf eb;
+  Buffer.to_bytes buf
+
+let pub_of_bytes b =
+  let len = Bytes.length b in
+  if len < 8 then None
+  else begin
+    let n_len = Int32.to_int (Bytes.get_int32_le b 0) in
+    if n_len < 0 || 4 + n_len + 4 > len then None
+    else begin
+      let e_len = Int32.to_int (Bytes.get_int32_le b (4 + n_len)) in
+      if e_len < 0 || 8 + n_len + e_len <> len then None
+      else
+        Some
+          {
+            n = Bigint.of_bytes_be (Bytes.sub b 4 n_len);
+            e = Bigint.of_bytes_be (Bytes.sub b (8 + n_len) e_len);
+          }
+    end
+  end
+
+let fingerprint pk = Sha256.digest (pub_to_bytes pk)

@@ -1,0 +1,31 @@
+(** RSA public-key encryption with PKCS#1 v1.5-style padding, over the
+    from-scratch {!Mycelium_math.Bigint}.
+
+    This instantiates PEnc (§5: "RSA-PKCS1 public key encryption") used
+    during path setup to deliver fresh symmetric keys to hops. Key
+    sizes are configurable; tests and simulation use 512–1024 bits for
+    speed while the cost model charges paper-scale sizes. *)
+
+type public_key = { n : Mycelium_math.Bigint.t; e : Mycelium_math.Bigint.t }
+type private_key
+
+val generate : Mycelium_util.Rng.t -> bits:int -> public_key * private_key
+(** [bits >= 128]; [e = 65537]. *)
+
+val public_of_private : private_key -> public_key
+
+val max_plaintext : public_key -> int
+(** Largest message the padding admits, in bytes. *)
+
+val encrypt : Mycelium_util.Rng.t -> public_key -> bytes -> bytes
+(** Raises [Invalid_argument] if the message exceeds {!max_plaintext}. *)
+
+val decrypt : private_key -> bytes -> bytes option
+(** [None] on malformed padding or out-of-range ciphertext. *)
+
+val fingerprint : public_key -> bytes
+(** SHA-256 of the canonical encoding; Mycelium derives pseudonyms as
+    [h_i = H(pk_i)] (§3.1). *)
+
+val pub_to_bytes : public_key -> bytes
+val pub_of_bytes : bytes -> public_key option

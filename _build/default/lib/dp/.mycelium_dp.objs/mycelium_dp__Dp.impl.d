@@ -1,0 +1,1 @@
+lib/dp/dp.ml: Array Float List Mycelium_util

@@ -1,0 +1,1 @@
+lib/dp/dp.mli: Mycelium_util

@@ -1,0 +1,95 @@
+module Rng = Mycelium_util.Rng
+
+type sensitivity = float
+
+let histo_sensitivity ~neighborhood_bound =
+  if neighborhood_bound < 1 then invalid_arg "Dp.histo_sensitivity: bound must be >= 1";
+  2. *. float_of_int neighborhood_bound
+
+let gsum_sensitivity ~clip_lo ~clip_hi ~neighborhood_bound =
+  if clip_hi < clip_lo then invalid_arg "Dp.gsum_sensitivity: empty clipping range";
+  if neighborhood_bound < 1 then invalid_arg "Dp.gsum_sensitivity: bound must be >= 1";
+  (clip_hi -. clip_lo) *. float_of_int neighborhood_bound
+
+let laplace_noise rng ~sensitivity ~epsilon =
+  if epsilon <= 0. then invalid_arg "Dp.laplace_noise: epsilon must be positive";
+  if epsilon = Float.infinity then 0. else Rng.laplace rng (sensitivity /. epsilon)
+
+let noise_vector rng ~sensitivity ~epsilon n =
+  Array.init n (fun _ -> laplace_noise rng ~sensitivity ~epsilon)
+
+let release_histogram rng ~sensitivity ~epsilon counts =
+  Array.map
+    (fun c -> float_of_int c +. laplace_noise rng ~sensitivity ~epsilon)
+    counts
+
+let release_sum rng ~sensitivity ~epsilon v = v +. laplace_noise rng ~sensitivity ~epsilon
+
+type accounting = Basic | Advanced of { delta : float }
+
+let composed_epsilon accounting epsilons =
+  match accounting with
+  | Basic -> List.fold_left ( +. ) 0. epsilons
+  | Advanced { delta } ->
+    if delta <= 0. || delta >= 1. then invalid_arg "Dp: delta must be in (0,1)";
+    let sum_sq = List.fold_left (fun acc e -> acc +. (e *. e)) 0. epsilons in
+    let linear = List.fold_left (fun acc e -> acc +. (e *. (exp e -. 1.))) 0. epsilons in
+    sqrt (2. *. log (1. /. delta) *. sum_sq) +. linear
+
+type above_threshold = {
+  rng : Rng.t;
+  noisy_threshold : float;
+  query_scale : float;
+  mutable exhausted : bool;
+}
+
+let above_threshold_create rng ~sensitivity ~epsilon ~threshold =
+  if epsilon <= 0. then invalid_arg "Dp.above_threshold_create: epsilon must be positive";
+  if sensitivity <= 0. then invalid_arg "Dp.above_threshold_create: sensitivity must be positive";
+  {
+    rng;
+    noisy_threshold = threshold +. Rng.laplace rng (2. *. sensitivity /. epsilon);
+    query_scale = 4. *. sensitivity /. epsilon;
+    exhausted = false;
+  }
+
+let above_threshold_query t value =
+  if t.exhausted then Error `Exhausted
+  else begin
+    let noisy = value +. Rng.laplace t.rng t.query_scale in
+    if noisy >= t.noisy_threshold then begin
+      t.exhausted <- true;
+      Ok true
+    end
+    else Ok false
+  end
+
+let above_threshold_exhausted t = t.exhausted
+
+type budget = {
+  total : float;
+  accounting : accounting;
+  mutable history : float list;
+}
+
+let budget_create ?(accounting = Basic) ~total () =
+  if total <= 0. then invalid_arg "Dp.budget_create: total must be positive";
+  (match accounting with
+  | Advanced { delta } when delta <= 0. || delta >= 1. ->
+    invalid_arg "Dp.budget_create: delta must be in (0,1)"
+  | Advanced _ | Basic -> ());
+  { total; accounting; history = [] }
+
+let budget_spent b = composed_epsilon b.accounting b.history
+let budget_remaining b = b.total -. budget_spent b
+
+let budget_charge b eps =
+  if eps <= 0. then invalid_arg "Dp.budget_charge: epsilon must be positive";
+  let would_be = composed_epsilon b.accounting (eps :: b.history) in
+  if would_be > b.total +. 1e-12 then Error (`Exhausted (budget_remaining b))
+  else begin
+    b.history <- eps :: b.history;
+    Ok ()
+  end
+
+let budget_history b = b.history

@@ -1,0 +1,1 @@
+lib/graph/contact_graph.ml: Array Hashtbl List Mycelium_util Queue Schema

@@ -1,0 +1,1 @@
+lib/graph/contact_graph.mli: Hashtbl Mycelium_util Schema

@@ -1,0 +1,1 @@
+lib/graph/epidemic.ml: Array Contact_graph Float List Mycelium_util Schema

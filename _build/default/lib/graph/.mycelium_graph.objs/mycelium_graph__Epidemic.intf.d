@@ -1,0 +1,1 @@
+lib/graph/epidemic.mli: Contact_graph Mycelium_util

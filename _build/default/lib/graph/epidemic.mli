@@ -1,0 +1,37 @@
+(** A discrete-time epidemic over a contact graph, used as the
+    synthetic workload for queries Q1–Q10 (the paper's motivating
+    scenario; see §2.1 and DESIGN.md's substitution table).
+
+    The process is SIR-like with *overdispersed* individual
+    infectiousness: each case draws a multiplier from a heavy-tailed
+    distribution, producing the superspreading phenomenon the
+    epidemiology literature quantifies ([6, 37, 62]) and that Q1's
+    cluster-size histogram is designed to surface. Transmission
+    probability scales with contact duration and is boosted for
+    household edges. Diagnosis day (t_inf) is infection day plus a
+    short reporting lag, clipped to the horizon. *)
+
+type config = {
+  seeds : int;  (** initially infected individuals *)
+  base_transmission : float;  (** per-contact-day transmission probability *)
+  household_boost : float;  (** multiplier for household edges *)
+  dispersion : float;  (** log-normal sigma of individual infectiousness;
+                           0 = homogeneous, ~1.5 = strong superspreading *)
+  reporting_lag : int;  (** days from infection to diagnosis *)
+}
+
+val default_config : config
+
+type outcome = {
+  infected_count : int;
+  attack_rate : float;
+  generations : int;  (** epidemic depth reached within the horizon *)
+}
+
+val run : config -> Mycelium_util.Rng.t -> Contact_graph.t -> outcome
+(** Mutates the graph's vertex data: sets [infected] and [t_inf]. *)
+
+val secondary_cases : Contact_graph.t -> int -> int
+(** Number of neighbors an infected vertex infected (neighbors whose
+    diagnosis follows its own by > 2 days — the paper's Q3/Q6/Q7
+    attribution rule). 0 for non-infected vertices. *)

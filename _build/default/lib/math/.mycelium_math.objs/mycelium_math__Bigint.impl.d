@@ -1,0 +1,1 @@
+lib/math/bigint.ml: Array Buffer Bytes Char Format List Modarith Mycelium_util Printf String

@@ -1,0 +1,1 @@
+lib/math/bigint.mli: Format Mycelium_util

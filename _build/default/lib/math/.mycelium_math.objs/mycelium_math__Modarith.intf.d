@@ -1,0 +1,1 @@
+lib/math/modarith.mli:

@@ -1,0 +1,1 @@
+lib/math/ntt.mli:

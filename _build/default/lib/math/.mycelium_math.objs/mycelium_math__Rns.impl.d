@@ -1,0 +1,1 @@
+lib/math/rns.ml: Array Bigint List Modarith Ntt

@@ -1,0 +1,1 @@
+lib/math/rns.mli: Bigint Ntt

@@ -1,0 +1,1 @@
+lib/math/rq.ml: Array Bigint Format Modarith Mycelium_util Ntt Rns

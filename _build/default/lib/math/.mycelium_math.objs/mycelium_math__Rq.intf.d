@@ -1,0 +1,1 @@
+lib/math/rq.mli: Bigint Format Mycelium_util Rns

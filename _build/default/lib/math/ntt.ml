@@ -1,0 +1,150 @@
+type plan = {
+  p : int;
+  n : int;
+  log_n : int;
+  (* psi_pows.(i) = psi^(bitrev i), psi a primitive 2n-th root: merged
+     twist + twiddle tables in the Cooley–Tukey / Gentleman–Sande pair
+     of loops below (Longa–Naehrig layout). *)
+  psi_pows : int array;
+  inv_psi_pows : int array;
+  n_inv : int;
+}
+
+let modulus t = t.p
+let degree t = t.n
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let find_primes ~degree ~bits ~count =
+  if bits > 31 then invalid_arg "Ntt.find_primes: bits must be <= 31";
+  if not (is_power_of_two degree) then invalid_arg "Ntt.find_primes: degree not a power of two";
+  let step = 2 * degree in
+  let top = 1 lsl bits in
+  (* Largest candidate of the form k*2N + 1 below 2^bits. *)
+  let start = ((top - 2) / step * step) + 1 in
+  let rec collect acc cand remaining =
+    if remaining = 0 then List.rev acc
+    else if cand <= step then failwith "Ntt.find_primes: exhausted candidates"
+    else if Modarith.is_prime cand then collect (cand :: acc) (cand - step) (remaining - 1)
+    else collect acc (cand - step) remaining
+  in
+  collect [] start count
+
+let bit_reverse_index bits i =
+  let r = ref 0 and v = ref i in
+  for _ = 1 to bits do
+    r := (!r lsl 1) lor (!v land 1);
+    v := !v lsr 1
+  done;
+  !r
+
+let make_plan ~p ~degree:n =
+  if not (is_power_of_two n) then invalid_arg "Ntt.make_plan: degree not a power of two";
+  if (p - 1) mod (2 * n) <> 0 then invalid_arg "Ntt.make_plan: p <> 1 mod 2N";
+  let log_n =
+    let rec go k acc = if acc = n then k else go (k + 1) (acc * 2) in
+    go 0 1
+  in
+  let psi = Modarith.nth_root_of_unity p (2 * n) in
+  let inv_psi = Modarith.inv p psi in
+  let table root =
+    let t = Array.make n 1 in
+    let pow = Array.make n 1 in
+    for i = 1 to n - 1 do
+      pow.(i) <- Modarith.mul p pow.(i - 1) root
+    done;
+    for i = 0 to n - 1 do
+      t.(i) <- pow.(bit_reverse_index log_n i)
+    done;
+    t
+  in
+  {
+    p;
+    n;
+    log_n;
+    psi_pows = table psi;
+    inv_psi_pows = table inv_psi;
+    n_inv = Modarith.inv p n;
+  }
+
+(* Cooley–Tukey decimation-in-time with the psi powers folded into the
+   twiddles; performs the negacyclic twist implicitly. *)
+let forward t a =
+  let p = t.p and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.forward: wrong length";
+  let m = ref 1 and len = ref (n / 2) in
+  while !len >= 1 do
+    let m_v = !m and len_v = !len in
+    for i = 0 to m_v - 1 do
+      let w = t.psi_pows.(m_v + i) in
+      let j1 = 2 * i * len_v in
+      for j = j1 to j1 + len_v - 1 do
+        let u = a.(j) in
+        let v = a.(j + len_v) * w mod p in
+        let s = u + v in
+        a.(j) <- (if s >= p then s - p else s);
+        let d = u - v in
+        a.(j + len_v) <- (if d < 0 then d + p else d)
+      done
+    done;
+    m := m_v * 2;
+    len := len_v / 2
+  done
+
+(* Gentleman–Sande decimation-in-frequency inverse, with the inverse
+   twist folded in, followed by scaling by n^-1. *)
+let inverse t a =
+  let p = t.p and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.inverse: wrong length";
+  let m = ref (n / 2) and len = ref 1 in
+  while !m >= 1 do
+    let m_v = !m and len_v = !len in
+    for i = 0 to m_v - 1 do
+      let w = t.inv_psi_pows.(m_v + i) in
+      let j1 = 2 * i * len_v in
+      for j = j1 to j1 + len_v - 1 do
+        let u = a.(j) in
+        let v = a.(j + len_v) in
+        let s = u + v in
+        a.(j) <- (if s >= p then s - p else s);
+        let d = u - v in
+        let d = if d < 0 then d + p else d in
+        a.(j + len_v) <- d * w mod p
+      done
+    done;
+    m := m_v / 2;
+    len := len_v * 2
+  done;
+  for i = 0 to n - 1 do
+    a.(i) <- a.(i) * t.n_inv mod p
+  done
+
+let multiply t a b =
+  let n = t.n and p = t.p in
+  if Array.length a <> n || Array.length b <> n then
+    invalid_arg "Ntt.multiply: wrong length";
+  let fa = Array.copy a and fb = Array.copy b in
+  forward t fa;
+  forward t fb;
+  for i = 0 to n - 1 do
+    fa.(i) <- fa.(i) * fb.(i) mod p
+  done;
+  inverse t fa;
+  fa
+
+let multiply_naive ~p a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Ntt.multiply_naive: length mismatch";
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if a.(i) <> 0 then
+      for j = 0 to n - 1 do
+        if b.(j) <> 0 then begin
+          let prod = a.(i) * b.(j) mod p in
+          let k = i + j in
+          if k < n then out.(k) <- Modarith.add p out.(k) prod
+          else out.(k - n) <- Modarith.sub p out.(k - n) prod
+        end
+      done
+  done;
+  out

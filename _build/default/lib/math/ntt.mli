@@ -1,0 +1,38 @@
+(** Negacyclic number-theoretic transform over a word-sized prime field.
+
+    The polynomial ring used by BGV is R_q = Z_q[x]/(x^N + 1) with N a
+    power of two. Multiplication in R_q is a *negacyclic* convolution,
+    computed here by pre-twisting with powers of a 2N-th root of unity
+    psi and running a standard radix-2 NTT, so no zero-padding is
+    needed. The prime must satisfy p = 1 (mod 2N). *)
+
+type plan
+(** Precomputed twiddle tables for one (p, N) pair. *)
+
+val find_primes : degree:int -> bits:int -> count:int -> int list
+(** [find_primes ~degree:n ~bits ~count] returns [count] distinct primes
+    p with [p = 1 (mod 2n)], of roughly [bits] bits (searching downward
+    from 2^bits). [bits <= 31]. Raises [Failure] if too few exist. *)
+
+val make_plan : p:int -> degree:int -> plan
+(** Build tables for the ring Z_p[x]/(x^degree + 1). [degree] must be a
+    power of two and [p = 1 (mod 2*degree)]. *)
+
+val modulus : plan -> int
+val degree : plan -> int
+
+val forward : plan -> int array -> unit
+(** In-place forward negacyclic NTT of a length-[degree] coefficient
+    array with entries in [\[0, p)]. After the call the array holds the
+    evaluation-domain representation. *)
+
+val inverse : plan -> int array -> unit
+(** In-place inverse transform; [inverse plan (forward plan a)] restores
+    [a]. *)
+
+val multiply : plan -> int array -> int array -> int array
+(** Negacyclic product of two coefficient-domain polynomials. *)
+
+val multiply_naive : p:int -> int array -> int array -> int array
+(** Schoolbook negacyclic product; O(N^2), used as a test oracle and for
+    tiny degrees. *)

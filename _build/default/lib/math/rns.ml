@@ -1,0 +1,58 @@
+type t = {
+  primes : int array;
+  plans : Ntt.plan array;
+  degree : int;
+  q : Bigint.t;
+  (* crt_factor.(i) = (q / p_i) * ((q / p_i)^-1 mod p_i): summing
+     residue_i * crt_factor.(i) and reducing mod q reconstructs. *)
+  crt_factor : Bigint.t array;
+  half_q : Bigint.t;
+}
+
+let primes t = t.primes
+let plans t = t.plans
+let degree t = t.degree
+let level_count t = Array.length t.primes
+let modulus t = t.q
+let modulus_bits t = Bigint.num_bits t.q
+
+let make ~primes ~degree =
+  let primes = Array.of_list primes in
+  let n = Array.length primes in
+  if n = 0 then invalid_arg "Rns.make: empty basis";
+  let distinct = Array.to_list primes |> List.sort_uniq compare |> List.length in
+  if distinct <> n then invalid_arg "Rns.make: duplicate primes";
+  let plans = Array.map (fun p -> Ntt.make_plan ~p ~degree) primes in
+  let q = Array.fold_left (fun acc p -> Bigint.mul acc (Bigint.of_int p)) Bigint.one primes in
+  let crt_factor =
+    Array.map
+      (fun p ->
+        let m_i = Bigint.div q (Bigint.of_int p) in
+        let inv = Modarith.inv p (Bigint.rem_int m_i p) in
+        Bigint.mul m_i (Bigint.of_int inv))
+      primes
+  in
+  { primes; plans; degree; q; crt_factor; half_q = Bigint.shift_right q 1 }
+
+let standard ~degree ~prime_bits ~levels =
+  make ~primes:(Ntt.find_primes ~degree ~bits:prime_bits ~count:levels) ~degree
+
+let to_bigint t residues =
+  let acc = ref Bigint.zero in
+  Array.iteri
+    (fun i r -> acc := Bigint.add !acc (Bigint.mul_int t.crt_factor.(i) r))
+    residues;
+  Bigint.erem !acc t.q
+
+let to_bigint_centered t residues =
+  let v = to_bigint t residues in
+  if Bigint.compare v t.half_q > 0 then Bigint.sub v t.q else v
+
+let of_bigint t x = Array.map (fun p -> Bigint.rem_int x p) t.primes
+
+let of_int t x = Array.map (fun p -> Modarith.reduce p x) t.primes
+
+let drop_last t =
+  let n = Array.length t.primes in
+  if n < 2 then invalid_arg "Rns.drop_last: single-prime basis";
+  make ~primes:(Array.to_list (Array.sub t.primes 0 (n - 1))) ~degree:t.degree

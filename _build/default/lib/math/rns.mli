@@ -1,0 +1,47 @@
+(** Residue number system over a chain of NTT-friendly primes.
+
+    A large ciphertext modulus q = p_0 * p_1 * ... * p_{L-1} is
+    represented by per-prime residues so that all polynomial arithmetic
+    runs on native ints (see {!Modarith}); the big integer q only
+    appears at CRT reconstruction time (BGV decryption, key switching
+    digit decomposition). *)
+
+type t
+(** An RNS basis: the primes, their NTT plans for a fixed ring degree,
+    and precomputed CRT constants. *)
+
+val make : primes:int list -> degree:int -> t
+(** Build a basis. Every prime must satisfy [p = 1 (mod 2*degree)] and
+    be pairwise distinct. *)
+
+val standard : degree:int -> prime_bits:int -> levels:int -> t
+(** Convenience: pick [levels] NTT-friendly primes of [prime_bits] bits
+    via {!Ntt.find_primes}. *)
+
+val primes : t -> int array
+val plans : t -> Ntt.plan array
+val degree : t -> int
+val level_count : t -> int
+
+val modulus : t -> Bigint.t
+(** q, the product of all primes. *)
+
+val modulus_bits : t -> int
+
+val to_bigint : t -> int array -> Bigint.t
+(** [to_bigint t residues] CRT-reconstructs a single coefficient from
+    its per-prime residues ([residues.(i)] mod [primes.(i)]) to the
+    representative in [\[0, q)]. *)
+
+val to_bigint_centered : t -> int array -> Bigint.t
+(** Same, but returns the centered representative in [(-q/2, q/2\]]. *)
+
+val of_bigint : t -> Bigint.t -> int array
+(** Project an integer (any sign) onto the basis. *)
+
+val of_int : t -> int -> int array
+(** Project a signed machine integer (fast path). *)
+
+val drop_last : t -> t
+(** The basis with its last prime removed (modulus switching). Raises
+    [Invalid_argument] on a single-prime basis. *)

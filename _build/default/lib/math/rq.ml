@@ -1,0 +1,142 @@
+module Rng = Mycelium_util.Rng
+
+type t = { basis : Rns.t; rows : int array array }
+
+let basis_of t = t.basis
+
+let zero basis =
+  let n = Rns.degree basis in
+  { basis; rows = Array.map (fun _ -> Array.make n 0) (Rns.primes basis) }
+
+let of_centered_coeffs basis coeffs =
+  let n = Rns.degree basis in
+  if Array.length coeffs > n then invalid_arg "Rq.of_centered_coeffs: too many coefficients";
+  let rows =
+    Array.map
+      (fun p ->
+        let row = Array.make n 0 in
+        Array.iteri (fun i c -> row.(i) <- Modarith.reduce p c) coeffs;
+        row)
+      (Rns.primes basis)
+  in
+  { basis; rows }
+
+let constant basis v = of_centered_coeffs basis [| v |]
+
+let one basis = constant basis 1
+
+let monomial basis ~coeff ~exponent =
+  let n = Rns.degree basis in
+  if exponent < 0 then invalid_arg "Rq.monomial: negative exponent";
+  (* x^N = -1, so reduce the exponent mod 2N with a sign flip. *)
+  let e = exponent mod (2 * n) in
+  let e, coeff = if e >= n then (e - n, -coeff) else (e, coeff) in
+  let coeffs = Array.make (e + 1) 0 in
+  coeffs.(e) <- coeff;
+  of_centered_coeffs basis coeffs
+
+let residues t = t.rows
+
+let of_residues basis rows =
+  let n = Rns.degree basis in
+  let k = Array.length (Rns.primes basis) in
+  if Array.length rows <> k then invalid_arg "Rq.of_residues: wrong number of rows";
+  Array.iter (fun r -> if Array.length r <> n then invalid_arg "Rq.of_residues: wrong row length") rows;
+  { basis; rows = Array.map Array.copy rows }
+
+let to_bigint_coeffs t =
+  let n = Rns.degree t.basis in
+  let k = Array.length t.rows in
+  let tmp = Array.make k 0 in
+  Array.init n (fun i ->
+      for j = 0 to k - 1 do
+        tmp.(j) <- t.rows.(j).(i)
+      done;
+      Rns.to_bigint_centered t.basis tmp)
+
+let equal a b = Rns.primes a.basis = Rns.primes b.basis && a.rows = b.rows
+
+let map2 f a b =
+  if Rns.degree a.basis <> Rns.degree b.basis
+     || Rns.primes a.basis <> Rns.primes b.basis
+  then invalid_arg "Rq: basis mismatch";
+  let primes = Rns.primes a.basis in
+  let rows =
+    Array.mapi
+      (fun j p ->
+        let ra = a.rows.(j) and rb = b.rows.(j) in
+        Array.init (Array.length ra) (fun i -> f p ra.(i) rb.(i)))
+      primes
+  in
+  { basis = a.basis; rows }
+
+let add a b = map2 Modarith.add a b
+let sub a b = map2 Modarith.sub a b
+
+let neg a =
+  let primes = Rns.primes a.basis in
+  { a with rows = Array.mapi (fun j row -> Array.map (Modarith.neg primes.(j)) row) a.rows }
+
+let mul a b =
+  if Rns.primes a.basis <> Rns.primes b.basis then invalid_arg "Rq.mul: basis mismatch";
+  let plans = Rns.plans a.basis in
+  let rows = Array.mapi (fun j plan -> Ntt.multiply plan a.rows.(j) b.rows.(j)) plans in
+  { basis = a.basis; rows }
+
+let mul_scalar a s =
+  let primes = Rns.primes a.basis in
+  let rows =
+    Array.mapi
+      (fun j row ->
+        let sv = Modarith.reduce primes.(j) s in
+        Array.map (fun c -> Modarith.mul primes.(j) c sv) row)
+      a.rows
+  in
+  { a with rows }
+
+let mul_scalar_residues a scalar =
+  let primes = Rns.primes a.basis in
+  if Array.length scalar <> Array.length primes then
+    invalid_arg "Rq.mul_scalar_residues: wrong residue count";
+  let rows =
+    Array.mapi
+      (fun j row ->
+        let sv = Modarith.reduce primes.(j) scalar.(j) in
+        Array.map (fun c -> Modarith.mul primes.(j) c sv) row)
+      a.rows
+  in
+  { a with rows }
+
+let random_uniform basis rng =
+  let n = Rns.degree basis in
+  let rows =
+    Array.map (fun p -> Array.init n (fun _ -> Rng.int rng p)) (Rns.primes basis)
+  in
+  { basis; rows }
+
+let sample_signed basis rng draw =
+  let n = Rns.degree basis in
+  let coeffs = Array.init n (fun _ -> draw rng) in
+  of_centered_coeffs basis coeffs
+
+let sample_ternary basis rng = sample_signed basis rng (fun rng -> Rng.int rng 3 - 1)
+
+let sample_cbd basis ~eta rng =
+  sample_signed basis rng (fun rng ->
+      let acc = ref 0 in
+      for _ = 1 to eta do
+        if Rng.bool rng then incr acc;
+        if Rng.bool rng then decr acc
+      done;
+      !acc)
+
+let pp fmt t =
+  let coeffs = to_bigint_coeffs t in
+  let n = min 8 (Array.length coeffs) in
+  Format.fprintf fmt "[";
+  for i = 0 to n - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Bigint.pp fmt coeffs.(i)
+  done;
+  if Array.length coeffs > n then Format.fprintf fmt "; ...";
+  Format.fprintf fmt "]"

@@ -1,0 +1,64 @@
+(** Elements of the polynomial ring R_q = Z_q[x]/(x^N + 1) in RNS form.
+
+    An element stores, for every prime of the basis, a length-N residue
+    array in the coefficient domain. All operations are functional
+    (inputs are never mutated). *)
+
+type t
+
+val basis_of : t -> Rns.t
+
+val zero : Rns.t -> t
+val one : Rns.t -> t
+
+val constant : Rns.t -> int -> t
+(** The constant polynomial with the given (signed) integer value. *)
+
+val monomial : Rns.t -> coeff:int -> exponent:int -> t
+(** [monomial basis ~coeff ~exponent] is [coeff * x^exponent]; the
+    exponent is reduced negacyclically ([x^N = -1]). *)
+
+val of_centered_coeffs : Rns.t -> int array -> t
+(** Lift an array of signed machine-int coefficients (length <= N,
+    padded with zeros). *)
+
+val to_bigint_coeffs : t -> Bigint.t array
+(** CRT-reconstruct every coefficient, centered in [(-q/2, q/2\]].
+    Cold path. *)
+
+val residues : t -> int array array
+(** Underlying per-prime rows (do not mutate). *)
+
+val of_residues : Rns.t -> int array array -> t
+(** Adopt per-prime rows (copied). Lengths must match the basis. *)
+
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Negacyclic product via per-prime NTT. *)
+
+val mul_scalar : t -> int -> t
+(** Multiply by a signed integer scalar. *)
+
+val mul_scalar_residues : t -> int array -> t
+(** Multiply by a scalar given directly by its per-prime residues (for
+    scalars wider than a machine word, e.g. digit weights B^i in key
+    switching). *)
+
+val random_uniform : Rns.t -> Mycelium_util.Rng.t -> t
+(** Uniform element of R_q (independent uniform residues per prime,
+    which is exactly uniform mod q by CRT). *)
+
+val sample_ternary : Rns.t -> Mycelium_util.Rng.t -> t
+(** Coefficients uniform in {-1, 0, 1}; the BGV secret-key
+    distribution. *)
+
+val sample_cbd : Rns.t -> eta:int -> Mycelium_util.Rng.t -> t
+(** Centered binomial with parameter eta (variance eta/2): the error
+    distribution, a standard stand-in for a discrete Gaussian. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the first few reconstructed coefficients; for debugging. *)

@@ -1,0 +1,1 @@
+lib/mixnet/bulletin.ml: Bytes List Mycelium_crypto

@@ -1,0 +1,1 @@
+lib/mixnet/bulletin.mli:

@@ -1,0 +1,1 @@
+lib/mixnet/hopselect.ml: Array Bytes Mycelium_crypto Mycelium_util

@@ -1,0 +1,1 @@
+lib/mixnet/hopselect.mli: Mycelium_util

@@ -1,0 +1,1 @@
+lib/mixnet/model.ml: Float

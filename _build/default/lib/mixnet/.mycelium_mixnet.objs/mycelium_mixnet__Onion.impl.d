@@ -1,0 +1,1 @@
+lib/mixnet/onion.ml: List Mycelium_crypto Mycelium_util

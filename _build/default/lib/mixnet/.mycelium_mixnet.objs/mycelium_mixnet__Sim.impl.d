@@ -1,0 +1,1 @@
+lib/mixnet/sim.ml: Array Bulletin Bytes Float Hashtbl Hopselect Int64 List Model Mycelium_crypto Mycelium_util Onion Option Printf Seq Vmap

@@ -1,0 +1,1 @@
+lib/mixnet/sim.mli: Bulletin Vmap

@@ -1,0 +1,1 @@
+lib/mixnet/vmap.ml: Array Buffer Bytes Hashtbl List Mycelium_crypto Mycelium_util Option String

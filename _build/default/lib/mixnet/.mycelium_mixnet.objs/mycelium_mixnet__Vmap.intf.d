@@ -1,0 +1,1 @@
+lib/mixnet/vmap.mli: Mycelium_crypto Mycelium_util

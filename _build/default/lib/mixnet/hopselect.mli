@@ -1,0 +1,33 @@
+(** Hash-based hop selection (§3.4).
+
+    Forwarding duty is restricted to a fraction f of pseudonyms per hop
+    position: pseudonym number x is eligible as hop i iff
+    (i-1)*f <= H(x || B)/H_max < i*f, where B is a beacon chosen
+    collectively (Honeycrisp-style) after M1 is committed — so the
+    aggregator can bias neither the map (positions are fixed first) nor
+    the coin. k hop slots make a k*f fraction of devices forwarders
+    overall, which is how the cost model apportions forwarding load. *)
+
+val slice : beacon:bytes -> int -> float
+(** H(x || B) / H_max in [0, 1). *)
+
+val eligible : beacon:bytes -> fraction:float -> hop:int -> int -> bool
+(** [eligible ~beacon ~fraction ~hop x]; hops are 1-based. *)
+
+val slot : beacon:bytes -> fraction:float -> hops:int -> int -> int option
+(** Which hop slot (1..hops) pseudonym x serves, if any. *)
+
+val draw :
+  Mycelium_util.Rng.t -> beacon:bytes -> fraction:float -> hop:int -> total:int -> int
+(** Rejection-sample an eligible pseudonym number for the given hop
+    slot, as a device building a path does. Raises [Failure] if the
+    slot appears empty after many tries. *)
+
+val draw_path :
+  Mycelium_util.Rng.t ->
+  beacon:bytes ->
+  fraction:float ->
+  hops:int ->
+  total:int ->
+  int array
+(** One pseudonym number per hop slot 1..hops. *)

@@ -1,0 +1,25 @@
+module Chacha20 = Mycelium_crypto.Chacha20
+module Aead = Mycelium_crypto.Aead
+module Rng = Mycelium_util.Rng
+
+let layer_key_size = 32
+
+let seal_inner ~key ~round msg = Aead.seal ~key ~round msg
+
+let open_inner ~key ~round ct = Aead.open_ ~key ~round ct
+
+let inner_overhead = Aead.overhead
+
+let add_layer ~key ~round msg =
+  Chacha20.encrypt ~key ~nonce:(Chacha20.nonce_of_round round) msg
+
+let peel_layer = add_layer (* XOR stream: involutive *)
+
+let wrap ~hop_keys ~round inner =
+  (* The first hop peels first, so its layer goes on last. *)
+  List.fold_left (fun acc key -> add_layer ~key ~round acc) inner (List.rev hop_keys)
+
+let unwrap ~hop_keys ~round ct =
+  List.fold_left (fun acc key -> peel_layer ~key ~round acc) ct hop_keys
+
+let dummy rng ~length = Rng.bytes rng length

@@ -1,0 +1,36 @@
+(** Onion message encoding (§3.2, §3.5).
+
+    The innermost layer — source to destination — uses authenticated
+    encryption (ciphertext integrity end to end). Every outer layer
+    uses the plain stream cipher SEnc, *without* a MAC: §3.5's
+    dummy-generation argument requires that a forwarder can substitute
+    a uniformly random string for a dropped message and the next hop
+    cannot tell. Nonces are never transmitted; both ends derive them
+    from the C-round number. All layers preserve length, so message
+    size does not reveal position along the path. *)
+
+val layer_key_size : int (* 32 *)
+
+val seal_inner : key:bytes -> round:int -> bytes -> bytes
+(** AE to the destination; adds {!inner_overhead} bytes. *)
+
+val open_inner : key:bytes -> round:int -> bytes -> bytes option
+
+val inner_overhead : int
+
+val add_layer : key:bytes -> round:int -> bytes -> bytes
+(** One SEnc layer (length-preserving). *)
+
+val peel_layer : key:bytes -> round:int -> bytes -> bytes
+(** Inverse of {!add_layer} under the same key and round. *)
+
+val wrap : hop_keys:bytes list -> round:int -> bytes -> bytes
+(** [wrap ~hop_keys ~round inner] applies layers so that the first key
+    in the list peels first (the first hop). *)
+
+val unwrap : hop_keys:bytes list -> round:int -> bytes -> bytes
+(** Peels all layers in order; for tests and reverse-path handling. *)
+
+val dummy : Mycelium_util.Rng.t -> length:int -> bytes
+(** A uniformly random string of the given length: what a forwarder
+    uploads in place of a missing message. *)

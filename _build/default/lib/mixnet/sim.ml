@@ -1,0 +1,635 @@
+module Rng = Mycelium_util.Rng
+module Sha256 = Mycelium_crypto.Sha256
+module Elgamal = Mycelium_crypto.Elgamal
+module Merkle = Mycelium_crypto.Merkle
+
+type config = {
+  n_devices : int;
+  pseudonyms_per_device : int;
+  hops : int;
+  replicas : int;
+  fraction : float;
+  degree : int;
+  malicious_fraction : float;
+  churn : float;
+  payload_bytes : int;
+  fast_setup : bool;
+  verify_proofs : bool;
+  seed : int64;
+}
+
+let default_config =
+  {
+    n_devices = 500;
+    pseudonyms_per_device = 1;
+    hops = 3;
+    replicas = 2;
+    fraction = 0.1;
+    degree = 10;
+    malicious_fraction = 0.02;
+    churn = 0.;
+    payload_bytes = 64;
+    fast_setup = false;
+    verify_proofs = true;
+    seed = 1L;
+  }
+
+type device = {
+  id : int;
+  keys : (Elgamal.public_key * Elgamal.private_key) array;  (* one per pseudonym *)
+  pseudonyms : bytes array;
+  malicious : bool;
+}
+
+type path = {
+  source : int;  (* device id *)
+  dest : int;  (* pseudonym number *)
+  msg_id : int;  (* logical message; replicas share it *)
+  path_hops : int array;  (* device ids *)
+  keys : bytes array;  (* symmetric key per hop *)
+  mutable dst_key : bytes;
+  link_ids : int64 array;  (* link i carries path id link_ids.(i) *)
+  mutable established : bool;
+}
+
+(* What a forwarder remembers from path setup (§3.4): incoming path id
+   -> key, outgoing path id, next pseudonym, and the stage (how many
+   hops from the source it sits). *)
+type route_entry = { key : bytes; out_id : int64; next_pseudo : int; stage : int }
+
+(* Observer bookkeeping: one record per mailbox slot. *)
+type slot_origin =
+  | Deposited of int  (* source device: round-0 deposits, visible links *)
+  | Forwarded_honest of int * int  (* (device, round): candidates = its downloads *)
+  | Forwarded_malicious of int  (* upstream slot id: mapping known to adversary *)
+  | Dummy_honest of int * int
+  | Dummy_malicious
+
+type slot = { sid : int; link_id : int64; body : bytes }
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  devices : device array;
+  vmap : Vmap.t;
+  bulletin : Bulletin.t;
+  beacon : bytes;
+  mutable round : int;
+  mailboxes : slot list array;  (* indexed by pseudonym number *)
+  routes : (int64, route_entry) Hashtbl.t array;  (* per device *)
+  mutable paths : path list;
+  mutable next_sid : int;
+  mutable next_link : int64;
+  (* adversary view *)
+  origins : (int, slot_origin) Hashtbl.t;
+  downloads : (int * int, int list) Hashtbl.t;  (* (device, round) -> sids *)
+  mutable last_deliveries : (int * int * bytes) list;
+}
+
+let beacon t = t.beacon
+let vmap t = t.vmap
+let bulletin t = t.bulletin
+let is_malicious t i = t.devices.(i).malicious
+let current_round t = t.round
+
+(* Pseudonym numbers are device-major: device d owns [d*P, (d+1)*P). *)
+let device_of t pseudo = pseudo / t.cfg.pseudonyms_per_device
+let own_pseudo t dev = dev * t.cfg.pseudonyms_per_device
+let sk_of t pseudo =
+  snd t.devices.(device_of t pseudo).keys.(pseudo mod t.cfg.pseudonyms_per_device)
+
+let create cfg =
+  if cfg.n_devices < 2 then invalid_arg "Sim.create: need at least two devices";
+  if cfg.hops < 1 then invalid_arg "Sim.create: need at least one hop";
+  if cfg.pseudonyms_per_device < 1 then invalid_arg "Sim.create: need at least one pseudonym";
+  let rng = Rng.create cfg.seed in
+  let n_mal =
+    int_of_float (Float.round (float_of_int cfg.n_devices *. cfg.malicious_fraction))
+  in
+  let mal_ids = Rng.sample_without_replacement rng n_mal cfg.n_devices in
+  let mal_set = Hashtbl.create 16 in
+  Array.iter (fun i -> Hashtbl.replace mal_set i ()) mal_ids;
+  let p_count = cfg.pseudonyms_per_device in
+  let devices =
+    Array.init cfg.n_devices (fun id ->
+        let keys = Array.init p_count (fun _ -> Elgamal.generate rng) in
+        {
+          id;
+          keys;
+          pseudonyms = Array.map (fun (pk, _) -> Elgamal.fingerprint pk) keys;
+          malicious = Hashtbl.mem mal_set id;
+        })
+  in
+  let leaves =
+    Array.init (cfg.n_devices * p_count) (fun i ->
+        let d = devices.(i / p_count) and j = i mod p_count in
+        {
+          Vmap.pseudonym = d.pseudonyms.(j);
+          pk = Elgamal.pub_to_bytes (fst d.keys.(j));
+          device = d.id;
+        })
+  in
+  let vmap =
+    match Vmap.build ~max_pseudonyms_per_device:p_count leaves with
+    | Ok v -> v
+    | Error e -> failwith ("Sim.create: vmap: " ^ e)
+  in
+  let bulletin = Bulletin.create () in
+  ignore (Bulletin.post bulletin ~author:"aggregator" (Vmap.roots_payload vmap));
+  (* The beacon is fixed only after the map is committed (§3.4). *)
+  let beacon = Sha256.digest (Bulletin.head_hash bulletin) in
+  {
+    cfg;
+    rng;
+    devices;
+    vmap;
+    bulletin;
+    beacon;
+    round = 0;
+    mailboxes = Array.make (cfg.n_devices * cfg.pseudonyms_per_device) [];
+    routes = Array.init cfg.n_devices (fun _ -> Hashtbl.create 16);
+    paths = [];
+    next_sid = 0;
+    next_link = 0L;
+    origins = Hashtbl.create 4096;
+    downloads = Hashtbl.create 4096;
+    last_deliveries = [];
+  }
+
+let audit_all t =
+  let ok = ref true in
+  Array.iter
+    (fun d ->
+      if not d.malicious then begin
+        if
+          not
+            (Vmap.audit_own_pseudonyms t.vmap ~device:d.id
+               ~pseudonyms:(Array.to_list d.pseudonyms))
+        then ok := false;
+        if not (Vmap.audit_spot_check t.vmap t.rng ~samples:4) then ok := false
+      end)
+    t.devices;
+  !ok
+
+let fresh_link t =
+  let v = t.next_link in
+  t.next_link <- Int64.add v 1L;
+  v
+
+let online t _device = not (Rng.bernoulli t.rng t.cfg.churn)
+
+(* ------------------------------------------------------------------ *)
+(* Path setup                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type setup_stats = {
+  paths_requested : int;
+  paths_established : int;
+  paths_failed : int;
+  setup_rounds : int;
+  complaints : int;
+}
+
+let default_targets t =
+  (* Self-loop padding (§3.2): d messages to the device's own (first)
+     pseudonym. *)
+  Array.init t.cfg.n_devices (fun id -> Array.make t.cfg.degree (own_pseudo t id))
+
+(* Run the telescoping extension for one path with real key exchanges.
+   Relay delays/drops are sampled per traversed link; a malicious or
+   persistently-offline relay during setup surfaces as a failed
+   extension, which the source detects by timeout and reports. *)
+let establish_path t ~source ~dest ~msg_id =
+  let k = t.cfg.hops in
+  let hop_pseudos =
+    Hopselect.draw_path t.rng ~beacon:t.beacon ~fraction:t.cfg.fraction ~hops:k
+      ~total:(Vmap.size t.vmap)
+  in
+  let path =
+    {
+      source;
+      dest;
+      msg_id;
+      path_hops = Array.copy hop_pseudos;
+      keys = Array.init k (fun _ -> Rng.bytes t.rng Onion.layer_key_size);
+      dst_key = Rng.bytes t.rng Onion.layer_key_size;
+      link_ids = Array.init (k + 1) (fun _ -> fresh_link t);
+      established = false;
+    }
+  in
+  if t.cfg.fast_setup then begin
+    path.established <- true;
+    Ok path
+  end
+  else begin
+    let m1_root = Vmap.m1_root t.vmap in
+    let lookup_pk who_looks idx =
+      ignore who_looks;
+      let l = Vmap.lookup t.vmap idx in
+      if not (Vmap.verify_lookup ~m1_root ~index:idx l) then None
+      else Vmap.pub_of_lookup l
+    in
+    let rec extend i =
+      if i > k then Ok ()
+      else begin
+        (* The extension request relays over the established prefix;
+           any relay that is offline for the whole exchange, or
+           Byzantine and dropping, kills the extension. *)
+        let relay_failure =
+          (* A relay kills the extension if it stays offline through the
+             exchange and its buffered retry (two consecutive samples at
+             the churn rate). Byzantine relays follow the setup protocol
+             — dropping here would only deny themselves observations. *)
+          let failed = ref false in
+          for j = 0 to i - 2 do
+            let relay = t.devices.(device_of t path.path_hops.(j)) in
+            if (not (online t relay.id)) && not (online t relay.id) then failed := true
+          done;
+          !failed
+        in
+        if relay_failure then Error (`Dropped_at i)
+        else begin
+          let looker = if i = 1 then source else path.path_hops.(i - 2) in
+          match lookup_pk looker hop_pseudos.(i - 1) with
+          | None -> Error (`Bad_proof i)
+          | Some hop_pk ->
+            (* PEnc the fresh symmetric key to the hop; the hop decrypts
+               and acknowledges. *)
+            let sealed = Elgamal.encrypt t.rng hop_pk path.keys.(i - 1) in
+            let hop_sk = sk_of t path.path_hops.(i - 1) in
+            (match Elgamal.decrypt hop_sk sealed with
+            | Some key when Bytes.equal key path.keys.(i - 1) -> extend (i + 1)
+            | Some _ | None -> Error (`Bad_crypto i))
+        end
+      end
+    in
+    match extend 1 with
+    | Error e -> Error e
+    | Ok () -> (
+      (* Final step: the last hop looks up the destination's key and the
+         source establishes the end-to-end AE key (used for the §3.5
+         inner layer). *)
+      match lookup_pk path.path_hops.(k - 1) dest with
+      | None -> Error (`Bad_proof (k + 1))
+      | Some dst_pk -> (
+        let sealed = Elgamal.encrypt t.rng dst_pk path.dst_key in
+        match Elgamal.decrypt (sk_of t dest) sealed with
+        | Some key when Bytes.equal key path.dst_key ->
+          path.established <- true;
+          Ok path
+        | Some _ | None -> Error (`Bad_crypto (k + 1))))
+  end
+  |> function
+  | Ok _ when path.established -> Ok path
+  | Ok _ -> Error `Incomplete
+  | Error e -> Error e
+
+let install_routes t path =
+  let k = t.cfg.hops in
+  for i = 0 to k - 1 do
+    let dev = device_of t path.path_hops.(i) in
+    let next_pseudo = if i = k - 1 then path.dest else path.path_hops.(i + 1) in
+    Hashtbl.replace t.routes.(dev)
+      path.link_ids.(i)
+      { key = path.keys.(i); out_id = path.link_ids.(i + 1); next_pseudo; stage = i + 1 }
+  done
+
+let setup_paths ?targets t =
+  let targets = match targets with Some x -> x | None -> default_targets t in
+  let requested = ref 0 and established = ref 0 and failed = ref 0 and complaints = ref 0 in
+  let next_msg = ref 0 in
+  Array.iteri
+    (fun source dests ->
+      Array.iter
+        (fun dest ->
+          let msg_id = !next_msg in
+          incr next_msg;
+          for _replica = 1 to t.cfg.replicas do
+            incr requested;
+            match establish_path t ~source ~dest ~msg_id with
+            | Ok path ->
+              incr established;
+              install_routes t path;
+              t.paths <- path :: t.paths
+            | Error _ ->
+              incr failed;
+              incr complaints;
+              ignore
+                (Bulletin.post t.bulletin ~author:(Printf.sprintf "device-%d" source)
+                   (Bytes.of_string "complaint: path setup dropped"))
+          done)
+        dests)
+    targets;
+  let setup_rounds = Model.telescoping_rounds ~hops:t.cfg.hops in
+  t.round <- t.round + setup_rounds;
+  {
+    paths_requested = !requested;
+    paths_established = !established;
+    paths_failed = !failed;
+    setup_rounds;
+    complaints = !complaints;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Forwarding                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type round_stats = {
+  messages_sent : int;
+  delivered : int;
+  lost : int;
+  copies_delivered : int;
+  copies_lost : int;
+  dummies_uploaded : int;
+  identified : int;
+  anonymity_sets : int array;
+  rounds_used : int;
+}
+
+let fresh_sid t =
+  let v = t.next_sid in
+  t.next_sid <- v + 1;
+  v
+
+let deposit t ~pseudo ~link_id ~body ~origin =
+  let sid = fresh_sid t in
+  Hashtbl.replace t.origins sid origin;
+  t.mailboxes.(pseudo) <- { sid; link_id; body } :: t.mailboxes.(pseudo);
+  sid
+
+(* Commit this round's mailboxes to the bulletin (§3.4) and optionally
+   verify one inclusion proof per non-empty mailbox, playing the
+   devices' checks. *)
+let commit_round t =
+  let nonempty =
+    Array.to_seq t.mailboxes
+    |> Seq.filter (fun slots -> slots <> [])
+    |> Seq.map (fun slots -> Array.of_list (List.map (fun s -> s.body) slots))
+    |> Array.of_seq
+  in
+  if Array.length nonempty > 0 then begin
+    let mailbox_trees = Array.map Merkle.build nonempty in
+    let round_tree = Merkle.build (Array.map Merkle.root mailbox_trees) in
+    ignore
+      (Bulletin.post t.bulletin ~author:"aggregator"
+         (Bytes.cat (Bytes.of_string (Printf.sprintf "round %d " t.round)) (Merkle.root round_tree)));
+    if t.cfg.verify_proofs then
+      Array.iteri
+        (fun i tree ->
+          let proof = Merkle.prove tree 0 in
+          if not (Merkle.verify ~root:(Merkle.root tree) ~leaf:nonempty.(i).(0) proof) then
+            failwith "Sim.commit_round: aggregator produced an invalid proof")
+        mailbox_trees
+  end
+
+let record_download t dev sids = Hashtbl.replace t.downloads (dev, t.round) sids
+
+let run_query_round_with t ~payload_of =
+  let k = t.cfg.hops in
+  let query_round = t.round in
+  let payload_len = ref None in
+  let payload_for source dest =
+    let p = payload_of ~source ~dest in
+    (match !payload_len with
+    | None -> payload_len := Some (Bytes.length p)
+    | Some l ->
+      if l <> Bytes.length p then
+        invalid_arg "Sim.run_query_round_with: payloads must have equal length");
+    p
+  in
+  (* Probe one payload for the dummy length. *)
+  let body_len = ref 0 in
+  (* Group established paths by logical message. *)
+  let by_message = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      if p.established then
+        Hashtbl.replace by_message p.msg_id
+          (p :: Option.value ~default:[] (Hashtbl.find_opt by_message p.msg_id)))
+    t.paths;
+  (* Round 0: deposits. *)
+  Hashtbl.iter
+    (fun _msg paths ->
+      match paths with
+      | [] -> ()
+      | first :: _ ->
+        if online t first.source then
+          List.iter
+            (fun p ->
+              let payload = payload_for p.source p.dest in
+              let inner = Onion.seal_inner ~key:p.dst_key ~round:query_round payload in
+              if !body_len = 0 then body_len := Bytes.length inner;
+              let onion = Onion.wrap ~hop_keys:(Array.to_list p.keys) ~round:query_round inner in
+              ignore
+                (deposit t ~pseudo:p.path_hops.(0) ~link_id:p.link_ids.(0) ~body:onion
+                   ~origin:(Deposited p.source)))
+            paths)
+    by_message;
+  let body_len = max 1 !body_len in
+  commit_round t;
+  t.round <- t.round + 1;
+  let dummies = ref 0 in
+  (* Rounds 1..k: forwarding. A device fetches all of its pseudonyms'
+     mailboxes. *)
+  for stage = 1 to k do
+    let deposits = ref [] in
+    Array.iteri
+      (fun dev (_ : device) ->
+        let slots =
+          List.concat
+            (List.init t.cfg.pseudonyms_per_device (fun j ->
+                 t.mailboxes.(own_pseudo t dev + j)))
+        in
+        let expected =
+          Hashtbl.fold
+            (fun link_id entry acc -> if entry.stage = stage then (link_id, entry) :: acc else acc)
+            t.routes.(dev) []
+        in
+        if expected <> [] then begin
+          let device = t.devices.(dev) in
+          if online t dev then begin
+            record_download t dev (List.map (fun s -> s.sid) slots);
+            (* Process in a random order: the mixing step. *)
+            let expected = Array.of_list expected in
+            Rng.shuffle t.rng expected;
+            Array.iter
+              (fun (link_id, entry) ->
+                let found = List.find_opt (fun s -> s.link_id = link_id) slots in
+                match found with
+                | Some s when not device.malicious ->
+                  let body = Onion.peel_layer ~key:entry.key ~round:query_round s.body in
+                  let sid = fresh_sid t in
+                  Hashtbl.replace t.origins sid (Forwarded_honest (dev, t.round));
+                  deposits := (entry.next_pseudo, entry.out_id, body, sid) :: !deposits
+                | Some s ->
+                  (* Byzantine: reveal the mapping to the adversary and
+                     covertly drop, masking with a dummy (§3.5). *)
+                  incr dummies;
+                  let sid = fresh_sid t in
+                  Hashtbl.replace t.origins sid (Forwarded_malicious s.sid);
+                  deposits :=
+                    (entry.next_pseudo, entry.out_id, Onion.dummy t.rng ~length:body_len, sid)
+                    :: !deposits
+                | None when not device.malicious ->
+                  (* Missing input: cover with a dummy so the traffic
+                     pattern is unchanged (§3.5). *)
+                  incr dummies;
+                  let sid = fresh_sid t in
+                  Hashtbl.replace t.origins sid (Dummy_honest (dev, t.round));
+                  deposits :=
+                    (entry.next_pseudo, entry.out_id, Onion.dummy t.rng ~length:body_len, sid)
+                    :: !deposits
+                | None ->
+                  incr dummies;
+                  let sid = fresh_sid t in
+                  Hashtbl.replace t.origins sid Dummy_malicious;
+                  deposits :=
+                    (entry.next_pseudo, entry.out_id, Onion.dummy t.rng ~length:body_len, sid)
+                    :: !deposits)
+              expected
+          end
+        end)
+      t.devices;
+    (* Clear processed mailboxes, apply deposits. *)
+    Array.iteri (fun i _ -> t.mailboxes.(i) <- []) t.mailboxes;
+    List.iter
+      (fun (pseudo, link_id, body, sid) ->
+        t.mailboxes.(pseudo) <- { sid; link_id; body } :: t.mailboxes.(pseudo))
+      !deposits;
+    commit_round t;
+    t.round <- t.round + 1
+  done;
+  (* Destinations pick up. *)
+  let delivered_sids = Hashtbl.create 256 in
+  let deliveries = ref [] in
+  Hashtbl.iter
+    (fun msg paths ->
+      let got_one = ref false in
+      List.iter
+        (fun p ->
+          let final_link = p.link_ids.(k) in
+          match List.find_opt (fun s -> s.link_id = final_link) t.mailboxes.(p.dest) with
+          | Some s -> (
+            match Onion.open_inner ~key:p.dst_key ~round:query_round s.body with
+            | Some body ->
+              Hashtbl.replace delivered_sids final_link s.sid;
+              (* The destination deduplicates replica copies. *)
+              if not !got_one then begin
+                got_one := true;
+                deliveries := (p.source, p.dest, body) :: !deliveries
+              end
+            | None -> ())
+          | None -> ())
+        paths;
+      ignore msg)
+    by_message;
+  Array.iteri (fun i _ -> t.mailboxes.(i) <- []) t.mailboxes;
+  t.last_deliveries <- !deliveries;
+  (* ---- adversary analysis ---- *)
+  let n = t.cfg.n_devices in
+  let set_bytes = (n + 7) / 8 in
+  let memo = Hashtbl.create 1024 in
+  let singleton i =
+    let b = Bytes.make set_bytes '\x00' in
+    Bytes.set_uint8 b (i / 8) (1 lsl (i mod 8));
+    b
+  in
+  let union a b =
+    let out = Bytes.create set_bytes in
+    for i = 0 to set_bytes - 1 do
+      Bytes.set_uint8 out i (Bytes.get_uint8 a i lor Bytes.get_uint8 b i)
+    done;
+    out
+  in
+  let inter a b =
+    let out = Bytes.create set_bytes in
+    for i = 0 to set_bytes - 1 do
+      Bytes.set_uint8 out i (Bytes.get_uint8 a i land Bytes.get_uint8 b i)
+    done;
+    out
+  in
+  let popcount b =
+    let c = ref 0 in
+    for i = 0 to set_bytes - 1 do
+      let v = ref (Bytes.get_uint8 b i) in
+      while !v <> 0 do
+        v := !v land (!v - 1);
+        incr c
+      done
+    done;
+    !c
+  in
+  let full =
+    let b = Bytes.make set_bytes '\xff' in
+    b
+  in
+  let rec candidates sid =
+    match Hashtbl.find_opt memo sid with
+    | Some v -> v
+    | None ->
+      Hashtbl.replace memo sid full (* break cycles conservatively *);
+      let v =
+        match Hashtbl.find_opt t.origins sid with
+        | Some (Deposited src) -> singleton src
+        | Some (Forwarded_malicious upstream) -> candidates upstream
+        | Some (Forwarded_honest (dev, round)) | Some (Dummy_honest (dev, round)) -> (
+          match Hashtbl.find_opt t.downloads (dev, round) with
+          | Some sids ->
+            List.fold_left
+              (fun acc s -> union acc (candidates s))
+              (Bytes.make set_bytes '\x00')
+              sids
+          | None -> full)
+        | Some Dummy_malicious | None -> full
+      in
+      Hashtbl.replace memo sid v;
+      v
+  in
+  (* Per logical message: delivery, anonymity, identification. *)
+  let messages_sent = ref 0 and delivered = ref 0 and lost = ref 0 in
+  let copies_delivered = ref 0 and copies_lost = ref 0 and identified = ref 0 in
+  let anon = ref [] in
+  Hashtbl.iter
+    (fun _msg paths ->
+      incr messages_sent;
+      let arrived =
+        List.filter_map (fun p -> Hashtbl.find_opt delivered_sids p.link_ids.(k)) paths
+      in
+      copies_delivered := !copies_delivered + List.length arrived;
+      copies_lost := !copies_lost + List.length paths - List.length arrived;
+      if arrived = [] then incr lost
+      else begin
+        incr delivered;
+        (* Replica intersection (§6.3): the adversary links the copies
+           and intersects their candidate sets. *)
+        let sets = List.map candidates arrived in
+        let inter_set = List.fold_left inter full sets in
+        anon := min n (popcount inter_set) :: !anon
+      end;
+      (* Full identification: a replica path made of malicious hops. *)
+      let fully_malicious =
+        List.exists
+          (fun p -> Array.for_all (fun h -> t.devices.(device_of t h).malicious) p.path_hops)
+          paths
+      in
+      if fully_malicious then incr identified)
+    by_message;
+  (* Account for the response direction too: a query round is 2k+2
+     C-rounds in total; we simulated the outbound k+1. *)
+  t.round <- t.round + (k + 1);
+  {
+    messages_sent = !messages_sent;
+    delivered = !delivered;
+    lost = !lost;
+    copies_delivered = !copies_delivered;
+    copies_lost = !copies_lost;
+    dummies_uploaded = !dummies;
+    identified = !identified;
+    anonymity_sets = Array.of_list !anon;
+    rounds_used = Model.forwarding_rounds ~hops:k;
+  }
+
+let run_query_round t ~payload =
+  run_query_round_with t ~payload_of:(fun ~source:_ ~dest:_ -> payload)
+
+let deliveries t = t.last_deliveries

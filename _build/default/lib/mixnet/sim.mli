@@ -1,0 +1,105 @@
+(** Discrete C-round simulation of Mycelium's communication layer
+    (§3.2–§3.5).
+
+    One process plays every device plus the aggregator. Time advances
+    in C-rounds; messages deposited in a pseudonym's mailbox during
+    round t are picked up in round t+1 (or later, if the owner is
+    offline — the aggregator buffers). The aggregator commits a Merkle
+    tree over every mailbox and a round tree over those to the bulletin
+    board each round, and devices verify inclusion proofs for their
+    batches, so dropped messages are detectable (§3.4).
+
+    Fault injection: a configurable fraction of devices is Byzantine
+    (they collude with the aggregator-side observer, reveal their
+    mix mappings, and drop the messages they forward — covering the
+    drop with a §3.5 dummy so the traffic pattern stays intact), and
+    every device goes offline each round with the churn probability.
+
+    The adversary model is the honest-but-curious aggregator plus the
+    Byzantine devices: an {!Observer} records which mailbox slots every
+    device downloads and uploads, and computes candidate-sender sets by
+    backward closure over those observations (intersecting the replica
+    copies of a message, the stronger attack discussed in §6.3).
+
+    Path setup can run the full telescoping hand-shake with real
+    public-key cryptography ([fast_setup = false]; C-round accounting
+    follows §3.4's k^2+2k), or install the per-hop symmetric keys
+    out of band ([fast_setup = true]) for large Monte Carlo runs where
+    only the forwarding phase is being measured. *)
+
+type config = {
+  n_devices : int;
+  pseudonyms_per_device : int;
+      (** P: each device registers this many pseudonyms, numbered
+          device-major (device d owns [d*P, (d+1)*P)); the M1/M2 bound
+          the §3.3 audits enforce *)
+  hops : int;  (** k *)
+  replicas : int;  (** r *)
+  fraction : float;  (** f *)
+  degree : int;  (** d: messages per device per query round *)
+  malicious_fraction : float;
+  churn : float;  (** per-device per-round offline probability *)
+  payload_bytes : int;
+  fast_setup : bool;
+  verify_proofs : bool;  (** devices check mailbox MHT proofs *)
+  seed : int64;
+}
+
+val default_config : config
+(** Figure 4's parameters at simulable scale: k=3, r=2, f=0.1, d=10,
+    2% malicious, no churn, n=500. *)
+
+type t
+
+val create : config -> t
+
+val beacon : t -> bytes
+val vmap : t -> Vmap.t
+val bulletin : t -> Bulletin.t
+val is_malicious : t -> int -> bool
+val current_round : t -> int
+
+val audit_all : t -> bool
+(** Every honest device runs its §3.3 M1/M2 audits. *)
+
+type setup_stats = {
+  paths_requested : int;
+  paths_established : int;
+  paths_failed : int;  (** dropped extensions, detected and abandoned *)
+  setup_rounds : int;  (** C-rounds consumed (k^2 + 2k when full) *)
+  complaints : int;  (** bulletin complaints posted *)
+}
+
+val setup_paths : ?targets:int array array -> t -> setup_stats
+(** [targets.(device)] lists destination *pseudonym numbers* (defaults
+    to [degree] copies of the device's own pseudonym, the §3.2
+    self-loop padding). Each target gets [replicas] independent
+    paths. *)
+
+type round_stats = {
+  messages_sent : int;  (** logical messages (before replication) *)
+  delivered : int;  (** at least one replica arrived intact *)
+  lost : int;
+  copies_delivered : int;
+  copies_lost : int;
+  dummies_uploaded : int;
+  identified : int;  (** messages with a fully-malicious replica path *)
+  anonymity_sets : int array;  (** per delivered message, from the observer *)
+  rounds_used : int;  (** k+1 C-rounds *)
+}
+
+val run_query_round : t -> payload:bytes -> round_stats
+(** One communication round of the vertex program: every device sends
+    its [degree] messages over its established paths; the stats report
+    delivery and what the adversary could infer. *)
+
+val run_query_round_with : t -> payload_of:(source:int -> dest:int -> bytes) -> round_stats
+(** Same, with a per-(source, destination) payload — how the vertex
+    program actually uses the layer (distinct contribution per
+    neighbor). All payloads must have equal length, or messages become
+    distinguishable; raises [Invalid_argument] otherwise. *)
+
+val deliveries : t -> (int * int * bytes) list
+(** [(source_device, dest_pseudonym, payload)] messages opened by their
+    destinations in the last query round; lets callers (the vertex
+    program runtime) consume actual message contents. *)

@@ -1,0 +1,1 @@
+lib/query/analysis.ml: Ast List Mycelium_bgv Mycelium_dp Mycelium_graph Printf Result

@@ -1,0 +1,1 @@
+lib/query/analysis.mli: Ast Mycelium_bgv

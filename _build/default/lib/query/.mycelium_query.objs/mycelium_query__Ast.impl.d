@@ -1,0 +1,1 @@
+lib/query/ast.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/query/corpus.mli: Ast

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast List Printf String

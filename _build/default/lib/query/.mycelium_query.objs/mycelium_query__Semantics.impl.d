@@ -1,0 +1,1 @@
+lib/query/semantics.ml: Analysis Array Ast Float Hashtbl List Mycelium_graph Option Printf

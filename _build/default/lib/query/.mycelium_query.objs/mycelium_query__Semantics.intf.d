@@ -1,0 +1,1 @@
+lib/query/semantics.mli: Analysis Ast Mycelium_graph

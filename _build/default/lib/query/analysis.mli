@@ -1,0 +1,86 @@
+(** Static analysis of queries: predicate placement, ciphertext counts
+    (Figure 6), histogram bin layout, sensitivity (§4.7), and HE
+    feasibility (§6.2).
+
+    Placement rules. Every atomic predicate is evaluated by whoever
+    holds all its columns: [dest]+[edge] atoms by the destination
+    vertex (edge attributes are contact records shared by both
+    endpoints), [self]+[edge] atoms by the origin. An atom that mixes
+    [self] and [dest] columns can be evaluated by neither — it uses the
+    §4.5 sequence mechanism, where the destination sends one ciphertext
+    per possible (discretized) value of its compared column. This is
+    what makes Q3/Q6/Q7/Q10 cost 14 ciphertexts (the 14-day diagnosis
+    window) and Q9 cost 10 (decade age buckets), reproducing Figure 6.
+
+    Values are discretized before encoding so histograms fit the
+    exponent space: durations to hours (13 buckets), contact counts
+    capped at 20, diagnosis days 0..13, ages to decades.
+
+    GSUM ratio queries (SUM/COUNT, the secondary-attack-rate form)
+    cannot divide under HE; the origin instead packs its locally-known
+    denominator C into the exponent — bin index = group*stride_g +
+    C*stride_c + S — and the decryption committee computes the clipped
+    ratio sum from the histogram during final processing, which is the
+    natural reading of §4.4's GSUM post-processing formula. *)
+
+type pred_side =
+  | Origin_side  (** self and/or edge columns only *)
+  | Dest_side  (** dest and/or edge columns only *)
+  | Cross of Ast.field  (** self and dest mixed; field drives the §4.5
+                            sequence length *)
+  | Constant
+
+val classify_atom : Ast.pred -> (pred_side, string) result
+(** For atomic predicates only (no And/Or). *)
+
+type group_kind =
+  | Group_none
+  | Group_self  (** origin shifts its single result into its group *)
+  | Group_edge  (** per-edge groups: origin aggregates per group *)
+  | Group_cross of Ast.field  (** group function mixes dest and self *)
+
+type layout = {
+  group_count : int;
+  count_slots : int;  (** 1 unless GSUM ratio packing *)
+  value_slots : int;
+  total_bins : int;  (** group_count * count_slots * value_slots *)
+}
+
+type info = {
+  query : Ast.t;
+  degree_bound : int;
+  ciphertext_count : int;  (** Figure 6's column *)
+  group_kind : group_kind;
+  layout : layout;
+  influence_bound : int;
+      (** max origins one device can influence: |k-hop ball| under the
+          degree bound (§4.7's "total number of devices in their local
+          neighborhood") *)
+  multiplications : int;  (** d^hops, the §6.2 measure *)
+  sensitivity : float;
+  clip : (float * float) option;  (** GSUM clipping range *)
+}
+
+val analyze : ?degree_bound:int -> Ast.t -> (info, string) result
+(** [degree_bound] defaults to 10 (Figure 4). *)
+
+val analyze_exn : ?degree_bound:int -> Ast.t -> info
+
+(** {2 Value discretization} *)
+
+val field_slots : Ast.field -> int
+(** Distinct encoded values of a field. *)
+
+val bucketize : Ast.field -> int -> int
+(** Map a raw attribute value into its bucket. *)
+
+(** {2 Feasibility under BGV parameters (§6.2)} *)
+
+val max_multiplications : Mycelium_bgv.Params.t -> int
+(** How many sequential homomorphic multiplications the parameter set
+    supports before the noise budget runs out (conservative model;
+    see EXPERIMENTS.md). *)
+
+val feasible : info -> Mycelium_bgv.Params.t -> (unit, string) result
+(** Checks both the multiplication budget and that the bin layout fits
+    the ring degree ("cannot support more bins than the degree N"). *)

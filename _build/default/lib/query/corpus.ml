@@ -1,0 +1,58 @@
+type entry = { id : string; description : string; sql : string; query : Ast.t }
+
+let make id description sql =
+  { id; description; sql; query = Parser.parse_exn ~name:id sql }
+
+let all =
+  [
+    make "Q1"
+      "Histogram of the number of infections in an infected participant's two-hop \
+       neighborhood, within 14 days"
+      "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf AND self.inf";
+    make "Q2"
+      "Histogram of the amount of time A has spent near B, if A is infected within 5-15 days \
+       of contact with B"
+      "SELECT HISTO(SUM(edge.duration)) FROM neigh(1) WHERE self.inf AND (dest.tInf IN \
+       [edge.last_contact+5, edge.last_contact+10])";
+    make "Q3"
+      "Histogram of the frequency of contact between A and B, if A infected B"
+      "SELECT HISTO(SUM(edge.contacts)) FROM neigh(1) WHERE self.inf AND dest.tInf AND \
+       (dest.tInf > self.tInf+2)";
+    make "Q4" "Secondary attack rate of infected participants if they travelled on the subway"
+      "SELECT HISTO(SUM(dest.inf)) FROM neigh(1) WHERE onSubway(edge.location) AND self.inf";
+    make "Q5"
+      "Histogram of the number of distinct contacts within the last 24 hours, for different \
+       age groups"
+      "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY self.age";
+    make "Q6"
+      "Histogram of secondary infections caused by infected participants in different age \
+       groups"
+      "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf AND dest.tInf AND (dest.tInf > \
+       self.tInf+2) GROUP BY self.age";
+    make "Q7"
+      "Histogram of secondary infections based on type of exposure (such as family, social, \
+       work)"
+      "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf AND dest.tInf AND (dest.tInf > \
+       self.tInf+2) GROUP BY edge.setting";
+    make "Q8" "Secondary attack rates in household vs non-household contacts"
+      "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE self.inf GROUP BY \
+       isHousehold(edge.location)";
+    make "Q9"
+      "Secondary attack rates within case-contact pairs in the same age group vs different \
+       age groups"
+      "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE (dest.age IN [0,100]) AND \
+       (self.age IN [dest.age-10, dest.age+10])";
+    make "Q10"
+      "Secondary attack rates at different stages of the disease (incubation period vs \
+       illness period)"
+      "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE self.inf AND (dest.tInf > \
+       self.tInf+2) GROUP BY stage(dest.tInf-self.tInf)";
+  ]
+
+let find id = List.find (fun e -> e.id = id) all
+
+let paper_ciphertext_counts =
+  [
+    ("Q1", 1); ("Q2", 1); ("Q3", 14); ("Q4", 1); ("Q5", 1); ("Q6", 14); ("Q7", 14);
+    ("Q8", 1); ("Q9", 10); ("Q10", 14);
+  ]

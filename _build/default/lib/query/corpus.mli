@@ -1,0 +1,19 @@
+(** The ten queries of Figure 2, in this library's concrete syntax.
+    Each entry carries the paper's description; [all] preserves the
+    paper's numbering (Q1 first). *)
+
+type entry = {
+  id : string;  (** "Q1" .. "Q10" *)
+  description : string;  (** Figure 2's English description *)
+  sql : string;
+  query : Ast.t;  (** parsed form *)
+}
+
+val all : entry list
+
+val find : string -> entry
+(** By id; raises [Not_found]. *)
+
+val paper_ciphertext_counts : (string * int) list
+(** Figure 6's reported values, for regression against
+    {!Analysis.analyze}. *)

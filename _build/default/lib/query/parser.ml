@@ -1,0 +1,317 @@
+type error = { message : string; position : int }
+
+type token =
+  | INT of int
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQUAL
+  | EOF
+
+exception Parse_error of string * int
+
+let fail message position = raise (Parse_error (message, position))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let lex src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let push t pos = tokens := (t, pos) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' -> push LPAREN pos; incr i
+    | ')' -> push RPAREN pos; incr i
+    | '[' -> push LBRACK pos; incr i
+    | ']' -> push RBRACK pos; incr i
+    | ',' -> push COMMA pos; incr i
+    | '.' -> push DOT pos; incr i
+    | '+' -> push PLUS pos; incr i
+    | '-' -> push MINUS pos; incr i
+    | '*' -> push STAR pos; incr i
+    | '/' -> push SLASH pos; incr i
+    | '=' -> push EQUAL pos; incr i
+    | '<' ->
+      if !i + 1 < n && src.[!i + 1] = '=' then begin push LE pos; i := !i + 2 end
+      else begin push LT pos; incr i end
+    | '>' ->
+      if !i + 1 < n && src.[!i + 1] = '=' then begin push GE pos; i := !i + 2 end
+      else begin push GT pos; incr i end
+    | '0' .. '9' ->
+      let j = ref !i in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
+      push (INT (int_of_string (String.sub src !i (!j - !i)))) pos;
+      i := !j
+    | c when is_ident_char c ->
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      push (IDENT (String.sub src !i (!j - !i))) pos;
+      i := !j
+    | c -> fail (Printf.sprintf "unexpected character %C" c) pos)
+  done;
+  push EOF n;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (EOF, 0) | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> (EOF, 0)
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let keyword_eq a b = String.lowercase_ascii a = String.lowercase_ascii b
+
+let expect_keyword st kw =
+  match peek st with
+  | IDENT s, _ when keyword_eq s kw -> advance st
+  | _, pos -> fail (Printf.sprintf "expected %s" kw) pos
+
+let accept_keyword st kw =
+  match peek st with
+  | IDENT s, _ when keyword_eq s kw -> advance st; true
+  | _ -> false
+
+let expect st tok what =
+  let t, pos = peek st in
+  if t = tok then advance st else fail (Printf.sprintf "expected %s" what) pos
+
+let expect_int st =
+  match peek st with
+  | INT v, _ -> advance st; v
+  | _, pos -> fail "expected integer" pos
+
+let expect_ident st =
+  match peek st with
+  | IDENT s, _ -> advance st; s
+  | _, pos -> fail "expected identifier" pos
+
+(* ------------------------------------------------------------------ *)
+(* Grammar                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_colref st =
+  let _, pos = peek st in
+  let group_name = expect_ident st in
+  expect st DOT "'.'";
+  let field_name = expect_ident st in
+  let group =
+    match String.lowercase_ascii group_name with
+    | "self" -> Ast.Self
+    | "dest" -> Ast.Dest
+    | "edge" -> Ast.Edge
+    | other -> fail (Printf.sprintf "unknown column group %s" other) pos
+  in
+  match Ast.field_of_string field_name with
+  | Some field ->
+    let c = { Ast.group; field } in
+    if not (Ast.colref_valid c) then
+      fail (Printf.sprintf "field %s not available in column group %s" field_name group_name) pos;
+    c
+  | None -> fail (Printf.sprintf "unknown field %s" field_name) pos
+
+let parse_scalar st =
+  let primary () =
+    match peek st with
+    | INT v, _ -> advance st; Ast.Const v
+    | IDENT _, _ -> Ast.Col (parse_colref st)
+    | _, pos -> fail "expected integer or column" pos
+  in
+  let acc = ref (primary ()) in
+  let continue_scan = ref true in
+  while !continue_scan do
+    match peek st with
+    | PLUS, pos -> (
+      advance st;
+      match peek st with
+      | INT v, _ -> advance st; acc := Ast.Plus (!acc, v)
+      | _ -> fail "expected integer after +" pos)
+    | MINUS, _ -> (
+      advance st;
+      match peek st with
+      | INT v, _ -> advance st; acc := Ast.Minus (!acc, v)
+      | IDENT _, _ -> acc := Ast.Minus_col (!acc, parse_colref st)
+      | _, pos -> fail "expected integer or column after -" pos)
+    | _ -> continue_scan := false
+  done;
+  !acc
+
+let rec parse_pred st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_keyword st "OR" then Ast.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_atom st in
+  if accept_keyword st "AND" then Ast.And (left, parse_and st) else left
+
+and parse_atom st =
+  match (peek st, peek2 st) with
+  | (LPAREN, _), _ ->
+    advance st;
+    let p = parse_pred st in
+    expect st RPAREN "')'";
+    p
+  | (IDENT name, _), (LPAREN, _)
+    when not (List.exists (keyword_eq name) [ "self"; "dest"; "edge" ]) ->
+    (* Predicate function like onSubway(edge.location). *)
+    advance st;
+    advance st;
+    let c = parse_colref st in
+    expect st RPAREN "')'";
+    Ast.Fn (name, c)
+  | _ ->
+    let s = parse_scalar st in
+    parse_rest st s
+
+and parse_rest st s =
+  match peek st with
+  | LT, _ -> advance st; Ast.Cmp (Ast.Lt, s, parse_scalar st)
+  | LE, _ -> advance st; Ast.Cmp (Ast.Le, s, parse_scalar st)
+  | GT, _ -> advance st; Ast.Cmp (Ast.Gt, s, parse_scalar st)
+  | GE, _ -> advance st; Ast.Cmp (Ast.Ge, s, parse_scalar st)
+  | EQUAL, _ -> advance st; Ast.Cmp (Ast.Eq, s, parse_scalar st)
+  | IDENT kw, _ when keyword_eq kw "IN" ->
+    advance st;
+    expect st LBRACK "'['";
+    let lo = parse_scalar st in
+    expect st COMMA "','";
+    let hi = parse_scalar st in
+    expect st RBRACK "']'";
+    Ast.Between (s, lo, hi)
+  | _, pos -> (
+    match s with
+    | Ast.Col c -> Ast.Truthy c
+    | _ -> fail "expected comparison after scalar" pos)
+
+let parse_agg st =
+  if accept_keyword st "COUNT" then begin
+    expect st LPAREN "'('";
+    expect st STAR "'*'";
+    expect st RPAREN "')'";
+    Ast.Count
+  end
+  else if accept_keyword st "SUM" then begin
+    expect st LPAREN "'('";
+    let c = parse_colref st in
+    expect st RPAREN "')'";
+    Ast.Sum c
+  end
+  else begin
+    let _, pos = peek st in
+    fail "expected COUNT or SUM" pos
+  end
+
+let parse_output st =
+  if accept_keyword st "HISTO" then begin
+    expect st LPAREN "'('";
+    let a = parse_agg st in
+    expect st RPAREN "')'";
+    Ast.Histo a
+  end
+  else if accept_keyword st "GSUM" then begin
+    expect st LPAREN "'('";
+    let num = parse_agg st in
+    let ratio =
+      match peek st with
+      | SLASH, _ ->
+        advance st;
+        expect_keyword st "COUNT";
+        expect st LPAREN "'('";
+        expect st STAR "'*'";
+        expect st RPAREN "')'";
+        true
+      | _ -> false
+    in
+    expect st RPAREN "')'";
+    Ast.Gsum { num; ratio; clip = None }
+  end
+  else begin
+    let _, pos = peek st in
+    fail "expected HISTO or GSUM" pos
+  end
+
+let parse_group_by st =
+  match (peek st, peek2 st) with
+  | (IDENT name, _), (LPAREN, _)
+    when not (List.exists (keyword_eq name) [ "self"; "dest"; "edge" ]) ->
+    advance st;
+    advance st;
+    let s = parse_scalar st in
+    expect st RPAREN "')'";
+    Ast.By_fn (name, s)
+  | _ -> Ast.By_col (parse_colref st)
+
+let parse_query st name =
+  expect_keyword st "SELECT";
+  let output = parse_output st in
+  expect_keyword st "FROM";
+  expect_keyword st "neigh";
+  expect st LPAREN "'('";
+  let hops = expect_int st in
+  expect st RPAREN "')'";
+  if hops < 1 then fail "neigh(k) requires k >= 1" 0;
+  let where = if accept_keyword st "WHERE" then parse_pred st else Ast.True in
+  let group_by =
+    if accept_keyword st "GROUP" then begin
+      expect_keyword st "BY";
+      parse_group_by st
+    end
+    else Ast.No_group
+  in
+  let output =
+    if accept_keyword st "CLIP" then begin
+      expect st LBRACK "'['";
+      let a = expect_int st in
+      expect st COMMA "','";
+      let b = expect_int st in
+      expect st RBRACK "']'";
+      match output with
+      | Ast.Gsum { num; ratio; clip = _ } -> Ast.Gsum { num; ratio; clip = Some (a, b) }
+      | Ast.Histo _ -> fail "CLIP only applies to GSUM queries" 0
+    end
+    else output
+  in
+  (match peek st with
+  | EOF, _ -> ()
+  | _, pos -> fail "trailing input after query" pos);
+  { Ast.name; output; hops; where; group_by }
+
+let parse ?(name = "query") src =
+  match lex src with
+  | exception Parse_error (message, position) -> Error { message; position }
+  | toks -> (
+    let st = { toks } in
+    match parse_query st name with
+    | q -> Ok q
+    | exception Parse_error (message, position) -> Error { message; position })
+
+let parse_exn ?name src =
+  match parse ?name src with
+  | Ok q -> q
+  | Error e -> failwith (Printf.sprintf "parse error at %d: %s" e.position e.message)

@@ -1,0 +1,25 @@
+(** Parser for the query language. Hand-written recursive descent over
+    a hand-written lexer — the grammar is small and the sealed
+    environment ships no parser generators.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query   ::= SELECT output FROM neigh '(' INT ')'
+                [WHERE pred] [GROUP BY group] [CLIP '[' INT ',' INT ']']
+    output  ::= HISTO '(' agg ')' | GSUM '(' agg ['/' COUNT '(' '*' ')'] ')'
+    agg     ::= COUNT '(' '*' ')' | SUM '(' colref ')'
+    group   ::= colref | IDENT '(' scalar ')'
+    pred    ::= conj (OR conj)*
+    conj    ::= atom (AND atom)*
+    atom    ::= '(' pred ')' | IDENT '(' colref ')' | scalar rest
+    rest    ::= cmp scalar | IN '[' scalar ',' scalar ']' | (empty: truthy column)
+    scalar  ::= (INT | colref) (('+'|'-') (INT | colref))*
+    colref  ::= IDENT '.' IDENT
+    v} *)
+
+type error = { message : string; position : int }
+
+val parse : ?name:string -> string -> (Ast.t, error) result
+
+val parse_exn : ?name:string -> string -> Ast.t
+(** Raises [Failure] with a located message. *)

@@ -1,0 +1,332 @@
+module Schema = Mycelium_graph.Schema
+module Cg = Mycelium_graph.Contact_graph
+
+type row_ctx = {
+  self : Schema.vertex_data;
+  dest : Schema.vertex_data;
+  edge : Schema.edge_data option;
+}
+
+let enum_of_location = function
+  | Schema.Household -> 0
+  | Schema.Subway -> 1
+  | Schema.Workplace -> 2
+  | Schema.SocialVenue -> 3
+  | Schema.Other -> 4
+
+let enum_of_setting = function Schema.Family -> 0 | Schema.Social -> 1 | Schema.Work -> 2
+
+(* Raw value of a column on a row; None when undefined. *)
+let raw_value ctx (c : Ast.colref) =
+  let vertex = match c.Ast.group with Ast.Self -> Some ctx.self | Ast.Dest -> Some ctx.dest | Ast.Edge -> None in
+  match (c.Ast.group, c.Ast.field) with
+  | (Ast.Self | Ast.Dest), Ast.Inf ->
+    Option.map (fun (v : Schema.vertex_data) -> if v.Schema.infected then 1 else 0) vertex
+  | (Ast.Self | Ast.Dest), Ast.T_inf ->
+    Option.bind vertex (fun (v : Schema.vertex_data) -> v.Schema.t_inf)
+  | (Ast.Self | Ast.Dest), Ast.Age ->
+    Option.map (fun (v : Schema.vertex_data) -> v.Schema.age) vertex
+  | Ast.Edge, Ast.Duration -> Option.map (fun e -> e.Schema.duration_min) ctx.edge
+  | Ast.Edge, Ast.Contacts -> Option.map (fun e -> e.Schema.contacts) ctx.edge
+  | Ast.Edge, Ast.Last_contact -> Option.map (fun e -> e.Schema.last_contact) ctx.edge
+  | Ast.Edge, Ast.Location -> Option.map (fun e -> enum_of_location e.Schema.location) ctx.edge
+  | Ast.Edge, Ast.Setting -> Option.map (fun e -> enum_of_setting e.Schema.setting) ctx.edge
+  | _, _ -> None
+
+(* Bucketized value: what the encrypted protocol actually compares. *)
+let bucket_value ctx c =
+  Option.map (Analysis.bucketize c.Ast.field) (raw_value ctx c)
+
+(* Scalars are evaluated at the granularity of the coarsest column they
+   touch: if any column is an age, constants are scaled to decades,
+   matching the 10-long §4.5 sequences. *)
+let scalar_has_age s =
+  List.exists (fun (c : Ast.colref) -> c.Ast.field = Ast.Age) (Ast.scalar_cols s)
+
+let rec eval_scalar ~div ctx = function
+  | Ast.Col c -> bucket_value ctx c
+  | Ast.Const v -> Some (v / div)
+  | Ast.Plus (s, v) -> Option.map (fun x -> x + (v / div)) (eval_scalar ~div ctx s)
+  | Ast.Minus (s, v) -> Option.map (fun x -> x - (v / div)) (eval_scalar ~div ctx s)
+  | Ast.Minus_col (s, c) -> (
+    match (eval_scalar ~div ctx s, bucket_value ctx c) with
+    | Some a, Some b -> Some (a - b)
+    | _ -> None)
+
+let location_of_enum = function
+  | 0 -> Schema.Household
+  | 1 -> Schema.Subway
+  | 2 -> Schema.Workplace
+  | 3 -> Schema.SocialVenue
+  | _ -> Schema.Other
+
+let eval_fn name v =
+  match name with
+  | "onSubway" -> Some (Schema.on_subway (location_of_enum v))
+  | "isHousehold" -> Some (Schema.is_household (location_of_enum v))
+  | _ -> None
+
+let eval_atom atom ctx =
+  match atom with
+  | Ast.True -> Some true
+  | Ast.Truthy c -> (
+    match c.Ast.field with
+    | Ast.Inf -> Option.map (fun v -> v <> 0) (raw_value ctx c)
+    | Ast.T_inf -> (
+      (* Truthiness of tInf = "was diagnosed". *)
+      match c.Ast.group with
+      | Ast.Self -> Some (ctx.self.Schema.t_inf <> None)
+      | Ast.Dest -> Some (ctx.dest.Schema.t_inf <> None)
+      | Ast.Edge -> None)
+    | _ -> Option.map (fun v -> v <> 0) (raw_value ctx c))
+  | Ast.Cmp (op, a, b) -> (
+    let div = if scalar_has_age a || scalar_has_age b then 10 else 1 in
+    match (eval_scalar ~div ctx a, eval_scalar ~div ctx b) with
+    | Some va, Some vb ->
+      Some
+        (match op with
+        | Ast.Lt -> va < vb
+        | Ast.Le -> va <= vb
+        | Ast.Gt -> va > vb
+        | Ast.Ge -> va >= vb
+        | Ast.Eq -> va = vb)
+    | _ -> None)
+  | Ast.Between (x, lo, hi) -> (
+    let div = if scalar_has_age x || scalar_has_age lo || scalar_has_age hi then 10 else 1 in
+    match (eval_scalar ~div ctx x, eval_scalar ~div ctx lo, eval_scalar ~div ctx hi) with
+    | Some vx, Some vlo, Some vhi -> Some (vx >= vlo && vx <= vhi)
+    | _ -> None)
+  | Ast.Fn (name, c) -> Option.bind (raw_value ctx c) (eval_fn name)
+  | Ast.And _ | Ast.Or _ -> None
+
+let rec eval_pred p ctx =
+  match p with
+  | Ast.And (a, b) -> eval_pred a ctx && eval_pred b ctx
+  | Ast.Or (a, b) -> eval_pred a ctx || eval_pred b ctx
+  | atom -> ( match eval_atom atom ctx with Some v -> v | None -> false)
+
+let rec conjuncts = function
+  | Ast.And (a, b) -> conjuncts a @ conjuncts b
+  | Ast.True -> []
+  | p -> [ p ]
+
+let conjunct_is_self_only p =
+  List.for_all (fun (c : Ast.colref) -> c.Ast.group = Ast.Self) (Ast.pred_cols p)
+
+let split_where where =
+  let cs = conjuncts where in
+  (* Each conjunct may contain ORs, but only within one placement side
+     (the §4 language restriction). *)
+  let side_of_pred p =
+    (* Placement by the columns the (possibly compound) predicate
+       touches. *)
+    let cols = Ast.pred_cols p in
+    let has g = List.exists (fun (c : Ast.colref) -> c.Ast.group = g) cols in
+    if has Ast.Self && has Ast.Dest then `Cross
+    else if has Ast.Dest then `Dest
+    else if cols <> [] then `Origin
+    else `Constant
+  in
+  let check_placeable p =
+    let rec disjuncts = function Ast.Or (a, b) -> disjuncts a @ disjuncts b | q -> [ q ] in
+    let sides =
+      List.filter (fun s -> s <> `Constant) (List.map side_of_pred (disjuncts p))
+    in
+    if List.length (List.sort_uniq compare sides) > 1 then
+      Error "disjunction spans column groups; the protocol cannot place it"
+    else Ok ()
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | p :: rest -> ( match check_placeable p with Ok () -> check rest | Error e -> Error e)
+  in
+  match check cs with
+  | Error e -> Error e
+  | Ok () -> Ok (List.partition conjunct_is_self_only cs)
+
+let row_preds info =
+  match split_where info.Analysis.query.Ast.where with
+  | Ok (_, rows) -> rows
+  | Error e -> failwith e
+
+let origin_preds info =
+  match split_where info.Analysis.query.Ast.where with
+  | Ok (globals, _) -> globals
+  | Error e -> failwith e
+
+let agg_of info =
+  match info.Analysis.query.Ast.output with Ast.Histo a -> a | Ast.Gsum { num; _ } -> num
+
+let row_passes info ctx = List.for_all (fun p -> eval_pred p ctx) (row_preds info)
+
+let row_value info ctx =
+  if not (row_passes info ctx) then 0
+  else begin
+    match agg_of info with
+    | Ast.Count -> 1
+    | Ast.Sum c -> (
+      match bucket_value ctx c with Some v -> v | None -> 0)
+  end
+
+let origin_group info (self : Schema.vertex_data) =
+  match info.Analysis.query.Ast.group_by with
+  | Ast.By_col { Ast.group = Ast.Self; field = Ast.Age } -> Schema.age_group self.Schema.age
+  | Ast.By_col { Ast.group = Ast.Self; field = Ast.Inf } -> if self.Schema.infected then 1 else 0
+  | _ -> 0
+
+let row_group info ctx =
+  match info.Analysis.query.Ast.group_by with
+  | Ast.No_group -> Some 0
+  | Ast.By_col ({ Ast.group = Ast.Self; _ } as _c) -> Some (origin_group info ctx.self)
+  | Ast.By_col ({ Ast.group = Ast.Edge; _ } as c) -> bucket_value ctx c
+  | Ast.By_col { Ast.group = Ast.Dest; _ } -> None
+  | Ast.By_fn (name, s) -> (
+    match name with
+    | "stage" -> (
+      let div = if scalar_has_age s then 10 else 1 in
+      match eval_scalar ~div ctx s with
+      | Some delay -> Some (Schema.stage_of_delay delay)
+      | None -> None)
+    | "isHousehold" | "onSubway" -> (
+      match Ast.scalar_cols s with
+      | [ c ] -> (
+        match Option.bind (raw_value ctx c) (eval_fn name) with
+        | Some b -> Some (if b then 1 else 0)
+        | None -> None)
+      | _ -> None)
+    | _ -> None)
+
+(* Per-group stride layout; see Analysis. *)
+let strides info =
+  let l = info.Analysis.layout in
+  let count_stride = l.Analysis.count_slots in
+  let group_stride = l.Analysis.count_slots * l.Analysis.value_slots in
+  (group_stride, count_stride)
+
+let is_ratio info =
+  match info.Analysis.query.Ast.output with
+  | Ast.Gsum { ratio = true; _ } -> true
+  | Ast.Gsum { ratio = false; _ } | Ast.Histo _ -> false
+
+let origin_gate info self =
+  let origin_ctx = { self; dest = self; edge = None } in
+  List.for_all (fun p -> eval_pred p origin_ctx) (origin_preds info)
+
+let accumulation_group info ctx =
+  (* Self-grouped and ungrouped queries run one aggregation; the group
+     shift is applied by the origin afterwards. *)
+  match info.Analysis.group_kind with
+  | Analysis.Group_none | Analysis.Group_self -> Some 0
+  | Analysis.Group_edge | Analysis.Group_cross _ -> row_group info ctx
+
+let pack_exponents info ~self ~sums ~counts =
+  let l = info.Analysis.layout in
+  let group_stride, count_stride = strides info in
+  match info.Analysis.group_kind with
+  | Analysis.Group_none | Analysis.Group_self ->
+    let g = origin_group info self in
+    let s = min sums.(0) (l.Analysis.value_slots - 1) in
+    let c = min counts.(0) (l.Analysis.count_slots - 1) in
+    [ (g * group_stride) + (s * count_stride) + c ]
+  | Analysis.Group_edge | Analysis.Group_cross _ ->
+    List.init l.Analysis.group_count (fun g ->
+        let s = min sums.(g) (l.Analysis.value_slots - 1) in
+        let c = min counts.(g) (l.Analysis.count_slots - 1) in
+        (g * group_stride) + (s * count_stride) + c)
+
+let local_exponents info graph ~origin =
+  let self = Cg.vertex graph origin in
+  if not (origin_gate info self) then None
+  else begin
+    let q = info.Analysis.query in
+    let parents = Cg.spanning_parents graph origin ~k:q.Ast.hops in
+    let members = (origin, 0) :: Cg.k_hop graph origin ~k:q.Ast.hops in
+    (* First edge on the BFS path: walk parents up to depth 1. *)
+    let first_edge m =
+      if m = origin then None
+      else begin
+        let rec walk v = match Hashtbl.find_opt parents v with
+          | Some p when p = origin -> Some v
+          | Some p -> walk p
+          | None -> None
+        in
+        match walk m with
+        | Some first_hop -> Cg.edge graph origin first_hop
+        | None -> None
+      end
+    in
+    let l = info.Analysis.layout in
+    let ratio = is_ratio info in
+    (* Accumulate sum and count per group. *)
+    let sums = Array.make l.Analysis.group_count 0 in
+    let counts = Array.make l.Analysis.group_count 0 in
+    List.iter
+      (fun (m, _dist) ->
+        let ctx = { self; dest = Cg.vertex graph m; edge = first_edge m } in
+        match accumulation_group info ctx with
+        | None -> ()
+        | Some g when g < 0 || g >= l.Analysis.group_count -> ()
+        | Some g ->
+          let b = row_value info ctx in
+          sums.(g) <- sums.(g) + b;
+          if ratio && row_passes info ctx then counts.(g) <- counts.(g) + 1)
+      members;
+    Some (pack_exponents info ~self ~sums ~counts)
+  end
+
+let global_histogram info graph =
+  let bins = Array.make info.Analysis.layout.Analysis.total_bins 0 in
+  for origin = 0 to Cg.population graph - 1 do
+    match local_exponents info graph ~origin with
+    | None -> ()
+    | Some exps -> List.iter (fun e -> bins.(e) <- bins.(e) + 1) exps
+  done;
+  bins
+
+(* --- final processing ------------------------------------------------ *)
+
+let group_labels info =
+  let q = info.Analysis.query in
+  let n = info.Analysis.layout.Analysis.group_count in
+  match q.Ast.group_by with
+  | Ast.No_group -> [| "all" |]
+  | Ast.By_col { Ast.field = Ast.Age; _ } ->
+    Array.init n (fun g -> Printf.sprintf "age %d-%d" (g * 10) ((g * 10) + 9))
+  | Ast.By_col { Ast.field = Ast.Setting; _ } -> [| "family"; "social"; "work" |]
+  | Ast.By_col { Ast.field = Ast.Location; _ } ->
+    [| "household"; "subway"; "workplace"; "social-venue"; "other" |]
+  | Ast.By_col _ -> Array.init n (fun g -> Printf.sprintf "group %d" g)
+  | Ast.By_fn ("stage", _) -> [| "incubation"; "illness" |]
+  | Ast.By_fn ("isHousehold", _) -> [| "non-household"; "household" |]
+  | Ast.By_fn ("onSubway", _) -> [| "off-subway"; "subway" |]
+  | Ast.By_fn _ -> Array.init n (fun g -> Printf.sprintf "group %d" g)
+
+type result = Histogram of (string * float array) array | Sums of (string * float) array
+
+let decode info noisy =
+  let l = info.Analysis.layout in
+  let group_stride, count_stride = strides info in
+  let labels = group_labels info in
+  match info.Analysis.query.Ast.output with
+  | Ast.Histo _ ->
+    Histogram
+      (Array.init l.Analysis.group_count (fun g ->
+           ( labels.(g),
+             Array.init l.Analysis.value_slots (fun s -> noisy.((g * group_stride) + s)) )))
+  | Ast.Gsum { ratio; _ } ->
+    let lo, hi = match info.Analysis.clip with Some c -> c | None -> (0., infinity) in
+    let clipf v = Float.max lo (Float.min hi v) in
+    Sums
+      (Array.init l.Analysis.group_count (fun g ->
+           let acc = ref 0. in
+           for s = 0 to l.Analysis.value_slots - 1 do
+             for c = 0 to l.Analysis.count_slots - 1 do
+               let p = noisy.((g * group_stride) + (s * count_stride) + c) in
+               let v =
+                 if ratio then if c = 0 then 0. else clipf (float_of_int s /. float_of_int c)
+                 else clipf (float_of_int s)
+               in
+               acc := !acc +. (p *. v)
+             done
+           done;
+           (labels.(g), !acc)))

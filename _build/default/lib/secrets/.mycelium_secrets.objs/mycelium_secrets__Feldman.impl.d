@@ -1,0 +1,1 @@
+lib/secrets/feldman.ml: Array List Mycelium_math Mycelium_util Shamir

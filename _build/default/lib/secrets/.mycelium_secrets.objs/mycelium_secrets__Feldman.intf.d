@@ -1,0 +1,1 @@
+lib/secrets/feldman.mli: Mycelium_math Mycelium_util Shamir

@@ -1,0 +1,1 @@
+lib/secrets/shamir.ml: Array List Mycelium_math Mycelium_util

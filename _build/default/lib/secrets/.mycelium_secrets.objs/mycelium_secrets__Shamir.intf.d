@@ -1,0 +1,1 @@
+lib/secrets/shamir.mli: Mycelium_math Mycelium_util

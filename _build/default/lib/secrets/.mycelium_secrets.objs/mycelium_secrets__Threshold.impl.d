@@ -1,0 +1,1 @@
+lib/secrets/threshold.ml: Array List Mycelium_bgv Mycelium_math Mycelium_util Shamir

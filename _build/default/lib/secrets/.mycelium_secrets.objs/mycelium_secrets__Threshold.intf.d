@@ -1,0 +1,1 @@
+lib/secrets/threshold.mli: Mycelium_bgv Mycelium_math Mycelium_util Shamir

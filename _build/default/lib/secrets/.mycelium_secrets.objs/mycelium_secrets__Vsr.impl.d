@@ -1,0 +1,1 @@
+lib/secrets/vsr.ml: Array Bytes Feldman Int32 List Mycelium_crypto Mycelium_math Mycelium_util Printf Shamir

@@ -1,0 +1,1 @@
+lib/secrets/vsr.mli: Feldman Mycelium_math Mycelium_util Shamir

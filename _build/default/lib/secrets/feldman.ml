@@ -1,0 +1,59 @@
+module Rng = Mycelium_util.Rng
+module Bigint = Mycelium_math.Bigint
+module Modarith = Mycelium_math.Modarith
+
+type group = { big_p : Bigint.t; g : Bigint.t; order : int }
+
+let group_for_prime rng p =
+  if not (Modarith.is_prime p) then invalid_arg "Feldman.group_for_prime: order not prime";
+  let big_order = Bigint.of_int p in
+  (* Search k = 2, 4, 6, ... for P = k*p + 1 prime. *)
+  let rec find k =
+    let candidate = Bigint.add_int (Bigint.mul_int big_order k) 1 in
+    if Bigint.is_probable_prime rng candidate then (candidate, k) else find (k + 2)
+  in
+  let big_p, k = find 2 in
+  let exp = Bigint.of_int k in
+  let rec find_gen () =
+    let h = Bigint.add (Bigint.random rng (Bigint.sub big_p (Bigint.of_int 3))) Bigint.two in
+    let g = Bigint.mod_pow h exp big_p in
+    if Bigint.equal g Bigint.one then find_gen () else g
+  in
+  { big_p; g = find_gen (); order = p }
+
+type commitment = Bigint.t array
+
+let commit group coeffs =
+  Array.map (fun a -> Bigint.mod_pow group.g (Bigint.of_int (Modarith.reduce group.order a)) group.big_p) coeffs
+
+let verify_share group commitment (share : Shamir.share) =
+  let p = group.order in
+  let lhs = Bigint.mod_pow group.g (Bigint.of_int (Modarith.reduce p share.Shamir.y)) group.big_p in
+  let rhs = ref Bigint.one in
+  let xk = ref 1 in
+  Array.iter
+    (fun c ->
+      rhs := Bigint.erem (Bigint.mul !rhs (Bigint.mod_pow c (Bigint.of_int !xk) group.big_p)) group.big_p;
+      xk := Modarith.mul p !xk share.Shamir.x)
+    commitment;
+  Bigint.equal lhs !rhs
+
+let commitment_to_secret commitment = commitment.(0)
+
+let combine_commitments group cs lambdas =
+  match cs with
+  | [] -> invalid_arg "Feldman.combine_commitments: empty"
+  | first :: _ ->
+    let len = Array.length first in
+    List.iter
+      (fun c -> if Array.length c <> len then invalid_arg "Feldman.combine_commitments: length mismatch")
+      cs;
+    if List.length cs <> Array.length lambdas then
+      invalid_arg "Feldman.combine_commitments: lambda count mismatch";
+    Array.init len (fun k ->
+        List.fold_left
+          (fun acc (i, c) ->
+            let factor = Bigint.mod_pow c.(k) (Bigint.of_int lambdas.(i)) group.big_p in
+            Bigint.erem (Bigint.mul acc factor) group.big_p)
+          Bigint.one
+          (List.mapi (fun i c -> (i, c)) cs))

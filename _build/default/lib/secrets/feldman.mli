@@ -1,0 +1,40 @@
+(** Feldman verifiable secret sharing commitments.
+
+    A dealer sharing a secret with polynomial f(X) = a_0 + ... + a_t X^t
+    over Z_p publishes C_k = g^{a_k} in a group of order p; any party
+    can then check its share (x, y) against g^y = prod_k C_k^{x^k},
+    detecting a misdealing dealer. Mycelium's Extended VSR (§4.2, [46])
+    uses such commitments so that committee hand-offs are verifiable.
+
+    The group is a subgroup of order p inside Z_P^* for a prime
+    P = k*p + 1; group arithmetic runs on {!Mycelium_math.Bigint}. Test
+    and simulation parameters are far below cryptographic size — the
+    protocol logic, not 2048-bit arithmetic, is what the reproduction
+    exercises (see DESIGN.md). *)
+
+type group = {
+  big_p : Mycelium_math.Bigint.t;  (** the prime P *)
+  g : Mycelium_math.Bigint.t;  (** generator of the order-p subgroup *)
+  order : int;  (** p, the Shamir field prime *)
+}
+
+val group_for_prime : Mycelium_util.Rng.t -> int -> group
+(** Find a prime P = k*p + 1 and an order-p generator. *)
+
+type commitment = Mycelium_math.Bigint.t array
+(** One group element per polynomial coefficient. *)
+
+val commit : group -> int array -> commitment
+(** [commit group coeffs] publishes g^{a_k} for each coefficient. *)
+
+val verify_share : group -> commitment -> Shamir.share -> bool
+(** Check g^y = prod_k C_k^{x^k}. *)
+
+val commitment_to_secret : commitment -> Mycelium_math.Bigint.t
+(** C_0 = g^{secret}: binds the dealer to the shared value without
+    revealing it; used by VSR to check old-share consistency. *)
+
+val combine_commitments : group -> commitment list -> int array -> commitment
+(** [combine_commitments group cs lambdas] is the commitment to the
+    polynomial [sum_i lambda_i f_i]: pointwise [prod_i C_{i,k}^{lambda_i}].
+    All commitments must have equal length. *)

@@ -1,0 +1,97 @@
+module Rng = Mycelium_util.Rng
+module Modarith = Mycelium_math.Modarith
+module Rns = Mycelium_math.Rns
+module Rq = Mycelium_math.Rq
+
+type share = { x : int; y : int }
+
+let validate ~p ~threshold ~parties =
+  if threshold < 0 then invalid_arg "Shamir: negative threshold";
+  if parties < threshold + 1 then invalid_arg "Shamir: too few parties for threshold";
+  if parties >= p then invalid_arg "Shamir: more parties than field elements"
+
+let eval_poly ~p coeffs x =
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := Modarith.add p (Modarith.mul p !acc x) coeffs.(i)
+  done;
+  !acc
+
+let share_with_poly ~p rng ~threshold ~parties v =
+  validate ~p ~threshold ~parties;
+  let coeffs = Array.init (threshold + 1) (fun i -> if i = 0 then Modarith.reduce p v else Rng.int rng p) in
+  let shares = Array.init parties (fun j -> { x = j + 1; y = eval_poly ~p coeffs (j + 1) }) in
+  (shares, coeffs)
+
+let share_secret ~p rng ~threshold ~parties v =
+  fst (share_with_poly ~p rng ~threshold ~parties v)
+
+let lagrange_at_zero ~p xs =
+  let k = Array.length xs in
+  Array.init k (fun i ->
+      let num = ref 1 and den = ref 1 in
+      for j = 0 to k - 1 do
+        if j <> i then begin
+          (* lambda_i = prod_j x_j / (x_j - x_i) evaluated at 0. *)
+          num := Modarith.mul p !num (Modarith.reduce p xs.(j));
+          den := Modarith.mul p !den (Modarith.sub p (Modarith.reduce p xs.(j)) (Modarith.reduce p xs.(i)))
+        end
+      done;
+      Modarith.mul p !num (Modarith.inv p !den))
+
+let reconstruct ~p shares =
+  let xs = Array.of_list (List.map (fun s -> s.x) shares) in
+  let distinct = Array.to_list xs |> List.sort_uniq compare |> List.length in
+  if distinct <> Array.length xs then invalid_arg "Shamir.reconstruct: duplicate share x";
+  let lambdas = lagrange_at_zero ~p xs in
+  List.fold_left
+    (fun acc (i, s) -> Modarith.add p acc (Modarith.mul p lambdas.(i) (Modarith.reduce p s.y)))
+    0
+    (List.mapi (fun i s -> (i, s)) shares)
+
+type rq_share = { idx : int; value : Rq.t }
+
+let share_rq rng ~threshold ~parties v =
+  let basis = Rq.basis_of v in
+  let primes = Rns.primes basis in
+  let n = Rns.degree basis in
+  let rows = Rq.residues v in
+  (* One residue matrix per party, filled coefficient by coefficient. *)
+  let outs = Array.init parties (fun _ -> Array.map (fun _ -> Array.make n 0) primes) in
+  let coeffs = Array.make (threshold + 1) 0 in
+  Array.iteri
+    (fun pi p ->
+      validate ~p ~threshold ~parties;
+      for c = 0 to n - 1 do
+        coeffs.(0) <- rows.(pi).(c);
+        for k = 1 to threshold do
+          coeffs.(k) <- Rng.int rng p
+        done;
+        for j = 0 to parties - 1 do
+          outs.(j).(pi).(c) <- eval_poly ~p coeffs (j + 1)
+        done
+      done)
+    primes;
+  Array.mapi (fun j rows -> { idx = j + 1; value = Rq.of_residues basis rows }) outs
+
+let lambda_rows basis xs =
+  Array.map (fun p -> lagrange_at_zero ~p xs) (Rns.primes basis)
+
+let reconstruct_rq basis shares =
+  let xs = Array.of_list (List.map (fun s -> s.idx) shares) in
+  let lambdas = lambda_rows basis xs in
+  let primes = Rns.primes basis in
+  let n = Rns.degree basis in
+  let acc = Array.map (fun _ -> Array.make n 0) primes in
+  List.iteri
+    (fun i s ->
+      let rows = Rq.residues s.value in
+      Array.iteri
+        (fun pi p ->
+          let l = lambdas.(pi).(i) in
+          for c = 0 to n - 1 do
+            acc.(pi).(c) <- Modarith.add p acc.(pi).(c) (Modarith.mul p l rows.(pi).(c))
+          done)
+        primes)
+    shares;
+  Rq.of_residues basis acc

@@ -1,0 +1,45 @@
+(** Threshold BGV decryption by a user-device committee (§4.2, §5).
+
+    The aggregator hands the committee a relinearized (degree-1)
+    aggregate ciphertext. Each participating member locally computes a
+    partial decryption from its key share — applying its Lagrange
+    coefficient itself and adding t-scaled smudging noise so that
+    nothing beyond the plaintext leaks — and the partials plus c_0
+    simply sum to the noisy plaintext. The Laplace noise for
+    differential privacy is added inside this MPC, before anything is
+    released to the aggregator (implementation change (2) of §5). *)
+
+type key_share = Shamir.rq_share
+
+val share_secret_key :
+  Mycelium_bgv.Bgv.ctx ->
+  Mycelium_util.Rng.t ->
+  threshold:int ->
+  parties:int ->
+  Mycelium_bgv.Bgv.secret_key ->
+  key_share array
+(** Share the BGV key polynomial coefficient-wise. *)
+
+val reconstruct_secret_key :
+  Mycelium_bgv.Bgv.ctx -> key_share list -> Mycelium_bgv.Bgv.secret_key
+(** What [threshold+1] *malicious* members could do (a privacy failure,
+    Fig. 8a); exists for tests and the committee-capture experiment. *)
+
+val partial_decrypt :
+  Mycelium_bgv.Bgv.ctx ->
+  Mycelium_util.Rng.t ->
+  participants:int array ->
+  key_share ->
+  Mycelium_bgv.Bgv.ciphertext ->
+  Mycelium_math.Rq.t
+(** [partial_decrypt ctx rng ~participants share ct] for a degree-1
+    [ct]: lambda_x * (c_1 * s_x) + t * e_smudge. [participants] lists
+    the share indices taking part (must include this share's). *)
+
+val combine :
+  Mycelium_bgv.Bgv.ctx ->
+  Mycelium_bgv.Bgv.ciphertext ->
+  Mycelium_math.Rq.t list ->
+  Mycelium_bgv.Plaintext.t
+(** c_0 + sum of partials, decoded mod t. Correct when the partials
+    come from exactly the announced participant set. *)

@@ -1,0 +1,10 @@
+(** Hexadecimal encoding of byte strings. *)
+
+val encode : bytes -> string
+(** Lowercase hex, two characters per byte. *)
+
+val encode_string : string -> string
+
+val decode : string -> bytes
+(** Inverse of {!encode}; accepts upper- and lowercase. Raises
+    [Invalid_argument] on odd length or non-hex characters. *)

@@ -1,0 +1,125 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: one additive step plus two xor-shift
+   multiplies (variant "mix13"). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_int64
+
+let split t =
+  let seed = next_int64 t in
+  (* Mix once more so that split streams do not share prefixes with the
+     parent stream shifted by one. *)
+  { state = Int64.mul seed 0xDA942042E4DD58B5L }
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top multiple of [n] below 2^62. *)
+  let limit = 0x3FFF_FFFF_FFFF_FFFF / n * n in
+  let rec draw () =
+    let v = bits62 t in
+    if v < limit then v mod n else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float v *. 0x1.0p-53
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t < p
+
+let bytes t n =
+  let b = Bytes.create n in
+  let full = n / 8 in
+  for i = 0 to full - 1 do
+    Bytes.set_int64_le b (i * 8) (next_int64 t)
+  done;
+  let rem = n - (full * 8) in
+  if rem > 0 then begin
+    let v = ref (next_int64 t) in
+    for i = 0 to rem - 1 do
+      Bytes.set_uint8 b ((full * 8) + i) (Int64.to_int (Int64.logand !v 0xFFL));
+      v := Int64.shift_right_logical !v 8
+    done
+  end;
+  b
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k > n || k < 0 then invalid_arg "Rng.sample_without_replacement";
+  if k * 3 >= n then begin
+    (* Dense case: shuffle a full index array and take a prefix. *)
+    let a = Array.init n (fun i -> i) in
+    shuffle t a;
+    Array.sub a 0 k
+  end else begin
+    (* Sparse case: rejection with a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let exponential t lambda =
+  if lambda <= 0. then invalid_arg "Rng.exponential: lambda must be positive";
+  -.log1p (-.float t) /. lambda
+
+let laplace t b =
+  if b <= 0. then invalid_arg "Rng.laplace: scale must be positive";
+  (* Difference of two exponentials avoids the u=0.5 singularity of the
+     inverse-CDF form. *)
+  let e1 = exponential t 1.0 and e2 = exponential t 1.0 in
+  b *. (e1 -. e2)
+
+let gaussian t sigma =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let geometric t p =
+  if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p = 1. then 0
+  else
+    let u = float t in
+    int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))

@@ -1,0 +1,71 @@
+(** Deterministic pseudo-random number generation.
+
+    Every randomized component of the library threads an explicit [Rng.t]
+    so that simulations, tests and benchmarks are reproducible from a
+    seed. The generator is SplitMix64 (Steele et al., OOPSLA'14): tiny
+    state, full 64-bit output, and a cheap [split] that derives
+    independent streams — convenient for giving each simulated device
+    its own generator. Not cryptographically secure; protocol-level
+    randomness in the simulation that must be unpredictable to the
+    simulated adversary is modeled separately. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits62 : t -> int
+(** Uniform non-negative [int] using 62 of the 64 output bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. Uses rejection sampling, so the distribution is exact. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53 bits of precision. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] fresh pseudo-random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct indices from
+    [\[0, n)], in random order. Raises [Invalid_argument] if [k > n]. *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] draws from Exp(lambda) (mean [1/lambda]). *)
+
+val laplace : t -> float -> float
+(** [laplace t b] draws from the Laplace distribution with mean 0 and
+    scale [b]. *)
+
+val gaussian : t -> float -> float
+(** [gaussian t sigma] draws from N(0, sigma^2) via Box–Muller. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] counts Bernoulli(p) failures before the first
+    success; support {0,1,2,...}. *)

@@ -1,0 +1,52 @@
+let sum a = Array.fold_left ( +. ) 0. a
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0. else sum a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let acc = ref 0. in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    !acc /. float_of_int n
+  end
+
+let stddev a = sqrt (variance a)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median a = percentile a 50.
+
+let minimum a = Array.fold_left min a.(0) a
+let maximum a = Array.fold_left max a.(0) a
+
+type running = { mutable n : int; mutable m : float; mutable s : float }
+
+let running_create () = { n = 0; m = 0.; s = 0. }
+
+let running_add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.m in
+  r.m <- r.m +. (delta /. float_of_int r.n);
+  r.s <- r.s +. (delta *. (x -. r.m))
+
+let running_count r = r.n
+let running_mean r = r.m
+
+let running_stddev r =
+  if r.n < 2 then 0. else sqrt (r.s /. float_of_int r.n)

@@ -1,0 +1,30 @@
+(** Small descriptive-statistics helpers used by the simulators and the
+    benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays of fewer than two elements. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+
+val sum : float array -> float
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+type running
+(** Online mean/variance accumulator (Welford). *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_stddev : running -> float

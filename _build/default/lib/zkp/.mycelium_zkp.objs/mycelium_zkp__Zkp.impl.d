@@ -1,0 +1,1 @@
+lib/zkp/zkp.ml: Array Bytes List Mycelium_bgv Mycelium_crypto Mycelium_util

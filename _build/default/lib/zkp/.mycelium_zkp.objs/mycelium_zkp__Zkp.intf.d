@@ -1,0 +1,1 @@
+lib/zkp/zkp.mli: Mycelium_bgv Mycelium_util

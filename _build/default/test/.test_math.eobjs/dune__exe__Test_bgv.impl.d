@@ -1,0 +1,1 @@
+test/test_bgv.ml: Alcotest Array Bytes Hashtbl Int64 Lazy List Mycelium_bgv Mycelium_math Mycelium_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl Int64 Lazy List Mycelium_baseline Mycelium_bgv Mycelium_core Mycelium_graph Mycelium_mixnet Mycelium_query Mycelium_util Mycelium_zkp Printf

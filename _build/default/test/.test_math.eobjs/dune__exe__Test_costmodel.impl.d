@@ -1,0 +1,1 @@
+test/test_costmodel.ml: Alcotest Float List Mycelium_bgv Mycelium_costmodel Mycelium_util Printf String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Int64 Lazy List Mycelium_crypto Mycelium_math Mycelium_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dp_zkp.ml: Alcotest Array Float Lazy List Mycelium_bgv Mycelium_dp Mycelium_util Mycelium_zkp Printf

@@ -1,0 +1,1 @@
+test/test_math.ml: Alcotest Array Bytes Float Int64 Lazy List Mycelium_math Mycelium_util QCheck QCheck_alcotest

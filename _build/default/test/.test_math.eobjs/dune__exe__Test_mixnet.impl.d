@@ -1,0 +1,1 @@
+test/test_mixnet.ml: Alcotest Array Bytes Float Int64 List Mycelium_crypto Mycelium_mixnet Mycelium_util QCheck QCheck_alcotest

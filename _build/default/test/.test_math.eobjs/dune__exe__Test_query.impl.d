@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Lazy List Mycelium_bgv Mycelium_graph Mycelium_query Mycelium_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_secrets.ml: Alcotest Array Bytes Int64 Lazy List Mycelium_bgv Mycelium_math Mycelium_secrets Mycelium_util Printf QCheck QCheck_alcotest

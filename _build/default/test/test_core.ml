@@ -1,0 +1,545 @@
+(* Tests for mycelium_baseline (plaintext engine, Pregel) and
+   mycelium_core (committee lifecycle and the end-to-end encrypted
+   query pipeline, checked bin-for-bin against the plaintext oracle). *)
+
+module Rng = Mycelium_util.Rng
+module Cg = Mycelium_graph.Contact_graph
+module Schema = Mycelium_graph.Schema
+module Epidemic = Mycelium_graph.Epidemic
+module Analysis = Mycelium_query.Analysis
+module Semantics = Mycelium_query.Semantics
+module Corpus = Mycelium_query.Corpus
+module Ast = Mycelium_query.Ast
+module Params = Mycelium_bgv.Params
+module Bgv = Mycelium_bgv.Bgv
+module Pregel = Mycelium_baseline.Pregel
+module Engine = Mycelium_baseline.Engine
+module Committee = Mycelium_core.Committee
+module Runtime = Mycelium_core.Runtime
+module Contribution = Mycelium_core.Contribution
+module Sim = Mycelium_mixnet.Sim
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let small_graph ?(n = 24) ?(d = 4) ?(seed = 4242L) () =
+  let rng = Rng.create seed in
+  let g =
+    Cg.generate
+      { Cg.default_config with Cg.population = n; degree_bound = d; extra_contact_rate = 1.5 }
+      rng
+  in
+  let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
+  g
+
+let err_to_string = function
+  | Runtime.Parse_error m -> "parse: " ^ m
+  | Runtime.Analysis_error m -> "analysis: " ^ m
+  | Runtime.Infeasible m -> "infeasible: " ^ m
+  | Runtime.Budget_exhausted r -> Printf.sprintf "budget exhausted (%.2f left)" r
+  | Runtime.Pipeline_error m -> "pipeline: " ^ m
+
+(* ------------------------------------------------------------------ *)
+(* Pregel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pregel_bfs () =
+  (* Single-source distances as a vertex program. *)
+  let g = small_graph () in
+  let source = 0 in
+  let program (ctx : (int, int) Pregel.vertex_ctx) =
+    let best =
+      List.fold_left (fun acc m -> min acc (m + 1)) ctx.Pregel.state ctx.Pregel.messages
+    in
+    let best = if ctx.Pregel.vertex = source then 0 else best in
+    if best < ctx.Pregel.state || (ctx.Pregel.superstep = 0 && ctx.Pregel.vertex = source) then
+      ctx.Pregel.send_all_neighbors best
+    else ctx.Pregel.vote_halt ();
+    best
+  in
+  let states, _ = Pregel.run g ~init:(fun _ -> max_int - 1) ~program ~max_supersteps:50 in
+  (* Compare with BFS. *)
+  let expected = Hashtbl.create 64 in
+  Hashtbl.replace expected source 0;
+  List.iter (fun (v, dist) -> Hashtbl.replace expected v dist) (Cg.k_hop g source ~k:100);
+  for v = 0 to Cg.population g - 1 do
+    match Hashtbl.find_opt expected v with
+    | Some dist -> checki (Printf.sprintf "vertex %d" v) dist states.(v)
+    | None -> checkb "unreachable stays infinite" true (states.(v) = max_int - 1)
+  done
+
+let test_pregel_halting () =
+  let g = small_graph ~n:10 () in
+  (* Everyone halts immediately: one superstep. *)
+  let program (ctx : (unit, unit) Pregel.vertex_ctx) =
+    ctx.Pregel.vote_halt ();
+    ()
+  in
+  let _, steps = Pregel.run g ~init:(fun _ -> ()) ~program ~max_supersteps:50 in
+  checki "one superstep" 1 steps
+
+let test_pregel_send_checks_neighbors () =
+  let g = small_graph ~n:10 () in
+  let program (ctx : (unit, unit) Pregel.vertex_ctx) =
+    if ctx.Pregel.vertex = 0 && ctx.Pregel.superstep = 0 then begin
+      (* Find a non-neighbor. *)
+      let neigh = List.map fst (Cg.neighbors g 0) in
+      let non_neighbor =
+        let rec go i = if i <> 0 && not (List.mem i neigh) then i else go (i + 1) in
+        go 1
+      in
+      ctx.Pregel.send non_neighbor ()
+    end;
+    ctx.Pregel.vote_halt ();
+    ()
+  in
+  Alcotest.check_raises "non-neighbor send rejected"
+    (Invalid_argument "Pregel: send to non-neighbor") (fun () ->
+      ignore (Pregel.run g ~init:(fun _ -> ()) ~program ~max_supersteps:2))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flooded_matches_direct () =
+  let g = small_graph () in
+  List.iter
+    (fun id ->
+      let info = Analysis.analyze_exn ~degree_bound:4 (Corpus.find id).Corpus.query in
+      let direct = Engine.histogram info g in
+      let flooded, supersteps = Engine.run_flooded info g in
+      checkb (id ^ " flooded = direct") true (direct = flooded);
+      checki (id ^ " 2k supersteps") (2 * info.Analysis.query.Ast.hops) supersteps)
+    [ "Q1"; "Q2"; "Q4"; "Q5"; "Q6"; "Q7"; "Q8"; "Q9"; "Q10" ]
+
+let test_baseline_q1_counts () =
+  (* Sanity: Q1 bins sum to the number of infected origins. *)
+  let g = small_graph () in
+  let info = Analysis.analyze_exn ~degree_bound:4 (Corpus.find "Q1").Corpus.query in
+  let bins = Engine.histogram info g in
+  let infected =
+    Cg.fold_vertices g ~init:0 ~f:(fun acc _ v -> if v.Schema.infected then acc + 1 else acc)
+  in
+  checki "one contribution per infected origin" infected (Array.fold_left ( + ) 0 bins)
+
+let test_baseline_timer () =
+  let g = small_graph () in
+  let info = Analysis.analyze_exn ~degree_bound:4 (Corpus.find "Q5").Corpus.query in
+  checkb "positive time" true (Engine.time_plaintext_query info g >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Committee                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fast_params = Params.test_small
+
+let test_committee_lifecycle () =
+  let ctx = Bgv.make_ctx fast_params in
+  let rng = Rng.create 1L in
+  let genesis, pk, _relin, _srs =
+    Committee.genesis ctx rng ~size:7 ~threshold:3 ~relin_degree:2
+  in
+  checki "genesis generation" 0 (Committee.generation genesis);
+  checkb "genesis members are placeholders" true
+    (Array.for_all (fun m -> m = -1) (Committee.members genesis));
+  let c1 = Committee.rotate genesis rng ~population:100 in
+  checki "generation 1" 1 (Committee.generation c1);
+  checkb "members drawn from population" true
+    (Array.for_all (fun m -> m >= 0 && m < 100) (Committee.members c1));
+  (* The rotated committee can still decrypt. *)
+  let ct = Bgv.encrypt_value ctx rng pk 9 in
+  let info = Analysis.analyze_exn (Corpus.find "Q5").Corpus.query in
+  match Committee.decrypt_and_release c1 rng ctx ~info ~epsilon:Float.infinity ct with
+  | Ok release ->
+    (* x^9 under Q5's layout: bin 9 of the flat space. *)
+    checkb "bin 9 is 1" true (release.Committee.noisy_bins.(9) = 1.)
+  | Error e -> Alcotest.fail e
+
+let test_committee_many_rotations () =
+  let ctx = Bgv.make_ctx fast_params in
+  let rng = Rng.create 2L in
+  let genesis, pk, _, _ = Committee.genesis ctx rng ~size:5 ~threshold:2 ~relin_degree:2 in
+  let c = ref genesis in
+  for _ = 1 to 5 do
+    c := Committee.rotate !c rng ~population:50
+  done;
+  checki "generation 5" 5 (Committee.generation !c);
+  let sk = Committee.reconstruct_for_tests !c ctx in
+  let ct = Bgv.encrypt_value ctx rng pk 3 in
+  checkb "key survives five hand-offs" true
+    (Mycelium_bgv.Plaintext.coeff (Bgv.decrypt ctx sk ct) 3 = 1)
+
+let test_committee_liveness_retry () =
+  let ctx = Bgv.make_ctx fast_params in
+  let rng = Rng.create 4L in
+  let genesis, pk, _, _ = Committee.genesis ctx rng ~size:10 ~threshold:4 ~relin_degree:2 in
+  let c = Committee.rotate genesis rng ~population:100 in
+  let info = Analysis.analyze_exn (Corpus.find "Q5").Corpus.query in
+  let ct = Bgv.encrypt_value ctx rng pk 7 in
+  (* Heavy churn: decryption still succeeds, via retries. *)
+  (match
+     Committee.decrypt_and_release ~churn:0.6 ~max_attempts:200 c rng ctx ~info
+       ~epsilon:Float.infinity ct
+   with
+  | Ok r ->
+    checkb "eventually decrypts" true (r.Committee.noisy_bins.(7) = 1.);
+    checkb "took at least one attempt" true (r.Committee.attempts >= 1)
+  | Error e -> Alcotest.fail e);
+  (* Total churn: liveness failure reported. *)
+  match
+    Committee.decrypt_and_release ~churn:1.0 ~max_attempts:3 c rng ctx ~info ~epsilon:1.0 ct
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dead committee decrypted"
+
+let test_committee_rejects_high_degree () =
+  let ctx = Bgv.make_ctx fast_params in
+  let rng = Rng.create 3L in
+  let genesis, pk, _, _ = Committee.genesis ctx rng ~size:5 ~threshold:2 ~relin_degree:2 in
+  let c = Committee.rotate genesis rng ~population:50 in
+  let prod = Bgv.mul (Bgv.encrypt_value ctx rng pk 1) (Bgv.encrypt_value ctx rng pk 1) in
+  let info = Analysis.analyze_exn (Corpus.find "Q5").Corpus.query in
+  match Committee.decrypt_and_release c rng ctx ~info ~epsilon:1.0 prod with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "degree-2 ciphertext accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Contribution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let contribution_fixture =
+  lazy
+    (let ctx = Bgv.make_ctx fast_params in
+     let rng = Rng.create 10L in
+     let _, pk = Bgv.keygen ctx rng in
+     let srs = Mycelium_zkp.Zkp.setup rng in
+     (ctx, rng, pk, srs))
+
+let test_contribution_sequence_lengths () =
+  let ctx, rng, pk, srs = Lazy.force contribution_fixture in
+  let dest = { Schema.infected = true; t_inf = Some 5; age = 30; household = 1 } in
+  List.iter
+    (fun (id, expected) ->
+      let info = Analysis.analyze_exn ~degree_bound:4 (Corpus.find id).Corpus.query in
+      checki (id ^ " sequence") expected (Contribution.sequence_length info);
+      let c = Contribution.build srs ctx rng pk info ~dest ~edge:None in
+      checki (id ^ " ciphertext count") expected (Array.length c.Contribution.ciphertexts);
+      checkb (id ^ " verifies") true (Contribution.verify srs ctx info c))
+    [ ("Q1", 1); ("Q3", 14); ("Q9", 10) ]
+
+let test_contribution_malicious_rejected () =
+  let ctx, rng, pk, srs = Lazy.force contribution_fixture in
+  let info = Analysis.analyze_exn ~degree_bound:4 (Corpus.find "Q5").Corpus.query in
+  let bad = Contribution.build_malicious ctx rng pk info ~exponent:1 ~coeff:100 in
+  checkb "forged proofs rejected" false (Contribution.verify srs ctx info bad)
+
+let test_contribution_wire_roundtrip () =
+  let ctx, rng, pk, srs = Lazy.force contribution_fixture in
+  let info = Analysis.analyze_exn ~degree_bound:4 (Corpus.find "Q5").Corpus.query in
+  let dest = { Schema.infected = false; t_inf = None; age = 61; household = 2 } in
+  let c = Contribution.build srs ctx rng pk info ~dest ~edge:None in
+  match Contribution.of_bytes ctx (Contribution.to_bytes c) with
+  | Some c' -> checkb "roundtrip verifies" true (Contribution.verify srs ctx info c')
+  | None -> Alcotest.fail "wire roundtrip failed"
+
+(* ------------------------------------------------------------------ *)
+(* Summation tree                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Summation_tree = Mycelium_core.Summation_tree
+
+let summation_fixture n =
+  let ctx = Bgv.make_ctx fast_params in
+  let rng = Rng.create (Int64.of_int (1000 + n)) in
+  let sk, pk = Bgv.keygen ctx rng in
+  let leaves = Array.init n (fun i -> Bgv.encrypt_value ctx rng pk (i mod 7)) in
+  (ctx, sk, leaves)
+
+let test_summation_tree_sums_correctly () =
+  List.iter
+    (fun n ->
+      let ctx, sk, leaves = summation_fixture n in
+      let tree = Summation_tree.build leaves in
+      checki "leaf count" n (Summation_tree.leaf_count tree);
+      let expected =
+        Array.fold_left (fun acc ct -> Bgv.add acc ct) leaves.(0) (Array.sub leaves 1 (n - 1))
+      in
+      checkb "root sum decrypts like the fold" true
+        (Mycelium_bgv.Plaintext.equal
+           (Bgv.decrypt ctx sk (Summation_tree.root_sum tree))
+           (Bgv.decrypt ctx sk expected)))
+    [ 1; 2; 3; 5; 8; 13 ]
+
+let test_summation_tree_audits_pass () =
+  List.iter
+    (fun n ->
+      let _, _, leaves = summation_fixture n in
+      let tree = Summation_tree.build leaves in
+      for i = 0 to n - 1 do
+        checkb
+          (Printf.sprintf "n=%d leaf %d" n i)
+          true
+          (Summation_tree.verify_audit leaves.(i)
+             ~root_hash:(Summation_tree.root_hash tree)
+             ~root_sum:(Summation_tree.root_sum tree)
+             ~leaf_count:n (Summation_tree.audit tree i))
+      done)
+    [ 1; 2; 5; 9 ]
+
+let test_summation_tree_detects_cheating () =
+  let ctx, _, leaves = summation_fixture 6 in
+  let rng = Rng.create 31L in
+  let _, pk = Bgv.keygen ctx rng in
+  (* Dropped contribution: the aggregator built a tree without leaf 3
+     and answers device 3's audit with a path from its own tree. *)
+  let without = Array.append (Array.sub leaves 0 3) (Array.sub leaves 4 2) in
+  let forged = Summation_tree.build without in
+  checkb "dropped contribution detected" false
+    (Summation_tree.verify_audit leaves.(3)
+       ~root_hash:(Summation_tree.root_hash forged)
+       ~root_sum:(Summation_tree.root_sum forged)
+       ~leaf_count:5 (Summation_tree.audit forged 3));
+  (* Substituted contribution at the device's own slot. *)
+  let swapped = Array.copy leaves in
+  swapped.(3) <- Bgv.encrypt_value ctx rng pk 6;
+  let forged2 = Summation_tree.build swapped in
+  checkb "substituted contribution detected" false
+    (Summation_tree.verify_audit leaves.(3)
+       ~root_hash:(Summation_tree.root_hash forged2)
+       ~root_sum:(Summation_tree.root_sum forged2)
+       ~leaf_count:6 (Summation_tree.audit forged2 3));
+  (* Duplicated contribution (included twice): another device's audit
+     against the duplicated tree still verifies, but the device whose
+     slot was stolen detects it. *)
+  let duped = Array.copy leaves in
+  duped.(4) <- leaves.(3);
+  let forged3 = Summation_tree.build duped in
+  checkb "stolen slot detected" false
+    (Summation_tree.verify_audit leaves.(4)
+       ~root_hash:(Summation_tree.root_hash forged3)
+       ~root_sum:(Summation_tree.root_sum forged3)
+       ~leaf_count:6 (Summation_tree.audit forged3 4))
+
+let test_summation_tree_wrong_root_sum () =
+  (* The aggregator cannot announce a different total: the audit binds
+     the running sum to the announced root. *)
+  let ctx, _, leaves = summation_fixture 4 in
+  let rng = Rng.create 33L in
+  let _, pk = Bgv.keygen ctx rng in
+  let tree = Summation_tree.build leaves in
+  checkb "forged total rejected" false
+    (Summation_tree.verify_audit leaves.(0)
+       ~root_hash:(Summation_tree.root_hash tree)
+       ~root_sum:(Bgv.encrypt_value ctx rng pk 0)
+       ~leaf_count:4 (Summation_tree.audit tree 0))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let e2e_config =
+  { Runtime.default_config with Runtime.params = fast_params; degree_bound = 4 }
+
+let e2e_system = lazy (Runtime.init e2e_config (small_graph ()))
+
+let run_exact sys id =
+  match Runtime.run_query ~epsilon:Float.infinity sys (Corpus.find id).Corpus.sql with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s failed: %s" id (err_to_string e)
+
+let check_matches_oracle sys id =
+  let r = run_exact sys id in
+  let exact = Runtime.exact_bins_for_tests sys r.Runtime.info in
+  checkb (id ^ " = plaintext oracle") true
+    (Array.for_all2 (fun a b -> int_of_float a = b) r.Runtime.noisy_bins exact);
+  checki (id ^ " no discards") 0 r.Runtime.discarded_contributions
+
+let test_e2e_simple_queries () =
+  let sys = Lazy.force e2e_system in
+  List.iter (check_matches_oracle sys) [ "Q2"; "Q4"; "Q5" ]
+
+let test_e2e_cross_column_queries () =
+  let sys = Lazy.force e2e_system in
+  List.iter (check_matches_oracle sys) [ "Q3"; "Q9" ]
+
+let test_e2e_grouped_queries () =
+  let sys = Lazy.force e2e_system in
+  List.iter (check_matches_oracle sys) [ "Q6"; "Q7"; "Q8"; "Q10" ]
+
+let test_e2e_two_hop () =
+  (* Q1 on a tiny graph with parameters deep enough for d^2-ish
+     products. *)
+  let g = small_graph ~n:12 ~d:2 ~seed:99L () in
+  let sys =
+    Runtime.init
+      {
+        e2e_config with
+        Runtime.params = Params.test_medium;
+        degree_bound = 2;
+        relin_degree = Some 8;
+      }
+      g
+  in
+  let r = run_exact sys "Q1" in
+  let exact = Runtime.exact_bins_for_tests sys r.Runtime.info in
+  checkb "Q1 = oracle" true
+    (Array.for_all2 (fun a b -> int_of_float a = b) r.Runtime.noisy_bins exact)
+
+let test_e2e_q1_infeasible_at_small_params () =
+  (* §6.2's generality result at this parameter scale: the 2-hop query
+     exceeds the multiplication budget. *)
+  let sys = Lazy.force e2e_system in
+  match Runtime.run_query sys (Corpus.find "Q1").Corpus.sql with
+  | Error (Runtime.Infeasible _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (err_to_string e)
+  | Ok _ -> Alcotest.fail "Q1 should be infeasible at test_small"
+
+let test_e2e_noise_present_at_finite_epsilon () =
+  let sys = Runtime.init e2e_config (small_graph ~seed:5L ()) in
+  match Runtime.run_query ~epsilon:0.5 sys (Corpus.find "Q5").Corpus.sql with
+  | Ok r ->
+    let exact = Array.map float_of_int (Runtime.exact_bins_for_tests sys r.Runtime.info) in
+    checkb "noise applied" true (r.Runtime.noisy_bins <> exact);
+    (* Noise is centered: the total mass should be within a loose bound
+       of the truth. *)
+    let sum a = Array.fold_left ( +. ) 0. a in
+    let sens = r.Runtime.info.Analysis.sensitivity in
+    let bins = float_of_int (Array.length exact) in
+    checkb "mass in statistical range" true
+      (Float.abs (sum r.Runtime.noisy_bins -. sum exact) < 20. *. sens /. 0.5 *. sqrt bins)
+  | Error e -> Alcotest.fail (err_to_string e)
+
+let test_e2e_budget_enforced () =
+  let sys = Runtime.init { e2e_config with Runtime.epsilon_budget = 1.0 } (small_graph ~n:12 ~seed:6L ()) in
+  (match Runtime.run_query ~epsilon:0.7 sys (Corpus.find "Q4").Corpus.sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (err_to_string e));
+  match Runtime.run_query ~epsilon:0.7 sys (Corpus.find "Q4").Corpus.sql with
+  | Error (Runtime.Budget_exhausted remaining) ->
+    checkb "remaining reported" true (Float.abs (remaining -. 0.3) < 1e-9)
+  | Error e -> Alcotest.failf "wrong error: %s" (err_to_string e)
+  | Ok _ -> Alcotest.fail "over-budget query accepted"
+
+let test_e2e_committee_rotates_per_query () =
+  let sys = Runtime.init e2e_config (small_graph ~n:12 ~seed:7L ()) in
+  let g1 = (run_exact sys "Q4").Runtime.committee_generation in
+  let g2 = (run_exact sys "Q4").Runtime.committee_generation in
+  checki "rotated between queries" (g1 + 1) g2
+
+let test_e2e_byzantine_contributions_discarded () =
+  let g = small_graph ~n:20 ~seed:8L () in
+  let sys = Runtime.init { e2e_config with Runtime.byzantine_fraction = 0.2 } g in
+  let r = run_exact sys "Q5" in
+  checkb "some contributions discarded" true (r.Runtime.discarded_contributions > 0);
+  checkb "honest origins still included" true (r.Runtime.origins_included > 0);
+  (* The released histogram never contains the Byzantine coefficient
+     (200 per §4.6 attack attempt): values stay bounded by n. *)
+  Array.iter
+    (fun v -> checkb "no over-weighting" true (v <= float_of_int (Cg.population g)))
+    r.Runtime.noisy_bins
+
+let test_e2e_through_mixnet () =
+  let g = small_graph ~n:16 ~d:4 ~seed:9L () in
+  let mix_cfg =
+    {
+      Sim.default_config with
+      Sim.hops = 2;
+      replicas = 2;
+      fraction = 0.4;
+      fast_setup = true;
+      verify_proofs = false;
+    }
+  in
+  let sys =
+    Runtime.init { e2e_config with Runtime.route_through_mixnet = Some mix_cfg } g
+  in
+  let r = run_exact sys "Q5" in
+  checki "nothing lost without churn" 0 r.Runtime.mixnet_losses;
+  let exact = Runtime.exact_bins_for_tests sys r.Runtime.info in
+  checkb "mixnet-routed result = oracle" true
+    (Array.for_all2 (fun a b -> int_of_float a = b) r.Runtime.noisy_bins exact)
+
+let test_e2e_mixnet_churn_degrades_gracefully () =
+  let g = small_graph ~n:16 ~d:4 ~seed:10L () in
+  let mix_cfg =
+    {
+      Sim.default_config with
+      Sim.hops = 2;
+      replicas = 1;
+      fraction = 0.4;
+      churn = 0.25;
+      fast_setup = true;
+      verify_proofs = false;
+    }
+  in
+  let sys =
+    Runtime.init { e2e_config with Runtime.route_through_mixnet = Some mix_cfg } g
+  in
+  let r = run_exact sys "Q5" in
+  checkb "some rows lost in transit" true (r.Runtime.mixnet_losses > 0);
+  (* Missing inputs default to neutral values (§6.3): the query still
+     completes and bins stay bounded. *)
+  Array.iter
+    (fun v -> checkb "bounded" true (v >= 0. && v <= float_of_int (Cg.population g)))
+    r.Runtime.noisy_bins
+
+let test_e2e_parse_and_analysis_errors () =
+  let sys = Lazy.force e2e_system in
+  (match Runtime.run_query sys "SELECT nonsense" with
+  | Error (Runtime.Parse_error _) -> ()
+  | _ -> Alcotest.fail "parse error expected");
+  match Runtime.run_query sys "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf OR dest.inf" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unplaceable OR should fail"
+
+let () =
+  Alcotest.run "mycelium-core"
+    [
+      ( "pregel",
+        [
+          Alcotest.test_case "BFS vertex program" `Quick test_pregel_bfs;
+          Alcotest.test_case "halting" `Quick test_pregel_halting;
+          Alcotest.test_case "neighbor check" `Quick test_pregel_send_checks_neighbors;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "flooded = direct" `Quick test_flooded_matches_direct;
+          Alcotest.test_case "Q1 mass" `Quick test_baseline_q1_counts;
+          Alcotest.test_case "timer" `Quick test_baseline_timer;
+        ] );
+      ( "committee",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_committee_lifecycle;
+          Alcotest.test_case "many rotations" `Quick test_committee_many_rotations;
+          Alcotest.test_case "liveness retry (§6.5)" `Quick test_committee_liveness_retry;
+          Alcotest.test_case "degree-2 rejected" `Quick test_committee_rejects_high_degree;
+        ] );
+      ( "contribution",
+        [
+          Alcotest.test_case "sequence lengths" `Quick test_contribution_sequence_lengths;
+          Alcotest.test_case "malicious rejected" `Quick test_contribution_malicious_rejected;
+          Alcotest.test_case "wire roundtrip" `Quick test_contribution_wire_roundtrip;
+        ] );
+      ( "summation-tree",
+        [
+          Alcotest.test_case "sums correctly" `Quick test_summation_tree_sums_correctly;
+          Alcotest.test_case "audits pass" `Quick test_summation_tree_audits_pass;
+          Alcotest.test_case "detects cheating" `Quick test_summation_tree_detects_cheating;
+          Alcotest.test_case "forged total rejected" `Quick test_summation_tree_wrong_root_sum;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "simple queries (Q2,Q4,Q5)" `Slow test_e2e_simple_queries;
+          Alcotest.test_case "cross-column (Q3,Q9)" `Slow test_e2e_cross_column_queries;
+          Alcotest.test_case "grouped (Q6,Q7,Q8,Q10)" `Slow test_e2e_grouped_queries;
+          Alcotest.test_case "two-hop Q1" `Slow test_e2e_two_hop;
+          Alcotest.test_case "Q1 infeasible at small params" `Quick test_e2e_q1_infeasible_at_small_params;
+          Alcotest.test_case "noise at finite epsilon" `Slow test_e2e_noise_present_at_finite_epsilon;
+          Alcotest.test_case "budget enforced" `Slow test_e2e_budget_enforced;
+          Alcotest.test_case "committee rotates per query" `Slow test_e2e_committee_rotates_per_query;
+          Alcotest.test_case "byzantine discarded" `Slow test_e2e_byzantine_contributions_discarded;
+          Alcotest.test_case "through the mixnet" `Slow test_e2e_through_mixnet;
+          Alcotest.test_case "mixnet churn degrades gracefully" `Slow test_e2e_mixnet_churn_degrades_gracefully;
+          Alcotest.test_case "error paths" `Quick test_e2e_parse_and_analysis_errors;
+        ] );
+    ]

@@ -1,0 +1,337 @@
+(* Tests for mycelium_crypto: SHA-256/HMAC/HKDF against FIPS/RFC
+   vectors, ChaCha20/Poly1305/AEAD against RFC 8439 vectors, Merkle
+   trees, and the RSA-style PEnc. *)
+
+module Rng = Mycelium_util.Rng
+module Hex = Mycelium_util.Hex
+module Sha256 = Mycelium_crypto.Sha256
+module Chacha20 = Mycelium_crypto.Chacha20
+module Poly1305 = Mycelium_crypto.Poly1305
+module Aead = Mycelium_crypto.Aead
+module Merkle = Mycelium_crypto.Merkle
+module Rsa = Mycelium_crypto.Rsa
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_hex name expected b = Alcotest.(check string) name expected (Hex.encode b)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest_string "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest_string "abc");
+  check_hex "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_string (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  (* Chunked update must agree with one-shot for many split points. *)
+  let data = Bytes.of_string (String.init 1000 (fun i -> Char.chr (i mod 256))) in
+  let oneshot = Sha256.digest data in
+  List.iter
+    (fun split ->
+      let ctx = Sha256.init () in
+      Sha256.update ctx (Bytes.sub data 0 split);
+      Sha256.update ctx (Bytes.sub data split (1000 - split));
+      checkb (Printf.sprintf "split at %d" split) true (Bytes.equal oneshot (Sha256.finalize ctx)))
+    [ 0; 1; 63; 64; 65; 127; 128; 500; 999; 1000 ]
+
+let test_sha256_double_finalize () =
+  let ctx = Sha256.init () in
+  ignore (Sha256.finalize ctx);
+  Alcotest.check_raises "second finalize rejected"
+    (Invalid_argument "Sha256.finalize: context already finalized") (fun () ->
+      ignore (Sha256.finalize ctx))
+
+let test_hmac_rfc4231 () =
+  check_hex "case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.hmac ~key:(Bytes.make 20 '\x0b') (Bytes.of_string "Hi There"));
+  check_hex "case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.hmac ~key:(Bytes.of_string "Jefe") (Bytes.of_string "what do ya want for nothing?"));
+  (* Case 6: key longer than a block gets hashed first. *)
+  check_hex "case 6 (long key)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Sha256.hmac ~key:(Bytes.make 131 '\xaa')
+       (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hkdf_rfc5869 () =
+  let ikm = Bytes.make 22 '\x0b' in
+  let salt = Hex.decode "000102030405060708090a0b0c" in
+  let info = "\xf0\xf1\xf2\xf3\xf4\xf5\xf6\xf7\xf8\xf9" in
+  check_hex "test case 1"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Sha256.hkdf ~salt ~ikm ~info ~length:42 ())
+
+(* ------------------------------------------------------------------ *)
+(* ChaCha20 / Poly1305 / AEAD                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rfc_key = Hex.decode "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+
+let test_chacha20_block_vector () =
+  (* RFC 8439 §2.3.2 *)
+  let nonce = Hex.decode "000000090000004a00000000" in
+  check_hex "keystream block"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (Chacha20.block ~key:rfc_key ~nonce ~counter:1)
+
+let test_chacha20_encrypt_vector () =
+  (* RFC 8439 §2.4.2 *)
+  let nonce = Hex.decode "000000000000004a00000000" in
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+  in
+  check_hex "ciphertext"
+    "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0bf91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d807ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab77937365af90bbf74a35be6b40b8eedf2785e42874d"
+    (Chacha20.encrypt ~key:rfc_key ~nonce ~counter:1 (Bytes.of_string plaintext))
+
+let test_chacha20_roundtrip () =
+  let rng = Rng.create 2L in
+  let key = Rng.bytes rng 32 and nonce = Rng.bytes rng 12 in
+  for _ = 1 to 20 do
+    let msg = Rng.bytes rng (Rng.int rng 500) in
+    let ct = Chacha20.encrypt ~key ~nonce msg in
+    checkb "decrypt inverts" true (Bytes.equal msg (Chacha20.encrypt ~key ~nonce ct))
+  done
+
+let test_poly1305_vector () =
+  (* RFC 8439 §2.5.2 *)
+  let key = Hex.decode "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b" in
+  check_hex "tag" "a8061dc1305136c6c22b8baf0c0127a9"
+    (Poly1305.mac ~key (Bytes.of_string "Cryptographic Forum Research Group"))
+
+let test_poly1305_verify () =
+  let key = Hex.decode "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b" in
+  let msg = Bytes.of_string "Cryptographic Forum Research Group" in
+  let tag = Poly1305.mac ~key msg in
+  checkb "valid tag accepted" true (Poly1305.verify ~key ~tag msg);
+  let bad = Bytes.copy tag in
+  Bytes.set_uint8 bad 0 (Bytes.get_uint8 bad 0 lxor 1);
+  checkb "flipped tag rejected" false (Poly1305.verify ~key ~tag:bad msg);
+  checkb "wrong length rejected" false (Poly1305.verify ~key ~tag:(Bytes.create 8) msg)
+
+let test_aead_rfc8439 () =
+  (* RFC 8439 §2.8.2 *)
+  let key = Hex.decode "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f" in
+  let nonce = Hex.decode "070000004041424344454647" in
+  let aad = Hex.decode "50515253c0c1c2c3c4c5c6c7" in
+  let plaintext =
+    Bytes.of_string
+      "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+  in
+  let sealed = Aead.seal_nonce ~key ~nonce ~aad plaintext in
+  let n = Bytes.length sealed in
+  check_hex "tag" "1ae10b594f09e26a7e902ecbd0600691" (Bytes.sub sealed (n - 16) 16);
+  check_hex "ciphertext prefix" "d31a8d34648e60db7b86afbc53ef7ec2"
+    (Bytes.sub sealed 0 16);
+  match Aead.open_nonce ~key ~nonce ~aad sealed with
+  | Some pt -> checkb "roundtrip" true (Bytes.equal pt plaintext)
+  | None -> Alcotest.fail "AEAD open failed"
+
+let test_aead_tamper_detection () =
+  let rng = Rng.create 3L in
+  let key = Rng.bytes rng 32 in
+  let msg = Bytes.of_string "are you ill?" in
+  let sealed = Aead.seal ~key ~round:7 msg in
+  (match Aead.open_ ~key ~round:7 sealed with
+  | Some pt -> checkb "roundtrip" true (Bytes.equal pt msg)
+  | None -> Alcotest.fail "open failed");
+  (* Any bit flip must be rejected (existential unforgeability in the
+     §3.5 dummy-attack discussion relies on this). *)
+  for i = 0 to Bytes.length sealed - 1 do
+    let bad = Bytes.copy sealed in
+    Bytes.set_uint8 bad i (Bytes.get_uint8 bad i lxor 0x40);
+    checkb "tampered rejected" true (Aead.open_ ~key ~round:7 bad = None)
+  done;
+  (* Wrong round = wrong nonce = rejection. *)
+  checkb "wrong round rejected" true (Aead.open_ ~key ~round:8 sealed = None)
+
+let prop_aead_roundtrip =
+  qtest "aead seal/open roundtrip" QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 300)) small_nat)
+    (fun (msg, round) ->
+      let key = Sha256.digest_string "fixed test key" in
+      let sealed = Aead.seal ~key ~round (Bytes.of_string msg) in
+      match Aead.open_ ~key ~round sealed with
+      | Some pt -> Bytes.to_string pt = msg
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Merkle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let leaves_of_n n = Array.init n (fun i -> Bytes.of_string (Printf.sprintf "leaf-%d" i))
+
+let test_merkle_all_proofs_verify () =
+  List.iter
+    (fun n ->
+      let leaves = leaves_of_n n in
+      let t = Merkle.build leaves in
+      checki "leaf count" n (Merkle.leaf_count t);
+      for i = 0 to n - 1 do
+        let proof = Merkle.prove t i in
+        checkb
+          (Printf.sprintf "n=%d i=%d" n i)
+          true
+          (Merkle.verify ~root:(Merkle.root t) ~leaf:leaves.(i) proof)
+      done)
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 33; 100 ]
+
+let test_merkle_wrong_leaf_rejected () =
+  let leaves = leaves_of_n 10 in
+  let t = Merkle.build leaves in
+  let proof = Merkle.prove t 3 in
+  checkb "wrong leaf" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:(Bytes.of_string "forged") proof);
+  (* A proof for index 3 must not verify for leaf 4's content. *)
+  checkb "leaf/index mismatch" false
+    (Merkle.verify ~root:(Merkle.root t) ~leaf:leaves.(4) proof)
+
+let test_merkle_wrong_index_rejected () =
+  (* The positional check: same sibling hashes, different claimed index.
+     This is what lets devices audit M1 lookups (§3.3). *)
+  let leaves = leaves_of_n 8 in
+  let t = Merkle.build leaves in
+  let proof = Merkle.prove t 3 in
+  let forged = { proof with Merkle.index = 5 } in
+  checkb "index tamper" false (Merkle.verify ~root:(Merkle.root t) ~leaf:leaves.(3) forged)
+
+let test_merkle_tampered_sibling_rejected () =
+  let leaves = leaves_of_n 16 in
+  let t = Merkle.build leaves in
+  let proof = Merkle.prove t 7 in
+  let forged =
+    { proof with Merkle.siblings = List.map (fun _ -> Merkle.empty_hash) proof.Merkle.siblings }
+  in
+  checkb "sibling tamper" false (Merkle.verify ~root:(Merkle.root t) ~leaf:leaves.(7) forged)
+
+let test_merkle_root_depends_on_all_leaves () =
+  let leaves = leaves_of_n 20 in
+  let r1 = Merkle.root (Merkle.build leaves) in
+  leaves.(19) <- Bytes.of_string "changed";
+  let r2 = Merkle.root (Merkle.build leaves) in
+  checkb "root changed" false (Bytes.equal r1 r2)
+
+let test_merkle_depth () =
+  checki "1 leaf" 0 (Merkle.depth (Merkle.build (leaves_of_n 1)));
+  checki "2 leaves" 1 (Merkle.depth (Merkle.build (leaves_of_n 2)));
+  checki "5 leaves" 3 (Merkle.depth (Merkle.build (leaves_of_n 5)));
+  checki "8 leaves" 3 (Merkle.depth (Merkle.build (leaves_of_n 8)))
+
+let prop_merkle_random =
+  qtest "random trees verify" QCheck.(int_range 1 64) (fun n ->
+      let rng = Rng.create (Int64.of_int (n * 7919)) in
+      let leaves = Array.init n (fun _ -> Rng.bytes rng 24) in
+      let t = Merkle.build leaves in
+      let i = Rng.int rng n in
+      Merkle.verify ~root:(Merkle.root t) ~leaf:leaves.(i) (Merkle.prove t i))
+
+(* ------------------------------------------------------------------ *)
+(* RSA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let shared_keypair = lazy (Rsa.generate (Rng.create 1234L) ~bits:512)
+
+let test_rsa_roundtrip () =
+  let pk, sk = Lazy.force shared_keypair in
+  let rng = Rng.create 9L in
+  for _ = 1 to 10 do
+    let msg = Rng.bytes rng (1 + Rng.int rng (Rsa.max_plaintext pk)) in
+    match Rsa.decrypt sk (Rsa.encrypt rng pk msg) with
+    | Some pt -> checkb "roundtrip" true (Bytes.equal pt msg)
+    | None -> Alcotest.fail "decrypt failed"
+  done
+
+let test_rsa_randomized_padding () =
+  let pk, _ = Lazy.force shared_keypair in
+  let rng = Rng.create 10L in
+  let msg = Bytes.of_string "symmetric key material.........." in
+  let c1 = Rsa.encrypt rng pk msg and c2 = Rsa.encrypt rng pk msg in
+  checkb "same message encrypts differently" false (Bytes.equal c1 c2)
+
+let test_rsa_tamper () =
+  let pk, sk = Lazy.force shared_keypair in
+  let rng = Rng.create 11L in
+  let ct = Rsa.encrypt rng pk (Bytes.of_string "hello") in
+  let bad = Bytes.copy ct in
+  Bytes.set_uint8 bad (Bytes.length bad - 1) (Bytes.get_uint8 bad (Bytes.length bad - 1) lxor 1);
+  (* Either padding fails (None) or the plaintext differs. *)
+  (match Rsa.decrypt sk bad with
+  | None -> ()
+  | Some pt -> checkb "tampered differs" false (Bytes.equal pt (Bytes.of_string "hello")));
+  checkb "wrong length rejected" true (Rsa.decrypt sk (Bytes.create 7) = None)
+
+let test_rsa_message_too_long () =
+  let pk, _ = Lazy.force shared_keypair in
+  let rng = Rng.create 12L in
+  Alcotest.check_raises "too long" (Invalid_argument "Rsa.encrypt: message too long") (fun () ->
+      ignore (Rsa.encrypt rng pk (Bytes.create (Rsa.max_plaintext pk + 1))))
+
+let test_rsa_pub_serialization () =
+  let pk, _ = Lazy.force shared_keypair in
+  match Rsa.pub_of_bytes (Rsa.pub_to_bytes pk) with
+  | Some pk' ->
+    checkb "roundtrip" true
+      (Mycelium_math.Bigint.equal pk.Rsa.n pk'.Rsa.n
+      && Mycelium_math.Bigint.equal pk.Rsa.e pk'.Rsa.e);
+    checkb "fingerprint stable" true (Bytes.equal (Rsa.fingerprint pk) (Rsa.fingerprint pk'))
+  | None -> Alcotest.fail "deserialize failed"
+
+let test_rsa_fingerprints_distinct () =
+  let rng = Rng.create 77L in
+  let pk1, _ = Rsa.generate rng ~bits:256 in
+  let pk2, _ = Rsa.generate rng ~bits:256 in
+  checkb "distinct keys distinct pseudonyms" false
+    (Bytes.equal (Rsa.fingerprint pk1) (Rsa.fingerprint pk2))
+
+let () =
+  Alcotest.run "mycelium-crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+          Alcotest.test_case "double finalize" `Quick test_sha256_double_finalize;
+          Alcotest.test_case "HMAC RFC 4231" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "HKDF RFC 5869" `Quick test_hkdf_rfc5869;
+        ] );
+      ( "chacha20-poly1305",
+        [
+          Alcotest.test_case "block vector" `Quick test_chacha20_block_vector;
+          Alcotest.test_case "encrypt vector" `Quick test_chacha20_encrypt_vector;
+          Alcotest.test_case "roundtrip" `Quick test_chacha20_roundtrip;
+          Alcotest.test_case "poly1305 vector" `Quick test_poly1305_vector;
+          Alcotest.test_case "poly1305 verify" `Quick test_poly1305_verify;
+          Alcotest.test_case "AEAD RFC 8439" `Quick test_aead_rfc8439;
+          Alcotest.test_case "AEAD tamper detection" `Quick test_aead_tamper_detection;
+          prop_aead_roundtrip;
+        ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "all proofs verify" `Quick test_merkle_all_proofs_verify;
+          Alcotest.test_case "wrong leaf rejected" `Quick test_merkle_wrong_leaf_rejected;
+          Alcotest.test_case "wrong index rejected" `Quick test_merkle_wrong_index_rejected;
+          Alcotest.test_case "tampered sibling rejected" `Quick test_merkle_tampered_sibling_rejected;
+          Alcotest.test_case "root depends on leaves" `Quick test_merkle_root_depends_on_all_leaves;
+          Alcotest.test_case "depth" `Quick test_merkle_depth;
+          prop_merkle_random;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rsa_roundtrip;
+          Alcotest.test_case "randomized padding" `Quick test_rsa_randomized_padding;
+          Alcotest.test_case "tamper" `Quick test_rsa_tamper;
+          Alcotest.test_case "message too long" `Quick test_rsa_message_too_long;
+          Alcotest.test_case "pubkey serialization" `Quick test_rsa_pub_serialization;
+          Alcotest.test_case "fingerprints distinct" `Quick test_rsa_fingerprints_distinct;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for mycelium_dp (Laplace mechanism, budget) and mycelium_zkp
+   (simulated Groth16 with real constraint checking). *)
+
+module Rng = Mycelium_util.Rng
+module Stats = Mycelium_util.Stats
+module Dp = Mycelium_dp.Dp
+module Zkp = Mycelium_zkp.Zkp
+module Params = Mycelium_bgv.Params
+module Plaintext = Mycelium_bgv.Plaintext
+module Bgv = Mycelium_bgv.Bgv
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf name = Alcotest.(check (float 1e-9)) name
+
+(* ------------------------------------------------------------------ *)
+(* DP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sensitivity_bounds () =
+  checkf "histo 1-hop" 2.0 (Dp.histo_sensitivity ~neighborhood_bound:1);
+  checkf "histo influence 11" 22.0 (Dp.histo_sensitivity ~neighborhood_bound:11);
+  checkf "gsum clip [0,10]" 10.0 (Dp.gsum_sensitivity ~clip_lo:0. ~clip_hi:10. ~neighborhood_bound:1);
+  checkf "gsum with influence" 50.0 (Dp.gsum_sensitivity ~clip_lo:0. ~clip_hi:10. ~neighborhood_bound:5);
+  Alcotest.check_raises "empty clip" (Invalid_argument "Dp.gsum_sensitivity: empty clipping range")
+    (fun () -> ignore (Dp.gsum_sensitivity ~clip_lo:1. ~clip_hi:0. ~neighborhood_bound:1))
+
+let test_laplace_scale () =
+  (* Lap(s/eps) has stddev sqrt(2) * s / eps. *)
+  let rng = Rng.create 1L in
+  let s = 2.0 and eps = 0.5 in
+  let xs = Array.init 200_000 (fun _ -> Dp.laplace_noise rng ~sensitivity:s ~epsilon:eps) in
+  let expected = sqrt 2. *. s /. eps in
+  checkb "stddev matches" true (Float.abs (Stats.stddev xs -. expected) /. expected < 0.03);
+  checkb "mean near zero" true (Float.abs (Stats.mean xs) < 0.05)
+
+let test_epsilon_infinity_exact () =
+  let rng = Rng.create 2L in
+  checkf "no noise" 0. (Dp.laplace_noise rng ~sensitivity:5. ~epsilon:Float.infinity);
+  let released = Dp.release_histogram rng ~sensitivity:2. ~epsilon:Float.infinity [| 3; 1; 4 |] in
+  checkb "exact release" true (released = [| 3.; 1.; 4. |])
+
+let test_release_histogram_noisy () =
+  let rng = Rng.create 3L in
+  let counts = Array.make 50 100 in
+  let released = Dp.release_histogram rng ~sensitivity:2. ~epsilon:1.0 counts in
+  (* Bins perturbed but near the truth. *)
+  checkb "perturbed" true (Array.exists (fun v -> v <> 100.) released);
+  Array.iter (fun v -> checkb "within 12 sigma-ish" true (Float.abs (v -. 100.) < 40.)) released
+
+let test_budget_accounting () =
+  let b = Dp.budget_create ~total:1.0 () in
+  checkf "full" 1.0 (Dp.budget_remaining b);
+  checkb "first query ok" true (Dp.budget_charge b 0.4 = Ok ());
+  checkb "second query ok" true (Dp.budget_charge b 0.4 = Ok ());
+  checkf "remaining" 0.2 (Dp.budget_remaining b);
+  (match Dp.budget_charge b 0.4 with
+  | Error (`Exhausted r) -> checkb "reports remaining" true (Float.abs (r -. 0.2) < 1e-9)
+  | Ok () -> Alcotest.fail "over-budget query accepted");
+  (* Failed charges spend nothing. *)
+  checkf "unchanged after refusal" 0.2 (Dp.budget_remaining b);
+  checki "history has two entries" 2 (List.length (Dp.budget_history b));
+  checkb "exact exhaustion allowed" true (Dp.budget_charge b 0.2 = Ok ())
+
+let test_advanced_composition () =
+  (* Advanced composition stretches the budget (§4.4) once the query
+     count passes ~2 ln(1/delta): many *small* queries compose
+     sublinearly (sqrt(k) instead of k). *)
+  let eps_each = 0.01 in
+  let queries_under accounting =
+    let b = Dp.budget_create ~accounting ~total:1.0 () in
+    let n = ref 0 in
+    while Dp.budget_charge b eps_each = Ok () && !n < 10_000 do
+      incr n
+    done;
+    !n
+  in
+  let basic = queries_under Dp.Basic in
+  let advanced = queries_under (Dp.Advanced { delta = 1e-6 }) in
+  checki "basic fits total/eps queries" 100 basic;
+  checkb (Printf.sprintf "advanced fits more (%d > %d)" advanced basic) true (advanced > basic);
+  (* The composed epsilon formula itself: k identical queries. *)
+  let eps = Dp.composed_epsilon (Dp.Advanced { delta = 1e-6 }) (List.init 50 (fun _ -> 0.1)) in
+  let expected = sqrt (2. *. log 1e6 *. 50. *. 0.01) +. (50. *. 0.1 *. (exp 0.1 -. 1.)) in
+  checkb "matches Dwork-Roth formula" true (Float.abs (eps -. expected) < 1e-9);
+  (* For a single query, advanced is worse (the sqrt term) — the
+     crossover is why the paper's default stays Basic. *)
+  checkb "single query: basic cheaper" true
+    (Dp.composed_epsilon Dp.Basic [ 0.5 ] < Dp.composed_epsilon (Dp.Advanced { delta = 1e-6 }) [ 0.5 ])
+
+let test_above_threshold () =
+  let rng = Rng.create 42L in
+  (* Far-below probes come back negative (statistically). *)
+  let negatives = ref 0 in
+  for _ = 1 to 200 do
+    let t = Dp.above_threshold_create rng ~sensitivity:1. ~epsilon:1.0 ~threshold:100. in
+    match Dp.above_threshold_query t 10. with
+    | Ok false -> incr negatives
+    | Ok true | Error `Exhausted -> ()
+  done;
+  checkb "far-below almost always negative" true (!negatives > 190);
+  (* Far-above probes trip it. *)
+  let positives = ref 0 in
+  for _ = 1 to 200 do
+    let t = Dp.above_threshold_create rng ~sensitivity:1. ~epsilon:1.0 ~threshold:100. in
+    match Dp.above_threshold_query t 200. with
+    | Ok true -> incr positives
+    | Ok false | Error `Exhausted -> ()
+  done;
+  checkb "far-above almost always positive" true (!positives > 190);
+  (* One positive answer, then exhausted; negatives are free. *)
+  let t = Dp.above_threshold_create rng ~sensitivity:1. ~epsilon:1.0 ~threshold:50. in
+  let rec probe_until_positive tries =
+    if tries = 0 then Alcotest.fail "never tripped"
+    else begin
+      match Dp.above_threshold_query t (if tries > 95 then 0. else 500.) with
+      | Ok false -> probe_until_positive (tries - 1)
+      | Ok true -> ()
+      | Error `Exhausted -> Alcotest.fail "exhausted before answering"
+    end
+  in
+  probe_until_positive 100;
+  checkb "exhausted after the positive" true (Dp.above_threshold_exhausted t);
+  checkb "further probes refused" true (Dp.above_threshold_query t 500. = Error `Exhausted)
+
+let test_budget_validation () =
+  Alcotest.check_raises "bad total" (Invalid_argument "Dp.budget_create: total must be positive")
+    (fun () -> ignore (Dp.budget_create ~total:0. ()));
+  let b = Dp.budget_create ~total:1.0 () in
+  Alcotest.check_raises "bad epsilon" (Invalid_argument "Dp.budget_charge: epsilon must be positive")
+    (fun () -> ignore (Dp.budget_charge b (-1.)))
+
+(* ------------------------------------------------------------------ *)
+(* ZKP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ctx = lazy (Bgv.make_ctx Params.test_small)
+let keys = lazy (Bgv.keygen (Lazy.force ctx) (Rng.create 500L))
+let srs = lazy (Zkp.setup (Rng.create 501L))
+
+let mono e =
+  let p = Params.test_small in
+  Plaintext.monomial ~plain_modulus:p.Params.plain_modulus ~degree:p.Params.degree ~exponent:e
+
+let encrypt_seeded seed pt =
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  Bgv.encrypt ctx (Rng.create seed) pk pt
+
+let test_zkp_contribution_roundtrip () =
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs = Lazy.force srs in
+  let pt = mono 1 in
+  let ct = encrypt_seeded 7L pt in
+  match Zkp.prove_contribution srs ctx pk ~plaintext:pt ~seed:7L ct with
+  | Some proof ->
+    checkb "verifies" true (Zkp.verify_contribution srs ctx ct proof);
+    checki "proof reported size" 192 (Zkp.proof_size_bytes proof)
+  | None -> Alcotest.fail "honest prover refused"
+
+let test_zkp_zero_plaintext_admissible () =
+  (* Predicate-false contributions are Enc(0) and must be provable. *)
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs = Lazy.force srs in
+  let pt = Plaintext.zero ~plain_modulus:(Bgv.plain_modulus ctx) ~degree:16 in
+  let ct = encrypt_seeded 8L pt in
+  checkb "provable" true (Zkp.prove_contribution srs ctx pk ~plaintext:pt ~seed:8L ct <> None)
+
+let test_zkp_bad_plaintext_refused () =
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs = Lazy.force srs in
+  (* Coefficient 2: a Byzantine device trying to double-count (§4.6). *)
+  let pt = Plaintext.create ~plain_modulus:(Bgv.plain_modulus ctx) [| 0; 2 |] in
+  let ct = encrypt_seeded 9L pt in
+  checkb "no proof for coefficient > 1" true
+    (Zkp.prove_contribution srs ctx pk ~plaintext:pt ~seed:9L ct = None);
+  (* Two non-zero coefficients. *)
+  let pt2 = Plaintext.create ~plain_modulus:(Bgv.plain_modulus ctx) [| 1; 1 |] in
+  let ct2 = encrypt_seeded 10L pt2 in
+  checkb "no proof for two bins" true
+    (Zkp.prove_contribution srs ctx pk ~plaintext:pt2 ~seed:10L ct2 = None)
+
+let test_zkp_mismatched_witness_refused () =
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs = Lazy.force srs in
+  let pt = mono 1 in
+  let ct = encrypt_seeded 11L pt in
+  (* Claiming a different (admissible) plaintext than what's inside. *)
+  checkb "wrong plaintext refused" true
+    (Zkp.prove_contribution srs ctx pk ~plaintext:(mono 0) ~seed:11L ct = None);
+  (* Right plaintext, wrong randomness. *)
+  checkb "wrong seed refused" true
+    (Zkp.prove_contribution srs ctx pk ~plaintext:pt ~seed:12L ct = None)
+
+let test_zkp_forgery_rejected () =
+  let ctx = Lazy.force ctx in
+  let srs = Lazy.force srs in
+  let ct = encrypt_seeded 13L (mono 2) in
+  let forged = Zkp.forge (Rng.create 502L) in
+  checkb "forged proof rejected" false (Zkp.verify_contribution srs ctx ct forged)
+
+let test_zkp_proof_not_transferable () =
+  (* A proof for ciphertext A must not verify for ciphertext B. *)
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs = Lazy.force srs in
+  let pt = mono 1 in
+  let ct_a = encrypt_seeded 14L pt in
+  let ct_b = encrypt_seeded 15L pt in
+  match Zkp.prove_contribution srs ctx pk ~plaintext:pt ~seed:14L ct_a with
+  | Some proof -> checkb "not transferable" false (Zkp.verify_contribution srs ctx ct_b proof)
+  | None -> Alcotest.fail "honest prover refused"
+
+let test_zkp_product_roundtrip () =
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs = Lazy.force srs in
+  let rng = Rng.create 503L in
+  let inputs = List.map (fun v -> Bgv.encrypt_value ctx rng pk v) [ 1; 0; 1 ] in
+  let output = Bgv.mul_many inputs in
+  (match Zkp.prove_product srs ~inputs ~output with
+  | Some proof -> checkb "verifies" true (Zkp.verify_product srs ~inputs ~output proof)
+  | None -> Alcotest.fail "honest prover refused");
+  (* A wrong product must be unprovable. *)
+  let wrong = Bgv.mul_many (List.tl inputs) in
+  checkb "wrong product refused" true (Zkp.prove_product srs ~inputs ~output:wrong = None)
+
+let test_zkp_product_input_substitution () =
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs = Lazy.force srs in
+  let rng = Rng.create 504L in
+  let inputs = List.map (fun v -> Bgv.encrypt_value ctx rng pk v) [ 1; 1 ] in
+  let output = Bgv.mul_many inputs in
+  match Zkp.prove_product srs ~inputs ~output with
+  | Some proof ->
+    (* Verifying against a different input set fails. *)
+    let other = List.map (fun v -> Bgv.encrypt_value ctx rng pk v) [ 1; 1 ] in
+    checkb "inputs bound" false (Zkp.verify_product srs ~inputs:other ~output proof)
+  | None -> Alcotest.fail "honest prover refused"
+
+let test_zkp_different_srs () =
+  let ctx = Lazy.force ctx in
+  let _, pk = Lazy.force keys in
+  let srs_a = Lazy.force srs in
+  let srs_b = Zkp.setup (Rng.create 505L) in
+  let pt = mono 3 in
+  let ct = encrypt_seeded 16L pt in
+  match Zkp.prove_contribution srs_a ctx pk ~plaintext:pt ~seed:16L ct with
+  | Some proof -> checkb "proof tied to setup" false (Zkp.verify_contribution srs_b ctx ct proof)
+  | None -> Alcotest.fail "honest prover refused"
+
+let test_zkp_cost_model () =
+  (* Anchors from the paper: ~1 min proving, ~10 s verification of a
+     4.3 MB ciphertext, 192-byte proofs. *)
+  let c = Zkp.Cost.contribution_constraints Params.paper in
+  let prove = Zkp.Cost.prove_seconds ~constraints:c in
+  checkb "prove near a minute" true (prove > 30. && prove < 120.);
+  let verify = Zkp.Cost.verify_seconds ~public_io_bytes:(Params.ciphertext_bytes Params.paper ~degree:1) in
+  checkb "verify ~10s" true (verify > 5. && verify < 20.);
+  checki "proof bytes" 192 Zkp.Cost.proof_bytes;
+  (* Verification cost grows with I/O. *)
+  checkb "monotone in IO" true
+    (Zkp.Cost.verify_seconds ~public_io_bytes:2_000_000
+    < Zkp.Cost.verify_seconds ~public_io_bytes:8_000_000)
+
+let () =
+  Alcotest.run "mycelium-dp-zkp"
+    [
+      ( "dp",
+        [
+          Alcotest.test_case "sensitivity bounds" `Quick test_sensitivity_bounds;
+          Alcotest.test_case "laplace scale" `Slow test_laplace_scale;
+          Alcotest.test_case "epsilon infinity exact" `Quick test_epsilon_infinity_exact;
+          Alcotest.test_case "noisy histogram release" `Quick test_release_histogram_noisy;
+          Alcotest.test_case "budget accounting" `Quick test_budget_accounting;
+          Alcotest.test_case "advanced composition" `Quick test_advanced_composition;
+          Alcotest.test_case "sparse vector (above threshold)" `Quick test_above_threshold;
+          Alcotest.test_case "budget validation" `Quick test_budget_validation;
+        ] );
+      ( "zkp",
+        [
+          Alcotest.test_case "contribution roundtrip" `Quick test_zkp_contribution_roundtrip;
+          Alcotest.test_case "zero plaintext admissible" `Quick test_zkp_zero_plaintext_admissible;
+          Alcotest.test_case "bad plaintext refused" `Quick test_zkp_bad_plaintext_refused;
+          Alcotest.test_case "mismatched witness refused" `Quick test_zkp_mismatched_witness_refused;
+          Alcotest.test_case "forgery rejected" `Quick test_zkp_forgery_rejected;
+          Alcotest.test_case "proof not transferable" `Quick test_zkp_proof_not_transferable;
+          Alcotest.test_case "product roundtrip" `Quick test_zkp_product_roundtrip;
+          Alcotest.test_case "product inputs bound" `Quick test_zkp_product_input_substitution;
+          Alcotest.test_case "proof tied to setup" `Quick test_zkp_different_srs;
+          Alcotest.test_case "Groth16 cost anchors" `Quick test_zkp_cost_model;
+        ] );
+    ]

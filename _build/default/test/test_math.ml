@@ -1,0 +1,627 @@
+(* Tests for mycelium_util and mycelium_math: PRNG, modular arithmetic,
+   NTT, bignum, RNS/CRT and the polynomial ring. *)
+
+module Rng = Mycelium_util.Rng
+module Hex = Mycelium_util.Hex
+module Stats = Mycelium_util.Stats
+module Modarith = Mycelium_math.Modarith
+module Ntt = Mycelium_math.Ntt
+module Bigint = Mycelium_math.Bigint
+module Rns = Mycelium_math.Rns
+module Rq = Mycelium_math.Rq
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  checkb "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_uniformity () =
+  let rng = Rng.create 99L in
+  let n = 10 and draws = 100_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let v = Rng.int rng n in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int n in
+  Array.iter
+    (fun c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      checkb "within 5% of uniform" true (dev < 0.05))
+    counts
+
+let test_rng_split_independent () =
+  let parent = Rng.create 3L in
+  let child = Rng.split parent in
+  let a = Array.init 32 (fun _ -> Rng.int64 parent) in
+  let b = Array.init 32 (fun _ -> Rng.int64 child) in
+  checkb "streams differ" true (a <> b)
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 5L in
+  let s = Rng.sample_without_replacement rng 10 100 in
+  checki "ten elements" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.to_list sorted |> List.sort_uniq compare |> List.length in
+  checki "all distinct" 10 distinct;
+  Array.iter (fun v -> checkb "in range" true (v >= 0 && v < 100)) s;
+  (* Dense case takes the shuffle path. *)
+  let all = Rng.sample_without_replacement rng 100 100 in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  checkb "permutation" true (sorted = Array.init 100 (fun i -> i))
+
+let test_rng_laplace_moments () =
+  let rng = Rng.create 11L in
+  let b = 2.5 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.laplace rng b) in
+  let mean = Stats.mean xs in
+  let var = Stats.variance xs in
+  checkb "mean near 0" true (Float.abs mean < 0.05);
+  (* Laplace variance is 2 b^2 = 12.5. *)
+  checkb "variance near 2b^2" true (Float.abs (var -. 12.5) < 0.5)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13L in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng 3.0) in
+  checkb "mean near 0" true (Float.abs (Stats.mean xs) < 0.05);
+  checkb "stddev near 3" true (Float.abs (Stats.stddev xs -. 3.0) < 0.05)
+
+let test_rng_geometric () =
+  let rng = Rng.create 17L in
+  let p = 0.25 in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> float_of_int (Rng.geometric rng p)) in
+  (* Mean of failures-before-success geometric is (1-p)/p = 3. *)
+  checkb "mean near 3" true (Float.abs (Stats.mean xs -. 3.0) < 0.1)
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 23L in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let frac = float_of_int !hits /. 100_000. in
+  checkb "fraction near 0.3" true (Float.abs (frac -. 0.3) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Hex / Stats                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_hex_roundtrip () =
+  let rng = Rng.create 1L in
+  for _ = 1 to 50 do
+    let b = Rng.bytes rng (Rng.int rng 64) in
+    check Alcotest.bytes "roundtrip" b (Hex.decode (Hex.encode b))
+  done
+
+let test_hex_known () =
+  check Alcotest.string "abc" "616263" (Hex.encode_string "abc");
+  check Alcotest.bytes "decode upper" (Bytes.of_string "\xde\xad\xbe\xef") (Hex.decode "DEADBEEF")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length") (fun () ->
+      ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad char" (Invalid_argument "Hex.decode: non-hex character") (fun () ->
+      ignore (Hex.decode "zz"))
+
+let test_stats_basic () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check (Alcotest.float 1e-9) "mean" 3.0 (Stats.mean a);
+  check (Alcotest.float 1e-9) "variance" 2.0 (Stats.variance a);
+  check (Alcotest.float 1e-9) "median" 3.0 (Stats.median a);
+  check (Alcotest.float 1e-9) "p0" 1.0 (Stats.percentile a 0.);
+  check (Alcotest.float 1e-9) "p100" 5.0 (Stats.percentile a 100.);
+  check (Alcotest.float 1e-9) "p25" 2.0 (Stats.percentile a 25.)
+
+let test_stats_running () =
+  let r = Stats.running_create () in
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Array.iter (Stats.running_add r) xs;
+  checki "count" 8 (Stats.running_count r);
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.running_mean r);
+  check (Alcotest.float 1e-9) "stddev" 2.0 (Stats.running_stddev r)
+
+(* ------------------------------------------------------------------ *)
+(* Modarith                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let p31 = 2147483647 (* 2^31 - 1, prime *)
+
+let test_modarith_basic () =
+  checki "add wraps" 0 (Modarith.add p31 (p31 - 1) 1);
+  checki "sub wraps" (p31 - 1) (Modarith.sub p31 0 1);
+  checki "neg zero" 0 (Modarith.neg p31 0);
+  checki "mul" 6 (Modarith.mul p31 2 3);
+  checki "pow" 1024 (Modarith.pow p31 2 10);
+  checki "pow zero exponent" 1 (Modarith.pow p31 12345 0);
+  checki "reduce negative" (p31 - 5) (Modarith.reduce p31 (-5))
+
+let test_modarith_fermat () =
+  (* a^(p-1) = 1 mod p for prime p. *)
+  List.iter
+    (fun a -> checki "fermat" 1 (Modarith.pow p31 a (p31 - 1)))
+    [ 2; 3; 12345; 99999999 ]
+
+let test_modarith_inv () =
+  let rng = Rng.create 31L in
+  for _ = 1 to 200 do
+    let a = 1 + Rng.int rng (p31 - 1) in
+    let i = Modarith.inv p31 a in
+    checki "a * a^-1 = 1" 1 (Modarith.mul p31 a i)
+  done;
+  Alcotest.check_raises "inv 0" (Invalid_argument "Modarith.inv: zero has no inverse")
+    (fun () -> ignore (Modarith.inv p31 0))
+
+let test_modarith_is_prime () =
+  List.iter (fun n -> checkb (string_of_int n) true (Modarith.is_prime n))
+    [ 2; 3; 5; 7; 97; 7681; 12289; 786433; 2147483647 ];
+  List.iter (fun n -> checkb (string_of_int n) false (Modarith.is_prime n))
+    [ 0; 1; 4; 9; 561; 1105; 1729; 2465; 6601; 2147483646 ]
+
+let test_modarith_primitive_root () =
+  List.iter
+    (fun p ->
+      let g = Modarith.primitive_root p in
+      (* Order of g must be exactly p-1: g^((p-1)/q) <> 1 for prime q | p-1. *)
+      checki "g^(p-1)=1" 1 (Modarith.pow p g (p - 1));
+      checkb "g^((p-1)/2) <> 1" true (p = 2 || Modarith.pow p g ((p - 1) / 2) <> 1))
+    [ 3; 5; 7; 12289; 7681; 786433 ]
+
+let test_modarith_root_of_unity () =
+  let p = 12289 in
+  (* 12289 = 3 * 2^12 + 1: supports 2N up to 4096. *)
+  let w = Modarith.nth_root_of_unity p 4096 in
+  checki "w^4096 = 1" 1 (Modarith.pow p w 4096);
+  checkb "w^2048 <> 1" true (Modarith.pow p w 2048 <> 1)
+
+let test_modarith_to_signed () =
+  checki "small stays" 3 (Modarith.to_signed 17 3);
+  checki "large goes negative" (-8) (Modarith.to_signed 17 9);
+  checki "boundary" 8 (Modarith.to_signed 17 8)
+
+(* ------------------------------------------------------------------ *)
+(* NTT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ntt_find_primes () =
+  let ps = Ntt.find_primes ~degree:1024 ~bits:30 ~count:5 in
+  checki "five primes" 5 (List.length ps);
+  List.iter
+    (fun p ->
+      checkb "prime" true (Modarith.is_prime p);
+      checki "p mod 2N = 1" 1 (p mod 2048);
+      checkb "below 2^30" true (p < 1 lsl 30))
+    ps;
+  checki "distinct" 5 (List.sort_uniq compare ps |> List.length)
+
+let test_ntt_roundtrip () =
+  let n = 256 in
+  let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+  let plan = Ntt.make_plan ~p ~degree:n in
+  let rng = Rng.create 101L in
+  for _ = 1 to 20 do
+    let a = Array.init n (fun _ -> Rng.int rng p) in
+    let b = Array.copy a in
+    Ntt.forward plan b;
+    checkb "transform changes data" true (a <> b);
+    Ntt.inverse plan b;
+    checkb "roundtrip" true (a = b)
+  done
+
+let test_ntt_vs_naive () =
+  List.iter
+    (fun n ->
+      let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+      let plan = Ntt.make_plan ~p ~degree:n in
+      let rng = Rng.create (Int64.of_int n) in
+      for _ = 1 to 10 do
+        let a = Array.init n (fun _ -> Rng.int rng p) in
+        let b = Array.init n (fun _ -> Rng.int rng p) in
+        let fast = Ntt.multiply plan a b in
+        let slow = Ntt.multiply_naive ~p a b in
+        checkb "ntt = naive" true (fast = slow)
+      done)
+    [ 8; 64; 256 ]
+
+let test_ntt_negacyclic_wraparound () =
+  (* x^(N-1) * x = x^N = -1. *)
+  let n = 64 in
+  let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+  let plan = Ntt.make_plan ~p ~degree:n in
+  let a = Array.make n 0 and b = Array.make n 0 in
+  a.(n - 1) <- 1;
+  b.(1) <- 1;
+  let c = Ntt.multiply plan a b in
+  checki "constant term is -1" (p - 1) c.(0);
+  for i = 1 to n - 1 do
+    checki "other terms zero" 0 c.(i)
+  done
+
+let test_ntt_monomial_exponent_addition () =
+  (* The Mycelium histogram encoding: x^a * x^b = x^(a+b). *)
+  let n = 128 in
+  let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+  let plan = Ntt.make_plan ~p ~degree:n in
+  let mono e = Array.init n (fun i -> if i = e then 1 else 0) in
+  let c = Ntt.multiply plan (mono 17) (mono 40) in
+  Array.iteri (fun i v -> checki "monomial product" (if i = 57 then 1 else 0) v) c
+
+let test_ntt_linearity () =
+  let n = 128 in
+  let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+  let plan = Ntt.make_plan ~p ~degree:n in
+  let rng = Rng.create 202L in
+  let a = Array.init n (fun _ -> Rng.int rng p) in
+  let b = Array.init n (fun _ -> Rng.int rng p) in
+  let sum = Array.init n (fun i -> Modarith.add p a.(i) b.(i)) in
+  let fa = Array.copy a and fb = Array.copy b and fs = Array.copy sum in
+  Ntt.forward plan fa;
+  Ntt.forward plan fb;
+  Ntt.forward plan fs;
+  Array.iteri (fun i v -> checki "NTT(a+b) = NTT(a)+NTT(b)" v (Modarith.add p fa.(i) fb.(i))) fs
+
+(* ------------------------------------------------------------------ *)
+(* Bigint                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bigint_testable =
+  Alcotest.testable (fun fmt v -> Bigint.pp fmt v) Bigint.equal
+
+let bi = Bigint.of_int
+
+let test_bigint_of_to_int () =
+  List.iter
+    (fun v -> checki "roundtrip" v (Bigint.to_int (bi v)))
+    [ 0; 1; -1; 42; -42; max_int / 2; min_int / 2; 1 lsl 40; -(1 lsl 40) ]
+
+let test_bigint_string_roundtrip () =
+  List.iter
+    (fun s -> check Alcotest.string "decimal roundtrip" s Bigint.(to_string (of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890";
+      "-999999999999999999999999999999999999";
+      "340282366920938463463374607431768211456" (* 2^128 *) ]
+
+let test_bigint_arith_known () =
+  let a = Bigint.of_string "123456789012345678901234567890" in
+  let b = Bigint.of_string "987654321098765432109876543210" in
+  check bigint_testable "add"
+    (Bigint.of_string "1111111110111111111011111111100")
+    (Bigint.add a b);
+  check bigint_testable "sub"
+    (Bigint.of_string "-864197532086419753208641975320")
+    (Bigint.sub a b);
+  check bigint_testable "mul"
+    (Bigint.of_string "121932631137021795226185032733622923332237463801111263526900")
+    (Bigint.mul a b)
+
+let test_bigint_divmod_known () =
+  let a = Bigint.of_string "121932631137021795226185032733622923332237463801111263526900" in
+  let b = Bigint.of_string "987654321098765432109876543210" in
+  let q, r = Bigint.divmod a b in
+  check bigint_testable "exact quotient" (Bigint.of_string "123456789012345678901234567890") q;
+  check bigint_testable "zero remainder" Bigint.zero r
+
+let int_small = QCheck.int_range (-1000000000) 1000000000
+
+let prop_bigint_matches_int =
+  qtest "bigint arith matches int oracle" QCheck.(pair int_small int_small) (fun (a, b) ->
+      let ba = bi a and bb = bi b in
+      Bigint.to_int (Bigint.add ba bb) = a + b
+      && Bigint.to_int (Bigint.sub ba bb) = a - b
+      && Bigint.to_int (Bigint.mul ba bb) = a * b)
+
+let prop_bigint_divmod_int =
+  qtest "bigint divmod matches int oracle"
+    QCheck.(pair int_small (int_small |> map (fun v -> if v = 0 then 1 else v)))
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (bi a) (bi b) in
+      Bigint.to_int q = a / b && Bigint.to_int r = a mod b)
+
+let big_gen =
+  (* Random bigints up to ~300 bits via hex strings. *)
+  QCheck.Gen.(
+    let* len = int_range 1 75 in
+    let* neg = bool in
+    let* digits = string_size ~gen:(oneofl [ '0'; '1'; '2'; '3'; '4'; '5'; '6'; '7'; '8'; '9'; 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ]) (return len) in
+    return (let v = Bigint.of_hex digits in if neg then Bigint.neg v else v))
+
+let arb_big = QCheck.make ~print:Bigint.to_string big_gen
+
+let prop_bigint_divmod_invariant =
+  qtest "divmod invariant: a = q*b + r, |r| < |b|" QCheck.(pair arb_big arb_big)
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let prop_bigint_ring_axioms =
+  qtest "ring axioms" QCheck.(triple arb_big arb_big arb_big) (fun (a, b, c) ->
+      Bigint.equal (Bigint.add a b) (Bigint.add b a)
+      && Bigint.equal (Bigint.mul a b) (Bigint.mul b a)
+      && Bigint.equal (Bigint.mul a (Bigint.add b c)) (Bigint.add (Bigint.mul a b) (Bigint.mul a c))
+      && Bigint.equal (Bigint.mul (Bigint.mul a b) c) (Bigint.mul a (Bigint.mul b c)))
+
+let prop_bigint_shift =
+  qtest "shifts are multiplication/division by powers of two"
+    QCheck.(pair arb_big (int_range 0 100))
+    (fun (a, k) ->
+      Bigint.equal (Bigint.shift_left a k) (Bigint.mul a (Bigint.pow Bigint.two k))
+      && Bigint.equal (Bigint.shift_right (Bigint.abs a) k)
+           (Bigint.div (Bigint.abs a) (Bigint.pow Bigint.two k)))
+
+let prop_bigint_bytes_roundtrip =
+  qtest "bytes_be roundtrip" arb_big (fun a ->
+      let a = Bigint.abs a in
+      Bigint.equal a (Bigint.of_bytes_be (Bigint.to_bytes_be a)))
+
+let prop_bigint_rem_int =
+  qtest "rem_int matches erem" QCheck.(pair arb_big (QCheck.int_range 1 2000000000))
+    (fun (a, p) ->
+      Bigint.rem_int a p = Bigint.to_int (Bigint.erem a (bi p)))
+
+let test_bigint_mod_pow () =
+  (* 2^10 mod 1000 = 24; also a big case checked against repeated squaring. *)
+  checki "small" 24 (Bigint.to_int (Bigint.mod_pow Bigint.two (bi 10) (bi 1000)));
+  let m = Bigint.of_string "1000000007" in
+  let r = Bigint.mod_pow (bi 3) (Bigint.of_string "1000000006") m in
+  (* Fermat: 3^(p-1) = 1 mod p. *)
+  check bigint_testable "fermat big" Bigint.one r
+
+let test_bigint_mod_inv () =
+  let rng = Rng.create 55L in
+  let m = Bigint.of_string "170141183460469231731687303715884105727" (* 2^127-1, prime *) in
+  for _ = 1 to 20 do
+    let a = Bigint.add (Bigint.random rng (Bigint.sub m Bigint.one)) Bigint.one in
+    let i = Bigint.mod_inv a m in
+    check bigint_testable "a * a^-1 = 1 (mod m)" Bigint.one (Bigint.erem (Bigint.mul a i) m)
+  done
+
+let test_bigint_gcd () =
+  check bigint_testable "gcd(12,18)" (bi 6) (Bigint.gcd (bi 12) (bi 18));
+  check bigint_testable "gcd(a,0)" (bi 7) (Bigint.gcd (bi 7) Bigint.zero);
+  check bigint_testable "coprime" Bigint.one (Bigint.gcd (bi 17) (bi 19))
+
+let test_bigint_primality () =
+  let rng = Rng.create 77L in
+  checkb "2^127-1 prime" true
+    (Bigint.is_probable_prime rng (Bigint.of_string "170141183460469231731687303715884105727"));
+  checkb "2^128 composite" false
+    (Bigint.is_probable_prime rng (Bigint.of_string "340282366920938463463374607431768211456"));
+  (* Carmichael number 561 handled by the small-int fast path. *)
+  checkb "561 composite" false (Bigint.is_probable_prime rng (bi 561))
+
+let test_bigint_random_prime () =
+  let rng = Rng.create 88L in
+  let p = Bigint.random_prime rng ~bits:96 in
+  checki "bit length" 96 (Bigint.num_bits p);
+  checkb "probable prime" true (Bigint.is_probable_prime rng p)
+
+let test_bigint_num_bits () =
+  checki "zero" 0 (Bigint.num_bits Bigint.zero);
+  checki "one" 1 (Bigint.num_bits Bigint.one);
+  checki "255" 8 (Bigint.num_bits (bi 255));
+  checki "256" 9 (Bigint.num_bits (bi 256));
+  checki "2^100" 101 (Bigint.num_bits (Bigint.pow Bigint.two 100))
+
+(* ------------------------------------------------------------------ *)
+(* Rns / Rq                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let small_basis = lazy (Rns.standard ~degree:64 ~prime_bits:28 ~levels:4)
+
+let test_rns_modulus () =
+  let b = Lazy.force small_basis in
+  let expected =
+    Array.fold_left (fun acc p -> Bigint.mul acc (bi p)) Bigint.one (Rns.primes b)
+  in
+  check bigint_testable "q = product of primes" expected (Rns.modulus b);
+  checki "levels" 4 (Rns.level_count b)
+
+let test_rns_roundtrip () =
+  let b = Lazy.force small_basis in
+  let rng = Rng.create 123L in
+  for _ = 1 to 100 do
+    let x = Bigint.random rng (Rns.modulus b) in
+    let r = Rns.of_bigint b x in
+    check bigint_testable "CRT roundtrip" x (Rns.to_bigint b r)
+  done
+
+let test_rns_centered () =
+  let b = Lazy.force small_basis in
+  (* -5 should come back as -5 after centering. *)
+  let r = Rns.of_int b (-5) in
+  check bigint_testable "centered small negative" (bi (-5)) (Rns.to_bigint_centered b r)
+
+let test_rns_homomorphic_add () =
+  let b = Lazy.force small_basis in
+  let rng = Rng.create 124L in
+  let primes = Rns.primes b in
+  for _ = 1 to 50 do
+    let x = Bigint.random rng (Rns.modulus b) and y = Bigint.random rng (Rns.modulus b) in
+    let rx = Rns.of_bigint b x and ry = Rns.of_bigint b y in
+    let rsum = Array.mapi (fun i v -> Modarith.add primes.(i) v ry.(i)) rx in
+    check bigint_testable "residue add = bigint add mod q"
+      (Bigint.erem (Bigint.add x y) (Rns.modulus b))
+      (Rns.to_bigint b rsum)
+  done
+
+let test_rns_drop_last () =
+  let b = Lazy.force small_basis in
+  let b' = Rns.drop_last b in
+  checki "one fewer prime" 3 (Rns.level_count b');
+  check bigint_testable "modulus divides"
+    Bigint.zero
+    (Bigint.rem (Rns.modulus b) (Rns.modulus b'))
+
+let test_rq_monomial_mul () =
+  let b = Lazy.force small_basis in
+  (* x^a * x^b = x^(a+b): the core encoding trick of Mycelium (§4.1). *)
+  let xa = Rq.monomial b ~coeff:1 ~exponent:20 in
+  let xb = Rq.monomial b ~coeff:1 ~exponent:30 in
+  let prod = Rq.mul xa xb in
+  checkb "x^20 * x^30 = x^50" true (Rq.equal prod (Rq.monomial b ~coeff:1 ~exponent:50))
+
+let test_rq_bin_aggregation () =
+  let b = Lazy.force small_basis in
+  (* Enc(x^0 + x^1) + Enc(x^0 + x^2) = 2x^0 + x^1 + x^2 as in §4.1. *)
+  let s1 = Rq.add (Rq.monomial b ~coeff:1 ~exponent:0) (Rq.monomial b ~coeff:1 ~exponent:1) in
+  let s2 = Rq.add (Rq.monomial b ~coeff:1 ~exponent:0) (Rq.monomial b ~coeff:1 ~exponent:2) in
+  let sum = Rq.add s1 s2 in
+  let coeffs = Rq.to_bigint_coeffs sum in
+  checki "bin 0 has 2" 2 (Bigint.to_int coeffs.(0));
+  checki "bin 1 has 1" 1 (Bigint.to_int coeffs.(1));
+  checki "bin 2 has 1" 1 (Bigint.to_int coeffs.(2));
+  checki "bin 3 has 0" 0 (Bigint.to_int coeffs.(3))
+
+let test_rq_negacyclic () =
+  let b = Lazy.force small_basis in
+  let n = Rns.degree b in
+  (* Exponent overflow wraps with sign flip: x^(N-1) * x^2 = -x^1. *)
+  let prod = Rq.mul (Rq.monomial b ~coeff:1 ~exponent:(n - 1)) (Rq.monomial b ~coeff:1 ~exponent:2) in
+  checkb "wraps negacyclically" true (Rq.equal prod (Rq.monomial b ~coeff:(-1) ~exponent:1))
+
+let test_rq_ring_ops () =
+  let b = Lazy.force small_basis in
+  let rng = Rng.create 300L in
+  for _ = 1 to 20 do
+    let x = Rq.random_uniform b rng and y = Rq.random_uniform b rng and z = Rq.random_uniform b rng in
+    checkb "add commutative" true (Rq.equal (Rq.add x y) (Rq.add y x));
+    checkb "mul commutative" true (Rq.equal (Rq.mul x y) (Rq.mul y x));
+    checkb "distributive" true
+      (Rq.equal (Rq.mul x (Rq.add y z)) (Rq.add (Rq.mul x y) (Rq.mul x z)));
+    checkb "sub inverse of add" true (Rq.equal x (Rq.sub (Rq.add x y) y));
+    checkb "neg" true (Rq.equal (Rq.zero b) (Rq.add x (Rq.neg x)));
+    checkb "one is identity" true (Rq.equal x (Rq.mul x (Rq.one b)))
+  done
+
+let test_rq_scalar () =
+  let b = Lazy.force small_basis in
+  let x = Rq.monomial b ~coeff:1 ~exponent:5 in
+  let three_x = Rq.mul_scalar x 3 in
+  checkb "scalar mult" true (Rq.equal three_x (Rq.monomial b ~coeff:3 ~exponent:5));
+  let minus_x = Rq.mul_scalar x (-1) in
+  checkb "scalar -1 = neg" true (Rq.equal minus_x (Rq.neg x))
+
+let test_rq_sampling_ranges () =
+  let b = Lazy.force small_basis in
+  let rng = Rng.create 301L in
+  let t = Rq.sample_ternary b rng in
+  Array.iter
+    (fun c ->
+      let v = Bigint.to_int c in
+      checkb "ternary in {-1,0,1}" true (v >= -1 && v <= 1))
+    (Rq.to_bigint_coeffs t);
+  let e = Rq.sample_cbd b ~eta:3 rng in
+  Array.iter
+    (fun c ->
+      let v = Bigint.to_int c in
+      checkb "cbd in [-eta, eta]" true (v >= -3 && v <= 3))
+    (Rq.to_bigint_coeffs e)
+
+let () =
+  Alcotest.run "mycelium-math"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniformity" `Slow test_rng_int_uniformity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "sampling without replacement" `Quick test_rng_sample_without_replacement;
+          Alcotest.test_case "laplace moments" `Slow test_rng_laplace_moments;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "geometric mean" `Slow test_rng_geometric;
+          Alcotest.test_case "bernoulli" `Slow test_rng_bernoulli;
+        ] );
+      ( "hex-stats",
+        [
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "hex known vectors" `Quick test_hex_known;
+          Alcotest.test_case "hex invalid input" `Quick test_hex_invalid;
+          Alcotest.test_case "stats basic" `Quick test_stats_basic;
+          Alcotest.test_case "stats running" `Quick test_stats_running;
+        ] );
+      ( "modarith",
+        [
+          Alcotest.test_case "basic ops" `Quick test_modarith_basic;
+          Alcotest.test_case "fermat little theorem" `Quick test_modarith_fermat;
+          Alcotest.test_case "inverse" `Quick test_modarith_inv;
+          Alcotest.test_case "primality" `Quick test_modarith_is_prime;
+          Alcotest.test_case "primitive roots" `Quick test_modarith_primitive_root;
+          Alcotest.test_case "roots of unity" `Quick test_modarith_root_of_unity;
+          Alcotest.test_case "to_signed" `Quick test_modarith_to_signed;
+        ] );
+      ( "ntt",
+        [
+          Alcotest.test_case "find NTT primes" `Quick test_ntt_find_primes;
+          Alcotest.test_case "roundtrip" `Quick test_ntt_roundtrip;
+          Alcotest.test_case "matches naive convolution" `Quick test_ntt_vs_naive;
+          Alcotest.test_case "negacyclic wraparound" `Quick test_ntt_negacyclic_wraparound;
+          Alcotest.test_case "monomial exponent addition" `Quick test_ntt_monomial_exponent_addition;
+          Alcotest.test_case "linearity" `Quick test_ntt_linearity;
+        ] );
+      ( "bigint",
+        [
+          Alcotest.test_case "of/to int" `Quick test_bigint_of_to_int;
+          Alcotest.test_case "string roundtrip" `Quick test_bigint_string_roundtrip;
+          Alcotest.test_case "arith known values" `Quick test_bigint_arith_known;
+          Alcotest.test_case "divmod known values" `Quick test_bigint_divmod_known;
+          prop_bigint_matches_int;
+          prop_bigint_divmod_int;
+          prop_bigint_divmod_invariant;
+          prop_bigint_ring_axioms;
+          prop_bigint_shift;
+          prop_bigint_bytes_roundtrip;
+          prop_bigint_rem_int;
+          Alcotest.test_case "mod_pow" `Quick test_bigint_mod_pow;
+          Alcotest.test_case "mod_inv" `Quick test_bigint_mod_inv;
+          Alcotest.test_case "gcd" `Quick test_bigint_gcd;
+          Alcotest.test_case "primality" `Quick test_bigint_primality;
+          Alcotest.test_case "random prime" `Slow test_bigint_random_prime;
+          Alcotest.test_case "num_bits" `Quick test_bigint_num_bits;
+        ] );
+      ( "rns-rq",
+        [
+          Alcotest.test_case "modulus product" `Quick test_rns_modulus;
+          Alcotest.test_case "CRT roundtrip" `Quick test_rns_roundtrip;
+          Alcotest.test_case "centered reconstruction" `Quick test_rns_centered;
+          Alcotest.test_case "homomorphic add" `Quick test_rns_homomorphic_add;
+          Alcotest.test_case "drop_last" `Quick test_rns_drop_last;
+          Alcotest.test_case "monomial multiplication" `Quick test_rq_monomial_mul;
+          Alcotest.test_case "bin aggregation (§4.1)" `Quick test_rq_bin_aggregation;
+          Alcotest.test_case "negacyclic exponent wrap" `Quick test_rq_negacyclic;
+          Alcotest.test_case "ring axioms" `Quick test_rq_ring_ops;
+          Alcotest.test_case "scalar multiplication" `Quick test_rq_scalar;
+          Alcotest.test_case "sampler ranges" `Quick test_rq_sampling_ranges;
+        ] );
+    ]

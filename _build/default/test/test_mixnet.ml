@@ -1,0 +1,568 @@
+(* Tests for mycelium_mixnet: bulletin board, verifiable maps + audits,
+   hop selection, onion encoding, the analytic model (§6.3 anchors) and
+   the C-round simulator. *)
+
+module Rng = Mycelium_util.Rng
+module Stats = Mycelium_util.Stats
+module Elgamal = Mycelium_crypto.Elgamal
+module Bulletin = Mycelium_mixnet.Bulletin
+module Vmap = Mycelium_mixnet.Vmap
+module Hopselect = Mycelium_mixnet.Hopselect
+module Onion = Mycelium_mixnet.Onion
+module Model = Mycelium_mixnet.Model
+module Sim = Mycelium_mixnet.Sim
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Bulletin                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bulletin_chain () =
+  let b = Bulletin.create () in
+  let e1 = Bulletin.post b ~author:"aggregator" (Bytes.of_string "roots") in
+  let e2 = Bulletin.post b ~author:"device-3" (Bytes.of_string "complaint") in
+  checki "sequence" 0 e1.Bulletin.seq;
+  checki "sequence" 1 e2.Bulletin.seq;
+  checkb "chained" true (Bytes.equal e2.Bulletin.prev_hash e1.Bulletin.hash);
+  checkb "chain verifies" true (Bulletin.verify_chain b);
+  checkb "head is newest" true (Bytes.equal (Bulletin.head_hash b) e2.Bulletin.hash)
+
+let test_bulletin_queries () =
+  let b = Bulletin.create () in
+  for i = 0 to 9 do
+    ignore (Bulletin.post b ~author:"a" (Bytes.of_string (string_of_int i)))
+  done;
+  checki "length" 10 (Bulletin.length b);
+  checki "entries_since 7" 3 (List.length (Bulletin.entries_since b 7));
+  (match Bulletin.get b 4 with
+  | Some e -> checkb "payload" true (Bytes.to_string e.Bulletin.payload = "4")
+  | None -> Alcotest.fail "entry 4 missing");
+  checkb "find newest matching" true
+    (match Bulletin.find b ~f:(fun e -> e.Bulletin.seq mod 2 = 0) with
+    | Some e -> e.Bulletin.seq = 8
+    | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Vmap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_leaves ?(pseudonyms_per_device = 1) n =
+  let rng = Rng.create 99L in
+  Array.init (n * pseudonyms_per_device) (fun i ->
+      let pk, _ = Elgamal.generate rng in
+      {
+        Vmap.pseudonym = Elgamal.fingerprint pk;
+        pk = Elgamal.pub_to_bytes pk;
+        device = i / pseudonyms_per_device;
+      })
+
+let test_vmap_build_and_lookup () =
+  let leaves = make_leaves 12 in
+  match Vmap.build ~max_pseudonyms_per_device:1 leaves with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    checki "size" 12 (Vmap.size v);
+    checki "devices" 12 (Vmap.device_count v);
+    for i = 0 to 11 do
+      let l = Vmap.lookup v i in
+      checkb "lookup verifies" true (Vmap.verify_lookup ~m1_root:(Vmap.m1_root v) ~index:i l);
+      checkb "device matches" true (l.Vmap.leaf.Vmap.device = i)
+    done
+
+let test_vmap_lookup_wrong_index_rejected () =
+  let leaves = make_leaves 8 in
+  let v = Vmap.build_unchecked ~max_pseudonyms_per_device:1 leaves in
+  let l = Vmap.lookup v 3 in
+  (* An aggregator answering lookup 5 with entry 3 is caught. *)
+  checkb "misdirected lookup rejected" false
+    (Vmap.verify_lookup ~m1_root:(Vmap.m1_root v) ~index:5 l)
+
+let test_vmap_build_rejects_cheating () =
+  let leaves = make_leaves 6 in
+  (* Duplicate pseudonym. *)
+  let dup = Array.copy leaves in
+  dup.(5) <- { dup.(0) with Vmap.device = 5 };
+  (match Vmap.build ~max_pseudonyms_per_device:1 dup with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate pseudonym accepted");
+  (* Pseudonym not H(pk). *)
+  let forged = Array.copy leaves in
+  forged.(2) <- { forged.(2) with Vmap.pseudonym = Bytes.make 32 'x' };
+  (match Vmap.build ~max_pseudonyms_per_device:1 forged with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forged pseudonym accepted");
+  (* Too many pseudonyms for one device. *)
+  let sybil = Array.map (fun l -> { l with Vmap.device = 0 }) leaves in
+  match Vmap.build ~max_pseudonyms_per_device:2 sybil with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pseudonym bound violation accepted"
+
+let test_vmap_audits_pass_honest () =
+  let leaves = make_leaves ~pseudonyms_per_device:3 5 in
+  match Vmap.build ~max_pseudonyms_per_device:3 leaves with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    let rng = Rng.create 7L in
+    checkb "spot check passes" true (Vmap.audit_spot_check v rng ~samples:30);
+    (* Device 2 audits its own three pseudonyms. *)
+    let own =
+      Array.to_list leaves
+      |> List.filter (fun l -> l.Vmap.device = 2)
+      |> List.map (fun l -> l.Vmap.pseudonym)
+    in
+    checki "three pseudonyms" 3 (List.length own);
+    checkb "own audit passes" true (Vmap.audit_own_pseudonyms v ~device:2 ~pseudonyms:own)
+
+let test_vmap_own_audit_detects_omission () =
+  let leaves = make_leaves 6 in
+  let omitted = Array.sub leaves 0 5 in
+  let v = Vmap.build_unchecked ~max_pseudonyms_per_device:1 omitted in
+  (* Device 5's pseudonym was dropped by the aggregator. *)
+  checkb "omission detected" false
+    (Vmap.audit_own_pseudonyms v ~device:5 ~pseudonyms:[ leaves.(5).Vmap.pseudonym ])
+
+let test_vmap_spot_check_detects_mismatch () =
+  let leaves = make_leaves 8 in
+  (* Malicious aggregator maps pseudonym 3 to device 6 (whose M2 leaf
+     does not contain pk 3). *)
+  let bad = Array.copy leaves in
+  bad.(3) <- { bad.(3) with Vmap.device = 6 };
+  let v = Vmap.build_unchecked ~max_pseudonyms_per_device:1 bad in
+  let rng = Rng.create 11L in
+  (* With enough samples the spot check must hit index 3. *)
+  checkb "mismatch detected" false (Vmap.audit_spot_check v rng ~samples:200)
+
+(* ------------------------------------------------------------------ *)
+(* Hopselect                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let beacon = Mycelium_crypto.Sha256.digest_string "test beacon"
+
+let test_hopselect_deterministic () =
+  (* The slice of a pseudonym is a pure function of (x, beacon). *)
+  for x = 0 to 50 do
+    Alcotest.(check (float 0.)) "deterministic" (Hopselect.slice ~beacon x) (Hopselect.slice ~beacon x)
+  done
+
+let test_hopselect_slots_partition () =
+  (* Each index belongs to at most one hop slot, and slot fractions
+     roughly match f. *)
+  let total = 20000 and f = 0.1 and k = 3 in
+  let counts = Array.make (k + 1) 0 in
+  for x = 0 to total - 1 do
+    match Hopselect.slot ~beacon ~fraction:f ~hops:k x with
+    | Some s ->
+      checkb "slot in range" true (s >= 1 && s <= k);
+      counts.(s) <- counts.(s) + 1;
+      checkb "eligible consistent" true (Hopselect.eligible ~beacon ~fraction:f ~hop:s x)
+    | None -> counts.(0) <- counts.(0) + 1
+  done;
+  for s = 1 to k do
+    let frac = float_of_int counts.(s) /. float_of_int total in
+    checkb "slot fraction near f" true (Float.abs (frac -. f) < 0.01)
+  done;
+  let non_forwarders = float_of_int counts.(0) /. float_of_int total in
+  checkb "1 - k*f are not forwarders" true (Float.abs (non_forwarders -. 0.7) < 0.02)
+
+let test_hopselect_draw () =
+  let rng = Rng.create 3L in
+  for hop = 1 to 3 do
+    for _ = 1 to 50 do
+      let x = Hopselect.draw rng ~beacon ~fraction:0.1 ~hop ~total:10000 in
+      checkb "drawn index eligible" true (Hopselect.eligible ~beacon ~fraction:0.1 ~hop x)
+    done
+  done;
+  let path = Hopselect.draw_path rng ~beacon ~fraction:0.1 ~hops:3 ~total:10000 in
+  checki "path length" 3 (Array.length path)
+
+let test_hopselect_beacon_matters () =
+  let other = Mycelium_crypto.Sha256.digest_string "other beacon" in
+  let differs = ref false in
+  for x = 0 to 100 do
+    if Hopselect.slice ~beacon x <> Hopselect.slice ~beacon:other x then differs := true
+  done;
+  checkb "different beacons give different slices" true !differs
+
+(* ------------------------------------------------------------------ *)
+(* Onion                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_onion_wrap_unwrap () =
+  let rng = Rng.create 21L in
+  let keys = List.init 3 (fun _ -> Rng.bytes rng 32) in
+  let dst_key = Rng.bytes rng 32 in
+  let payload = Bytes.of_string "query 7: are you ill?" in
+  let inner = Onion.seal_inner ~key:dst_key ~round:5 payload in
+  let onion = Onion.wrap ~hop_keys:keys ~round:5 inner in
+  (* Peel hop by hop in path order. *)
+  let after = List.fold_left (fun acc key -> Onion.peel_layer ~key ~round:5 acc) onion keys in
+  (match Onion.open_inner ~key:dst_key ~round:5 after with
+  | Some p -> checkb "payload intact" true (Bytes.equal p payload)
+  | None -> Alcotest.fail "inner layer did not open");
+  checkb "unwrap matches manual peeling" true
+    (Bytes.equal after (Onion.unwrap ~hop_keys:keys ~round:5 onion))
+
+let test_onion_length_constant () =
+  let rng = Rng.create 22L in
+  let keys = List.init 4 (fun _ -> Rng.bytes rng 32) in
+  let inner = Onion.seal_inner ~key:(Rng.bytes rng 32) ~round:1 (Bytes.create 100) in
+  let onion = Onion.wrap ~hop_keys:keys ~round:1 inner in
+  checki "wrapping preserves length" (Bytes.length inner) (Bytes.length onion);
+  let peeled = Onion.peel_layer ~key:(List.hd keys) ~round:1 onion in
+  checki "peeling preserves length" (Bytes.length onion) (Bytes.length peeled)
+
+let test_onion_dummy_undetectable_shape () =
+  (* A dummy has the same length as a real layered message, and peeling
+     it yields bytes, not an error — only the destination's AE can tell
+     (the §3.5 design). *)
+  let rng = Rng.create 23L in
+  let key = Rng.bytes rng 32 and dst = Rng.bytes rng 32 in
+  let real =
+    Onion.add_layer ~key ~round:2 (Onion.seal_inner ~key:dst ~round:2 (Bytes.create 40))
+  in
+  let dummy = Onion.dummy rng ~length:(Bytes.length real) in
+  checki "same length" (Bytes.length real) (Bytes.length dummy);
+  let peeled = Onion.peel_layer ~key ~round:2 dummy in
+  checkb "dummy rejected only by the destination AE" true
+    (Onion.open_inner ~key:dst ~round:2 peeled = None)
+
+let test_onion_wrong_round_fails () =
+  let rng = Rng.create 24L in
+  let dst = Rng.bytes rng 32 in
+  let inner = Onion.seal_inner ~key:dst ~round:3 (Bytes.of_string "m") in
+  checkb "wrong round rejected" true (Onion.open_inner ~key:dst ~round:4 inner = None)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let prop_onion_roundtrip =
+  qtest "onion wrap/peel identity for random paths"
+    QCheck.(triple (int_range 1 6) (int_range 0 512) small_nat)
+    (fun (hops, len, round) ->
+      let rng = Rng.create (Int64.of_int ((hops * 1009) + len + round)) in
+      let keys = List.init hops (fun _ -> Rng.bytes rng 32) in
+      let dst = Rng.bytes rng 32 in
+      let payload = Rng.bytes rng len in
+      let onion =
+        Onion.wrap ~hop_keys:keys ~round (Onion.seal_inner ~key:dst ~round payload)
+      in
+      match Onion.open_inner ~key:dst ~round (Onion.unwrap ~hop_keys:keys ~round onion) with
+      | Some p -> Bytes.equal p payload
+      | None -> false)
+
+let prop_onion_partial_peel_garbles =
+  qtest "missing a layer leaves the inner AE closed" QCheck.(int_range 2 5) (fun hops ->
+      let rng = Rng.create (Int64.of_int (hops * 31)) in
+      let keys = List.init hops (fun _ -> Rng.bytes rng 32) in
+      let dst = Rng.bytes rng 32 in
+      let onion =
+        Onion.wrap ~hop_keys:keys ~round:1 (Onion.seal_inner ~key:dst ~round:1 (Bytes.create 32))
+      in
+      (* Peel all but the last layer. *)
+      let almost =
+        List.fold_left
+          (fun acc key -> Onion.peel_layer ~key ~round:1 acc)
+          onion
+          (List.filteri (fun i _ -> i < hops - 1) keys)
+      in
+      Onion.open_inner ~key:dst ~round:1 almost = None)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic model (§6.3 anchors)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_rounds () =
+  (* Figure 5d. *)
+  checki "telescoping k=2" 8 (Model.telescoping_rounds ~hops:2);
+  checki "telescoping k=3" 15 (Model.telescoping_rounds ~hops:3);
+  checki "telescoping k=4" 24 (Model.telescoping_rounds ~hops:4);
+  checki "forwarding k=2" 6 (Model.forwarding_rounds ~hops:2);
+  checki "forwarding k=3" 8 (Model.forwarding_rounds ~hops:3);
+  checki "forwarding k=4" 10 (Model.forwarding_rounds ~hops:4)
+
+let test_model_anonymity_anchor () =
+  (* §6.3: r=2, k=3, f=0.1, mal=0.02 -> anonymity set over 7000. *)
+  let v = Model.anonymity_set ~n:1.1e6 ~hops:3 ~replicas:2 ~fraction:0.1 ~malicious:0.02 in
+  checkb "over 7000" true (v > 7000.);
+  checkb "below (r/f)^k" true (v <= 8000.);
+  (* Larger r gives larger sets (the Fig 5a trend). *)
+  let v3 = Model.anonymity_set ~n:1.1e6 ~hops:3 ~replicas:3 ~fraction:0.1 ~malicious:0.02 in
+  let v1 = Model.anonymity_set ~n:1.1e6 ~hops:3 ~replicas:1 ~fraction:0.1 ~malicious:0.02 in
+  checkb "monotone in r" true (v1 < v && v < v3);
+  (* More hops give larger sets. *)
+  let v4 = Model.anonymity_set ~n:1.1e6 ~hops:4 ~replicas:2 ~fraction:0.1 ~malicious:0.02 in
+  checkb "monotone in k" true (v4 > v)
+
+let test_model_identification_anchor () =
+  (* §6.3: k=3, mal=0.02 -> p ~ 1e-5 per query. *)
+  let p = Model.identification_probability ~hops:3 ~replicas:2 ~malicious:0.02 in
+  checkb "around 1e-5" true (p > 5e-6 && p < 5e-5);
+  (* Monotone in malice, decreasing in hops. *)
+  checkb "worse with more malice" true
+    (Model.identification_probability ~hops:3 ~replicas:2 ~malicious:0.04 > p);
+  checkb "better with more hops" true
+    (Model.identification_probability ~hops:4 ~replicas:2 ~malicious:0.02 < p)
+
+let test_model_goodput_anchor () =
+  (* §6.3: r=2, 4% failure -> about one in 100 messages lost. *)
+  let g = Model.goodput ~hops:3 ~replicas:2 ~failure_rate:0.04 in
+  let loss = 1. -. g in
+  checkb "about 1%" true (loss > 0.005 && loss < 0.02);
+  checkb "r=1 worse" true (Model.goodput ~hops:3 ~replicas:1 ~failure_rate:0.04 < g);
+  checkb "r=3 better" true (Model.goodput ~hops:3 ~replicas:3 ~failure_rate:0.04 > g)
+
+let test_model_batch_size () =
+  Alcotest.(check (float 1e-9)) "r*d/f" 200. (Model.batch_size ~replicas:2 ~degree:10 ~fraction:0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let small_cfg =
+  { Sim.default_config with Sim.n_devices = 60; degree = 3; hops = 2; replicas = 2; seed = 42L }
+
+let test_sim_setup_and_delivery () =
+  let t = Sim.create small_cfg in
+  checkb "audits pass" true (Sim.audit_all t);
+  let s = Sim.setup_paths t in
+  checki "paths requested" (60 * 3 * 2) s.Sim.paths_requested;
+  checkb "most paths established" true (s.Sim.paths_established > s.Sim.paths_requested * 9 / 10);
+  checki "setup rounds k^2+2k" 8 s.Sim.setup_rounds;
+  let r = Sim.run_query_round t ~payload:(Bytes.of_string "ping") in
+  checki "all messages sent" 180 r.Sim.messages_sent;
+  (* No churn: everything established must be delivered. *)
+  checkb "high delivery" true (r.Sim.delivered >= r.Sim.messages_sent * 9 / 10);
+  checki "rounds used 2k+2" 6 r.Sim.rounds_used
+
+let test_sim_payload_integrity () =
+  let t = Sim.create { small_cfg with Sim.malicious_fraction = 0. } in
+  ignore (Sim.setup_paths t);
+  let payload = Bytes.of_string "the vertex program message" in
+  let r = Sim.run_query_round t ~payload in
+  checkb "all delivered" true (r.Sim.lost = 0);
+  List.iter
+    (fun (_, _, body) -> checkb "payload intact" true (Bytes.equal body payload))
+    (Sim.deliveries t);
+  checki "one delivery per message" r.Sim.delivered (List.length (Sim.deliveries t))
+
+let test_sim_self_targets_by_default () =
+  let t = Sim.create { small_cfg with Sim.malicious_fraction = 0. } in
+  ignore (Sim.setup_paths t);
+  ignore (Sim.run_query_round t ~payload:(Bytes.of_string "x"));
+  List.iter
+    (fun (src, dst, _) -> checki "self-loop" src dst)
+    (Sim.deliveries t)
+
+let test_sim_churn_costs_delivery () =
+  let run churn =
+    let t =
+      Sim.create
+        { small_cfg with Sim.churn; malicious_fraction = 0.; fast_setup = true; seed = 77L }
+    in
+    ignore (Sim.setup_paths t);
+    let r = Sim.run_query_round t ~payload:(Bytes.of_string "x") in
+    (r.Sim.delivered, r.Sim.messages_sent, r.Sim.dummies_uploaded)
+  in
+  let d0, m0, _ = run 0.0 in
+  let d3, m3, dummies = run 0.3 in
+  checki "no churn, full delivery" m0 d0;
+  checkb "heavy churn loses messages" true (d3 < m3);
+  checkb "dummies cover gaps" true (dummies > 0)
+
+let test_sim_malicious_forwarders_drop () =
+  (* With most devices malicious, forwarders drop covertly: deliveries
+     fall and dummies appear, but the traffic pattern (uploads) is
+     preserved by construction. *)
+  let t =
+    Sim.create
+      { small_cfg with Sim.malicious_fraction = 0.8; fast_setup = true; seed = 9L }
+  in
+  ignore (Sim.setup_paths t);
+  let r = Sim.run_query_round t ~payload:(Bytes.of_string "x") in
+  checkb "messages lost to malice" true (r.Sim.lost > 0);
+  checkb "dummies mask the drops" true (r.Sim.dummies_uploaded > 0);
+  checkb "some senders identified" true (r.Sim.identified > 0)
+
+let test_sim_anonymity_grows_with_population () =
+  let anon n =
+    let t =
+      Sim.create
+        {
+          small_cfg with
+          Sim.n_devices = n;
+          fast_setup = true;
+          malicious_fraction = 0.05;
+          seed = 13L;
+        }
+    in
+    ignore (Sim.setup_paths t);
+    let r = Sim.run_query_round t ~payload:(Bytes.of_string "x") in
+    Stats.mean (Array.map float_of_int r.Sim.anonymity_sets)
+  in
+  let a60 = anon 60 and a200 = anon 200 in
+  checkb "bigger population, bigger anonymity sets" true (a200 > a60);
+  checkb "set bounded by population" true (a60 <= 60.)
+
+let test_sim_observer_never_breaks_honest_paths () =
+  (* With zero malicious devices the adversary's candidate sets must be
+     large: no delivered message is pinned to one sender. *)
+  let t =
+    Sim.create
+      { small_cfg with Sim.malicious_fraction = 0.; fast_setup = true; seed = 15L }
+  in
+  ignore (Sim.setup_paths t);
+  let r = Sim.run_query_round t ~payload:(Bytes.of_string "x") in
+  checki "nobody identified" 0 r.Sim.identified;
+  Array.iter (fun a -> checkb "anonymity > 1" true (a > 1)) r.Sim.anonymity_sets
+
+let test_sim_bulletin_records_rounds () =
+  let t = Sim.create { small_cfg with Sim.fast_setup = true } in
+  ignore (Sim.setup_paths t);
+  let before = Bulletin.length (Sim.bulletin t) in
+  ignore (Sim.run_query_round t ~payload:(Bytes.of_string "x"));
+  let after = Bulletin.length (Sim.bulletin t) in
+  (* One MHT-root commitment per C-round with traffic. *)
+  checkb "round commitments posted" true (after >= before + 2);
+  checkb "chain verifies" true (Bulletin.verify_chain (Sim.bulletin t))
+
+let test_sim_multi_pseudonym () =
+  (* P = 3 pseudonyms per device (assumption 4, §3.1): the pseudonym
+     space triples, hop slots are drawn from it, devices fetch all
+     their mailboxes, and the M1/M2 audits still pass with the larger
+     bound. Messages target specific pseudonyms of specific devices. *)
+  let n = 40 and p = 3 in
+  let t =
+    Sim.create
+      {
+        small_cfg with
+        Sim.n_devices = n;
+        pseudonyms_per_device = p;
+        degree = 2;
+        malicious_fraction = 0.;
+        seed = 88L;
+      }
+  in
+  checkb "audits pass at P=3" true (Sim.audit_all t);
+  checki "pseudonym space tripled" (n * p) (Vmap.size (Sim.vmap t));
+  (* Device i messages two distinct pseudonyms of device i+1. *)
+  let targets =
+    Array.init n (fun i ->
+        let next = (i + 1) mod n in
+        [| (next * p) + 1; (next * p) + 2 |])
+  in
+  let s = Sim.setup_paths ~targets t in
+  checkb "paths established through pseudonym space" true
+    (s.Sim.paths_established > s.Sim.paths_requested * 9 / 10);
+  let r = Sim.run_query_round t ~payload:(Bytes.of_string "multi") in
+  checkb "delivered" true (r.Sim.delivered >= r.Sim.messages_sent * 9 / 10);
+  List.iter
+    (fun (src, dst_pseudo, _) ->
+      let dst_dev = dst_pseudo / p in
+      checki "ring neighbor" ((src + 1) mod n) dst_dev;
+      checkb "targeted pseudonym slot" true (dst_pseudo mod p = 1 || dst_pseudo mod p = 2))
+    (Sim.deliveries t)
+
+let test_sim_repeated_rounds () =
+  (* Paths persist across vertex-program rounds; every round delivers,
+     and the adversary's anonymity sets do not erode over time — the
+     §4.7 traffic-analysis claim: because every device participates in
+     every stage (dummies included), repeated observation adds no
+     information. *)
+  let t =
+    Sim.create
+      { small_cfg with Sim.malicious_fraction = 0.1; fast_setup = true; seed = 99L }
+  in
+  ignore (Sim.setup_paths t);
+  let means =
+    List.init 3 (fun i ->
+        let r = Sim.run_query_round t ~payload:(Bytes.of_string (string_of_int i)) in
+        checkb "round delivers" true (r.Sim.delivered > r.Sim.messages_sent * 8 / 10);
+        Stats.mean (Array.map float_of_int r.Sim.anonymity_sets))
+  in
+  match means with
+  | [ m1; m2; m3 ] ->
+    checkb "anonymity does not erode" true (m2 >= m1 *. 0.9 && m3 >= m1 *. 0.9)
+  | _ -> Alcotest.fail "expected three rounds"
+
+let test_sim_rounds_advance_clock () =
+  let t = Sim.create { small_cfg with Sim.fast_setup = true } in
+  ignore (Sim.setup_paths t);
+  let before = Sim.current_round t in
+  let r = Sim.run_query_round t ~payload:(Bytes.of_string "x") in
+  checkb "C-round clock advanced" true (Sim.current_round t >= before + r.Sim.rounds_used)
+
+let test_sim_explicit_targets () =
+  let n = 40 in
+  let t =
+    Sim.create
+      { small_cfg with Sim.n_devices = n; degree = 2; malicious_fraction = 0.; seed = 21L }
+  in
+  (* A ring: device i messages i+1 and i+2. *)
+  let targets = Array.init n (fun i -> [| (i + 1) mod n; (i + 2) mod n |]) in
+  ignore (Sim.setup_paths ~targets t);
+  let r = Sim.run_query_round t ~payload:(Bytes.of_string "hi") in
+  checki "all delivered" r.Sim.messages_sent r.Sim.delivered;
+  List.iter
+    (fun (src, dst, _) ->
+      checkb "ring structure" true (dst = (src + 1) mod n || dst = (src + 2) mod n))
+    (Sim.deliveries t)
+
+let () =
+  Alcotest.run "mycelium-mixnet"
+    [
+      ( "bulletin",
+        [
+          Alcotest.test_case "hash chain" `Quick test_bulletin_chain;
+          Alcotest.test_case "queries" `Quick test_bulletin_queries;
+        ] );
+      ( "vmap",
+        [
+          Alcotest.test_case "build and lookup" `Quick test_vmap_build_and_lookup;
+          Alcotest.test_case "wrong index rejected" `Quick test_vmap_lookup_wrong_index_rejected;
+          Alcotest.test_case "build rejects cheating" `Quick test_vmap_build_rejects_cheating;
+          Alcotest.test_case "audits pass honest map" `Quick test_vmap_audits_pass_honest;
+          Alcotest.test_case "own audit detects omission" `Quick test_vmap_own_audit_detects_omission;
+          Alcotest.test_case "spot check detects mismatch" `Quick test_vmap_spot_check_detects_mismatch;
+        ] );
+      ( "hopselect",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hopselect_deterministic;
+          Alcotest.test_case "slots partition f-slices" `Quick test_hopselect_slots_partition;
+          Alcotest.test_case "draw eligibility" `Quick test_hopselect_draw;
+          Alcotest.test_case "beacon matters" `Quick test_hopselect_beacon_matters;
+        ] );
+      ( "onion",
+        [
+          Alcotest.test_case "wrap/unwrap roundtrip" `Quick test_onion_wrap_unwrap;
+          Alcotest.test_case "length constant" `Quick test_onion_length_constant;
+          Alcotest.test_case "dummies look right" `Quick test_onion_dummy_undetectable_shape;
+          Alcotest.test_case "wrong round fails" `Quick test_onion_wrong_round_fails;
+          prop_onion_roundtrip;
+          prop_onion_partial_peel_garbles;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "round counts (Fig 5d)" `Quick test_model_rounds;
+          Alcotest.test_case "anonymity anchor (Fig 5a)" `Quick test_model_anonymity_anchor;
+          Alcotest.test_case "identification anchor (Fig 5b)" `Quick test_model_identification_anchor;
+          Alcotest.test_case "goodput anchor (Fig 5c)" `Quick test_model_goodput_anchor;
+          Alcotest.test_case "batch size" `Quick test_model_batch_size;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "setup and delivery" `Quick test_sim_setup_and_delivery;
+          Alcotest.test_case "payload integrity" `Quick test_sim_payload_integrity;
+          Alcotest.test_case "self targets by default" `Quick test_sim_self_targets_by_default;
+          Alcotest.test_case "churn costs delivery" `Quick test_sim_churn_costs_delivery;
+          Alcotest.test_case "malicious forwarders drop covertly" `Quick test_sim_malicious_forwarders_drop;
+          Alcotest.test_case "anonymity grows with population" `Quick test_sim_anonymity_grows_with_population;
+          Alcotest.test_case "honest paths stay anonymous" `Quick test_sim_observer_never_breaks_honest_paths;
+          Alcotest.test_case "bulletin records rounds" `Quick test_sim_bulletin_records_rounds;
+          Alcotest.test_case "multiple pseudonyms per device" `Quick test_sim_multi_pseudonym;
+          Alcotest.test_case "repeated rounds keep anonymity" `Quick test_sim_repeated_rounds;
+          Alcotest.test_case "rounds advance the clock" `Quick test_sim_rounds_advance_clock;
+          Alcotest.test_case "explicit targets" `Quick test_sim_explicit_targets;
+        ] );
+    ]
