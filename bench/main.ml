@@ -20,6 +20,11 @@ module Elgamal = Mycelium_crypto.Elgamal
 module Merkle = Mycelium_crypto.Merkle
 module Onion = Mycelium_mixnet.Onion
 module Shamir = Mycelium_secrets.Shamir
+module Cg = Mycelium_graph.Contact_graph
+module Epidemic = Mycelium_graph.Epidemic
+module Runtime = Mycelium_core.Runtime
+module Fault_plan = Mycelium_faults.Fault_plan
+module Injector = Mycelium_faults.Injector
 
 let only =
   let rec find = function
@@ -55,6 +60,59 @@ let () =
   end;
   if wants "fig5-mc" then emit (Figures.fig5_monte_carlo ~n:400 ~seed:7L);
   if wants "sec7" then emit (Figures.sec7_baseline ~n:20_000 ~seed:11L)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: end-to-end query cost under the §6.3 fault model             *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the same HISTO query through a fault-free pipeline and through
+   one degrading under a fixed fault plan (10% churn, 10% drops, one
+   crashed committee member, one aggregator restart), and reports the
+   wall-clock cost of graceful degradation plus the deterministic
+   degradation report.  Replay with `--only chaos`. *)
+let run_chaos () =
+  let graph seed =
+    let rng = Rng.create seed in
+    let g =
+      Cg.generate
+        { Cg.default_config with Cg.population = 16; degree_bound = 4; extra_contact_rate = 1.5 }
+        rng
+    in
+    let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
+    g
+  in
+  let config faults =
+    { Runtime.default_config with
+      Runtime.params = Params.test_small;
+      degree_bound = 4;
+      seed = 5L;
+      faults
+    }
+  in
+  let time_query faults =
+    let sys = Runtime.init (config faults) (graph 4242L) in
+    let t0 = Unix.gettimeofday () in
+    match Runtime.run_query sys (Mycelium_query.Corpus.find "Q5").Mycelium_query.Corpus.sql with
+    | Ok r -> (Unix.gettimeofday () -. t0, r)
+    | Error _ -> failwith "bench chaos: query failed"
+  in
+  let plan =
+    Fault_plan.make ~drop_rate:0.1 ~churn_rate:0.1 ~crashed_committee:[ 2 ]
+      ~aggregator_restarts:1 ~seed:2024L ()
+  in
+  let clean_s, clean = time_query None in
+  let faulted_s, faulted = time_query (Some plan) in
+  print_endline "";
+  print_endline "=== Chaos: query under the Section 6.3 fault model ===";
+  Printf.printf "  fault-free run      %8.2f ms  (origins %d)\n" (clean_s *. 1e3)
+    clean.Runtime.origins_included;
+  Printf.printf "  degraded run        %8.2f ms  (origins %d)\n" (faulted_s *. 1e3)
+    faulted.Runtime.origins_included;
+  Printf.printf "  degradation overhead %+7.1f%%\n"
+    ((faulted_s /. clean_s -. 1.0) *. 100.0);
+  Printf.printf "  %s\n" (Injector.report_to_string faulted.Runtime.degradation)
+
+let () = if wants "chaos" then run_chaos ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)

@@ -59,33 +59,34 @@ type release = {
 
 (* Keep sampling reachable members until threshold+1 answer or we give
    up: "we simply have to wait for some amount of time before enough
-   members are back, and retry" (§6.5). *)
-let rec recruit rng ~size ~needed ~churn ~max_attempts ~attempt =
+   members are back, and retry" (§6.5). Crashed members never answer:
+   they are out of the candidate pool before churn is even sampled. *)
+let rec recruit rng ~candidates ~needed ~churn ~max_attempts ~attempt =
   if attempt > max_attempts then None
   else begin
-    let online =
-      List.filter (fun _ -> not (Rng.bernoulli rng churn)) (List.init size Fun.id)
-    in
+    let online = List.filter (fun _ -> not (Rng.bernoulli rng churn)) candidates in
     if List.length online >= needed then begin
       let arr = Array.of_list online in
       Rng.shuffle rng arr;
       Some (Array.sub arr 0 needed, attempt)
     end
-    else recruit rng ~size ~needed ~churn ~max_attempts ~attempt:(attempt + 1)
+    else recruit rng ~candidates ~needed ~churn ~max_attempts ~attempt:(attempt + 1)
   end
 
-let decrypt_and_release ?(churn = 0.) ?(max_attempts = 10) t rng ctx ~info ~epsilon ct =
+let decrypt_and_release ?(churn = 0.) ?(max_attempts = 10) ?(excluded = []) t rng ctx
+    ~info ~epsilon ct =
   if Bgv.degree ct <> 1 then Error "ciphertext must be relinearized to degree 1"
   else begin
-    match recruit rng ~size:t.size ~needed:(t.thresh + 1) ~churn ~max_attempts ~attempt:1 with
+    let candidates =
+      List.filter (fun i -> not (List.mem i excluded)) (List.init t.size Fun.id)
+    in
+    match recruit rng ~candidates ~needed:(t.thresh + 1) ~churn ~max_attempts ~attempt:1 with
     | None -> Error "committee liveness failure: too few members reachable"
     | Some (idx, attempts) ->
-    let participants = Array.map (fun i -> t.shares.(i).Shamir.idx) idx in
-    let partials =
-      Array.to_list idx
-      |> List.map (fun i -> Threshold.partial_decrypt ctx rng ~participants t.shares.(i) ct)
-    in
-    let pt = Threshold.combine ctx ct partials in
+    let live = List.map (fun i -> t.shares.(i)) (Array.to_list idx) in
+    match Threshold.decrypt ctx rng ~threshold:t.thresh ~live ct with
+    | Error e -> Error e
+    | Ok (pt, participants) ->
     let total_bins = info.Analysis.layout.Analysis.total_bins in
     let counts = Array.init total_bins (fun i -> Plaintext.coeff pt i) in
     let sensitivity = info.Analysis.sensitivity in

@@ -46,6 +46,7 @@ type release = {
 val decrypt_and_release :
   ?churn:float ->
   ?max_attempts:int ->
+  ?excluded:int list ->
   t ->
   Mycelium_util.Rng.t ->
   Mycelium_bgv.Bgv.ctx ->
@@ -59,8 +60,10 @@ val decrypt_and_release :
     independently unreachable with probability [churn] (default 0);
     with fewer than threshold+1 present the committee "waits for some
     amount of time... and retries" (§6.5) up to [max_attempts]
-    (default 10). Fails if the ciphertext is not degree 1 or liveness
-    never recovers. *)
+    (default 10). [excluded] members (crashed, per the fault plan)
+    never answer: decryption still succeeds with any threshold+1 of
+    the remaining live shares. Fails if the ciphertext is not degree 1
+    or liveness never recovers. *)
 
 val reconstruct_for_tests : t -> Mycelium_bgv.Bgv.ctx -> Mycelium_bgv.Bgv.secret_key
 (** Rebuild the secret key from shares — the committee-capture failure

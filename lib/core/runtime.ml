@@ -12,6 +12,8 @@ module Parser = Mycelium_query.Parser
 module Ast = Mycelium_query.Ast
 module Sim = Mycelium_mixnet.Sim
 module Bulletin = Mycelium_mixnet.Bulletin
+module Fault_plan = Mycelium_faults.Fault_plan
+module Injector = Mycelium_faults.Injector
 
 type config = {
   params : Params.t;
@@ -26,6 +28,9 @@ type config = {
       (** override the relinearization-key degree bound (multi-hop
           queries grow products to the neighborhood-ball size) *)
   accounting : Dp.accounting;
+  faults : Fault_plan.t option;
+      (** deterministic fault plan injected into every query this
+          runtime executes; [None] disables injection entirely *)
 }
 
 let default_config =
@@ -40,6 +45,7 @@ let default_config =
     route_through_mixnet = None;
     relin_degree = None;
     accounting = Dp.Basic;
+    faults = None;
   }
 
 type t = {
@@ -126,6 +132,7 @@ type query_result = {
   c_rounds : int;
       (* communication cost in C-rounds: 2*hops vertex-program rounds,
          each k_mix+1 C-rounds (§3.5, §6.3) *)
+  degradation : Injector.report;
 }
 
 (* Pad every contribution of a query to one wire size so mixnet
@@ -147,7 +154,7 @@ let unpad b =
 (* Collect, for every origin, the verified neighbor rows — either over
    the abstract channel or through the mixnet. Returns
    (rows per origin, discarded count, transit losses). *)
-let gather_rows t info =
+let gather_rows t inj info =
   let n = Cg.population t.graph in
   let discarded = ref 0 and losses = ref 0 in
   let build_for dest_dev edge =
@@ -171,6 +178,29 @@ let gather_rows t info =
       ignore (Sim.setup_paths ~targets mix);
       t.mixnet_ready <- true
     end;
+    if Injector.active inj then begin
+      (* Injected transit loss rides on the simulator's replica copies
+         (a dropped copy can still be covered by its siblings). *)
+      Sim.set_fault_hook mix
+        (Some
+           (fun ~round ~source ~dest ~copy ->
+             let dropped =
+               Fault_plan.send_dropped (Injector.plan inj) ~round ~source ~dest
+                 ~attempt:copy
+             in
+             if dropped then Injector.note_dropped inj;
+             dropped));
+      (* §6.3 default-value substitution for churned senders, decided
+         up front from the plan so the report does not depend on
+         delivery outcomes. *)
+      for v = 0 to n - 1 do
+        if not (Injector.device_offline inj ~device:v) then
+          List.iter
+            (fun (u, _) ->
+              if Injector.device_offline inj ~device:u then Injector.note_substituted inj)
+            (Cg.neighbors t.graph v)
+      done
+    end;
     let frame = Contribution.wire_size t.ctx info in
     let payload_of ~source ~dest =
       if source = dest then pad_to frame (Bytes.make 1 '\x00') (* self-loop padding *)
@@ -180,6 +210,7 @@ let gather_rows t info =
       end
     in
     let (_ : Sim.round_stats) = Sim.run_query_round_with mix ~payload_of in
+    Sim.set_fault_hook mix None;
     let delivered = Sim.deliveries mix in
     (* Count expected edge messages that did not arrive. *)
     let expected = Cg.edge_count t.graph * 2 in
@@ -187,38 +218,57 @@ let gather_rows t info =
     List.iter
       (fun (src, dst, body) ->
         if src <> dst then begin
-          match Option.bind (unpad body) (Contribution.of_bytes t.ctx) with
-          | Some row ->
-            incr arrived;
-            if Contribution.verify t.srs t.ctx info row then
-              rows.(dst) <- (src, Cg.edge t.graph dst src, row) :: rows.(dst)
-            else incr discarded
-          | None -> incr discarded
+          if Injector.device_offline inj ~device:src then
+            (* Already counted as substituted above; the delivered
+               bytes of an offline device are ignored. *)
+            incr arrived
+          else begin
+            match Option.bind (unpad body) (Contribution.of_bytes t.ctx) with
+            | Some row ->
+              incr arrived;
+              if Contribution.verify t.srs t.ctx info row then
+                rows.(dst) <- (src, Cg.edge t.graph dst src, row) :: rows.(dst)
+              else incr discarded
+            | None -> incr discarded
+          end
         end)
       delivered;
     losses := expected - !arrived
   | Some _ | None ->
     (* Abstract reliable channel: used when the experiment under
-       measurement is the query pipeline, not the mixnet. *)
+       measurement is the query pipeline, not the mixnet. Fault
+       injection makes the channel droppable: each row delivery is
+       retried with exponential backoff up to the plan's budget, and
+       churned contributors' rows get §6.3 default-value
+       substitution (the row is absent from the local aggregate). *)
     for origin = 0 to n - 1 do
-      let members = Cg.k_hop t.graph origin ~k:info.Analysis.query.Ast.hops in
-      let parents = Cg.spanning_parents t.graph origin ~k:info.Analysis.query.Ast.hops in
-      let first_edge m =
-        let rec walk v =
-          match Hashtbl.find_opt parents v with
-          | Some p when p = origin -> Some v
-          | Some p -> walk p
-          | None -> None
+      if not (Injector.device_offline inj ~device:origin) then begin
+        let members = Cg.k_hop t.graph origin ~k:info.Analysis.query.Ast.hops in
+        let parents = Cg.spanning_parents t.graph origin ~k:info.Analysis.query.Ast.hops in
+        let first_edge m =
+          let rec walk v =
+            match Hashtbl.find_opt parents v with
+            | Some p when p = origin -> Some v
+            | Some p -> walk p
+            | None -> None
+          in
+          match walk m with Some hop -> Cg.edge t.graph origin hop | None -> None
         in
-        match walk m with Some hop -> Cg.edge t.graph origin hop | None -> None
-      in
-      List.iter
-        (fun (m, _dist) ->
-          let row = build_for m (first_edge m) in
-          if Contribution.verify t.srs t.ctx info row then
-            rows.(origin) <- (m, first_edge m, row) :: rows.(origin)
-          else incr discarded)
-        members
+        List.iter
+          (fun (m, _dist) ->
+            if Injector.device_offline inj ~device:m then Injector.note_substituted inj
+            else if not (Injector.send inj ~round:0 ~source:m ~dest:origin) then
+              (* Permanently lost after the retry budget: same shape
+                 as a missing row. *)
+              ()
+            else begin
+              let row = build_for m (first_edge m) in
+              if Contribution.verify t.srs t.ctx info row then
+                rows.(origin) <- (m, first_edge m, row) :: rows.(origin)
+              else incr discarded
+            end)
+          members
+      end
     done);
   (rows, !discarded, !losses)
 
@@ -265,7 +315,10 @@ let run_query_ast ?(epsilon = 1.0) t query =
            "multi-hop queries support only ungrouped aggregation without cross-column comparisons")
     else Ok ()
   in
-  let rows, discarded_rows, mixnet_losses = gather_rows t info in
+  (* One injector per query: the plan's decisions are stateless, the
+     injector only accumulates the degradation report. *)
+  let inj = Injector.create (Option.value t.cfg.faults ~default:Fault_plan.none) in
+  let rows, discarded_rows, mixnet_losses = gather_rows t inj info in
   (* Every origin aggregates its neighborhood and submits; Byzantine
      origins submit garbage with forged transcript proofs. *)
   let n = Cg.population t.graph in
@@ -341,7 +394,15 @@ let run_query_ast ?(epsilon = 1.0) t query =
     end
   in
   for origin = 0 to n - 1 do
-    if t.byzantine.(origin) then begin
+    if Injector.device_offline inj ~device:origin then begin
+      (* Offline origin: the aggregator substitutes the §6.3 default
+         value — an encryption of zero — so the leaf count (and every
+         honest device's audit position) is unchanged. *)
+      Injector.note_substituted inj;
+      origin_cts := Bgv.encrypt_zero_polynomial t.ctx t.rng t.pk :: !origin_cts
+    end
+    else if t.byzantine.(origin) || Injector.contribution_forged inj ~device:origin
+    then begin
       let bad = Contribution.build_malicious t.ctx t.rng t.pk info ~exponent:2 ~coeff:999 in
       let forged = Zkp.forge t.rng in
       (* The aggregator checks the transcript proof and discards. *)
@@ -351,7 +412,10 @@ let run_query_ast ?(epsilon = 1.0) t query =
           ~inputs:[ bad.Contribution.ciphertexts.(0) ]
           ~output:bad.Contribution.ciphertexts.(0) forged
       then origin_cts := bad.Contribution.ciphertexts.(0) :: !origin_cts
-      else incr discarded
+      else begin
+        incr discarded;
+        if not t.byzantine.(origin) then Injector.note_forged_rejected inj
+      end
     end
     else if info.Analysis.query.Ast.hops > 1 then begin
       match tree_aggregate origin with
@@ -391,16 +455,45 @@ let run_query_ast ?(epsilon = 1.0) t query =
            ~leaf_count:(Summation_tree.leaf_count tree)
            (Summation_tree.audit tree probe))
     then failwith "Runtime: summation-tree audit failed (aggregator bug)";
+    (* Aggregator-restart drill: each injected crash rebuilds the tree
+       from the durable leaves; the recovered tree must commit to the
+       identical root or the aggregator would fail its own audits. *)
+    let tree =
+      match t.cfg.faults with
+      | Some plan when plan.Fault_plan.aggregator_restarts > 0 ->
+        let recovered = ref tree in
+        for _ = 1 to plan.Fault_plan.aggregator_restarts do
+          Injector.note_aggregator_restart inj;
+          recovered := Summation_tree.rebuild !recovered
+        done;
+        if
+          not
+            (Bytes.equal
+               (Summation_tree.root_hash !recovered)
+               (Summation_tree.root_hash tree))
+        then failwith "Runtime: restarted aggregator diverged from its committed root";
+        !recovered
+      | _ -> tree
+    in
     let sum = Summation_tree.root_sum tree in
     (* Deferred relinearization at the aggregator (§5). *)
     let linear =
       if Bgv.degree sum <= 1 then sum else Bgv.relinearize t.ctx t.relin sum
     in
+    (* Crashed committee members never answer; decryption still
+       succeeds with any threshold+1 of the remaining live shares. *)
+    let excluded =
+      Fault_plan.crashed_members (Injector.plan inj)
+        ~size:(Committee.committee_size t.comm)
+    in
+    if Injector.active inj then Injector.note_excluded_committee inj (List.length excluded);
     (match
-       Committee.decrypt_and_release t.comm t.rng t.ctx ~info ~epsilon linear
+       Committee.decrypt_and_release ~excluded t.comm t.rng t.ctx ~info ~epsilon linear
      with
     | Error e -> Error (Pipeline_error e)
     | Ok release ->
+      if Injector.active inj then
+        Injector.note_decryption_attempts inj release.Committee.attempts;
       (* Rotate the committee for the next query (§4.2). *)
       t.comm <- Committee.rotate t.comm t.rng ~population:n;
       let mix_hops =
@@ -416,6 +509,7 @@ let run_query_ast ?(epsilon = 1.0) t query =
           committee_generation = Committee.generation t.comm - 1;
           mixnet_losses;
           c_rounds = 2 * query.Ast.hops * (mix_hops + 1);
+          degradation = Injector.report inj;
         })
 
 let run_query ?epsilon t src =

@@ -32,11 +32,24 @@ type config = {
       (** budget accountant: Basic sequential composition (the paper's
           conservative default) or Advanced composition (§4.4's
           suggested refinement) *)
+  faults : Mycelium_faults.Fault_plan.t option;
+      (** deterministic fault plan injected into every query this
+          runtime executes (chaos testing); [None] — the default —
+          disables every injection point. Under a plan the pipeline
+          degrades per §6.3: churned devices' contributions are
+          substituted with default values (rows go missing, offline
+          origins submit an encryption of zero so the summation-tree
+          shape is stable), droppable channel sends retry with
+          exponential backoff, crashed committee members are excluded
+          and threshold decryption proceeds with any threshold+1 live
+          shares, and aggregator restarts rebuild the summation tree
+          from its durable leaves. What actually fired is returned in
+          [query_result.degradation]. *)
 }
 
 val default_config : config
 (** test_medium BGV parameters, committee of 10 with threshold 4,
-    budget 10, d=6, honest devices, abstract channel. *)
+    budget 10, d=6, honest devices, abstract channel, no faults. *)
 
 type t
 
@@ -66,6 +79,11 @@ type query_result = {
       (** C-rounds the query's communication occupies: 2*hops
           vertex-program rounds of k_mix+1 C-rounds each (§3.5); with
           hour-long rounds, the wall-clock the paper quotes in §6.3 *)
+  degradation : Mycelium_faults.Injector.report;
+      (** what the fault plan actually injected and how the pipeline
+          degraded; {!Mycelium_faults.Injector.empty_report} when
+          [config.faults] is [None]. Deterministic: the same config,
+          graph and query reproduce this report exactly. *)
 }
 
 val run_query : ?epsilon:float -> t -> string -> (query_result, query_error) result

@@ -59,6 +59,14 @@ let root_sum t = (root t).sum
 let root_hash t = (root t).hash
 let leaf_count t = t.n_leaves
 
+let leaves t = Array.map (fun n -> n.sum) t.levels.(0)
+
+(* Restart recovery: the leaves are the aggregator's durable state
+   (each is a received, verified contribution); everything above them
+   is recomputed. build is deterministic, so the rebuilt root must
+   commit to exactly the same tree. *)
+let rebuild t = build (leaves t)
+
 type audit_path = { index : int; steps : (Bgv.ciphertext * bytes) option list }
 
 let audit t index =

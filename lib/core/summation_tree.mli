@@ -25,6 +25,18 @@ val root_hash : t -> bytes
 
 val leaf_count : t -> int
 
+val leaves : t -> Mycelium_bgv.Bgv.ciphertext array
+(** The leaf ciphertexts in insertion order — the aggregator's durable
+    state across a crash (each leaf is a received, verified
+    contribution spooled before tree construction). *)
+
+val rebuild : t -> t
+(** Crash recovery: reconstruct the whole tree from {!leaves} alone.
+    [build] is deterministic, so
+    [root_hash (rebuild t) = root_hash t] and the recovered aggregator
+    answers audits identically — the invariant the aggregator-restart
+    fault class checks. *)
+
 type audit_path = {
   index : int;
   steps : (Mycelium_bgv.Bgv.ciphertext * bytes) option list;

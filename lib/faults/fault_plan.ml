@@ -1,0 +1,116 @@
+module Rng = Mycelium_util.Rng
+
+type t = {
+  seed : int64;
+  drop_rate : float;
+  max_send_attempts : int;
+  delay_rate : float;
+  max_delay_rounds : int;
+  churn_rate : float;
+  crashed_committee : int list;
+  forge_rate : float;
+  aggregator_restarts : int;
+}
+
+let none =
+  {
+    seed = 0L;
+    drop_rate = 0.;
+    max_send_attempts = 4;
+    delay_rate = 0.;
+    max_delay_rounds = 3;
+    churn_rate = 0.;
+    crashed_committee = [];
+    forge_rate = 0.;
+    aggregator_restarts = 0;
+  }
+
+let check_rate name r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg (Printf.sprintf "Fault_plan.make: %s must be in [0, 1]" name)
+
+let make ?(drop_rate = 0.) ?(max_send_attempts = 4) ?(delay_rate = 0.)
+    ?(max_delay_rounds = 3) ?(churn_rate = 0.) ?(crashed_committee = [])
+    ?(forge_rate = 0.) ?(aggregator_restarts = 0) ~seed () =
+  check_rate "drop_rate" drop_rate;
+  check_rate "delay_rate" delay_rate;
+  check_rate "churn_rate" churn_rate;
+  check_rate "forge_rate" forge_rate;
+  if max_send_attempts < 1 then invalid_arg "Fault_plan.make: max_send_attempts < 1";
+  if max_delay_rounds < 1 then invalid_arg "Fault_plan.make: max_delay_rounds < 1";
+  if aggregator_restarts < 0 then invalid_arg "Fault_plan.make: negative restarts";
+  {
+    seed;
+    drop_rate;
+    max_send_attempts;
+    delay_rate;
+    max_delay_rounds;
+    churn_rate;
+    crashed_committee;
+    forge_rate;
+    aggregator_restarts;
+  }
+
+let is_none t =
+  t.drop_rate = 0. && t.delay_rate = 0. && t.churn_rate = 0. && t.forge_rate = 0.
+  && t.crashed_committee = [] && t.aggregator_restarts = 0
+
+(* Fault-class salts keep the decision streams of different classes
+   independent even at identical coordinates. *)
+let salt_churn = 0x43485552L (* "CHUR" *)
+let salt_drop = 0x44524F50L (* "DROP" *)
+let salt_delay = 0x44454C41L (* "DELA" *)
+let salt_forge = 0x464F5247L (* "FORG" *)
+
+let key t salt coords =
+  List.fold_left
+    (fun acc v -> Rng.mix64 acc (Int64.of_int v))
+    (Rng.mix64 t.seed salt) coords
+
+(* 53 uniform bits of the decision key as a float in [0, 1). *)
+let chance k = Int64.to_float (Int64.shift_right_logical k 11) *. 0x1.0p-53
+
+let device_churned t ~device =
+  t.churn_rate > 0. && chance (key t salt_churn [ device ]) < t.churn_rate
+
+let contribution_forged t ~device =
+  t.forge_rate > 0.
+  && (not (device_churned t ~device))
+  && chance (key t salt_forge [ device ]) < t.forge_rate
+
+let send_dropped t ~round ~source ~dest ~attempt =
+  t.drop_rate > 0.
+  && chance (key t salt_drop [ round; source; dest; attempt ]) < t.drop_rate
+
+let send_delay t ~round ~source ~dest =
+  if t.delay_rate = 0. then 0
+  else begin
+    let k = key t salt_delay [ round; source; dest ] in
+    if chance k >= t.delay_rate then 0
+    else 1 + Int64.to_int (Int64.rem (Int64.shift_right_logical (Rng.mix64 k 1L) 1) (Int64.of_int t.max_delay_rounds))
+  end
+
+let committee_crashed t ~member = List.mem member t.crashed_committee
+
+let backoff_units t ~attempts =
+  ignore t;
+  (* attempts - 1 failed tries slept 1, 2, 4, ... base-delay units. *)
+  let rec go i acc = if i >= attempts then acc else go (i + 1) (acc + (1 lsl (i - 1))) in
+  if attempts <= 1 then 0 else go 1 0
+
+let churned_devices t ~n =
+  List.filter (fun d -> device_churned t ~device:d) (List.init n Fun.id)
+
+let forging_devices t ~n =
+  List.filter (fun d -> contribution_forged t ~device:d) (List.init n Fun.id)
+
+let crashed_members t ~size =
+  List.sort_uniq compare (List.filter (fun m -> m >= 0 && m < size) t.crashed_committee)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<hov 2>fault-plan{seed=%Ld;@ drop=%.2f/%d;@ delay=%.2f/%d;@ churn=%.2f;@ \
+     crashed=[%s];@ forge=%.2f;@ restarts=%d}@]"
+    t.seed t.drop_rate t.max_send_attempts t.delay_rate t.max_delay_rounds t.churn_rate
+    (String.concat ";" (List.map string_of_int t.crashed_committee))
+    t.forge_rate t.aggregator_restarts

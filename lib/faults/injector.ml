@@ -1,0 +1,96 @@
+type report = {
+  substituted_contributions : int;
+  dropped_messages : int;
+  delayed_messages : int;
+  channel_retries : int;
+  backoff_units : int;
+  excluded_committee_members : int;
+  forged_rejected : int;
+  aggregator_restarts : int;
+  decryption_attempts : int;
+}
+
+let empty_report =
+  {
+    substituted_contributions = 0;
+    dropped_messages = 0;
+    delayed_messages = 0;
+    channel_retries = 0;
+    backoff_units = 0;
+    excluded_committee_members = 0;
+    forged_rejected = 0;
+    aggregator_restarts = 0;
+    decryption_attempts = 0;
+  }
+
+let report_equal a b = a = b
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<hov 2>degradation{substituted=%d;@ dropped=%d;@ delayed=%d;@ retries=%d;@ \
+     backoff=%d;@ excluded-committee=%d;@ forged-rejected=%d;@ restarts=%d;@ \
+     decryption-attempts=%d}@]"
+    r.substituted_contributions r.dropped_messages r.delayed_messages r.channel_retries
+    r.backoff_units r.excluded_committee_members r.forged_rejected r.aggregator_restarts
+    r.decryption_attempts
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+type t = { plan : Fault_plan.t; mutable r : report }
+
+let create plan = { plan; r = empty_report }
+let plan t = t.plan
+let report t = t.r
+let active t = not (Fault_plan.is_none t.plan)
+
+let device_offline t ~device = Fault_plan.device_churned t.plan ~device
+let contribution_forged t ~device = Fault_plan.contribution_forged t.plan ~device
+
+let send t ~round ~source ~dest =
+  let max_attempts = t.plan.Fault_plan.max_send_attempts in
+  let rec attempt_send attempt =
+    if Fault_plan.send_dropped t.plan ~round ~source ~dest ~attempt then begin
+      if attempt >= max_attempts then begin
+        t.r <-
+          {
+            t.r with
+            dropped_messages = t.r.dropped_messages + 1;
+            backoff_units = t.r.backoff_units + Fault_plan.backoff_units t.plan ~attempts:attempt;
+          };
+        false
+      end
+      else begin
+        t.r <- { t.r with channel_retries = t.r.channel_retries + 1 };
+        attempt_send (attempt + 1)
+      end
+    end
+    else begin
+      t.r <-
+        {
+          t.r with
+          backoff_units = t.r.backoff_units + Fault_plan.backoff_units t.plan ~attempts:attempt;
+        };
+      if Fault_plan.send_delay t.plan ~round ~source ~dest > 0 then
+        t.r <- { t.r with delayed_messages = t.r.delayed_messages + 1 };
+      true
+    end
+  in
+  attempt_send 1
+
+let note_dropped t =
+  t.r <- { t.r with dropped_messages = t.r.dropped_messages + 1 }
+
+let note_substituted t =
+  t.r <- { t.r with substituted_contributions = t.r.substituted_contributions + 1 }
+
+let note_excluded_committee t n =
+  t.r <- { t.r with excluded_committee_members = t.r.excluded_committee_members + n }
+
+let note_forged_rejected t =
+  t.r <- { t.r with forged_rejected = t.r.forged_rejected + 1 }
+
+let note_aggregator_restart t =
+  t.r <- { t.r with aggregator_restarts = t.r.aggregator_restarts + 1 }
+
+let note_decryption_attempts t n =
+  t.r <- { t.r with decryption_attempts = t.r.decryption_attempts + n }

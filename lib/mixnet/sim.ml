@@ -84,6 +84,7 @@ type t = {
   origins : (int, slot_origin) Hashtbl.t;
   downloads : (int * int, int list) Hashtbl.t;  (* (device, round) -> sids *)
   mutable last_deliveries : (int * int * bytes) list;
+  mutable fault_hook : (round:int -> source:int -> dest:int -> copy:int -> bool) option;
 }
 
 let beacon t = t.beacon
@@ -154,7 +155,10 @@ let create cfg =
     origins = Hashtbl.create 4096;
     downloads = Hashtbl.create 4096;
     last_deliveries = [];
+    fault_hook = None;
   }
+
+let set_fault_hook t hook = t.fault_hook <- hook
 
 let audit_all t =
   let ok = ref true in
@@ -414,15 +418,25 @@ let run_query_round_with t ~payload_of =
       | [] -> ()
       | first :: _ ->
         if online t first.source then
-          List.iter
-            (fun p ->
+          List.iteri
+            (fun copy p ->
               let payload = payload_for p.source p.dest in
               let inner = Onion.seal_inner ~key:p.dst_key ~round:query_round payload in
               if !body_len = 0 then body_len := Bytes.length inner;
-              let onion = Onion.wrap ~hop_keys:(Array.to_list p.keys) ~round:query_round inner in
-              ignore
-                (deposit t ~pseudo:p.path_hops.(0) ~link_id:p.link_ids.(0) ~body:onion
-                   ~origin:(Deposited p.source)))
+              (* Injected transit loss: the copy vanishes on its first
+                 link (the replicas are the protocol's own redundancy
+                 against exactly this). *)
+              let injected_drop =
+                match t.fault_hook with
+                | Some hook -> hook ~round:query_round ~source:p.source ~dest:p.dest ~copy
+                | None -> false
+              in
+              if not injected_drop then begin
+                let onion = Onion.wrap ~hop_keys:(Array.to_list p.keys) ~round:query_round inner in
+                ignore
+                  (deposit t ~pseudo:p.path_hops.(0) ~link_id:p.link_ids.(0) ~body:onion
+                     ~origin:(Deposited p.source))
+              end)
             paths)
     by_message;
   let body_len = max 1 !body_len in

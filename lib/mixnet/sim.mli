@@ -62,6 +62,16 @@ val current_round : t -> int
 val audit_all : t -> bool
 (** Every honest device runs its §3.3 M1/M2 audits. *)
 
+val set_fault_hook :
+  t -> (round:int -> source:int -> dest:int -> copy:int -> bool) option -> unit
+(** Install (or clear) an external fault-injection hook consulted once
+    per replica copy at deposit time; returning [true] drops that copy
+    in transit before it reaches its first relay. Lets a deterministic
+    fault plan add message loss on top of the simulator's own churn
+    and Byzantine drops; a message whose copies are all dropped
+    surfaces as a §6.3 default-value substitution at the
+    destination. *)
+
 type setup_stats = {
   paths_requested : int;
   paths_established : int;

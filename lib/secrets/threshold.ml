@@ -39,3 +39,23 @@ let combine ctx ct partials =
   let c0 = (Bgv.components ct).(0) in
   let v = List.fold_left Rq.add c0 partials in
   Bgv.decode_noisy ctx v
+
+let decrypt ctx rng ~threshold ~live ct =
+  if Bgv.degree ct <> 1 then Error "ciphertext must be relinearized to degree 1"
+  else begin
+    let needed = threshold + 1 in
+    if List.length live < needed then
+      Error
+        (Printf.sprintf "threshold decryption needs %d live shares, have %d" needed
+           (List.length live))
+    else begin
+      (* Any >= threshold+1 subset works; take the first [needed] of
+         whatever is live — crashed members simply never appear here. *)
+      let chosen = List.filteri (fun i _ -> i < needed) live in
+      let participants = Array.of_list (List.map (fun s -> s.Shamir.idx) chosen) in
+      let partials =
+        List.map (fun s -> partial_decrypt ctx rng ~participants s ct) chosen
+      in
+      Ok (combine ctx ct partials, participants)
+    end
+  end

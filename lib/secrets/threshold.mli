@@ -43,3 +43,18 @@ val combine :
   Mycelium_bgv.Plaintext.t
 (** c_0 + sum of partials, decoded mod t. Correct when the partials
     come from exactly the announced participant set. *)
+
+val decrypt :
+  Mycelium_bgv.Bgv.ctx ->
+  Mycelium_util.Rng.t ->
+  threshold:int ->
+  live:key_share list ->
+  Mycelium_bgv.Bgv.ciphertext ->
+  (Mycelium_bgv.Plaintext.t * int array, string) result
+(** Full threshold decryption from whichever shares are live: picks
+    any [threshold + 1] of [live] (Shamir guarantees every such subset
+    reconstructs the same plaintext — the §6.3 liveness story under
+    committee crashes), runs {!partial_decrypt} for each and
+    {!combine}s. Returns the plaintext and the participant indices
+    used. Fails if fewer than [threshold + 1] shares are live or the
+    ciphertext is not degree 1. *)

@@ -23,6 +23,12 @@ let split t =
      parent stream shifted by one. *)
   { state = Int64.mul seed 0xDA942042E4DD58B5L }
 
+let mix64 a b =
+  (* One SplitMix64 step keyed by [a] with [b] folded into the state:
+     a stateless hash-combine for deriving decision keys. *)
+  let t = { state = Int64.logxor a (Int64.mul b 0xFF51AFD7ED558CCDL) } in
+  next_int64 t
+
 let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
 let int t n =

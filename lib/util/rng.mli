@@ -25,6 +25,12 @@ val split : t -> t
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val mix64 : int64 -> int64 -> int64
+(** [mix64 a b] hash-combines two words through the SplitMix64
+    finalizer. Pure: equal inputs give equal outputs. Used to derive
+    stateless per-event decision keys (fault injection) where the
+    outcome must not depend on evaluation order. *)
+
 val bits62 : t -> int
 (** Uniform non-negative [int] using 62 of the 64 output bits. *)
 

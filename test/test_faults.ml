@@ -1,0 +1,479 @@
+(* Chaos suite for the deterministic fault-injection layer: the plan
+   engine itself (stateless decisions, retry/backoff accounting), and
+   the end-to-end pipeline degrading per §6.3 under each fault class.
+
+   Every run is keyed by MYCELIUM_CHAOS_SEED (default 1), which the
+   @chaos dune alias sweeps over a small matrix — the same seed always
+   injects exactly the same faults, so a failure here is replayed with
+   `MYCELIUM_CHAOS_SEED=<n> dune exec test/test_faults.exe`. *)
+
+module Rng = Mycelium_util.Rng
+module Cg = Mycelium_graph.Contact_graph
+module Epidemic = Mycelium_graph.Epidemic
+module Analysis = Mycelium_query.Analysis
+module Corpus = Mycelium_query.Corpus
+module Ast = Mycelium_query.Ast
+module Params = Mycelium_bgv.Params
+module Bgv = Mycelium_bgv.Bgv
+module Committee = Mycelium_core.Committee
+module Runtime = Mycelium_core.Runtime
+module Sim = Mycelium_mixnet.Sim
+module Fault_plan = Mycelium_faults.Fault_plan
+module Injector = Mycelium_faults.Injector
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let chaos_seed =
+  match Sys.getenv_opt "MYCELIUM_CHAOS_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 1L
+
+let small_graph ?(n = 16) ?(d = 4) ?(seed = 4242L) () =
+  let rng = Rng.create seed in
+  let g =
+    Cg.generate
+      { Cg.default_config with Cg.population = n; degree_bound = d; extra_contact_rate = 1.5 }
+      rng
+  in
+  let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
+  g
+
+let err_to_string = function
+  | Runtime.Parse_error m -> "parse: " ^ m
+  | Runtime.Analysis_error m -> "analysis: " ^ m
+  | Runtime.Infeasible m -> "infeasible: " ^ m
+  | Runtime.Budget_exhausted r -> Printf.sprintf "budget exhausted (%.2f left)" r
+  | Runtime.Pipeline_error m -> "pipeline: " ^ m
+
+(* Acceptance shape: committee of 10 with threshold 4 over a 16-device
+   graph, fast BGV parameters. *)
+let chaos_config plan =
+  {
+    Runtime.default_config with
+    Runtime.params = Params.test_small;
+    degree_bound = 4;
+    faults = Some plan;
+  }
+
+let run_chaos ?(query = "Q5") plan =
+  let g = small_graph () in
+  let sys = Runtime.init (chaos_config plan) g in
+  match Runtime.run_query ~epsilon:Float.infinity sys (Corpus.find query).Corpus.sql with
+  | Error e -> Alcotest.failf "chaos run failed: %s" (err_to_string e)
+  | Ok r -> (sys, r)
+
+(* ------------------------------------------------------------------ *)
+(* Oracles recomputed from the plan alone                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays one droppable send's retry loop from the plan. *)
+let send_outcome plan ~source ~dest =
+  let max_attempts = plan.Fault_plan.max_send_attempts in
+  let rec go a retries =
+    if Fault_plan.send_dropped plan ~round:0 ~source ~dest ~attempt:a then begin
+      if a >= max_attempts then
+        `Lost (retries, Fault_plan.backoff_units plan ~attempts:a)
+      else go (a + 1) (retries + 1)
+    end
+    else begin
+      let delayed = Fault_plan.send_delay plan ~round:0 ~source ~dest > 0 in
+      `Delivered (retries, Fault_plan.backoff_units plan ~attempts:a, delayed)
+    end
+  in
+  go 1 0
+
+(* The degradation report the runtime must produce for a query of
+   [hops] hops over [g] on the abstract channel — the chaos suite's
+   core assertion is that this, computed from the plan alone, matches
+   what the pipeline actually recorded. *)
+let expected_report plan g ~hops ~committee_size =
+  let n = Cg.population g in
+  let churned d = Fault_plan.device_churned plan ~device:d in
+  let substituted = ref 0 and dropped = ref 0 and delayed = ref 0 in
+  let retries = ref 0 and backoff = ref 0 in
+  for origin = 0 to n - 1 do
+    if churned origin then incr substituted (* Enc(0) leaf at the aggregator *)
+    else
+      List.iter
+        (fun (m, _dist) ->
+          if churned m then incr substituted
+          else begin
+            match send_outcome plan ~source:m ~dest:origin with
+            | `Lost (r, b) ->
+              incr dropped;
+              retries := !retries + r;
+              backoff := !backoff + b
+            | `Delivered (r, b, late) ->
+              retries := !retries + r;
+              backoff := !backoff + b;
+              if late then incr delayed
+          end)
+        (Cg.k_hop g origin ~k:hops)
+  done;
+  if Fault_plan.is_none plan then Injector.empty_report
+  else
+    {
+      Injector.substituted_contributions = !substituted;
+      dropped_messages = !dropped;
+      delayed_messages = !delayed;
+      channel_retries = !retries;
+      backoff_units = !backoff;
+      excluded_committee_members =
+        List.length (Fault_plan.crashed_members plan ~size:committee_size);
+      forged_rejected = List.length (Fault_plan.forging_devices plan ~n);
+      aggregator_restarts = plan.Fault_plan.aggregator_restarts;
+      decryption_attempts = 1;
+    }
+
+(* Origins whose released contribution can differ from the no-fault
+   run: churned, forging, or missing at least one neighbor row. Each
+   such origin moves at most [sensitivity] of mass per bin. *)
+let affected_origins plan g ~hops =
+  let n = Cg.population g in
+  let churned d = Fault_plan.device_churned plan ~device:d in
+  let count = ref 0 in
+  for origin = 0 to n - 1 do
+    let hit =
+      churned origin
+      || Fault_plan.contribution_forged plan ~device:origin
+      || List.exists
+           (fun (m, _) ->
+             churned m
+             || (match send_outcome plan ~source:m ~dest:origin with
+                | `Lost _ -> true
+                | `Delivered _ -> false))
+           (Cg.k_hop g origin ~k:hops)
+    in
+    if hit then incr count
+  done;
+  !count
+
+let check_report msg expected actual =
+  if not (Injector.report_equal expected actual) then
+    Alcotest.failf "%s:\n  expected %s\n  got      %s" msg
+      (Injector.report_to_string expected)
+      (Injector.report_to_string actual)
+
+(* With epsilon = infinity there is no noise, so any deviation from
+   the plaintext oracle is pure degradation — bounded per bin by
+   (affected origins) * sensitivity. *)
+let check_bins msg sys (r : Runtime.query_result) plan =
+  let exact = Runtime.exact_bins_for_tests sys r.Runtime.info in
+  let hops = r.Runtime.info.Analysis.query.Ast.hops in
+  let affected = affected_origins plan (Runtime.graph sys) ~hops in
+  let bound = (float_of_int affected *. r.Runtime.info.Analysis.sensitivity) +. 1e-6 in
+  Array.iteri
+    (fun i b ->
+      let e = float_of_int exact.(i) in
+      if Float.abs (b -. e) > bound then
+        Alcotest.failf "%s: bin %d released %.1f vs exact %.1f exceeds bound %.1f" msg i b e
+          bound)
+    r.Runtime.noisy_bins
+
+(* ------------------------------------------------------------------ *)
+(* Fault_plan unit properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_deterministic () =
+  let p = Fault_plan.make ~drop_rate:0.4 ~delay_rate:0.3 ~churn_rate:0.2 ~forge_rate:0.1
+      ~seed:chaos_seed ()
+  in
+  for d = 0 to 63 do
+    checkb "churn stable" (Fault_plan.device_churned p ~device:d)
+      (Fault_plan.device_churned p ~device:d);
+    checkb "forge stable" (Fault_plan.contribution_forged p ~device:d)
+      (Fault_plan.contribution_forged p ~device:d)
+  done;
+  for a = 1 to 8 do
+    checkb "drop stable"
+      (Fault_plan.send_dropped p ~round:0 ~source:3 ~dest:7 ~attempt:a)
+      (Fault_plan.send_dropped p ~round:0 ~source:3 ~dest:7 ~attempt:a)
+  done;
+  checki "delay stable"
+    (Fault_plan.send_delay p ~round:1 ~source:2 ~dest:9)
+    (Fault_plan.send_delay p ~round:1 ~source:2 ~dest:9)
+
+let test_plan_extremes () =
+  let off = Fault_plan.make ~seed:chaos_seed () in
+  checkb "zero-rate plan is none" true (Fault_plan.is_none off);
+  checkb "none is none" true (Fault_plan.is_none Fault_plan.none);
+  for d = 0 to 31 do
+    checkb "no churn at 0" false (Fault_plan.device_churned off ~device:d);
+    checkb "no forge at 0" false (Fault_plan.contribution_forged off ~device:d)
+  done;
+  let on = Fault_plan.make ~drop_rate:1.0 ~churn_rate:1.0 ~seed:chaos_seed () in
+  for d = 0 to 31 do
+    checkb "all churn at 1" true (Fault_plan.device_churned on ~device:d);
+    (* churn precedence: an offline device cannot also forge *)
+    checkb "churn beats forge" false (Fault_plan.contribution_forged on ~device:d);
+    checkb "all drops at 1" true
+      (Fault_plan.send_dropped on ~round:0 ~source:d ~dest:(d + 1) ~attempt:1)
+  done
+
+let test_plan_rates_are_calibrated () =
+  (* Statistical sanity at a fixed internal seed: about half of a big
+     population churns at rate 0.5. *)
+  let p = Fault_plan.make ~churn_rate:0.5 ~seed:123L () in
+  let c = List.length (Fault_plan.churned_devices p ~n:1000) in
+  checkb (Printf.sprintf "churn count %d in [400, 600]" c) true (c >= 400 && c <= 600)
+
+let test_plan_attempts_independent () =
+  (* At drop rate 0.5 some send must drop on attempt 1 and succeed on
+     attempt 2 — the transient-loss model behind retry. *)
+  let p = Fault_plan.make ~drop_rate:0.5 ~seed:chaos_seed () in
+  let found = ref false in
+  for s = 0 to 99 do
+    if
+      Fault_plan.send_dropped p ~round:0 ~source:s ~dest:0 ~attempt:1
+      && not (Fault_plan.send_dropped p ~round:0 ~source:s ~dest:0 ~attempt:2)
+    then found := true
+  done;
+  checkb "retry can succeed" true !found
+
+let test_plan_backoff_and_validation () =
+  let p = Fault_plan.none in
+  List.iter
+    (fun (attempts, units) -> checki "backoff" units (Fault_plan.backoff_units p ~attempts))
+    [ (1, 0); (2, 1); (3, 3); (4, 7); (5, 15) ];
+  (try
+     ignore (Fault_plan.make ~drop_rate:1.5 ~seed:0L ());
+     Alcotest.fail "drop_rate 1.5 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Fault_plan.make ~max_send_attempts:0 ~seed:0L ());
+     Alcotest.fail "0 attempts accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Fault_plan.make ~aggregator_restarts:(-1) ~seed:0L ());
+    Alcotest.fail "negative restarts accepted"
+  with Invalid_argument _ -> ()
+
+let test_injector_retry_accounting () =
+  (* Certain loss: every attempt drops, so the injector retries to the
+     budget, sleeps the full backoff, and reports a permanent drop. *)
+  let inj = Injector.create (Fault_plan.make ~drop_rate:1.0 ~max_send_attempts:3 ~seed:7L ()) in
+  checkb "lost" false (Injector.send inj ~round:0 ~source:1 ~dest:2);
+  let r = Injector.report inj in
+  checki "dropped" 1 r.Injector.dropped_messages;
+  checki "retries" 2 r.Injector.channel_retries;
+  checki "backoff" 3 r.Injector.backoff_units;
+  (* Fault-free plan: sends always deliver and the report stays empty. *)
+  let quiet = Injector.create Fault_plan.none in
+  checkb "inactive" false (Injector.active quiet);
+  checkb "delivered" true (Injector.send quiet ~round:0 ~source:1 ~dest:2);
+  checkb "empty report" true (Injector.report_equal Injector.empty_report (Injector.report quiet))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos matrix: fault class x intensity                               *)
+(* ------------------------------------------------------------------ *)
+
+let intensities = [ 0.0; 0.1; 0.3 ]
+
+let run_matrix_class name mk () =
+  List.iter
+    (fun intensity ->
+      let plan = mk intensity in
+      let sys, r = run_chaos plan in
+      let label = Printf.sprintf "%s@%.1f" name intensity in
+      let expected =
+        expected_report plan (Runtime.graph sys) ~hops:1 ~committee_size:10
+      in
+      check_report (label ^ " report") expected r.Runtime.degradation;
+      check_bins (label ^ " bins") sys r plan)
+    intensities
+
+let test_chaos_drop =
+  run_matrix_class "drop" (fun i -> Fault_plan.make ~drop_rate:i ~seed:chaos_seed ())
+
+let test_chaos_delay =
+  run_matrix_class "delay" (fun i -> Fault_plan.make ~delay_rate:i ~seed:chaos_seed ())
+
+let test_chaos_churn =
+  run_matrix_class "churn" (fun i -> Fault_plan.make ~churn_rate:i ~seed:chaos_seed ())
+
+let test_chaos_forge =
+  run_matrix_class "forge" (fun i -> Fault_plan.make ~forge_rate:i ~seed:chaos_seed ())
+
+let test_chaos_committee_crash () =
+  (* 3 of 10 crashed with threshold 4: any 5 of the 7 survivors carry
+     the decryption. *)
+  let plan = Fault_plan.make ~crashed_committee:[ 1; 5; 8 ] ~seed:chaos_seed () in
+  let sys, r = run_chaos plan in
+  let expected = expected_report plan (Runtime.graph sys) ~hops:1 ~committee_size:10 in
+  check_report "crash report" expected r.Runtime.degradation;
+  checki "3 excluded" 3 r.Runtime.degradation.Injector.excluded_committee_members;
+  check_bins "crash bins" sys r plan
+
+let test_chaos_aggregator_restart () =
+  List.iter
+    (fun restarts ->
+      let plan = Fault_plan.make ~aggregator_restarts:restarts ~seed:chaos_seed () in
+      let sys, r = run_chaos plan in
+      let expected = expected_report plan (Runtime.graph sys) ~hops:1 ~committee_size:10 in
+      check_report "restart report" expected r.Runtime.degradation;
+      checki "restarts recorded" restarts r.Runtime.degradation.Injector.aggregator_restarts;
+      (* The rebuilt tree released the exact result: restarts are
+         lossless by construction. *)
+      check_bins "restart bins" sys r plan)
+    [ 1; 3 ]
+
+let test_chaos_all_classes_combined () =
+  let plan =
+    Fault_plan.make ~drop_rate:0.2 ~delay_rate:0.2 ~churn_rate:0.1 ~forge_rate:0.1
+      ~crashed_committee:[ 2 ] ~aggregator_restarts:1 ~seed:chaos_seed ()
+  in
+  let sys, r = run_chaos plan in
+  let expected = expected_report plan (Runtime.graph sys) ~hops:1 ~committee_size:10 in
+  check_report "combined report" expected r.Runtime.degradation;
+  check_bins "combined bins" sys r plan
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: reproducibility and liveness                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_acceptance_reproducible_degradation () =
+  (* 10% churn + 1 crashed committee member (of 10, threshold 4): the
+     query still releases within the degradation bound, and re-running
+     the identical seed reproduces bit-identical results. *)
+  let plan = Fault_plan.make ~churn_rate:0.1 ~crashed_committee:[ 2 ] ~seed:chaos_seed () in
+  let sys1, r1 = run_chaos plan in
+  let _sys2, r2 = run_chaos plan in
+  checkb "same degradation report" true
+    (Injector.report_equal r1.Runtime.degradation r2.Runtime.degradation);
+  checkb "same released bins" true (r1.Runtime.noisy_bins = r2.Runtime.noisy_bins);
+  checki "one excluded member" 1 r1.Runtime.degradation.Injector.excluded_committee_members;
+  check_bins "acceptance bins" sys1 r1 plan
+
+let test_chaos_finite_epsilon_still_bounded () =
+  (* Under faults and real noise the release stays within the loose
+     statistical envelope around the degraded truth. *)
+  let plan = Fault_plan.make ~churn_rate:0.1 ~crashed_committee:[ 2 ] ~seed:chaos_seed () in
+  let g = small_graph () in
+  let sys = Runtime.init (chaos_config plan) g in
+  let eps = 0.5 in
+  match Runtime.run_query ~epsilon:eps sys (Corpus.find "Q5").Corpus.sql with
+  | Error e -> Alcotest.failf "finite-eps chaos failed: %s" (err_to_string e)
+  | Ok r ->
+    let exact = Runtime.exact_bins_for_tests sys r.Runtime.info in
+    let sens = r.Runtime.info.Analysis.sensitivity in
+    let hops = r.Runtime.info.Analysis.query.Ast.hops in
+    let degradation = float_of_int (affected_origins plan g ~hops) *. sens in
+    let sum a = Array.fold_left ( +. ) 0. a in
+    let noise_env = 20. *. sens /. eps *. sqrt (float_of_int (Array.length exact)) in
+    checkb "mass within degradation + noise envelope" true
+      (Float.abs (sum r.Runtime.noisy_bins -. float_of_int (Array.fold_left ( + ) 0 exact))
+      < (float_of_int (Array.length exact) *. degradation) +. noise_env)
+
+let test_committee_threshold_liveness_boundary () =
+  (* Direct committee-level check of "any threshold+1 live shares":
+     size 10, threshold 4 — 5 crashed members still decrypt, 6 cannot. *)
+  let ctx = Bgv.make_ctx Params.test_small in
+  let rng = Rng.create 31L in
+  let genesis, pk, _, _ = Committee.genesis ctx rng ~size:10 ~threshold:4 ~relin_degree:2 in
+  let c = Committee.rotate genesis rng ~population:40 in
+  let info = Analysis.analyze_exn (Corpus.find "Q5").Corpus.query in
+  let ct = Bgv.encrypt_value ctx rng pk 7 in
+  (match
+     Committee.decrypt_and_release ~excluded:[ 0; 1; 2; 3; 4 ] c rng ctx ~info
+       ~epsilon:Float.infinity ct
+   with
+  | Ok r -> checkb "5 survivors decrypt" true (r.Committee.noisy_bins.(7) = 1.)
+  | Error e -> Alcotest.failf "5 crashed members should leave a quorum: %s" e);
+  match
+    Committee.decrypt_and_release ~excluded:[ 0; 1; 2; 3; 4; 5 ] ~max_attempts:3 c rng ctx
+      ~info ~epsilon:Float.infinity ct
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "4 survivors decrypted below the threshold quorum"
+
+let test_chaos_through_mixnet () =
+  (* Transit drops ride the mixnet's replica copies; with aggressive
+     dropping some logical messages lose every copy and surface as
+     §6.3 defaults, yet the run completes and replays identically. *)
+  let mix_cfg =
+    {
+      Sim.default_config with
+      Sim.hops = 2;
+      replicas = 2;
+      fraction = 0.4;
+      fast_setup = true;
+      verify_proofs = false;
+    }
+  in
+  let plan = Fault_plan.make ~drop_rate:0.5 ~seed:2024L () in
+  let run () =
+    let g = small_graph () in
+    let sys =
+      Runtime.init
+        { (chaos_config plan) with Runtime.route_through_mixnet = Some mix_cfg }
+        g
+    in
+    match Runtime.run_query ~epsilon:Float.infinity sys (Corpus.find "Q5").Corpus.sql with
+    | Error e -> Alcotest.failf "mixnet chaos failed: %s" (err_to_string e)
+    | Ok r -> (sys, r)
+  in
+  let _, r1 = run () in
+  let _, r2 = run () in
+  checkb "copies dropped" true (r1.Runtime.degradation.Injector.dropped_messages > 0);
+  checkb "some logical messages lost" true (r1.Runtime.mixnet_losses > 0);
+  checkb "replay: identical report" true
+    (Injector.report_equal r1.Runtime.degradation r2.Runtime.degradation);
+  checkb "replay: identical losses" true (r1.Runtime.mixnet_losses = r2.Runtime.mixnet_losses);
+  checkb "replay: identical bins" true (r1.Runtime.noisy_bins = r2.Runtime.noisy_bins);
+  (* Bins stay bounded even with rows lost in transit. *)
+  let g = small_graph () in
+  Array.iter
+    (fun v -> checkb "bounded" true (v >= 0. && v <= float_of_int (Cg.population g)))
+    r1.Runtime.noisy_bins
+
+let test_no_faults_empty_report () =
+  (* faults = None and faults = Some none-plan both report empty and
+     release the exact oracle. *)
+  let g = small_graph () in
+  let sys =
+    Runtime.init { (chaos_config Fault_plan.none) with Runtime.faults = None } g
+  in
+  match Runtime.run_query ~epsilon:Float.infinity sys (Corpus.find "Q5").Corpus.sql with
+  | Error e -> Alcotest.failf "fault-free run failed: %s" (err_to_string e)
+  | Ok r ->
+    checkb "empty report" true
+      (Injector.report_equal Injector.empty_report r.Runtime.degradation);
+    let exact = Runtime.exact_bins_for_tests sys r.Runtime.info in
+    checkb "exact release" true
+      (Array.for_all2 (fun a b -> int_of_float a = b) r.Runtime.noisy_bins exact)
+
+let () =
+  Alcotest.run "mycelium-faults"
+    [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "stateless decisions are stable" `Quick test_plan_deterministic;
+          Alcotest.test_case "rate extremes" `Quick test_plan_extremes;
+          Alcotest.test_case "rates calibrated" `Quick test_plan_rates_are_calibrated;
+          Alcotest.test_case "attempts independent" `Quick test_plan_attempts_independent;
+          Alcotest.test_case "backoff + validation" `Quick test_plan_backoff_and_validation;
+          Alcotest.test_case "injector retry accounting" `Quick test_injector_retry_accounting;
+        ] );
+      ( "chaos-matrix",
+        [
+          Alcotest.test_case "drop x intensity" `Quick test_chaos_drop;
+          Alcotest.test_case "delay x intensity" `Quick test_chaos_delay;
+          Alcotest.test_case "churn x intensity" `Quick test_chaos_churn;
+          Alcotest.test_case "forge x intensity" `Quick test_chaos_forge;
+          Alcotest.test_case "committee crash" `Quick test_chaos_committee_crash;
+          Alcotest.test_case "aggregator restart" `Quick test_chaos_aggregator_restart;
+          Alcotest.test_case "all classes combined" `Quick test_chaos_all_classes_combined;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "reproducible degradation" `Quick
+            test_acceptance_reproducible_degradation;
+          Alcotest.test_case "finite epsilon bounded" `Quick
+            test_chaos_finite_epsilon_still_bounded;
+          Alcotest.test_case "threshold liveness boundary" `Quick
+            test_committee_threshold_liveness_boundary;
+          Alcotest.test_case "chaos through the mixnet" `Quick test_chaos_through_mixnet;
+          Alcotest.test_case "no faults, empty report" `Quick test_no_faults_empty_report;
+        ] );
+    ]

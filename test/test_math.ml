@@ -235,6 +235,28 @@ let test_ntt_roundtrip () =
     checkb "roundtrip" true (a = b)
   done
 
+let test_ntt_seeded_roundtrip_all_degrees () =
+  (* forward/inverse is the identity in both composition orders for
+     random vectors at every supported degree; fixed Rng seeds make
+     each sweep reproducible. *)
+  List.iter
+    (fun n ->
+      let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+      let plan = Ntt.make_plan ~p ~degree:n in
+      let rng = Rng.create (Int64.of_int (7000 + n)) in
+      for _ = 1 to 25 do
+        let a = Array.init n (fun _ -> Rng.int rng p) in
+        let b = Array.copy a in
+        Ntt.forward plan b;
+        Ntt.inverse plan b;
+        checkb "inverse . forward = id" true (a = b);
+        let c = Array.copy a in
+        Ntt.inverse plan c;
+        Ntt.forward plan c;
+        checkb "forward . inverse = id" true (a = c)
+      done)
+    [ 8; 32; 128; 512 ]
+
 let test_ntt_vs_naive () =
   List.iter
     (fun n ->
@@ -387,6 +409,33 @@ let prop_bigint_rem_int =
   qtest "rem_int matches erem" QCheck.(pair arb_big (QCheck.int_range 1 2000000000))
     (fun (a, p) ->
       Bigint.rem_int a p = Bigint.to_int (Bigint.erem a (bi p)))
+
+let test_bigint_seeded_divmod_mul_identities () =
+  (* Seeded randomized sweep over wide, sign-mixed operands: the
+     divmod contract, exact division of products, and the binomial
+     identity (which stresses carries across limb boundaries). *)
+  let rng = Rng.create 9001L in
+  let random_big bits =
+    let v = Bigint.random_bits rng (2 + Rng.int rng bits) in
+    if Rng.bool rng then Bigint.neg v else v
+  in
+  for _ = 1 to 200 do
+    let a = random_big 192 and b = random_big 128 in
+    (if not (Bigint.is_zero b) then begin
+       let q, r = Bigint.divmod a b in
+       checkb "a = q*b + r" true (Bigint.equal a (Bigint.add (Bigint.mul q b) r));
+       checkb "|r| < |b|" true (Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0);
+       let q2, r2 = Bigint.divmod (Bigint.mul a b) b in
+       checkb "(a*b)/b = a exactly" true (Bigint.equal q2 a && Bigint.is_zero r2)
+     end);
+    let sq x = Bigint.mul x x in
+    let lhs = sq (Bigint.add a b) in
+    let rhs =
+      Bigint.add (sq a)
+        (Bigint.add (Bigint.mul (Bigint.of_int 2) (Bigint.mul a b)) (sq b))
+    in
+    checkb "(a+b)^2 = a^2 + 2ab + b^2" true (Bigint.equal lhs rhs)
+  done
 
 let test_bigint_mod_pow () =
   (* 2^10 mod 1000 = 24; also a big case checked against repeated squaring. *)
@@ -585,6 +634,8 @@ let () =
         [
           Alcotest.test_case "find NTT primes" `Quick test_ntt_find_primes;
           Alcotest.test_case "roundtrip" `Quick test_ntt_roundtrip;
+          Alcotest.test_case "seeded roundtrip, all degrees" `Quick
+            test_ntt_seeded_roundtrip_all_degrees;
           Alcotest.test_case "matches naive convolution" `Quick test_ntt_vs_naive;
           Alcotest.test_case "negacyclic wraparound" `Quick test_ntt_negacyclic_wraparound;
           Alcotest.test_case "monomial exponent addition" `Quick test_ntt_monomial_exponent_addition;
@@ -603,6 +654,8 @@ let () =
           prop_bigint_shift;
           prop_bigint_bytes_roundtrip;
           prop_bigint_rem_int;
+          Alcotest.test_case "seeded divmod/mul identities" `Quick
+            test_bigint_seeded_divmod_mul_identities;
           Alcotest.test_case "mod_pow" `Quick test_bigint_mod_pow;
           Alcotest.test_case "mod_inv" `Quick test_bigint_mod_inv;
           Alcotest.test_case "gcd" `Quick test_bigint_gcd;

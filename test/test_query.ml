@@ -466,6 +466,112 @@ let test_group_labels () =
   checkb "Q10 stages" true (labels "Q10" = [| "incubation"; "illness" |]);
   checkb "Q1 single" true (labels "Q1" = [| "all" |])
 
+(* ------------------------------------------------------------------ *)
+(* Negative paths: malformed queries, infeasible depth, and budget
+   exhaustion all surface as typed [Runtime.query_error] values from
+   the full pipeline — never as exceptions.                            *)
+(* ------------------------------------------------------------------ *)
+
+module Runtime = Mycelium_core.Runtime
+
+let negative_graph =
+  lazy
+    (let rng = Rng.create 77L in
+     let g =
+       Cg.generate
+         { Cg.default_config with Cg.population = 16; degree_bound = 4; extra_contact_rate = 1.5 }
+         rng
+     in
+     let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
+     g)
+
+let negative_config =
+  { Runtime.default_config with Runtime.params = Params.test_small; degree_bound = 4 }
+
+let negative_system = lazy (Runtime.init negative_config (Lazy.force negative_graph))
+
+let neg_err_to_string = function
+  | Runtime.Parse_error m -> "parse: " ^ m
+  | Runtime.Analysis_error m -> "analysis: " ^ m
+  | Runtime.Infeasible m -> "infeasible: " ^ m
+  | Runtime.Budget_exhausted r -> Printf.sprintf "budget exhausted (%.2f left)" r
+  | Runtime.Pipeline_error m -> "pipeline: " ^ m
+
+let run_no_raise sys ?epsilon src =
+  try Runtime.run_query ?epsilon sys src
+  with ex -> Alcotest.failf "raised %s on %S" (Printexc.to_string ex) src
+
+let test_negative_malformed_histo_gsum () =
+  let sys = Lazy.force negative_system in
+  let cases =
+    [
+      "SELECT HISTO() FROM neigh(1)";
+      "SELECT HISTO(COUNT(*) FROM neigh(1)";
+      "SELECT HISTO(SUM()) FROM neigh(1)";
+      "SELECT HISTO(COUNT(dest.inf)) FROM neigh(1)";
+      "SELECT GSUM() FROM neigh(1)";
+      "SELECT GSUM(SUM(self.inf)) FROM neigh(1) CLIP [1]";
+      "SELECT GSUM(SUM(edge.inf)) FROM neigh(1)";
+      "SELECT HISTO(GSUM(COUNT(*))) FROM neigh(1)";
+      "SELECT HISTO(COUNT(*)) FROM neigh(-1)";
+      "SELECT HISTO(COUNT(*)) FROM neigh(one)";
+      "SELECT HISTO(COUNT(*))";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match run_no_raise sys src with
+      | Error (Runtime.Parse_error _) | Error (Runtime.Analysis_error _) -> ()
+      | Error e -> Alcotest.failf "%S: wrong error class: %s" src (neg_err_to_string e)
+      | Ok _ -> Alcotest.failf "accepted malformed query: %S" src)
+    cases
+
+let test_negative_deep_neigh_infeasible () =
+  (* neigh(k) beyond the HE multiplication budget at these parameters
+     is a typed Infeasible, whatever the depth. *)
+  let sys = Lazy.force negative_system in
+  List.iter
+    (fun src ->
+      match run_no_raise sys src with
+      | Error (Runtime.Infeasible _) -> ()
+      | Error e -> Alcotest.failf "%S: wrong error class: %s" src (neg_err_to_string e)
+      | Ok _ -> Alcotest.failf "infeasible depth accepted: %S" src)
+    [
+      "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf AND self.inf";
+      "SELECT HISTO(COUNT(*)) FROM neigh(3) WHERE dest.inf AND self.inf";
+      "SELECT HISTO(COUNT(*)) FROM neigh(8) WHERE dest.inf AND self.inf";
+    ];
+  (* Same boundary straight from Analysis: the query analyzes fine and
+     is rejected only by the feasibility check. *)
+  let q = Parser.parse_exn "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf AND self.inf" in
+  match Analysis.analyze ~degree_bound:4 q with
+  | Error e -> Alcotest.failf "deep query should analyze: %s" e
+  | Ok info ->
+    (match Analysis.feasible info Params.test_small with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "2-hop should exceed test_small's budget")
+
+let test_negative_budget_exhaustion_typed () =
+  let sys =
+    Runtime.init
+      { negative_config with Runtime.epsilon_budget = 1.0 }
+      (Lazy.force negative_graph)
+  in
+  let sql = (Corpus.find "Q5").Corpus.sql in
+  (match run_no_raise sys ~epsilon:0.8 sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first query should fit the budget: %s" (neg_err_to_string e));
+  (match run_no_raise sys ~epsilon:0.8 sql with
+  | Error (Runtime.Budget_exhausted remaining) ->
+    checkb "remaining reported" true (Float.abs (remaining -. 0.2) < 1e-9)
+  | Error e -> Alcotest.failf "wrong error class: %s" (neg_err_to_string e)
+  | Ok _ -> Alcotest.fail "over-budget query accepted");
+  (* Exhaustion is per-charge, not terminal: a smaller request that
+     fits the remaining budget still runs. *)
+  match run_no_raise sys ~epsilon:0.1 sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "within-budget retry should run: %s" (neg_err_to_string e)
+
 let () =
   Alcotest.run "mycelium-query"
     [
@@ -508,5 +614,14 @@ let () =
           Alcotest.test_case "decode histogram" `Quick test_decode_histogram;
           Alcotest.test_case "decode GSUM ratio" `Quick test_decode_gsum_ratio;
           Alcotest.test_case "group labels" `Quick test_group_labels;
+        ] );
+      ( "negative-paths",
+        [
+          Alcotest.test_case "malformed HISTO/GSUM typed" `Quick
+            test_negative_malformed_histo_gsum;
+          Alcotest.test_case "infeasible neigh(k) typed" `Quick
+            test_negative_deep_neigh_infeasible;
+          Alcotest.test_case "budget exhaustion typed" `Quick
+            test_negative_budget_exhaustion_typed;
         ] );
     ]

@@ -59,6 +59,21 @@ let test_shamir_duplicate_x_rejected () =
   Alcotest.check_raises "duplicate x" (Invalid_argument "Shamir.reconstruct: duplicate share x")
     (fun () -> ignore (Shamir.reconstruct ~p:field [ shares.(0); shares.(0) ]))
 
+let test_shamir_any_subset_reconstructs () =
+  (* Seeded randomized sweep of the §5 claim verbatim: ANY threshold+1
+     of the shares reconstruct — random subsets, not a fixed prefix.
+     The fixed Rng seed makes every sweep reproducible. *)
+  let rng = Rng.create 4321L in
+  for _ = 1 to 50 do
+    let threshold = 1 + Rng.int rng 5 in
+    let parties = threshold + 1 + Rng.int rng 6 in
+    let secret = Rng.int rng field in
+    let shares = Shamir.share_secret ~p:field rng ~threshold ~parties secret in
+    let idx = Rng.sample_without_replacement rng (threshold + 1) parties in
+    let subset = List.map (fun i -> shares.(i)) (Array.to_list idx) in
+    checki "any t+1 subset reconstructs" secret (Shamir.reconstruct ~p:field subset)
+  done
+
 let test_shamir_validation () =
   let rng = Rng.create 5L in
   Alcotest.check_raises "threshold >= parties"
@@ -102,6 +117,20 @@ let test_shamir_rq_roundtrip () =
   checkb "full set reconstructs" true
     (Rq.equal v (Shamir.reconstruct_rq basis (Array.to_list shares)))
 
+let test_shamir_rq_any_subset_reconstructs () =
+  let basis = Lazy.force small_basis in
+  let rng = Rng.create 4322L in
+  for _ = 1 to 10 do
+    let threshold = 1 + Rng.int rng 3 in
+    let parties = threshold + 1 + Rng.int rng 4 in
+    let v = Rq.random_uniform basis rng in
+    let shares = Shamir.share_rq rng ~threshold ~parties v in
+    let idx = Rng.sample_without_replacement rng (threshold + 1) parties in
+    let subset = List.map (fun i -> shares.(i)) (Array.to_list idx) in
+    checkb "any t+1 ring subset reconstructs" true
+      (Rq.equal v (Shamir.reconstruct_rq basis subset))
+  done
+
 let test_shamir_rq_share_not_secret () =
   let basis = Lazy.force small_basis in
   let rng = Rng.create 8L in
@@ -141,6 +170,26 @@ let test_feldman_bad_share_rejected () =
   checkb "tampered share rejected" false (Feldman.verify_share g c bad);
   let misplaced = { shares.(2) with Shamir.x = 4 } in
   checkb "misplaced share rejected" false (Feldman.verify_share g c misplaced)
+
+let test_feldman_any_verified_subset_reconstructs () =
+  (* Every share verifies against the published commitment, and any
+     random threshold+1 of them reconstruct the committed secret. *)
+  let g = Lazy.force feldman_group in
+  let rng = Rng.create 4323L in
+  for _ = 1 to 25 do
+    let threshold = 1 + Rng.int rng 3 in
+    let parties = threshold + 1 + Rng.int rng 5 in
+    let secret = Rng.int rng feldman_field in
+    let shares, coeffs =
+      Shamir.share_with_poly ~p:feldman_field rng ~threshold ~parties secret
+    in
+    let c = Feldman.commit g coeffs in
+    Array.iter (fun s -> checkb "share verifies" true (Feldman.verify_share g c s)) shares;
+    let idx = Rng.sample_without_replacement rng (threshold + 1) parties in
+    let subset = List.map (fun i -> shares.(i)) (Array.to_list idx) in
+    checki "any verified t+1 subset reconstructs" secret
+      (Shamir.reconstruct ~p:feldman_field subset)
+  done
 
 let test_feldman_commitment_binds_secret () =
   let g = Lazy.force feldman_group in
@@ -373,6 +422,36 @@ let test_threshold_committee_capture () =
   checkb "captured key decrypts everything" true
     (Plaintext.equal (Bgv.decrypt ctx captured ct) (Bgv.decrypt ctx sk ct))
 
+let test_threshold_decrypt_any_live_subset () =
+  (* The §6.3 liveness helper: decryption succeeds from any >= t+1
+     live shares (random subsets, fixed seed), takes exactly t+1
+     participants, and fails below quorum or on unrelinearized
+     input. *)
+  let ctx = Lazy.force ctx in
+  let sk, pk = Lazy.force keys in
+  let rng = Rng.create 307L in
+  let shares = Threshold.share_secret_key ctx rng ~threshold:4 ~parties:10 sk in
+  let ct = Bgv.encrypt_value ctx rng pk 23 in
+  for _ = 1 to 5 do
+    let live_n = 5 + Rng.int rng 6 in
+    let idx = Rng.sample_without_replacement rng live_n 10 in
+    let live = List.map (fun i -> shares.(i)) (Array.to_list idx) in
+    match Threshold.decrypt ctx rng ~threshold:4 ~live ct with
+    | Ok (pt, participants) ->
+      checki "monomial 23" 1 (Plaintext.coeff pt 23);
+      checki "exactly t+1 participate" 5 (Array.length participants)
+    | Error e -> Alcotest.fail e
+  done;
+  (match
+     Threshold.decrypt ctx rng ~threshold:4 ~live:(Array.to_list (Array.sub shares 0 4)) ct
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "4 shares decrypted with threshold 4");
+  let prod = Bgv.mul (Bgv.encrypt_value ctx rng pk 1) (Bgv.encrypt_value ctx rng pk 1) in
+  match Threshold.decrypt ctx rng ~threshold:4 ~live:(Array.to_list shares) prod with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "degree-2 ciphertext accepted"
+
 let test_threshold_after_vsr_handoff () =
   (* End-to-end §4.2 lifecycle: genesis shares -> VSR hand-off -> the
      *new* committee threshold-decrypts. *)
@@ -404,8 +483,12 @@ let () =
           Alcotest.test_case "duplicate x rejected" `Quick test_shamir_duplicate_x_rejected;
           Alcotest.test_case "validation" `Quick test_shamir_validation;
           prop_shamir_roundtrip;
+          Alcotest.test_case "any t+1 subset (seeded sweep)" `Quick
+            test_shamir_any_subset_reconstructs;
           Alcotest.test_case "linearity" `Quick test_shamir_linearity;
           Alcotest.test_case "ring-element roundtrip" `Quick test_shamir_rq_roundtrip;
+          Alcotest.test_case "any t+1 ring subset (seeded sweep)" `Quick
+            test_shamir_rq_any_subset_reconstructs;
           Alcotest.test_case "ring share hides secret" `Quick test_shamir_rq_share_not_secret;
         ] );
       ( "feldman",
@@ -413,6 +496,8 @@ let () =
           Alcotest.test_case "group structure" `Quick test_feldman_group_structure;
           Alcotest.test_case "valid shares verify" `Quick test_feldman_valid_shares_verify;
           Alcotest.test_case "bad share rejected" `Quick test_feldman_bad_share_rejected;
+          Alcotest.test_case "any verified t+1 subset (seeded sweep)" `Quick
+            test_feldman_any_verified_subset_reconstructs;
           Alcotest.test_case "commitment binds secret" `Quick test_feldman_commitment_binds_secret;
         ] );
       ( "vsr",
@@ -433,6 +518,8 @@ let () =
           Alcotest.test_case "wrong participant set garbles" `Quick test_threshold_wrong_participant_set_garbles;
           Alcotest.test_case "degree-1 required" `Quick test_threshold_requires_degree1;
           Alcotest.test_case "committee capture (Fig 8a)" `Quick test_threshold_committee_capture;
+          Alcotest.test_case "any live subset (seeded sweep)" `Quick
+            test_threshold_decrypt_any_live_subset;
           Alcotest.test_case "decrypt after VSR hand-off" `Quick test_threshold_after_vsr_handoff;
         ] );
     ]
