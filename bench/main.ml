@@ -3,10 +3,16 @@
    operations each figure's cost model is built on.
 
    Usage:
-     dune exec bench/main.exe                 -- everything
-     dune exec bench/main.exe -- --only fig7  -- one figure
-     dune exec bench/main.exe -- --skip-micro -- figures only
-*)
+     dune exec bench/main.exe                     -- everything
+     dune exec bench/main.exe -- --only fig7      -- one figure
+     dune exec bench/main.exe -- --only parallel  -- domain scaling
+     dune exec bench/main.exe -- --skip-micro     -- figures only
+     dune exec bench/main.exe -- --json           -- machine-readable
+
+   With --json the pretty output is suppressed and a single JSON
+   document goes to stdout: wall-clock seconds per section, the chaos
+   timings, the domain-scaling sweep and (unless --skip-micro) the
+   per-operation estimates. *)
 
 module Figures = Mycelium_costmodel.Figures
 module Device_compute = Mycelium_costmodel.Device_compute
@@ -25,6 +31,7 @@ module Epidemic = Mycelium_graph.Epidemic
 module Runtime = Mycelium_core.Runtime
 module Fault_plan = Mycelium_faults.Fault_plan
 module Injector = Mycelium_faults.Injector
+module Pool = Mycelium_parallel.Pool
 
 let only =
   let rec find = function
@@ -35,31 +42,131 @@ let only =
   find (Array.to_list Sys.argv)
 
 let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
+let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
 
 let wants id = match only with None -> true | Some o -> o = id
 
-let emit fig = if wants fig.Figures.id then print_string (Figures.render fig)
+(* All human-readable output funnels through [say] so --json can keep
+   stdout clean for the document. *)
+let say fmt = Printf.ksprintf (fun s -> if not json_mode then print_string s) fmt
+
+let emit fig = if wants fig.Figures.id then say "%s" (Figures.render fig)
+
+(* ------------------------------------------------------------------ *)
+(* JSON accumulator (hand-rolled; no JSON library in the tree)         *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Num of float
+  | Int of int
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let rec json_to_buf buf = function
+  | Num f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        json_to_buf buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        json_to_buf buf (Str k);
+        Buffer.add_char buf ':';
+        json_to_buf buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let json_sections : (string * json) list ref = ref []
+
+(* [section id f] runs [f] when selected, timing it; [f] returns extra
+   key/values merged into the section's JSON record. *)
+let section id f =
+  if wants id then begin
+    let t0 = Unix.gettimeofday () in
+    let extras = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    json_sections := !json_sections @ [ (id, Obj (("seconds", Num dt) :: extras)) ]
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Figures from the closed-form cost model                             *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  print_endline "Mycelium evaluation reproduction (SOSP 2021, Roth et al.)";
-  print_endline "==========================================================";
-  List.iter emit (Figures.all ())
+  say "Mycelium evaluation reproduction (SOSP 2021, Roth et al.)\n";
+  say "==========================================================\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter emit (Figures.all ());
+  if only = None then
+    json_sections :=
+      !json_sections
+      @ [ ("figures", Obj [ ("seconds", Num (Unix.gettimeofday () -. t0)) ]) ]
 
 (* ------------------------------------------------------------------ *)
 (* Measurement-backed figures                                          *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  if wants "sec6_4" then begin
-    let costs = Device_compute.measure (Rng.create 1L) in
-    emit (Figures.sec6_4_device_costs costs)
-  end;
-  if wants "fig5-mc" then emit (Figures.fig5_monte_carlo ~n:400 ~seed:7L);
-  if wants "sec7" then emit (Figures.sec7_baseline ~n:20_000 ~seed:11L)
+  section "sec6_4" (fun () ->
+      let costs = Device_compute.measure (Rng.create 1L) in
+      emit (Figures.sec6_4_device_costs costs);
+      []);
+  section "fig5-mc" (fun () ->
+      emit (Figures.fig5_monte_carlo ~n:400 ~seed:7L);
+      []);
+  section "sec7" (fun () ->
+      emit (Figures.sec7_baseline ~n:20_000 ~seed:11L);
+      [])
+
+(* ------------------------------------------------------------------ *)
+(* Shared end-to-end fixture (chaos and parallel sections)             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_graph seed =
+  let rng = Rng.create seed in
+  let g =
+    Cg.generate
+      { Cg.default_config with Cg.population = 16; degree_bound = 4; extra_contact_rate = 1.5 }
+      rng
+  in
+  let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
+  g
+
+let bench_config faults =
+  { Runtime.default_config with
+    Runtime.params = Params.test_small;
+    degree_bound = 4;
+    seed = 5L;
+    faults
+  }
+
+let time_query faults =
+  let sys = Runtime.init (bench_config faults) (bench_graph 4242L) in
+  let t0 = Unix.gettimeofday () in
+  match Runtime.run_query sys (Mycelium_query.Corpus.find "Q5").Mycelium_query.Corpus.sql with
+  | Ok r -> (Unix.gettimeofday () -. t0, r)
+  | Error _ -> failwith "bench: query failed"
 
 (* ------------------------------------------------------------------ *)
 (* Chaos: end-to-end query cost under the §6.3 fault model             *)
@@ -70,49 +177,76 @@ let () =
    crashed committee member, one aggregator restart), and reports the
    wall-clock cost of graceful degradation plus the deterministic
    degradation report.  Replay with `--only chaos`. *)
-let run_chaos () =
-  let graph seed =
-    let rng = Rng.create seed in
-    let g =
-      Cg.generate
-        { Cg.default_config with Cg.population = 16; degree_bound = 4; extra_contact_rate = 1.5 }
-        rng
-    in
-    let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
-    g
-  in
-  let config faults =
-    { Runtime.default_config with
-      Runtime.params = Params.test_small;
-      degree_bound = 4;
-      seed = 5L;
-      faults
-    }
-  in
-  let time_query faults =
-    let sys = Runtime.init (config faults) (graph 4242L) in
-    let t0 = Unix.gettimeofday () in
-    match Runtime.run_query sys (Mycelium_query.Corpus.find "Q5").Mycelium_query.Corpus.sql with
-    | Ok r -> (Unix.gettimeofday () -. t0, r)
-    | Error _ -> failwith "bench chaos: query failed"
-  in
-  let plan =
-    Fault_plan.make ~drop_rate:0.1 ~churn_rate:0.1 ~crashed_committee:[ 2 ]
-      ~aggregator_restarts:1 ~seed:2024L ()
-  in
-  let clean_s, clean = time_query None in
-  let faulted_s, faulted = time_query (Some plan) in
-  print_endline "";
-  print_endline "=== Chaos: query under the Section 6.3 fault model ===";
-  Printf.printf "  fault-free run      %8.2f ms  (origins %d)\n" (clean_s *. 1e3)
-    clean.Runtime.origins_included;
-  Printf.printf "  degraded run        %8.2f ms  (origins %d)\n" (faulted_s *. 1e3)
-    faulted.Runtime.origins_included;
-  Printf.printf "  degradation overhead %+7.1f%%\n"
-    ((faulted_s /. clean_s -. 1.0) *. 100.0);
-  Printf.printf "  %s\n" (Injector.report_to_string faulted.Runtime.degradation)
+let () =
+  section "chaos" (fun () ->
+      let plan =
+        Fault_plan.make ~drop_rate:0.1 ~churn_rate:0.1 ~crashed_committee:[ 2 ]
+          ~aggregator_restarts:1 ~seed:2024L ()
+      in
+      let clean_s, clean = time_query None in
+      let faulted_s, faulted = time_query (Some plan) in
+      say "\n";
+      say "=== Chaos: query under the Section 6.3 fault model ===\n";
+      say "  fault-free run      %8.2f ms  (origins %d)\n" (clean_s *. 1e3)
+        clean.Runtime.origins_included;
+      say "  degraded run        %8.2f ms  (origins %d)\n" (faulted_s *. 1e3)
+        faulted.Runtime.origins_included;
+      say "  degradation overhead %+7.1f%%\n" ((faulted_s /. clean_s -. 1.0) *. 100.0);
+      say "  %s\n" (Injector.report_to_string faulted.Runtime.degradation);
+      [
+        ("clean_ms", Num (clean_s *. 1e3));
+        ("degraded_ms", Num (faulted_s *. 1e3));
+        ("overhead_pct", Num ((faulted_s /. clean_s -. 1.0) *. 100.0));
+      ])
 
-let () = if wants "chaos" then run_chaos ()
+(* ------------------------------------------------------------------ *)
+(* Parallel: domain scaling of the end-to-end query                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweeps the work pool over 1/2/4/8 domains on the same fault-free
+   query and reports wall-clock and speedup relative to the sequential
+   run.  The numbers are honest about the host: with fewer physical
+   cores than domains the extra domains only add scheduling overhead,
+   so the achievable speedup is bounded by [cores].  The release is
+   checked byte-identical across the sweep (the determinism contract —
+   see DESIGN.md), so this measures the same computation every time. *)
+let () =
+  section "parallel" (fun () ->
+      let cores = Domain.recommended_domain_count () in
+      let at domains =
+        Pool.with_domains domains (fun () -> time_query None)
+      in
+      ignore (at 1);
+      (* warm the allocator and code paths *)
+      let counts = [ 1; 2; 4; 8 ] in
+      let runs = List.map (fun d -> (d, at d)) counts in
+      let base_s, base = List.assoc 1 runs |> fun (s, r) -> (s, r) in
+      say "\n";
+      say "=== Parallel: end-to-end query at 1/2/4/8 domains ===\n";
+      say "  host cores: %d%s\n" cores
+        (if cores < 4 then "  (speedup is bounded by the core count)" else "");
+      List.iter
+        (fun (d, (s, r)) ->
+          if r.Runtime.noisy_bins <> base.Runtime.noisy_bins then
+            failwith "bench parallel: result differs across domain counts";
+          say "  %d domain%s %10.2f ms   speedup %5.2fx\n" d
+            (if d = 1 then " " else "s")
+            (s *. 1e3) (base_s /. s))
+        runs;
+      [
+        ("cores", Int cores);
+        ( "domains",
+          List
+            (List.map
+               (fun (d, (s, _)) ->
+                 Obj
+                   [
+                     ("domains", Int d);
+                     ("ms", Num (s *. 1e3));
+                     ("speedup", Num (base_s /. s));
+                   ])
+               runs) );
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -181,9 +315,9 @@ let run_micro () =
   let results = Analyze.all ols instance raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  print_endline "";
-  print_endline "=== Micro-benchmarks (Bechamel) ===";
-  List.iter
+  say "\n";
+  say "=== Micro-benchmarks (Bechamel) ===\n";
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some (est :: _) ->
@@ -193,8 +327,42 @@ let run_micro () =
           else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
           else Printf.sprintf "%8.0f ns" est
         in
-        Printf.printf "  %-32s %s\n" name pretty
-      | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        say "  %-32s %s\n" name pretty;
+        Some (name, Num est)
+      | Some [] | None ->
+        say "  %-32s (no estimate)\n" name;
+        None)
     rows
 
-let () = if (not skip_micro) && only = None then run_micro ()
+let () =
+  if (not skip_micro) && only = None then begin
+    let t0 = Unix.gettimeofday () in
+    let estimates = run_micro () in
+    json_sections :=
+      !json_sections
+      @ [
+          ( "micro",
+            Obj
+              [
+                ("seconds", Num (Unix.gettimeofday () -. t0));
+                ("estimates_ns", Obj estimates);
+              ] );
+        ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON document (last: every section has run)                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  if json_mode then begin
+    let buf = Buffer.create 1024 in
+    json_to_buf buf
+      (Obj
+         [
+           ("schema", Str "mycelium-bench/1");
+           ("cores", Int (Domain.recommended_domain_count ()));
+           ("sections", Obj !json_sections);
+         ]);
+    print_endline (Buffer.contents buf)
+  end

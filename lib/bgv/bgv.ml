@@ -1,4 +1,5 @@
 module Rng = Mycelium_util.Rng
+module Pool = Mycelium_parallel.Pool
 module Bigint = Mycelium_math.Bigint
 module Rns = Mycelium_math.Rns
 module Rq = Mycelium_math.Rq
@@ -132,12 +133,17 @@ let sub_plain ctx ct pt =
 let mul a b =
   let da = Array.length a.comps and db = Array.length b.comps in
   let basis = Rq.basis_of a.comps.(0) in
-  let out = Array.init (da + db - 1) (fun _ -> Rq.zero basis) in
-  for i = 0 to da - 1 do
-    for j = 0 to db - 1 do
-      out.(i + j) <- Rq.add out.(i + j) (Rq.mul a.comps.(i) b.comps.(j))
-    done
-  done;
+  (* Each output component of the tensor product is an independent
+     convolution diagonal; inner additions stay in ascending-i order so
+     the result is identical at any domain count. *)
+  let out =
+    Pool.init (Pool.default ()) (da + db - 1) (fun k ->
+        let acc = ref (Rq.zero basis) in
+        for i = max 0 (k - db + 1) to min (da - 1) k do
+          acc := Rq.add !acc (Rq.mul a.comps.(i) b.comps.(k - i))
+        done;
+        !acc)
+  in
   let n_bits = log (float_of_int (Rns.degree basis)) /. log 2. in
   { comps = out; noise_bits = a.noise_bits +. b.noise_bits +. n_bits +. 1. }
 
@@ -233,12 +239,20 @@ let relinearize ctx rk ct =
     for j = 2 to d do
       let digits = digit_decompose ctx rk ct.comps.(j) in
       let ksk = rk.keys.(j - 2) in
-      Array.iteri
-        (fun idx dig ->
-          let k0, k1 = ksk.(idx) in
-          c0 := Rq.add !c0 (Rq.mul dig k0);
-          c1 := Rq.add !c1 (Rq.mul dig k1))
-        digits
+      (* Key-switch products per digit are independent; accumulate them
+         sequentially in digit order for a fixed combine order. *)
+      let prods =
+        Pool.mapi_array (Pool.default ())
+          (fun idx dig ->
+            let k0, k1 = ksk.(idx) in
+            (Rq.mul dig k0, Rq.mul dig k1))
+          digits
+      in
+      Array.iter
+        (fun (p0, p1) ->
+          c0 := Rq.add !c0 p0;
+          c1 := Rq.add !c1 p1)
+        prods
     done;
     let qbits = float_of_int (modulus_bits ctx) in
     let relin_noise =

@@ -14,6 +14,7 @@ module Sim = Mycelium_mixnet.Sim
 module Bulletin = Mycelium_mixnet.Bulletin
 module Fault_plan = Mycelium_faults.Fault_plan
 module Injector = Mycelium_faults.Injector
+module Pool = Mycelium_parallel.Pool
 
 type config = {
   params : Params.t;
@@ -31,6 +32,10 @@ type config = {
   faults : Fault_plan.t option;
       (** deterministic fault plan injected into every query this
           runtime executes; [None] disables injection entirely *)
+  domains : int;
+      (** domain count for the parallel work pool (1 = sequential);
+          overridden by the [MYCELIUM_DOMAINS] environment variable.
+          Results are byte-identical at any domain count. *)
 }
 
 let default_config =
@@ -46,7 +51,15 @@ let default_config =
     relin_degree = None;
     accounting = Dp.Basic;
     faults = None;
+    domains = 1;
   }
+
+(* Every parallel task derives its own Rng from a fresh per-phase seed
+   and its stable coordinates, never from the runtime's [t.rng]: Rng
+   handles are single-domain-owned (see lib/util/rng.mli), and the
+   pre-split streams make results independent of the domain count. *)
+let task_rng seed a b =
+  Rng.create (Rng.mix64 seed (Rng.mix64 (Int64.of_int a) (Int64.of_int b)))
 
 type t = {
   cfg : config;
@@ -71,8 +84,15 @@ let graph t = t.graph
 
 let init cfg graph =
   Params.validate cfg.params;
-  if Cg.max_degree graph > cfg.degree_bound then
-    invalid_arg "Runtime.init: graph exceeds the degree bound d";
+  Pool.configure ~domains:cfg.domains;
+  (* Graphs loaded from external data may exceed d; the sensitivity
+     analysis (§3.2) needs every vertex at degree <= d, so clip
+     deterministically instead of running with broken sensitivity. *)
+  let graph =
+    if Cg.max_degree graph > cfg.degree_bound then
+      Cg.clip_to_degree_bound ~bound:cfg.degree_bound graph
+    else graph
+  in
   let ctx = Bgv.make_ctx cfg.params in
   let rng = Rng.create cfg.seed in
   (* Relinearization must cover the largest 1-hop local product: up to
@@ -156,12 +176,17 @@ let unpad b =
    (rows per origin, discarded count, transit losses). *)
 let gather_rows t inj info =
   let n = Cg.population t.graph in
+  let pool = Pool.default () in
+  (* One draw from the runtime stream, then per-contribution streams
+     derived from stable (contributor, destination) coordinates: builds
+     can run on any domain in any order with identical output. *)
+  let gather_seed = Rng.int64 t.rng in
   let discarded = ref 0 and losses = ref 0 in
-  let build_for dest_dev edge =
+  let build_for rng dest_dev edge =
     if t.byzantine.(dest_dev) then
       (* Over-weighted value with a forged proof (§4.6's attack). *)
-      Contribution.build_malicious t.ctx t.rng t.pk info ~exponent:1 ~coeff:200
-    else Contribution.build t.srs t.ctx t.rng t.pk info ~dest:(Cg.vertex t.graph dest_dev) ~edge
+      Contribution.build_malicious t.ctx rng t.pk info ~exponent:1 ~coeff:200
+    else Contribution.build t.srs t.ctx rng t.pk info ~dest:(Cg.vertex t.graph dest_dev) ~edge
   in
   let rows = Array.make n [] in
   (match t.mixnet with
@@ -171,7 +196,12 @@ let gather_rows t inj info =
       let targets =
         Array.init n (fun v ->
             let neigh = List.map fst (Cg.neighbors t.graph v) in
-            (* Pad with self-loops to exactly d targets (§3.2). *)
+            (* Exactly d targets per vertex (§3.2): clip an over-degree
+               vertex to its first d neighbors, pad an under-degree one
+               with self-loops.  Without the clip a vertex with more
+               than d contacts would emit more than d circuits and break
+               the sensitivity analysis. *)
+            let neigh = List.filteri (fun i _ -> i < t.cfg.degree_bound) neigh in
             let pad = t.cfg.degree_bound - List.length neigh in
             Array.of_list (neigh @ List.init (max 0 pad) (fun _ -> v)))
       in
@@ -202,37 +232,55 @@ let gather_rows t inj info =
       done
     end;
     let frame = Contribution.wire_size t.ctx info in
+    (* [payload_of] is called from the simulator's parallel wrap phase:
+       it must be pure, so each (source, dest) pair gets its own derived
+       Rng stream instead of sharing [t.rng]. *)
     let payload_of ~source ~dest =
       if source = dest then pad_to frame (Bytes.make 1 '\x00') (* self-loop padding *)
       else begin
         let edge = Cg.edge t.graph source dest in
-        pad_to frame (Contribution.to_bytes (build_for source edge))
+        pad_to frame (Contribution.to_bytes (build_for (task_rng gather_seed source dest) source edge))
       end
     in
     let (_ : Sim.round_stats) = Sim.run_query_round_with mix ~payload_of in
     Sim.set_fault_hook mix None;
-    let delivered = Sim.deliveries mix in
+    let delivered = Array.of_list (Sim.deliveries mix) in
     (* Count expected edge messages that did not arrive. *)
     let expected = Cg.edge_count t.graph * 2 in
     let arrived = ref 0 in
-    List.iter
-      (fun (src, dst, body) ->
-        if src <> dst then begin
-          if Injector.device_offline inj ~device:src then
+    (* Parse + ZKP-verify each delivery in parallel (pure given the
+       bytes), then fold the verdicts in delivery order so counters and
+       per-origin row order never depend on the domain count. *)
+    let verdicts =
+      Pool.map_array pool
+        (fun (src, dst, body) ->
+          if src = dst then `Self_loop
+          else if Injector.device_offline inj ~device:src then
             (* Already counted as substituted above; the delivered
                bytes of an offline device are ignored. *)
-            incr arrived
+            `Offline
           else begin
             match Option.bind (unpad body) (Contribution.of_bytes t.ctx) with
             | Some row ->
-              incr arrived;
-              if Contribution.verify t.srs t.ctx info row then
-                rows.(dst) <- (src, Cg.edge t.graph dst src, row) :: rows.(dst)
-              else incr discarded
-            | None -> incr discarded
-          end
-        end)
-      delivered;
+              if Contribution.verify t.srs t.ctx info row then `Row row else `Bad_proof
+            | None -> `Bad_bytes
+          end)
+        delivered
+    in
+    Array.iteri
+      (fun i verdict ->
+        let src, dst, _ = delivered.(i) in
+        match verdict with
+        | `Self_loop -> ()
+        | `Offline -> incr arrived
+        | `Row row ->
+          incr arrived;
+          rows.(dst) <- (src, Cg.edge t.graph dst src, row) :: rows.(dst)
+        | `Bad_proof ->
+          incr arrived;
+          incr discarded
+        | `Bad_bytes -> incr discarded)
+      verdicts;
     losses := expected - !arrived
   | Some _ | None ->
     (* Abstract reliable channel: used when the experiment under
@@ -240,7 +288,15 @@ let gather_rows t inj info =
        injection makes the channel droppable: each row delivery is
        retried with exponential backoff up to the plan's budget, and
        churned contributors' rows get §6.3 default-value
-       substitution (the row is absent from the local aggregate). *)
+       substitution (the row is absent from the local aggregate).
+
+       Three phases keep the report and rows deterministic: (1) a
+       sequential pass makes every injector decision in the original
+       iteration order; (2) the surviving (origin, contributor) builds
+       — the dominant cost: BGV encrypt plus ZKP prove/verify — run on
+       the pool with per-pair Rng streams; (3) a sequential merge
+       assembles rows and counters in the original order. *)
+    let tasks = ref [] in
     for origin = 0 to n - 1 do
       if not (Injector.device_offline inj ~device:origin) then begin
         let members = Cg.k_hop t.graph origin ~k:info.Analysis.query.Ast.hops in
@@ -261,15 +317,23 @@ let gather_rows t inj info =
               (* Permanently lost after the retry budget: same shape
                  as a missing row. *)
               ()
-            else begin
-              let row = build_for m (first_edge m) in
-              if Contribution.verify t.srs t.ctx info row then
-                rows.(origin) <- (m, first_edge m, row) :: rows.(origin)
-              else incr discarded
-            end)
+            else tasks := (origin, m, first_edge m) :: !tasks)
           members
       end
-    done);
+    done;
+    let tasks = Array.of_list (List.rev !tasks) in
+    let built =
+      Pool.map_array pool
+        (fun (origin, m, edge) ->
+          let row = build_for (task_rng gather_seed origin m) m edge in
+          (Contribution.verify t.srs t.ctx info row, row))
+        tasks
+    in
+    Array.iteri
+      (fun i (ok, row) ->
+        let origin, m, edge = tasks.(i) in
+        if ok then rows.(origin) <- (m, edge, row) :: rows.(origin) else incr discarded)
+      built);
   (rows, !discarded, !losses)
 
 let run_query_ast ?(epsilon = 1.0) t query =
@@ -332,7 +396,8 @@ let run_query_ast ?(epsilon = 1.0) t query =
      A Byzantine interior vertex's forged product is caught by the
      aggregator and its whole subtree is lost — the bias §4.7
      acknowledges. *)
-  let tree_aggregate origin =
+  let tree_aggregate ~rng origin =
+    let local_discarded = ref 0 in
     let hops = info.Analysis.query.Ast.hops in
     let parents = Cg.spanning_parents t.graph origin ~k:hops in
     let members = Cg.k_hop t.graph origin ~k:hops in
@@ -363,13 +428,13 @@ let run_query_ast ?(epsilon = 1.0) t query =
                  ~inputs:(match own with Some ct -> ct :: kids | None -> kids)
                  ~output:product proof
             then Hashtbl.replace products m product
-            else incr discarded
+            else incr local_discarded
           | Error _ -> ()
         end
         else begin
           (* Byzantine interior vertex: garbage product, forged proof —
              rejected, subtree lost. *)
-          incr discarded
+          incr local_discarded
         end)
       by_depth;
     (* The origin multiplies its own row with its children's products
@@ -377,65 +442,84 @@ let run_query_ast ?(epsilon = 1.0) t query =
        children's products standing in as rows is not possible for
        products — do it directly). *)
     let self = Cg.vertex t.graph origin in
-    if not (Semantics.origin_gate info self) then
-      Ok (Bgv.encrypt_zero_polynomial t.ctx t.rng t.pk)
-    else begin
-      let own_ctx_row = { Semantics.self; dest = self; edge = None } in
-      let own_ct =
-        Bgv.encrypt_value t.ctx t.rng t.pk (Semantics.row_value info own_ctx_row)
-      in
-      let kids =
-        List.filter_map (fun c -> Hashtbl.find_opt products c)
-          (Option.value ~default:[] (Hashtbl.find_opt children origin))
-      in
-      match Contribution.aggregate_subtree t.srs ~own:(Some own_ct) ~children:kids with
-      | Ok (product, _proof) -> Ok product
-      | Error e -> Error e
-    end
-  in
-  for origin = 0 to n - 1 do
-    if Injector.device_offline inj ~device:origin then begin
-      (* Offline origin: the aggregator substitutes the §6.3 default
-         value — an encryption of zero — so the leaf count (and every
-         honest device's audit position) is unchanged. *)
-      Injector.note_substituted inj;
-      origin_cts := Bgv.encrypt_zero_polynomial t.ctx t.rng t.pk :: !origin_cts
-    end
-    else if t.byzantine.(origin) || Injector.contribution_forged inj ~device:origin
-    then begin
-      let bad = Contribution.build_malicious t.ctx t.rng t.pk info ~exponent:2 ~coeff:999 in
-      let forged = Zkp.forge t.rng in
-      (* The aggregator checks the transcript proof and discards. *)
-      if
-        Zkp.verify_transcript t.srs ~label:"origin-aggregation"
-          ~context:(Bytes.of_string info.Analysis.query.Ast.name)
-          ~inputs:[ bad.Contribution.ciphertexts.(0) ]
-          ~output:bad.Contribution.ciphertexts.(0) forged
-      then origin_cts := bad.Contribution.ciphertexts.(0) :: !origin_cts
+    let result =
+      if not (Semantics.origin_gate info self) then
+        Ok (Bgv.encrypt_zero_polynomial t.ctx rng t.pk)
       else begin
-        incr discarded;
-        if not t.byzantine.(origin) then Injector.note_forged_rejected inj
+        let own_ctx_row = { Semantics.self; dest = self; edge = None } in
+        let own_ct = Bgv.encrypt_value t.ctx rng t.pk (Semantics.row_value info own_ctx_row) in
+        let kids =
+          List.filter_map (fun c -> Hashtbl.find_opt products c)
+            (Option.value ~default:[] (Hashtbl.find_opt children origin))
+        in
+        match Contribution.aggregate_subtree t.srs ~own:(Some own_ct) ~children:kids with
+        | Ok (product, _proof) -> Ok product
+        | Error e -> Error e
       end
-    end
-    else if info.Analysis.query.Ast.hops > 1 then begin
-      match tree_aggregate origin with
-      | Ok ct ->
+    in
+    (result, !local_discarded)
+  in
+  (* Per-origin aggregation (BGV ops plus transcript proofs) runs on
+     the pool: each origin's work is pure given its own derived Rng
+     stream and read-only runtime state.  Injector lookups inside the
+     tasks are stateless plan queries; the report counters are applied
+     in the sequential merge below, in ascending-origin order, so the
+     degradation report is identical at any domain count. *)
+  let agg_seed = Rng.int64 t.rng in
+  let pool = Pool.default () in
+  let outcomes =
+    Pool.init pool n (fun origin ->
+        let rng = task_rng agg_seed origin 0 in
+        if Injector.device_offline inj ~device:origin then
+          (* Offline origin: the aggregator substitutes the §6.3 default
+             value — an encryption of zero — so the leaf count (and every
+             honest device's audit position) is unchanged. *)
+          `Substituted (Bgv.encrypt_zero_polynomial t.ctx rng t.pk)
+        else if t.byzantine.(origin) || Injector.contribution_forged inj ~device:origin
+        then begin
+          let bad = Contribution.build_malicious t.ctx rng t.pk info ~exponent:2 ~coeff:999 in
+          let forged = Zkp.forge rng in
+          (* The aggregator checks the transcript proof and discards. *)
+          if
+            Zkp.verify_transcript t.srs ~label:"origin-aggregation"
+              ~context:(Bytes.of_string info.Analysis.query.Ast.name)
+              ~inputs:[ bad.Contribution.ciphertexts.(0) ]
+              ~output:bad.Contribution.ciphertexts.(0) forged
+          then `Forged_accepted bad.Contribution.ciphertexts.(0)
+          else `Forged_rejected t.byzantine.(origin)
+        end
+        else if info.Analysis.query.Ast.hops > 1 then begin
+          match tree_aggregate ~rng origin with
+          | Ok ct, dropped -> `Included (ct, dropped)
+          | Error _, dropped -> `Failed dropped
+        end
+        else begin
+          match
+            Contribution.aggregate_origin t.srs t.ctx rng t.pk info
+              ~self:(Cg.vertex t.graph origin)
+              ~rows:(List.map (fun (_, e, r) -> (e, r)) rows.(origin))
+          with
+          | Ok (ct, _proof) -> `Included (ct, 0)
+          | Error _ -> `Failed 0
+        end)
+  in
+  Array.iter
+    (function
+      | `Substituted ct ->
+        Injector.note_substituted inj;
+        origin_cts := ct :: !origin_cts
+      | `Forged_accepted ct -> origin_cts := ct :: !origin_cts
+      | `Forged_rejected byzantine ->
+        incr discarded;
+        if not byzantine then Injector.note_forged_rejected inj
+      | `Included (ct, dropped) ->
+        discarded := !discarded + dropped;
         incr origins_included;
         origin_cts := ct :: !origin_cts
-      | Error _ -> incr discarded
-    end
-    else begin
-      match
-        Contribution.aggregate_origin t.srs t.ctx t.rng t.pk info
-          ~self:(Cg.vertex t.graph origin)
-          ~rows:(List.map (fun (_, e, r) -> (e, r)) rows.(origin))
-      with
-      | Ok (ct, _proof) ->
-        incr origins_included;
-        origin_cts := ct :: !origin_cts
-      | Error _ -> incr discarded
-    end
-  done;
+      | `Failed dropped ->
+        discarded := !discarded + dropped;
+        incr discarded)
+    outcomes;
   match !origin_cts with
   | [] -> Error (Pipeline_error "no valid origin contributions")
   | _ ->

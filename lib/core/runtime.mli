@@ -45,6 +45,15 @@ type config = {
           shares, and aggregator restarts rebuild the summation tree
           from its durable leaves. What actually fired is returned in
           [query_result.degradation]. *)
+  domains : int;
+      (** domain count for the parallel work pool threaded through
+          contribution build/verify, RNS/NTT limb ops, summation-tree
+          construction and mixnet round processing (1 = sequential;
+          the default). The [MYCELIUM_DOMAINS] environment variable
+          overrides this. Query results, DP noise and degradation
+          reports are byte-identical at any domain count: all task
+          randomness comes from pre-split seed streams and every
+          reduction uses a fixed combine order. *)
 }
 
 val default_config : config
@@ -54,6 +63,11 @@ val default_config : config
 type t
 
 val init : config -> Mycelium_graph.Contact_graph.t -> t
+(** If the graph's maximum degree exceeds [degree_bound] (possible for
+    graphs loaded from external data rather than
+    {!Mycelium_graph.Contact_graph.generate}), it is deterministically
+    clipped with {!Mycelium_graph.Contact_graph.clip_to_degree_bound};
+    {!graph} returns the clipped graph the queries actually run over. *)
 
 val public_key : t -> Mycelium_bgv.Bgv.public_key
 val committee : t -> Committee.t

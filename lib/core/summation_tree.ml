@@ -1,5 +1,6 @@
 module Bgv = Mycelium_bgv.Bgv
 module Sha256 = Mycelium_crypto.Sha256
+module Pool = Mycelium_parallel.Pool
 
 type node = { sum : Bgv.ciphertext; hash : bytes }
 
@@ -30,13 +31,17 @@ let promote_hash h =
 let build leaves =
   let n = Array.length leaves in
   if n = 0 then invalid_arg "Summation_tree.build: no leaves";
-  let level0 = Array.map (fun ct -> { sum = ct; hash = leaf_hash ct }) leaves in
+  (* Sibling pairs within a level are independent (a sum plus a hash
+     each); parallelise per pair index.  Levels stay strictly ordered,
+     so the committed tree is identical at any domain count. *)
+  let pool = Pool.default () in
+  let level0 = Pool.map_array pool (fun ct -> { sum = ct; hash = leaf_hash ct }) leaves in
   let rec up acc level =
     if Array.length level = 1 then List.rev (level :: acc)
     else begin
       let w = Array.length level in
       let next =
-        Array.init
+        Pool.init pool
           ((w + 1) / 2)
           (fun i ->
             if (2 * i) + 1 < w then begin

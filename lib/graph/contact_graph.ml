@@ -127,6 +127,62 @@ let generate config rng =
   done;
   g
 
+(* Externally-sourced graphs (trace imports, test fixtures) are not
+   produced by [generate] and may violate the degree bound; loading is
+   therefore unbounded and callers clip explicitly. *)
+let of_edges ~degree_bound ?(horizon_days = default_config.horizon_days) ~vertices ~edges () =
+  let n = Array.length vertices in
+  if n < 2 then invalid_arg "Contact_graph.of_edges: population too small";
+  if degree_bound < 1 then invalid_arg "Contact_graph.of_edges: degree bound too small";
+  let config = { default_config with population = n; degree_bound; horizon_days } in
+  let g = { config; vertices = Array.copy vertices; adj = Array.make n []; n_edges = 0 } in
+  List.iter
+    (fun (u, v, data) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Contact_graph.of_edges: vertex out of range";
+      if u = v then invalid_arg "Contact_graph.of_edges: self-loop";
+      if edge g u v <> None then invalid_arg "Contact_graph.of_edges: duplicate edge";
+      g.adj.(u) <- (v, data) :: g.adj.(u);
+      g.adj.(v) <- (u, data) :: g.adj.(v);
+      g.n_edges <- g.n_edges + 1)
+    edges;
+  g
+
+(* Deterministic repair for over-degree graphs: walk the edge set in
+   canonical (min endpoint, max endpoint) order and keep an edge iff
+   both endpoints still have capacity.  Independent of adjacency-list
+   representation order, so a reloaded graph clips identically. *)
+let clip_to_degree_bound ?bound t =
+  let n = t.config.population in
+  let b = match bound with Some b -> b | None -> t.config.degree_bound in
+  if b < 1 then invalid_arg "Contact_graph.clip_to_degree_bound: bound too small";
+  let edges = ref [] in
+  Array.iteri
+    (fun u l -> List.iter (fun (v, data) -> if u < v then edges := (u, v, data) :: !edges) l)
+    t.adj;
+  let edges =
+    List.sort (fun (u1, v1, _) (u2, v2, _) -> compare (u1, v1) (u2, v2)) !edges
+  in
+  let g =
+    {
+      config = { t.config with degree_bound = b };
+      vertices = Array.copy t.vertices;
+      adj = Array.make n [];
+      n_edges = 0;
+    }
+  in
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v, data) ->
+      if deg.(u) < b && deg.(v) < b then begin
+        g.adj.(u) <- (v, data) :: g.adj.(u);
+        g.adj.(v) <- (u, data) :: g.adj.(v);
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        g.n_edges <- g.n_edges + 1
+      end)
+    edges;
+  g
+
 let k_hop t origin ~k =
   let dist = Hashtbl.create 64 in
   Hashtbl.add dist origin 0;

@@ -39,6 +39,27 @@ val degree : t -> int -> int
 val max_degree : t -> int
 val edge_count : t -> int
 
+val of_edges :
+  degree_bound:int ->
+  ?horizon_days:int ->
+  vertices:Schema.vertex_data array ->
+  edges:(int * int * Schema.edge_data) list ->
+  unit ->
+  t
+(** Load a graph from explicit vertex and edge data (trace imports, test
+    fixtures).  Unlike {!generate}, the degree bound is {e not} enforced
+    — externally-sourced graphs may exceed it, and the runtime clips
+    them (see {!clip_to_degree_bound}).  Rejects self-loops, duplicate
+    edges and out-of-range endpoints. *)
+
+val clip_to_degree_bound : ?bound:int -> t -> t
+(** A copy of the graph in which every vertex has degree [<= bound]
+    (default [degree_bound t]; the copy's [degree_bound] becomes the
+    bound used): edges are visited in canonical (min endpoint, max
+    endpoint) order and kept iff both endpoints still have capacity.
+    Deterministic and independent of adjacency-list order; the identity
+    (up to adjacency order) for graphs already within the bound. *)
+
 val k_hop : t -> int -> k:int -> (int * int) list
 (** [(vertex, distance)] pairs with distance in [1..k]; excludes the
     origin. BFS, matching the flooding semantics of §4.4. *)

@@ -1,6 +1,21 @@
 module Rng = Mycelium_util.Rng
+module Pool = Mycelium_parallel.Pool
 
 type t = { basis : Rns.t; rows : int array array }
+
+(* Per-limb parallelism: each RNS row is independent, so limb ops map
+   cleanly onto the domain pool.  Dispatch costs a few microseconds, so
+   only ship work out once a limb is big enough to amortise it: NTT
+   multiplies (O(n log n) with a large constant) from degree 512, plain
+   pointwise passes only from degree 4096.  Results are written by limb
+   index, so the output is identical at any domain count. *)
+let ntt_par_degree = 512
+let pointwise_par_degree = 4096
+
+let pmapi ~min_degree basis f arr =
+  if Rns.degree basis >= min_degree && Array.length arr > 1 then
+    Pool.mapi_array (Pool.default ()) f arr
+  else Array.mapi f arr
 
 let basis_of t = t.basis
 
@@ -62,7 +77,7 @@ let map2 f a b =
   then invalid_arg "Rq: basis mismatch";
   let primes = Rns.primes a.basis in
   let rows =
-    Array.mapi
+    pmapi ~min_degree:pointwise_par_degree a.basis
       (fun j p ->
         let ra = a.rows.(j) and rb = b.rows.(j) in
         Array.init (Array.length ra) (fun i -> f p ra.(i) rb.(i)))
@@ -75,18 +90,27 @@ let sub a b = map2 Modarith.sub a b
 
 let neg a =
   let primes = Rns.primes a.basis in
-  { a with rows = Array.mapi (fun j row -> Array.map (Modarith.neg primes.(j)) row) a.rows }
+  { a with
+    rows =
+      pmapi ~min_degree:pointwise_par_degree a.basis
+        (fun j row -> Array.map (Modarith.neg primes.(j)) row)
+        a.rows
+  }
 
 let mul a b =
   if Rns.primes a.basis <> Rns.primes b.basis then invalid_arg "Rq.mul: basis mismatch";
   let plans = Rns.plans a.basis in
-  let rows = Array.mapi (fun j plan -> Ntt.multiply plan a.rows.(j) b.rows.(j)) plans in
+  let rows =
+    pmapi ~min_degree:ntt_par_degree a.basis
+      (fun j plan -> Ntt.multiply plan a.rows.(j) b.rows.(j))
+      plans
+  in
   { basis = a.basis; rows }
 
 let mul_scalar a s =
   let primes = Rns.primes a.basis in
   let rows =
-    Array.mapi
+    pmapi ~min_degree:pointwise_par_degree a.basis
       (fun j row ->
         let sv = Modarith.reduce primes.(j) s in
         Array.map (fun c -> Modarith.mul primes.(j) c sv) row)
@@ -99,7 +123,7 @@ let mul_scalar_residues a scalar =
   if Array.length scalar <> Array.length primes then
     invalid_arg "Rq.mul_scalar_residues: wrong residue count";
   let rows =
-    Array.mapi
+    pmapi ~min_degree:pointwise_par_degree a.basis
       (fun j row ->
         let sv = Modarith.reduce primes.(j) scalar.(j) in
         Array.map (fun c -> Modarith.mul primes.(j) c sv) row)

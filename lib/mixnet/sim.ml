@@ -1,4 +1,5 @@
 module Rng = Mycelium_util.Rng
+module Pool = Mycelium_parallel.Pool
 module Sha256 = Mycelium_crypto.Sha256
 module Elgamal = Mycelium_crypto.Elgamal
 module Merkle = Mycelium_crypto.Merkle
@@ -391,18 +392,7 @@ let record_download t dev sids = Hashtbl.replace t.downloads (dev, t.round) sids
 let run_query_round_with t ~payload_of =
   let k = t.cfg.hops in
   let query_round = t.round in
-  let payload_len = ref None in
-  let payload_for source dest =
-    let p = payload_of ~source ~dest in
-    (match !payload_len with
-    | None -> payload_len := Some (Bytes.length p)
-    | Some l ->
-      if l <> Bytes.length p then
-        invalid_arg "Sim.run_query_round_with: payloads must have equal length");
-    p
-  in
-  (* Probe one payload for the dummy length. *)
-  let body_len = ref 0 in
+  let pool = Pool.default () in
   (* Group established paths by logical message. *)
   let by_message = Hashtbl.create 256 in
   List.iter
@@ -411,34 +401,80 @@ let run_query_round_with t ~payload_of =
         Hashtbl.replace by_message p.msg_id
           (p :: Option.value ~default:[] (Hashtbl.find_opt by_message p.msg_id)))
     t.paths;
-  (* Round 0: deposits. *)
+  (* Round 0: deposits, in three phases so the result never depends on
+     the domain count.  Phase 1 (sequential) makes every Rng draw
+     (sender churn) and fault-hook consult in the original iteration
+     order.  Phase 2 runs the expensive crypto — payload construction,
+     inner AE layer, onion wrapping — on the pool; [payload_of] must be
+     pure (see the mli).  Phase 3 (sequential) deposits the surviving
+     copies in the original order, so sid allocation is unchanged. *)
+  let msg_groups = ref [] in
   Hashtbl.iter
     (fun _msg paths ->
       match paths with
       | [] -> ()
       | first :: _ ->
-        if online t first.source then
-          List.iteri
-            (fun copy p ->
-              let payload = payload_for p.source p.dest in
-              let inner = Onion.seal_inner ~key:p.dst_key ~round:query_round payload in
-              if !body_len = 0 then body_len := Bytes.length inner;
-              (* Injected transit loss: the copy vanishes on its first
-                 link (the replicas are the protocol's own redundancy
-                 against exactly this). *)
-              let injected_drop =
-                match t.fault_hook with
-                | Some hook -> hook ~round:query_round ~source:p.source ~dest:p.dest ~copy
-                | None -> false
-              in
-              if not injected_drop then begin
-                let onion = Onion.wrap ~hop_keys:(Array.to_list p.keys) ~round:query_round inner in
-                ignore
-                  (deposit t ~pseudo:p.path_hops.(0) ~link_id:p.link_ids.(0) ~body:onion
-                     ~origin:(Deposited p.source))
-              end)
-            paths)
+        if online t first.source then begin
+          let copies =
+            List.mapi
+              (fun copy p ->
+                (* Injected transit loss: the copy vanishes on its first
+                   link (the replicas are the protocol's own redundancy
+                   against exactly this). *)
+                let injected_drop =
+                  match t.fault_hook with
+                  | Some hook -> hook ~round:query_round ~source:p.source ~dest:p.dest ~copy
+                  | None -> false
+                in
+                (p, injected_drop))
+              paths
+          in
+          msg_groups := copies :: !msg_groups
+        end)
     by_message;
+  let built =
+    Pool.map_array pool
+      (fun copies ->
+        match copies with
+        | [] -> []
+        | (first, _) :: _ ->
+          (* Replica copies share one logical payload; each copy seals
+             and wraps it under its own path keys.  The inner layer is
+             computed for dropped copies too: the dummy length probe
+             below must see it, exactly as the sequential code did. *)
+          let payload = payload_of ~source:first.source ~dest:first.dest in
+          List.map
+            (fun (p, dropped) ->
+              let inner = Onion.seal_inner ~key:p.dst_key ~round:query_round payload in
+              let onion =
+                if dropped then None
+                else Some (Onion.wrap ~hop_keys:(Array.to_list p.keys) ~round:query_round inner)
+              in
+              (p, Bytes.length payload, Bytes.length inner, onion))
+            copies)
+      (Array.of_list (List.rev !msg_groups))
+  in
+  let payload_len = ref None in
+  (* Probe one payload for the dummy length. *)
+  let body_len = ref 0 in
+  Array.iter
+    (fun copies ->
+      List.iter
+        (fun (p, plen, inner_len, onion) ->
+          (match !payload_len with
+          | None -> payload_len := Some plen
+          | Some l ->
+            if l <> plen then
+              invalid_arg "Sim.run_query_round_with: payloads must have equal length");
+          if !body_len = 0 then body_len := inner_len;
+          match onion with
+          | None -> ()
+          | Some onion ->
+            ignore
+              (deposit t ~pseudo:p.path_hops.(0) ~link_id:p.link_ids.(0) ~body:onion
+                 ~origin:(Deposited p.source)))
+        copies)
+    built;
   let body_len = max 1 !body_len in
   commit_round t;
   t.round <- t.round + 1;
@@ -446,7 +482,14 @@ let run_query_round_with t ~payload_of =
   (* Rounds 1..k: forwarding. A device fetches all of its pseudonyms'
      mailboxes. *)
   for stage = 1 to k do
+    (* Same three-phase shape as round 0: the sequential pass replays
+       the exact Rng stream (churn draws, mixing shuffles, dummy bodies)
+       and allocates sids in the original shuffled order; only the
+       layer-peeling of honest forwards — pure symmetric crypto — is
+       deferred to the pool and patched back in below. *)
     let deposits = ref [] in
+    let peel_tasks = ref [] in
+    let n_peel = ref 0 in
     Array.iteri
       (fun dev (_ : device) ->
         let slots =
@@ -471,10 +514,12 @@ let run_query_round_with t ~payload_of =
                 let found = List.find_opt (fun s -> s.link_id = link_id) slots in
                 match found with
                 | Some s when not device.malicious ->
-                  let body = Onion.peel_layer ~key:entry.key ~round:query_round s.body in
                   let sid = fresh_sid t in
                   Hashtbl.replace t.origins sid (Forwarded_honest (dev, t.round));
-                  deposits := (entry.next_pseudo, entry.out_id, body, sid) :: !deposits
+                  let idx = !n_peel in
+                  incr n_peel;
+                  peel_tasks := (entry.key, s.body) :: !peel_tasks;
+                  deposits := (entry.next_pseudo, entry.out_id, `Peel idx, sid) :: !deposits
                 | Some s ->
                   (* Byzantine: reveal the mapping to the adversary and
                      covertly drop, masking with a dummy (§3.5). *)
@@ -482,7 +527,7 @@ let run_query_round_with t ~payload_of =
                   let sid = fresh_sid t in
                   Hashtbl.replace t.origins sid (Forwarded_malicious s.sid);
                   deposits :=
-                    (entry.next_pseudo, entry.out_id, Onion.dummy t.rng ~length:body_len, sid)
+                    (entry.next_pseudo, entry.out_id, `Body (Onion.dummy t.rng ~length:body_len), sid)
                     :: !deposits
                 | None when not device.malicious ->
                   (* Missing input: cover with a dummy so the traffic
@@ -491,52 +536,83 @@ let run_query_round_with t ~payload_of =
                   let sid = fresh_sid t in
                   Hashtbl.replace t.origins sid (Dummy_honest (dev, t.round));
                   deposits :=
-                    (entry.next_pseudo, entry.out_id, Onion.dummy t.rng ~length:body_len, sid)
+                    (entry.next_pseudo, entry.out_id, `Body (Onion.dummy t.rng ~length:body_len), sid)
                     :: !deposits
                 | None ->
                   incr dummies;
                   let sid = fresh_sid t in
                   Hashtbl.replace t.origins sid Dummy_malicious;
                   deposits :=
-                    (entry.next_pseudo, entry.out_id, Onion.dummy t.rng ~length:body_len, sid)
+                    (entry.next_pseudo, entry.out_id, `Body (Onion.dummy t.rng ~length:body_len), sid)
                     :: !deposits)
               expected
           end
         end)
       t.devices;
+    let peeled =
+      Pool.map_array pool
+        (fun (key, body) -> Onion.peel_layer ~key ~round:query_round body)
+        (Array.of_list (List.rev !peel_tasks))
+    in
     (* Clear processed mailboxes, apply deposits. *)
     Array.iteri (fun i _ -> t.mailboxes.(i) <- []) t.mailboxes;
     List.iter
       (fun (pseudo, link_id, body, sid) ->
+        let body = match body with `Body b -> b | `Peel i -> peeled.(i) in
         t.mailboxes.(pseudo) <- { sid; link_id; body } :: t.mailboxes.(pseudo))
       !deposits;
     commit_round t;
     t.round <- t.round + 1
   done;
-  (* Destinations pick up. *)
+  (* Destinations pick up.  Slot lookup and replica dedup stay
+     sequential in the original message order; the AE open of each
+     found copy runs on the pool. *)
   let delivered_sids = Hashtbl.create 256 in
   let deliveries = ref [] in
+  let pickup = ref [] in
   Hashtbl.iter
-    (fun msg paths ->
+    (fun _msg paths ->
+      let entries =
+        List.map
+          (fun p ->
+            let final_link = p.link_ids.(k) in
+            (p, List.find_opt (fun s -> s.link_id = final_link) t.mailboxes.(p.dest)))
+          paths
+      in
+      pickup := entries :: !pickup)
+    by_message;
+  let pickup = List.rev !pickup in
+  let opened =
+    Pool.map_array pool
+      (fun (key, body) -> Onion.open_inner ~key ~round:query_round body)
+      (Array.of_list
+         (List.concat_map
+            (List.filter_map (fun (p, slot) ->
+                 Option.map (fun s -> (p.dst_key, s.body)) slot))
+            pickup))
+  in
+  let next_open = ref 0 in
+  List.iter
+    (fun entries ->
       let got_one = ref false in
       List.iter
-        (fun p ->
-          let final_link = p.link_ids.(k) in
-          match List.find_opt (fun s -> s.link_id = final_link) t.mailboxes.(p.dest) with
+        (fun ((p : path), slot) ->
+          match slot with
+          | None -> ()
           | Some s -> (
-            match Onion.open_inner ~key:p.dst_key ~round:query_round s.body with
+            let result = opened.(!next_open) in
+            incr next_open;
+            match result with
             | Some body ->
-              Hashtbl.replace delivered_sids final_link s.sid;
+              Hashtbl.replace delivered_sids p.link_ids.(k) s.sid;
               (* The destination deduplicates replica copies. *)
               if not !got_one then begin
                 got_one := true;
                 deliveries := (p.source, p.dest, body) :: !deliveries
               end
-            | None -> ())
-          | None -> ())
-        paths;
-      ignore msg)
-    by_message;
+            | None -> ()))
+        entries)
+    pickup;
   Array.iteri (fun i _ -> t.mailboxes.(i) <- []) t.mailboxes;
   t.last_deliveries <- !deliveries;
   (* ---- adversary analysis ---- *)

@@ -107,7 +107,12 @@ val run_query_round_with : t -> payload_of:(source:int -> dest:int -> bytes) -> 
 (** Same, with a per-(source, destination) payload — how the vertex
     program actually uses the layer (distinct contribution per
     neighbor). All payloads must have equal length, or messages become
-    distinguishable; raises [Invalid_argument] otherwise. *)
+    distinguishable; raises [Invalid_argument] otherwise.
+
+    [payload_of] must be pure (same bytes for the same pair, no shared
+    mutable state): it is invoked once per logical message from the
+    parallel wrap phase, on an arbitrary pool domain.  Derive any
+    randomness it needs from a pre-split per-pair seed. *)
 
 val deliveries : t -> (int * int * bytes) list
 (** [(source_device, dest_pseudonym, payload)] messages opened by their

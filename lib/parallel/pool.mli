@@ -1,0 +1,81 @@
+(** A small fixed-size work pool over OCaml 5 [Domain]s.
+
+    The pool exists to parallelise the hot paths of the pipeline —
+    per-device contribution build/verify, per-limb RNS/NTT operations,
+    sibling subtree aggregation and per-round mixnet delivery — without
+    changing any observable result.  The contract every caller relies on:
+
+    {b Determinism.}  [map_array] applies a pure function to each element
+    and writes results by index; [reduce] maps in parallel and then folds
+    the per-element results {e sequentially in element order}.  Neither the
+    number of domains nor the scheduling of chunks can influence the
+    output, so query results are byte-identical at 1, 2 or 8 domains.
+    Tasks must not share mutable state (in particular [Rng.t] handles —
+    see [lib/util/rng.mli]); derive a per-task seed with [Rng.mix64]
+    instead.
+
+    {b Nesting.}  A task that itself calls into the pool (e.g. an
+    [Rq.mul] inside a per-device build) runs that inner work sequentially
+    on its own domain.  This keeps the pool deadlock-free and makes
+    library code safe to call from anywhere.
+
+    {b Exceptions.}  If a task raises, the first exception observed is
+    re-raised on the caller's domain after all chunks have drained. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] starts a pool that runs tasks on [domains] domains
+    ([domains - 1] spawned workers plus the submitting domain).  Values
+    [<= 1] yield a purely sequential pool that spawns nothing. *)
+
+val domains : t -> int
+(** Number of domains the pool was created with (>= 1). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  The pool must be
+    idle.  After shutdown the pool behaves sequentially. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f arr] is [Array.map f arr], with the applications of
+    [f] distributed over the pool's domains.  [f] must be safe to run
+    concurrently with itself on distinct elements. *)
+
+val mapi_array : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Indexed variant of [map_array]. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** [init pool n f] is [Array.init n f] with [f] run on the pool. *)
+
+val reduce : t -> combine:('b -> 'b -> 'b) -> init:'b -> ('a -> 'b) -> 'a array -> 'b
+(** [reduce pool ~combine ~init f arr] maps [f] over [arr] on the pool,
+    then folds the results with [combine] sequentially from [init] in
+    element order ([combine (... (combine init (f arr.(0))) ...) (f
+    arr.(n-1))]).  The fold order is fixed so non-associative combines
+    (e.g. float sums) are reproducible at any domain count. *)
+
+(** {1 The process-wide default pool}
+
+    Most call sites use [default ()] rather than threading a pool handle
+    through every API.  Its size is resolved, in decreasing precedence,
+    from: a [with_domains] override (tests), the [MYCELIUM_DOMAINS]
+    environment variable, and the last [configure] call (runtime
+    config); the fallback is 1 (sequential). *)
+
+val default : unit -> t
+(** The shared pool, (re)sized on demand to the resolved domain count.
+    Worker domains are joined automatically at process exit. *)
+
+val configure : domains:int -> unit
+(** Set the domain count requested by runtime configuration.  Overridden
+    by [MYCELIUM_DOMAINS] and by an active [with_domains]. *)
+
+val with_domains : int -> (unit -> 'a) -> 'a
+(** [with_domains n f] runs [f] with the default pool forced to [n]
+    domains (taking precedence over [MYCELIUM_DOMAINS] and [configure]),
+    restoring the previous setting afterwards.  Used by the determinism
+    tests to compare runs at 1/2/8 domains within one process. *)
+
+val current_domains : unit -> int
+(** Domain count the default pool resolves to right now. *)
+

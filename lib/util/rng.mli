@@ -7,7 +7,26 @@
     independent streams — convenient for giving each simulated device
     its own generator. Not cryptographically secure; protocol-level
     randomness in the simulation that must be unpredictable to the
-    simulated adversary is modeled separately. *)
+    simulated adversary is modeled separately.
+
+    {b Domain ownership rule.}  A [t] is mutable, unsynchronised state:
+    it must only ever be advanced by the domain that created it.  Never
+    capture a shared handle (e.g. the runtime's per-system stream) in a
+    task submitted to [Mycelium_parallel.Pool] — concurrent draws are a
+    data race, and even a benign race would make the stream, and thus
+    every result derived from it, depend on scheduling.  The pattern
+    used throughout the pipeline instead:
+
+    + on the owning domain, draw one fresh seed per parallel phase
+      ([int64]);
+    + derive a per-task key from that seed and the task's {e stable
+      coordinates} (device id, (source, dest) pair, ...) with the pure
+      [mix64] — never from the task's position in a work queue;
+    + [create] a task-local generator from the key inside the task.
+
+    This pre-splits the stream so results are byte-identical at any
+    domain count.  [split] and [copy] are for single-domain use; they do
+    not make sharing safe. *)
 
 type t
 

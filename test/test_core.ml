@@ -483,6 +483,72 @@ let test_e2e_mixnet_churn_degrades_gracefully () =
     (fun v -> checkb "bounded" true (v >= 0. && v <= float_of_int (Cg.population g)))
     r.Runtime.noisy_bins
 
+let test_e2e_over_degree_graph_clipped () =
+  (* A graph loaded from external data (outside [Contact_graph.generate])
+     may exceed the runtime's degree bound: [Runtime.init] must clip it
+     deterministically rather than fail, and in mixnet mode the
+     per-device target lists must come out at exactly d entries. *)
+  let n = 12 in
+  let d = 3 in
+  let rng = Rng.create 77L in
+  let vertices =
+    Array.init n (fun i ->
+        {
+          Schema.infected = i mod 2 = 0;
+          t_inf = (if i mod 2 = 0 then Some (i mod 14) else None);
+          age = 20 + (i * 7 mod 60);
+          household = i / 3;
+        })
+  in
+  let edge () =
+    {
+      Schema.duration_min = 30 + Rng.int rng 60;
+      contacts = 1 + Rng.int rng 4;
+      last_contact = Rng.int rng 14;
+      location = Schema.Household;
+      setting = Schema.Family;
+    }
+  in
+  (* Star around vertex 0 (degree n-1 >> d) plus a path over the rest. *)
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (0, v, edge ()) :: !edges
+  done;
+  for v = 1 to n - 2 do
+    edges := (v, v + 1, edge ()) :: !edges
+  done;
+  let g = Cg.of_edges ~degree_bound:d ~vertices ~edges:!edges () in
+  checkb "fixture exceeds bound" true (Cg.max_degree g > d);
+  let sys = Runtime.init { e2e_config with Runtime.degree_bound = d } g in
+  checkb "runtime graph clipped" true (Cg.max_degree (Runtime.graph sys) <= d);
+  let r = run_exact sys "Q5" in
+  let exact = Runtime.exact_bins_for_tests sys r.Runtime.info in
+  checkb "clipped result = oracle" true
+    (Array.for_all2 (fun a b -> int_of_float a = b) r.Runtime.noisy_bins exact);
+  (* Same over-degree graph through the mixnet: the target lists handed
+     to path setup are clipped and self-loop padded to exactly d, so
+     setup accepts them and nothing is lost. *)
+  let mix_cfg =
+    {
+      Sim.default_config with
+      Sim.hops = 2;
+      replicas = 2;
+      fraction = 0.4;
+      fast_setup = true;
+      verify_proofs = false;
+    }
+  in
+  let sys2 =
+    Runtime.init
+      { e2e_config with Runtime.degree_bound = d; route_through_mixnet = Some mix_cfg }
+      g
+  in
+  let r2 = run_exact sys2 "Q5" in
+  checki "nothing lost" 0 r2.Runtime.mixnet_losses;
+  let exact2 = Runtime.exact_bins_for_tests sys2 r2.Runtime.info in
+  checkb "mixnet over-degree result = oracle" true
+    (Array.for_all2 (fun a b -> int_of_float a = b) r2.Runtime.noisy_bins exact2)
+
 let test_e2e_parse_and_analysis_errors () =
   let sys = Lazy.force e2e_system in
   (match Runtime.run_query sys "SELECT nonsense" with
@@ -540,6 +606,7 @@ let () =
           Alcotest.test_case "byzantine discarded" `Slow test_e2e_byzantine_contributions_discarded;
           Alcotest.test_case "through the mixnet" `Slow test_e2e_through_mixnet;
           Alcotest.test_case "mixnet churn degrades gracefully" `Slow test_e2e_mixnet_churn_degrades_gracefully;
+          Alcotest.test_case "over-degree graph clipped" `Slow test_e2e_over_degree_graph_clipped;
           Alcotest.test_case "error paths" `Quick test_e2e_parse_and_analysis_errors;
         ] );
     ]

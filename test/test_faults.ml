@@ -20,6 +20,7 @@ module Runtime = Mycelium_core.Runtime
 module Sim = Mycelium_mixnet.Sim
 module Fault_plan = Mycelium_faults.Fault_plan
 module Injector = Mycelium_faults.Injector
+module Pool = Mycelium_parallel.Pool
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -427,6 +428,39 @@ let test_chaos_through_mixnet () =
     (fun v -> checkb "bounded" true (v >= 0. && v <= float_of_int (Cg.population g)))
     r1.Runtime.noisy_bins
 
+let test_parallel_domains_identical () =
+  (* The determinism contract of the parallel layer, checked where it
+     matters most: a chaotic run (drops, churn, forgeries, a committee
+     crash) must release byte-identical bins, DP noise and degradation
+     reports at 1, 2 and 8 domains. [Pool.with_domains] force-overrides
+     both the runtime config and MYCELIUM_DOMAINS for the extent of the
+     run. *)
+  let plan =
+    Fault_plan.make ~drop_rate:0.2 ~churn_rate:0.1 ~forge_rate:0.1
+      ~crashed_committee:[ 2 ] ~seed:chaos_seed ()
+  in
+  let run domains =
+    Pool.with_domains domains (fun () ->
+        let sys, r = run_chaos plan in
+        (* A finite-epsilon release on the same system covers the
+           in-MPC DP-noise path with the same byte-identical claim. *)
+        match Runtime.run_query ~epsilon:0.5 sys (Corpus.find "Q4").Corpus.sql with
+        | Error e -> Alcotest.failf "finite-eps run failed: %s" (err_to_string e)
+        | Ok r2 -> (r.Runtime.noisy_bins, r.Runtime.degradation, r2.Runtime.noisy_bins)
+    )
+  in
+  let bins1, rep1, noisy1 = run 1 in
+  List.iter
+    (fun d ->
+      let bins, rep, noisy = run d in
+      checkb (Printf.sprintf "exact bins identical at %d domains" d) true (bins = bins1);
+      checkb
+        (Printf.sprintf "degradation report identical at %d domains" d)
+        true
+        (Injector.report_equal rep rep1);
+      checkb (Printf.sprintf "DP noise identical at %d domains" d) true (noisy = noisy1))
+    [ 2; 8 ]
+
 let test_no_faults_empty_report () =
   (* faults = None and faults = Some none-plan both report empty and
      release the exact oracle. *)
@@ -474,6 +508,8 @@ let () =
           Alcotest.test_case "threshold liveness boundary" `Quick
             test_committee_threshold_liveness_boundary;
           Alcotest.test_case "chaos through the mixnet" `Quick test_chaos_through_mixnet;
+          Alcotest.test_case "identical across domain counts" `Quick
+            test_parallel_domains_identical;
           Alcotest.test_case "no faults, empty report" `Quick test_no_faults_empty_report;
         ] );
     ]
