@@ -32,6 +32,7 @@ module Runtime = Mycelium_core.Runtime
 module Fault_plan = Mycelium_faults.Fault_plan
 module Injector = Mycelium_faults.Injector
 module Pool = Mycelium_parallel.Pool
+module Obs = Mycelium_obs.Obs
 
 let only =
   let rec find = function
@@ -53,51 +54,15 @@ let say fmt = Printf.ksprintf (fun s -> if not json_mode then print_string s) fm
 let emit fig = if wants fig.Figures.id then say "%s" (Figures.render fig)
 
 (* ------------------------------------------------------------------ *)
-(* JSON accumulator (hand-rolled; no JSON library in the tree)         *)
+(* JSON accumulator (the shared lib/obs encoder)                       *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | Num of float
-  | Int of int
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
+module Json = Mycelium_obs.Obs.Json
+open Json (* the constructors: Num, Int, Str, List, Obj *)
 
-let rec json_to_buf buf = function
-  | Num f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Str s ->
-    Buffer.add_char buf '"';
-    String.iter
-      (function
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.add_char buf '"'
-  | List xs ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i x ->
-        if i > 0 then Buffer.add_char buf ',';
-        json_to_buf buf x)
-      xs;
-    Buffer.add_char buf ']'
-  | Obj kvs ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        json_to_buf buf (Str k);
-        Buffer.add_char buf ':';
-        json_to_buf buf v)
-      kvs;
-    Buffer.add_char buf '}'
-
-let json_sections : (string * json) list ref = ref []
+(* Sections are prepended (appending to the tail re-walks the list
+   every time) and reversed once at emission. *)
+let json_sections : (string * Json.t) list ref = ref []
 
 (* [section id f] runs [f] when selected, timing it; [f] returns extra
    key/values merged into the section's JSON record. *)
@@ -106,7 +71,7 @@ let section id f =
     let t0 = Unix.gettimeofday () in
     let extras = f () in
     let dt = Unix.gettimeofday () -. t0 in
-    json_sections := !json_sections @ [ (id, Obj (("seconds", Num dt) :: extras)) ]
+    json_sections := (id, Obj (("seconds", Num dt) :: extras)) :: !json_sections
   end
 
 (* ------------------------------------------------------------------ *)
@@ -120,8 +85,7 @@ let () =
   List.iter emit (Figures.all ());
   if only = None then
     json_sections :=
-      !json_sections
-      @ [ ("figures", Obj [ ("seconds", Num (Unix.gettimeofday () -. t0)) ]) ]
+      ("figures", Obj [ ("seconds", Num (Unix.gettimeofday () -. t0)) ]) :: !json_sections
 
 (* ------------------------------------------------------------------ *)
 (* Measurement-backed figures                                          *)
@@ -249,6 +213,90 @@ let () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Obs: cost of the tracing + metrics instrumentation                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The instrumented code is the only code in the tree, so the disabled
+   overhead cannot be measured as a diff against an uninstrumented
+   build.  Instead: (a) run the end-to-end query with tracing disabled
+   and enabled and report the enabled overhead directly; (b) time the
+   disabled fast path — one flag load plus a branch — in a
+   microbenchmark, count the instrumentation events one enabled query
+   actually crosses, and bound the disabled overhead by
+   branch_ns * events / disabled_time.  The release must come out
+   byte-identical either way (the DESIGN.md §8 contract; also enforced
+   by test/test_obs.ml). *)
+let () =
+  section "obs" (fun () ->
+      let best_of n f =
+        let best = ref infinity and last = ref None in
+        for _ = 1 to n do
+          let s, r = f () in
+          if s < !best then best := s;
+          last := Some r
+        done;
+        (!best, Option.get !last)
+      in
+      let disabled_s, disabled_r = best_of 3 (fun () -> time_query None) in
+      let enabled_s, enabled_r, spans, events =
+        Obs.with_enabled (fun () ->
+            ignore (time_query None);
+            (* warm *)
+            Obs.reset ();
+            let s, r = time_query None in
+            let count name = Obs.Metrics.(value (counter name)) in
+            let spans = Obs.span_count () in
+            let events =
+              spans + count "rq.limb_ntt_muls" + count "bgv.encrypts"
+              + count "bgv.ciphertext_muls" + count "bgv.relinearizations"
+              + count "pool.chunks_run"
+            in
+            (s, r, spans, events))
+      in
+      if disabled_r.Runtime.noisy_bins <> enabled_r.Runtime.noisy_bins then
+        failwith "bench obs: query result differs with tracing enabled";
+      if
+        not
+          (Injector.report_equal disabled_r.Runtime.degradation
+             enabled_r.Runtime.degradation)
+      then failwith "bench obs: degradation report differs with tracing enabled";
+      (* The disabled fast path: Obs.enabled () + branch, including the
+         loop around it, so the estimate errs high. *)
+      let branch_ns =
+        let n = 10_000_000 in
+        let acc = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to n do
+          if Obs.enabled () then incr acc
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        ignore (Sys.opaque_identity !acc);
+        dt *. 1e9 /. float_of_int n
+      in
+      let disabled_overhead_pct =
+        branch_ns *. float_of_int events /. (disabled_s *. 1e9) *. 100.
+      in
+      let enabled_overhead_pct = (enabled_s /. disabled_s -. 1.0) *. 100.0 in
+      if disabled_overhead_pct >= 2.0 then
+        failwith "bench obs: disabled instrumentation overhead exceeds 2%";
+      say "\n";
+      say "=== Obs: instrumentation overhead on the end-to-end query ===\n";
+      say "  tracing disabled    %8.2f ms\n" (disabled_s *. 1e3);
+      say "  tracing enabled     %8.2f ms  (%+.1f%%, %d spans, %d events)\n"
+        (enabled_s *. 1e3) enabled_overhead_pct spans events;
+      say "  disabled fast path  %8.2f ns/check -> %.4f%% of the query (bound)\n"
+        branch_ns disabled_overhead_pct;
+      [
+        ("disabled_ms", Num (disabled_s *. 1e3));
+        ("enabled_ms", Num (enabled_s *. 1e3));
+        ("enabled_overhead_pct", Num enabled_overhead_pct);
+        ("disabled_overhead_pct", Num disabled_overhead_pct);
+        ("spans", Int spans);
+        ("events", Int events);
+        ("branch_ns", Num branch_ns);
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -339,15 +387,13 @@ let () =
     let t0 = Unix.gettimeofday () in
     let estimates = run_micro () in
     json_sections :=
-      !json_sections
-      @ [
-          ( "micro",
-            Obj
-              [
-                ("seconds", Num (Unix.gettimeofday () -. t0));
-                ("estimates_ns", Obj estimates);
-              ] );
-        ]
+      ( "micro",
+        Obj
+          [
+            ("seconds", Num (Unix.gettimeofday () -. t0));
+            ("estimates_ns", Obj estimates);
+          ] )
+      :: !json_sections
   end
 
 (* ------------------------------------------------------------------ *)
@@ -355,14 +401,12 @@ let () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  if json_mode then begin
-    let buf = Buffer.create 1024 in
-    json_to_buf buf
-      (Obj
-         [
-           ("schema", Str "mycelium-bench/1");
-           ("cores", Int (Domain.recommended_domain_count ()));
-           ("sections", Obj !json_sections);
-         ]);
-    print_endline (Buffer.contents buf)
-  end
+  if json_mode then
+    print_endline
+      (Json.to_string
+         (Obj
+            [
+              ("schema", Str "mycelium-bench/1");
+              ("cores", Int (Domain.recommended_domain_count ()));
+              ("sections", Obj (List.rev !json_sections));
+            ]))

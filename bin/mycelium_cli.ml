@@ -18,6 +18,7 @@ module Ast = Mycelium_query.Ast
 module Params = Mycelium_bgv.Params
 module Runtime = Mycelium_core.Runtime
 module Engine = Mycelium_baseline.Engine
+module Obs = Mycelium_obs.Obs
 
 open Cmdliner
 
@@ -79,7 +80,26 @@ let run_cmd =
   let plaintext =
     Arg.(value & flag & info [ "plaintext" ] ~doc:"Use the clear-text baseline engine instead.")
   in
-  let run population degree epsilon seed plaintext src =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a trace of the run and write it to $(docv) in Chrome trace_event \
+             format (open in Perfetto or about://tracing). Enables the lib/obs \
+             instrumentation; results are identical either way.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the lib/obs metrics registry (ciphertext ops, NTT multiplies, pool \
+             chunks, degradation counters, ...) after the query. Enables the \
+             instrumentation; results are identical either way.")
+  in
+  let run population degree epsilon seed plaintext trace_file metrics src =
     let src = resolve_query src in
     let rng = Rng.create (Int64.of_int seed) in
     let graph =
@@ -102,7 +122,11 @@ let run_cmd =
     else begin
       let sys =
         Runtime.init
-          { Runtime.default_config with Runtime.params = Params.test_small; degree_bound = degree }
+          { Runtime.default_config with
+            Runtime.params = Params.test_small;
+            degree_bound = degree;
+            trace = trace_file <> None || metrics
+          }
           graph
       in
       match Runtime.run_query ~epsilon:eps sys src with
@@ -111,6 +135,12 @@ let run_cmd =
         Printf.printf "(origins: %d, discarded: %d, committee generation: %d)\n"
           r.Runtime.origins_included r.Runtime.discarded_contributions
           r.Runtime.committee_generation;
+        (match trace_file with
+        | Some path ->
+          Obs.write_chrome_trace path;
+          Printf.printf "(trace: %d spans written to %s)\n" (Obs.span_count ()) path
+        | None -> ());
+        if metrics then print_string (Obs.metrics_table ());
         0
       | Error (Runtime.Parse_error m) -> Printf.eprintf "parse error: %s\n" m; 1
       | Error (Runtime.Analysis_error m) -> Printf.eprintf "analysis error: %s\n" m; 1
@@ -120,7 +150,9 @@ let run_cmd =
     end
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ population $ degree $ epsilon $ seed $ plaintext $ query_arg)
+    Term.(
+      const run $ population $ degree $ epsilon $ seed $ plaintext $ trace_file $ metrics
+      $ query_arg)
 
 (* --- corpus -------------------------------------------------------- *)
 

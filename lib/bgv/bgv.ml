@@ -4,6 +4,16 @@ module Bigint = Mycelium_math.Bigint
 module Rns = Mycelium_math.Rns
 module Rq = Mycelium_math.Rq
 module Modarith = Mycelium_math.Modarith
+module Obs = Mycelium_obs.Obs
+
+(* Scheme-level observability: op counters plus a sampled span on the
+   homomorphic multiply (the dominant cost), one span per 64 calls.
+   Call sites guard on [Obs.enabled] so the disabled path is a single
+   branch with no allocation. *)
+let m_encrypts = Obs.Metrics.counter "bgv.encrypts"
+let m_ct_muls = Obs.Metrics.counter "bgv.ciphertext_muls"
+let m_relins = Obs.Metrics.counter "bgv.relinearizations"
+let ct_mul_sampler = Obs.sampler ~every:64
 
 type ctx = { p : Params.t; basis : Rns.t; fresh_noise_bits : float }
 
@@ -54,6 +64,7 @@ let keygen ctx rng =
   ({ s }, { p0; p1 = a })
 
 let encrypt ctx rng pk pt =
+  if Obs.enabled () then Obs.Metrics.incr m_encrypts;
   let m = plaintext_to_rq ctx pt in
   let u = Rq.sample_ternary ctx.basis rng in
   let eta = ctx.p.Params.error_eta in
@@ -130,7 +141,7 @@ let sub_plain ctx ct pt =
   comps.(0) <- Rq.sub comps.(0) m;
   { ct with comps }
 
-let mul a b =
+let mul_impl a b =
   let da = Array.length a.comps and db = Array.length b.comps in
   let basis = Rq.basis_of a.comps.(0) in
   (* Each output component of the tensor product is an independent
@@ -146,6 +157,17 @@ let mul a b =
   in
   let n_bits = log (float_of_int (Rns.degree basis)) /. log 2. in
   { comps = out; noise_bits = a.noise_bits +. b.noise_bits +. n_bits +. 1. }
+
+let mul a b =
+  if not (Obs.enabled ()) then mul_impl a b
+  else begin
+    Obs.Metrics.incr m_ct_muls;
+    Obs.sampled_span ct_mul_sampler "bgv.mul"
+      ~attrs:
+        [ ("da", Obs.Json.Int (Array.length a.comps));
+          ("db", Obs.Json.Int (Array.length b.comps)) ]
+      (fun () -> mul_impl a b)
+  end
 
 let mul_plain ctx ct pt =
   let m = plaintext_to_rq ctx pt in
@@ -235,6 +257,7 @@ let relinearize ctx rk ct =
   else if d > relin_max_degree rk then
     invalid_arg "Bgv.relinearize: ciphertext degree exceeds relin key"
   else begin
+    if Obs.enabled () then Obs.Metrics.incr m_relins;
     let c0 = ref ct.comps.(0) and c1 = ref ct.comps.(1) in
     for j = 2 to d do
       let digits = digit_decompose ctx rk ct.comps.(j) in

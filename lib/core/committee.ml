@@ -9,6 +9,7 @@ module Analysis = Mycelium_query.Analysis
 module Semantics = Mycelium_query.Semantics
 module Ast = Mycelium_query.Ast
 module Zkp = Mycelium_zkp.Zkp
+module Obs = Mycelium_obs.Obs
 
 type t = {
   ctx : Bgv.ctx;
@@ -75,6 +76,9 @@ let rec recruit rng ~candidates ~needed ~churn ~max_attempts ~attempt =
 
 let decrypt_and_release ?(churn = 0.) ?(max_attempts = 10) ?(excluded = []) t rng ctx
     ~info ~epsilon ct =
+  Obs.span "committee.decrypt"
+    ~attrs:[ ("size", Obs.Json.Int t.size); ("threshold", Obs.Json.Int t.thresh) ]
+  @@ fun () ->
   if Bgv.degree ct <> 1 then Error "ciphertext must be relinearized to degree 1"
   else begin
     let candidates =

@@ -15,6 +15,7 @@ module Bulletin = Mycelium_mixnet.Bulletin
 module Fault_plan = Mycelium_faults.Fault_plan
 module Injector = Mycelium_faults.Injector
 module Pool = Mycelium_parallel.Pool
+module Obs = Mycelium_obs.Obs
 
 type config = {
   params : Params.t;
@@ -36,6 +37,11 @@ type config = {
       (** domain count for the parallel work pool (1 = sequential);
           overridden by the [MYCELIUM_DOMAINS] environment variable.
           Results are byte-identical at any domain count. *)
+  trace : bool;
+      (** enable the lib/obs tracing + metrics registry for this
+          process ([MYCELIUM_TRACE=1] also enables it). Never affects
+          results: spans and metrics observe the pipeline but do not
+          touch its Rng streams or data. *)
 }
 
 let default_config =
@@ -52,6 +58,7 @@ let default_config =
     accounting = Dp.Basic;
     faults = None;
     domains = 1;
+    trace = false;
   }
 
 (* Every parallel task derives its own Rng from a fresh per-phase seed
@@ -85,6 +92,8 @@ let graph t = t.graph
 let init cfg graph =
   Params.validate cfg.params;
   Pool.configure ~domains:cfg.domains;
+  if cfg.trace then Obs.enable ();
+  Obs.span "runtime.init" @@ fun () ->
   (* Graphs loaded from external data may exceed d; the sensitivity
      analysis (§3.2) needs every vertex at degree <= d, so clip
      deterministically instead of running with broken sensitivity. *)
@@ -382,7 +391,11 @@ let run_query_ast ?(epsilon = 1.0) t query =
   (* One injector per query: the plan's decisions are stateless, the
      injector only accumulates the degradation report. *)
   let inj = Injector.create (Option.value t.cfg.faults ~default:Fault_plan.none) in
-  let rows, discarded_rows, mixnet_losses = gather_rows t inj info in
+  let rows, discarded_rows, mixnet_losses =
+    Obs.span "query.gather"
+      ~attrs:[ ("hops", Obs.Json.Int query.Ast.hops) ]
+      (fun () -> gather_rows t inj info)
+  in
   (* Every origin aggregates its neighborhood and submits; Byzantine
      origins submit garbage with forged transcript proofs. *)
   let n = Cg.population t.graph in
@@ -468,6 +481,7 @@ let run_query_ast ?(epsilon = 1.0) t query =
   let agg_seed = Rng.int64 t.rng in
   let pool = Pool.default () in
   let outcomes =
+    Obs.span "query.aggregate" ~attrs:[ ("origins", Obs.Json.Int n) ] @@ fun () ->
     Pool.init pool n (fun origin ->
         let rng = task_rng agg_seed origin 0 in
         if Injector.device_offline inj ~device:origin then
@@ -527,7 +541,11 @@ let run_query_ast ?(epsilon = 1.0) t query =
        tree so every device can audit that its contribution is included
        exactly once; the root goes on the bulletin board. *)
     let leaves = Array.of_list !origin_cts in
-    let tree = Summation_tree.build leaves in
+    let tree =
+      Obs.span "query.summation"
+        ~attrs:[ ("leaves", Obs.Json.Int (Array.length leaves)) ]
+        (fun () -> Summation_tree.build leaves)
+    in
     ignore (Bulletin.post t.bulletin ~author:"aggregator" (Summation_tree.root_hash tree));
     (* Play one device's audit as a self-check of the commitment. *)
     let probe = Rng.int t.rng (Array.length leaves) in
@@ -572,7 +590,8 @@ let run_query_ast ?(epsilon = 1.0) t query =
     in
     if Injector.active inj then Injector.note_excluded_committee inj (List.length excluded);
     (match
-       Committee.decrypt_and_release ~excluded t.comm t.rng t.ctx ~info ~epsilon linear
+       Obs.span "query.decrypt" (fun () ->
+           Committee.decrypt_and_release ~excluded t.comm t.rng t.ctx ~info ~epsilon linear)
      with
     | Error e -> Error (Pipeline_error e)
     | Ok release ->

@@ -54,6 +54,16 @@ type config = {
           reports are byte-identical at any domain count: all task
           randomness comes from pre-split seed streams and every
           reduction uses a fixed combine order. *)
+  trace : bool;
+      (** enable the lib/obs tracing + metrics registry for this
+          process (the [MYCELIUM_TRACE] environment variable also
+          enables it); default [false]. Spans cover the pipeline
+          phases ([runtime.init], [query.gather], [query.aggregate],
+          [query.summation], [query.decrypt]) and the layers below
+          them — see DESIGN.md §8 for the taxonomy. Observability
+          never affects results: query results, DP noise and
+          degradation reports are byte-identical with tracing on or
+          off. *)
 }
 
 val default_config : config

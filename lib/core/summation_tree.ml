@@ -1,6 +1,7 @@
 module Bgv = Mycelium_bgv.Bgv
 module Sha256 = Mycelium_crypto.Sha256
 module Pool = Mycelium_parallel.Pool
+module Obs = Mycelium_obs.Obs
 
 type node = { sum : Bgv.ciphertext; hash : bytes }
 
@@ -31,16 +32,25 @@ let promote_hash h =
 let build leaves =
   let n = Array.length leaves in
   if n = 0 then invalid_arg "Summation_tree.build: no leaves";
+  Obs.span "sumtree.build" ~attrs:[ ("leaves", Obs.Json.Int n) ] @@ fun () ->
   (* Sibling pairs within a level are independent (a sum plus a hash
      each); parallelise per pair index.  Levels stay strictly ordered,
      so the committed tree is identical at any domain count. *)
   let pool = Pool.default () in
-  let level0 = Pool.map_array pool (fun ct -> { sum = ct; hash = leaf_hash ct }) leaves in
+  let level0 =
+    Obs.span "sumtree.level" ~attrs:[ ("level", Obs.Json.Int 0); ("width", Obs.Json.Int n) ]
+    @@ fun () -> Pool.map_array pool (fun ct -> { sum = ct; hash = leaf_hash ct }) leaves
+  in
   let rec up acc level =
     if Array.length level = 1 then List.rev (level :: acc)
     else begin
       let w = Array.length level in
       let next =
+        Obs.span "sumtree.level"
+          ~attrs:
+            [ ("level", Obs.Json.Int (List.length acc + 1));
+              ("width", Obs.Json.Int ((w + 1) / 2)) ]
+        @@ fun () ->
         Pool.init pool
           ((w + 1) / 2)
           (fun i ->

@@ -1,3 +1,19 @@
+module Obs = Mycelium_obs.Obs
+
+(* Every report counter mirrors into the observability registry (same
+   names under the [faults.] prefix) so degradation shows up next to
+   the tracing/metrics view of a run.  Metric updates are no-ops while
+   tracing is disabled; the report itself is always exact. *)
+let m_substituted = Obs.Metrics.counter "faults.substituted_contributions"
+let m_dropped = Obs.Metrics.counter "faults.dropped_messages"
+let m_delayed = Obs.Metrics.counter "faults.delayed_messages"
+let m_retries = Obs.Metrics.counter "faults.channel_retries"
+let m_backoff = Obs.Metrics.counter "faults.backoff_units"
+let m_excluded = Obs.Metrics.counter "faults.excluded_committee_members"
+let m_forged_rejected = Obs.Metrics.counter "faults.forged_rejected"
+let m_restarts = Obs.Metrics.counter "faults.aggregator_restarts"
+let m_decrypt_attempts = Obs.Metrics.counter "faults.decryption_attempts"
+
 type report = {
   substituted_contributions : int;
   dropped_messages : int;
@@ -51,46 +67,56 @@ let send t ~round ~source ~dest =
   let rec attempt_send attempt =
     if Fault_plan.send_dropped t.plan ~round ~source ~dest ~attempt then begin
       if attempt >= max_attempts then begin
+        let backoff = Fault_plan.backoff_units t.plan ~attempts:attempt in
         t.r <-
           {
             t.r with
             dropped_messages = t.r.dropped_messages + 1;
-            backoff_units = t.r.backoff_units + Fault_plan.backoff_units t.plan ~attempts:attempt;
+            backoff_units = t.r.backoff_units + backoff;
           };
+        Obs.Metrics.incr m_dropped;
+        Obs.Metrics.add m_backoff backoff;
         false
       end
       else begin
         t.r <- { t.r with channel_retries = t.r.channel_retries + 1 };
+        Obs.Metrics.incr m_retries;
         attempt_send (attempt + 1)
       end
     end
     else begin
-      t.r <-
-        {
-          t.r with
-          backoff_units = t.r.backoff_units + Fault_plan.backoff_units t.plan ~attempts:attempt;
-        };
-      if Fault_plan.send_delay t.plan ~round ~source ~dest > 0 then
+      let backoff = Fault_plan.backoff_units t.plan ~attempts:attempt in
+      t.r <- { t.r with backoff_units = t.r.backoff_units + backoff };
+      Obs.Metrics.add m_backoff backoff;
+      if Fault_plan.send_delay t.plan ~round ~source ~dest > 0 then begin
         t.r <- { t.r with delayed_messages = t.r.delayed_messages + 1 };
+        Obs.Metrics.incr m_delayed
+      end;
       true
     end
   in
   attempt_send 1
 
 let note_dropped t =
-  t.r <- { t.r with dropped_messages = t.r.dropped_messages + 1 }
+  t.r <- { t.r with dropped_messages = t.r.dropped_messages + 1 };
+  Obs.Metrics.incr m_dropped
 
 let note_substituted t =
-  t.r <- { t.r with substituted_contributions = t.r.substituted_contributions + 1 }
+  t.r <- { t.r with substituted_contributions = t.r.substituted_contributions + 1 };
+  Obs.Metrics.incr m_substituted
 
 let note_excluded_committee t n =
-  t.r <- { t.r with excluded_committee_members = t.r.excluded_committee_members + n }
+  t.r <- { t.r with excluded_committee_members = t.r.excluded_committee_members + n };
+  Obs.Metrics.add m_excluded n
 
 let note_forged_rejected t =
-  t.r <- { t.r with forged_rejected = t.r.forged_rejected + 1 }
+  t.r <- { t.r with forged_rejected = t.r.forged_rejected + 1 };
+  Obs.Metrics.incr m_forged_rejected
 
 let note_aggregator_restart t =
-  t.r <- { t.r with aggregator_restarts = t.r.aggregator_restarts + 1 }
+  t.r <- { t.r with aggregator_restarts = t.r.aggregator_restarts + 1 };
+  Obs.Metrics.incr m_restarts
 
 let note_decryption_attempts t n =
-  t.r <- { t.r with decryption_attempts = t.r.decryption_attempts + n }
+  t.r <- { t.r with decryption_attempts = t.r.decryption_attempts + n };
+  Obs.Metrics.add m_decrypt_attempts n

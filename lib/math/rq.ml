@@ -1,5 +1,14 @@
 module Rng = Mycelium_util.Rng
 module Pool = Mycelium_parallel.Pool
+module Obs = Mycelium_obs.Obs
+
+(* Hot-op observability (DESIGN.md §8): a counter of per-limb NTT
+   multiplies, plus one sampled span per 64 ring multiplications so a
+   trace shows where ring time goes without a span per call.  The
+   call sites guard on [Obs.enabled] so the disabled path costs one
+   branch and allocates nothing. *)
+let m_limb_ntt_muls = Obs.Metrics.counter "rq.limb_ntt_muls"
+let mul_sampler = Obs.sampler ~every:64
 
 type t = { basis : Rns.t; rows : int array array }
 
@@ -97,7 +106,7 @@ let neg a =
         a.rows
   }
 
-let mul a b =
+let mul_impl a b =
   if Rns.primes a.basis <> Rns.primes b.basis then invalid_arg "Rq.mul: basis mismatch";
   let plans = Rns.plans a.basis in
   let rows =
@@ -106,6 +115,15 @@ let mul a b =
       plans
   in
   { basis = a.basis; rows }
+
+let mul a b =
+  if not (Obs.enabled ()) then mul_impl a b
+  else begin
+    Obs.Metrics.add m_limb_ntt_muls (Array.length (Rns.primes a.basis));
+    Obs.sampled_span mul_sampler "rq.mul"
+      ~attrs:[ ("degree", Obs.Json.Int (Rns.degree a.basis)) ]
+      (fun () -> mul_impl a b)
+  end
 
 let mul_scalar a s =
   let primes = Rns.primes a.basis in

@@ -3,6 +3,17 @@ module Pool = Mycelium_parallel.Pool
 module Sha256 = Mycelium_crypto.Sha256
 module Elgamal = Mycelium_crypto.Elgamal
 module Merkle = Mycelium_crypto.Merkle
+module Obs = Mycelium_obs.Obs
+
+(* Mixnet observability (DESIGN.md §8): spans for setup and each
+   forwarding stage of a query round, counters for onion layers peeled
+   and bytes deposited at the aggregator's mailboxes, and a histogram
+   of per-message anonymity-set sizes.  None of it touches the Rng or
+   the protocol state, so results are identical with tracing on/off. *)
+let m_deposited_bytes = Obs.Metrics.counter "mixnet.deposited_bytes"
+let m_layers_peeled = Obs.Metrics.counter "onion.layers_peeled"
+let m_dummies = Obs.Metrics.counter "mixnet.dummies_uploaded"
+let h_anonymity = Obs.Metrics.histogram "mixnet.anonymity_set"
 
 type config = {
   n_devices : int;
@@ -300,6 +311,7 @@ let install_routes t path =
   done
 
 let setup_paths ?targets t =
+  Obs.span "mixnet.setup" ~attrs:[ ("hops", Obs.Json.Int t.cfg.hops) ] @@ fun () ->
   let targets = match targets with Some x -> x | None -> default_targets t in
   let requested = ref 0 and established = ref 0 and failed = ref 0 and complaints = ref 0 in
   let next_msg = ref 0 in
@@ -357,6 +369,7 @@ let fresh_sid t =
   v
 
 let deposit t ~pseudo ~link_id ~body ~origin =
+  if Obs.enabled () then Obs.Metrics.add m_deposited_bytes (Bytes.length body);
   let sid = fresh_sid t in
   Hashtbl.replace t.origins sid origin;
   t.mailboxes.(pseudo) <- { sid; link_id; body } :: t.mailboxes.(pseudo);
@@ -389,7 +402,7 @@ let commit_round t =
 
 let record_download t dev sids = Hashtbl.replace t.downloads (dev, t.round) sids
 
-let run_query_round_with t ~payload_of =
+let run_query_round_impl t ~payload_of =
   let k = t.cfg.hops in
   let query_round = t.round in
   let pool = Pool.default () in
@@ -433,6 +446,7 @@ let run_query_round_with t ~payload_of =
         end)
     by_message;
   let built =
+    Obs.span "mixnet.deposit" @@ fun () ->
     Pool.map_array pool
       (fun copies ->
         match copies with
@@ -482,6 +496,7 @@ let run_query_round_with t ~payload_of =
   (* Rounds 1..k: forwarding. A device fetches all of its pseudonyms'
      mailboxes. *)
   for stage = 1 to k do
+    Obs.span "mixnet.stage" ~attrs:[ ("stage", Obs.Json.Int stage) ] @@ fun () ->
     (* Same three-phase shape as round 0: the sequential pass replays
        the exact Rng stream (churn draws, mixing shuffles, dummy bodies)
        and allocates sids in the original shuffled order; only the
@@ -554,11 +569,13 @@ let run_query_round_with t ~payload_of =
         (fun (key, body) -> Onion.peel_layer ~key ~round:query_round body)
         (Array.of_list (List.rev !peel_tasks))
     in
+    if Obs.enabled () then Obs.Metrics.add m_layers_peeled (Array.length peeled);
     (* Clear processed mailboxes, apply deposits. *)
     Array.iteri (fun i _ -> t.mailboxes.(i) <- []) t.mailboxes;
     List.iter
       (fun (pseudo, link_id, body, sid) ->
         let body = match body with `Body b -> b | `Peel i -> peeled.(i) in
+        if Obs.enabled () then Obs.Metrics.add m_deposited_bytes (Bytes.length body);
         t.mailboxes.(pseudo) <- { sid; link_id; body } :: t.mailboxes.(pseudo))
       !deposits;
     commit_round t;
@@ -583,6 +600,7 @@ let run_query_round_with t ~payload_of =
     by_message;
   let pickup = List.rev !pickup in
   let opened =
+    Obs.span "mixnet.pickup" @@ fun () ->
     Pool.map_array pool
       (fun (key, body) -> Onion.open_inner ~key ~round:query_round body)
       (Array.of_list
@@ -718,6 +736,15 @@ let run_query_round_with t ~payload_of =
     anonymity_sets = Array.of_list !anon;
     rounds_used = Model.forwarding_rounds ~hops:k;
   }
+
+let run_query_round_with t ~payload_of =
+  Obs.span "mixnet.round" ~attrs:[ ("hops", Obs.Json.Int t.cfg.hops) ] @@ fun () ->
+  let stats = run_query_round_impl t ~payload_of in
+  if Obs.enabled () then begin
+    Obs.Metrics.add m_dummies stats.dummies_uploaded;
+    Array.iter (fun s -> Obs.Metrics.observe h_anonymity (float_of_int s)) stats.anonymity_sets
+  end;
+  stats
 
 let run_query_round t ~payload =
   run_query_round_with t ~payload_of:(fun ~source:_ ~dest:_ -> payload)

@@ -1,0 +1,638 @@
+(* Structured tracing + metrics for the query pipeline.
+
+   Design constraints (see DESIGN.md §8):
+   - The disabled path of every instrumentation point is a single load
+     of [enabled_flag] plus a branch; no allocation, no clock read, no
+     atomic write happens unless tracing is on.  The flag is write-once
+     configuration: it is set from MYCELIUM_TRACE at startup or by
+     [enable]/[with_enabled] before a run, never mid-phase.
+   - Span recording is per-domain: each domain owns a growable buffer
+     reached through Domain.DLS, so instrumented code inside Pool
+     workers records without taking any lock (the global registry
+     mutex is touched once per domain, at first use).
+   - Observability never draws from any [Rng.t] and never feeds back
+     into results: query output, DP noise and degradation reports are
+     byte-identical with tracing on or off.  Timestamps exist only in
+     exported traces. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON (the one encoder/parser in the tree; bench and the exporters   *)
+(* share it)                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_escaped buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec to_buf buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.6f" f)
+    | Str s -> add_escaped buf s
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buf buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          to_buf buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 1024 in
+    to_buf buf j;
+    Buffer.contents buf
+
+  exception Parse_fail of string
+
+  (* A small strict parser, enough to round-trip everything the emitter
+     above produces (the exporter tests lean on this).  \uXXXX escapes
+     decode to a single byte for code points < 256 and to '?' above
+     (the emitter only writes them for control characters). *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else begin
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            if !pos >= n then fail "unterminated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char buf '"'; advance ()
+            | '\\' -> Buffer.add_char buf '\\'; advance ()
+            | '/' -> Buffer.add_char buf '/'; advance ()
+            | 'b' -> Buffer.add_char buf '\b'; advance ()
+            | 'f' -> Buffer.add_char buf '\012'; advance ()
+            | 'n' -> Buffer.add_char buf '\n'; advance ()
+            | 'r' -> Buffer.add_char buf '\r'; advance ()
+            | 't' -> Buffer.add_char buf '\t'; advance ()
+            | 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail "bad \\u escape");
+              pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            go ()
+          | c -> Buffer.add_char buf c; advance (); go ()
+        end
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.contains tok '.' || String.contains tok 'e' || String.contains tok 'E'
+      then begin
+        match float_of_string_opt tok with
+        | Some f -> Num f
+        | None -> fail "bad number"
+      end
+      else begin
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Num f
+          | None -> fail "bad number")
+      end
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+      | None -> fail "unexpected end of input"
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_fail msg -> Error msg
+
+  let member key = function
+    | Obj kvs -> List.assoc_opt key kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* The switch                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let now () = Unix.gettimeofday ()
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "MYCELIUM_TRACE" with
+    | Some ("1" | "true" | "on" | "yes") -> true
+    | Some _ | None -> false)
+
+let enabled () = Atomic.get enabled_flag
+
+(* Trace epoch: all span timestamps are seconds since the last enable
+   (or process start, for MYCELIUM_TRACE). *)
+let epoch = Atomic.make (now ())
+
+let enable () =
+  if not (Atomic.get enabled_flag) then begin
+    Atomic.set epoch (now ());
+    Atomic.set enabled_flag true
+  end
+
+let disable () = Atomic.set enabled_flag false
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  sp_name : string;
+  sp_attrs : (string * Json.t) list;
+  sp_dom : int;  (* numeric domain id *)
+  sp_depth : int;  (* nesting depth within its domain at start *)
+  sp_seq : int;  (* per-domain start order *)
+  sp_start : float;  (* seconds since trace epoch *)
+  mutable sp_end : float;  (* NaN while still open *)
+}
+
+type dbuf = {
+  dom_id : int;
+  mutable items : span array;
+  mutable len : int;
+  mutable depth : int;
+  mutable seq : int;
+}
+
+let registry : dbuf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let dbuf_key : dbuf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { dom_id = (Domain.self () :> int); items = [||]; len = 0; depth = 0; seq = 0 }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let my_buf () = Domain.DLS.get dbuf_key
+
+let push b sp =
+  if b.len = Array.length b.items then begin
+    let cap = max 64 (2 * Array.length b.items) in
+    let items = Array.make cap sp in
+    Array.blit b.items 0 items 0 b.len;
+    b.items <- items
+  end;
+  b.items.(b.len) <- sp;
+  b.len <- b.len + 1
+
+let record_enter name attrs =
+  let b = my_buf () in
+  let sp =
+    {
+      sp_name = name;
+      sp_attrs = attrs;
+      sp_dom = b.dom_id;
+      sp_depth = b.depth;
+      sp_seq = b.seq;
+      sp_start = now () -. Atomic.get epoch;
+      sp_end = Float.nan;
+    }
+  in
+  push b sp;
+  b.seq <- b.seq + 1;
+  b.depth <- b.depth + 1;
+  (b, sp)
+
+let record_exit (b, sp) =
+  b.depth <- b.depth - 1;
+  sp.sp_end <- now () -. Atomic.get epoch
+
+let span ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let open_sp = record_enter name attrs in
+    Fun.protect ~finally:(fun () -> record_exit open_sp) f
+  end
+
+(* Hot-op sampling: record one span for every [every]-th call through
+   the sampler; all other calls (and every call while disabled) just
+   run [f].  The counter only advances while tracing is on, so the
+   disabled path stays a branch. *)
+type sampler = { every : int; calls : int Atomic.t }
+
+let sampler ~every =
+  if every < 1 then invalid_arg "Obs.sampler: every must be >= 1";
+  { every; calls = Atomic.make 0 }
+
+let sampled_span s ?attrs name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let k = Atomic.fetch_and_add s.calls 1 in
+    if k mod s.every = 0 then span ?attrs name f else f ()
+  end
+
+let all_spans () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  let out =
+    List.concat_map (fun b -> Array.to_list (Array.sub b.items 0 b.len)) bufs
+  in
+  List.sort
+    (fun a b ->
+      match compare a.sp_start b.sp_start with
+      | 0 -> compare (a.sp_dom, a.sp_seq) (b.sp_dom, b.sp_seq)
+      | c -> c)
+    out
+
+let span_count () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left (fun acc b -> acc + b.len) 0 bufs
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type counter = { c_name : string; c : int Atomic.t }
+  type gauge = { g_name : string; g : float Atomic.t }
+
+  type histogram = {
+    h_name : string;
+    bounds : float array;  (* ascending upper bounds; +inf implicit *)
+    counts : int Atomic.t array;  (* length = bounds + 1 (overflow) *)
+    h_sum : float Atomic.t;
+  }
+
+  type metric = C of counter | G of gauge | H of histogram
+
+  let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+  let table_mutex = Mutex.create ()
+
+  let register name mk =
+    Mutex.lock table_mutex;
+    let m =
+      match Hashtbl.find_opt table name with
+      | Some m -> m
+      | None ->
+        let m = mk () in
+        Hashtbl.replace table name m;
+        m
+    in
+    Mutex.unlock table_mutex;
+    m
+
+  let counter name =
+    match register name (fun () -> C { c_name = name; c = Atomic.make 0 }) with
+    | C c -> c
+    | G _ | H _ -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " registered with another kind")
+
+  let gauge name =
+    match register name (fun () -> G { g_name = name; g = Atomic.make 0. }) with
+    | G g -> g
+    | C _ | H _ -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " registered with another kind")
+
+  (* Default buckets: powers of two from 1 to 2^20 — generic enough for
+     counts and for microsecond-scale durations expressed in us. *)
+  let default_buckets = Array.init 21 (fun i -> Float.of_int (1 lsl i))
+
+  let histogram ?(buckets = default_buckets) name =
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Obs.Metrics.histogram: buckets must be strictly ascending")
+      buckets;
+    match
+      register name (fun () ->
+          H
+            {
+              h_name = name;
+              bounds = Array.copy buckets;
+              counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+              h_sum = Atomic.make 0.;
+            })
+    with
+    | H h -> h
+    | C _ | G _ -> invalid_arg ("Obs.Metrics.histogram: " ^ name ^ " registered with another kind")
+
+  let incr c = if Atomic.get enabled_flag then Atomic.incr c.c
+  let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c n)
+  let value c = Atomic.get c.c
+
+  let set g v = if Atomic.get enabled_flag then Atomic.set g.g v
+  let gauge_value g = Atomic.get g.g
+
+  (* First bucket whose upper bound is >= v; the last slot is the
+     overflow bucket. *)
+  let bucket_index h v =
+    let n = Array.length h.bounds in
+    let rec go i = if i >= n then n else if v <= h.bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let rec atomic_add_float a x =
+    let old = Atomic.get a in
+    if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+  let observe h v =
+    if Atomic.get enabled_flag then begin
+      Atomic.incr h.counts.(bucket_index h v);
+      atomic_add_float h.h_sum v
+    end
+
+  let histogram_counts h = Array.map Atomic.get h.counts
+  let histogram_sum h = Atomic.get h.h_sum
+  let histogram_count h = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+  let reset_values () =
+    Mutex.lock table_mutex;
+    Hashtbl.iter
+      (fun _ m ->
+        match m with
+        | C c -> Atomic.set c.c 0
+        | G g -> Atomic.set g.g 0.
+        | H h ->
+          Array.iter (fun c -> Atomic.set c 0) h.counts;
+          Atomic.set h.h_sum 0.)
+      table;
+    Mutex.unlock table_mutex
+
+  let sorted_metrics () =
+    Mutex.lock table_mutex;
+    let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [] in
+    Mutex.unlock table_mutex;
+    List.sort (fun (a, _) (b, _) -> compare a b) all
+
+  let to_json () =
+    let entry = function
+      | C c -> Json.Int (value c)
+      | G g -> Json.Num (gauge_value g)
+      | H h ->
+        Json.Obj
+          [
+            ("count", Json.Int (histogram_count h));
+            ("sum", Json.Num (histogram_sum h));
+            ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Num b) h.bounds)));
+            ( "counts",
+              Json.List
+                (Array.to_list (Array.map (fun c -> Json.Int (Atomic.get c)) h.counts)) );
+          ]
+    in
+    Json.Obj (List.map (fun (name, m) -> (name, entry m)) (sorted_metrics ()))
+
+  let to_table () =
+    let buf = Buffer.create 512 in
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | C c ->
+          if value c <> 0 then Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" name (value c))
+        | G g ->
+          if gauge_value g <> 0. then
+            Buffer.add_string buf (Printf.sprintf "  %-40s %.3f\n" name (gauge_value g))
+        | H h ->
+          if histogram_count h <> 0 then
+            Buffer.add_string buf
+              (Printf.sprintf "  %-40s count=%d sum=%.3f mean=%.3f\n" name
+                 (histogram_count h) (histogram_sum h)
+                 (histogram_sum h /. float_of_int (histogram_count h))))
+      (sorted_metrics ());
+    if Buffer.length buf = 0 then "  (no metrics recorded)\n" else Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reset / scoping                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Clear every recorded span and every metric value (registrations
+   survive).  Must only be called while no instrumented parallel work
+   is in flight. *)
+let reset () =
+  Mutex.lock registry_mutex;
+  let bufs = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun b ->
+      b.items <- [||];
+      b.len <- 0;
+      b.depth <- 0;
+      b.seq <- 0)
+    bufs;
+  Metrics.reset_values ();
+  Atomic.set epoch (now ())
+
+let with_enabled f =
+  let was = Atomic.get enabled_flag in
+  enable ();
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag was) f
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let duration_s sp = if Float.is_nan sp.sp_end then 0. else Float.max 0. (sp.sp_end -. sp.sp_start)
+
+(* Pretty console tree: spans grouped by domain, indented by nesting
+   depth, in start order. *)
+let console_tree () =
+  let buf = Buffer.create 1024 in
+  let spans = all_spans () in
+  let doms = List.sort_uniq compare (List.map (fun sp -> sp.sp_dom) spans) in
+  Buffer.add_string buf
+    (Printf.sprintf "=== trace: %d spans across %d domain(s) ===\n" (List.length spans)
+       (List.length doms));
+  List.iter
+    (fun dom ->
+      Buffer.add_string buf (Printf.sprintf "[domain %d]\n" dom);
+      let mine =
+        List.filter (fun sp -> sp.sp_dom = dom) spans
+        |> List.sort (fun a b -> compare a.sp_seq b.sp_seq)
+      in
+      List.iter
+        (fun sp ->
+          let indent = String.make (2 + (2 * sp.sp_depth)) ' ' in
+          let attrs =
+            match sp.sp_attrs with
+            | [] -> ""
+            | kvs ->
+              "  {"
+              ^ String.concat ", "
+                  (List.map (fun (k, v) -> k ^ "=" ^ Json.to_string v) kvs)
+              ^ "}"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%-28s %10.3f ms%s\n" indent sp.sp_name
+               (duration_s sp *. 1e3) attrs))
+        mine)
+    doms;
+  Buffer.contents buf
+
+(* Chrome trace_event JSON, loadable in about://tracing or Perfetto:
+   one complete ("X") event per span, ts/dur in microseconds, tid = the
+   recording domain. *)
+let chrome_trace () =
+  let events =
+    List.map
+      (fun sp ->
+        Json.Obj
+          [
+            ("name", Json.Str sp.sp_name);
+            ("cat", Json.Str "mycelium");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (sp.sp_start *. 1e6));
+            ("dur", Json.Num (duration_s sp *. 1e6));
+            ("pid", Json.Int 0);
+            ("tid", Json.Int sp.sp_dom);
+            ("args", Json.Obj sp.sp_attrs);
+          ])
+      (all_spans ())
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("tool", Json.Str "mycelium-obs") ]);
+    ]
+
+let chrome_trace_string () = Json.to_string (chrome_trace ())
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace_string ()))
+
+let metrics_json = Metrics.to_json
+let metrics_table = Metrics.to_table

@@ -1,0 +1,150 @@
+(** Structured tracing + metrics for the query pipeline (DESIGN.md §8).
+
+    {b The overhead contract.}  Every instrumentation point —
+    [span], [sampled_span], and each [Metrics] update — starts with a
+    single load of the enabled flag and a conditional branch.  While
+    tracing is disabled nothing else happens: no allocation, no clock
+    read, no atomic write.  The flag is write-once configuration (the
+    [MYCELIUM_TRACE] environment variable at startup, or [enable] /
+    [with_enabled] before a run); it is never flipped mid-phase.
+
+    {b Domain safety.}  Spans are recorded into a per-domain buffer
+    reached through [Domain.DLS]; recording takes no lock (a global
+    registry mutex is touched once per domain, on its first span), so
+    instrumented code is safe inside [Pool] workers.  Metrics are
+    shared [Atomic] cells.  Exporters ([console_tree], [chrome_trace],
+    [metrics_json]) read every domain's buffer and must only be called
+    while no instrumented parallel work is in flight.
+
+    {b Determinism.}  Observability never draws from an [Rng.t] and
+    never feeds back into computation: query results, DP noise and
+    degradation reports are byte-identical with tracing on or off.
+    Timestamps exist only in exported traces, never in results. *)
+
+(** Minimal JSON — the one encoder (and parser) in the tree; the bench
+    harness and the exporters share it. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_buf : Buffer.t -> t -> unit
+  val to_string : t -> string
+
+  val parse : string -> (t, string) result
+  (** Strict parser covering everything [to_string] emits; used by the
+      exporter round-trip tests.  [\uXXXX] escapes above 255 decode to
+      ['?']. *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj kvs)] is the value bound to [k], if any. *)
+end
+
+(** {1 The switch} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+(** Turn tracing on (idempotent); resets the trace epoch on the
+    off->on edge.  Honoured automatically when [MYCELIUM_TRACE] is set
+    to [1]/[true]/[on]/[yes] at startup. *)
+
+val disable : unit -> unit
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run with tracing forced on, restoring the previous state after. *)
+
+val reset : unit -> unit
+(** Clear all recorded spans and metric values (registrations survive)
+    and restart the trace epoch.  Only call while no instrumented
+    parallel work is in flight. *)
+
+(** {1 Spans} *)
+
+type span = {
+  sp_name : string;
+  sp_attrs : (string * Json.t) list;
+  sp_dom : int;  (** recording domain's numeric id *)
+  sp_depth : int;  (** nesting depth within that domain *)
+  sp_seq : int;  (** per-domain start order *)
+  sp_start : float;  (** seconds since the trace epoch *)
+  mutable sp_end : float;  (** NaN while the span is still open *)
+}
+
+val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording a hierarchical span around it
+    when tracing is enabled.  Exceptions propagate; the span is closed
+    either way. *)
+
+type sampler
+
+val sampler : every:int -> sampler
+(** A call counter for hot operations: used with [sampled_span] to
+    record one span per [every] calls instead of one per call. *)
+
+val sampled_span : sampler -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+val all_spans : unit -> span list
+(** Every recorded span, sorted by start time. *)
+
+val span_count : unit -> int
+
+(** {1 Metrics} *)
+
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  (** Registry lookup-or-create; a name is bound to one metric kind
+      for the process lifetime. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val value : counter -> int
+
+  val gauge : string -> gauge
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val default_buckets : float array
+  (** Powers of two from 1 to 2^20. *)
+
+  val histogram : ?buckets:float array -> string -> histogram
+  (** [buckets] are strictly ascending upper bounds; one overflow
+      bucket is added past the last bound. *)
+
+  val observe : histogram -> float -> unit
+  val bucket_index : histogram -> float -> int
+  (** Index of the bucket [observe] would count [v] in: the first
+      bucket whose upper bound is [>= v], or the overflow index
+      [Array.length buckets]. *)
+
+  val histogram_counts : histogram -> int array
+  val histogram_sum : histogram -> float
+  val histogram_count : histogram -> int
+
+  val to_json : unit -> Json.t
+  val to_table : unit -> string
+end
+
+(** {1 Exporters} *)
+
+val console_tree : unit -> string
+(** Spans grouped by domain, indented by nesting depth. *)
+
+val chrome_trace : unit -> Json.t
+(** Chrome [trace_event] format (complete "X" events, ts/dur in
+    microseconds, tid = recording domain) — loadable in
+    [about://tracing] and Perfetto. *)
+
+val chrome_trace_string : unit -> string
+val write_chrome_trace : string -> unit
+
+val metrics_json : unit -> Json.t
+val metrics_table : unit -> string

@@ -13,6 +13,16 @@
      domain).  A domain-local flag marks "currently inside a pool task";
      submissions made while it is set run sequentially in place. *)
 
+module Obs = Mycelium_obs.Obs
+
+(* Aggregate pool metrics (DESIGN.md §8); per-worker splits are exposed
+   through [worker_stats]. *)
+let m_chunks = Obs.Metrics.counter "pool.chunks_run"
+let m_exceptions = Obs.Metrics.counter "pool.task_exceptions"
+let m_domains = Obs.Metrics.gauge "pool.domains"
+
+type worker_stats = { tasks_run : int; exceptions_caught : int }
+
 type state = {
   mutex : Mutex.t;
   work : Condition.t;            (* signalled when a job is published or on stop *)
@@ -30,9 +40,21 @@ type t = {
   size : int;
   state : state option;          (* None for the sequential pool *)
   mutable workers : unit Domain.t list;
+  (* Per-slot (tasks claimed, exceptions caught); slot 0 is the
+     submitting domain, slots 1..size-1 the spawned workers.  Updated
+     unconditionally (one atomic increment per claimed chunk, amortised
+     over the chunk's work) so the counts are available even when the
+     metrics registry is disabled. *)
+  stats : (int Atomic.t * int Atomic.t) array;
 }
 
 let domains t = t.size
+
+let worker_stats t =
+  Array.map
+    (fun (tasks, exc) ->
+      { tasks_run = Atomic.get tasks; exceptions_caught = Atomic.get exc })
+    t.stats
 
 (* Set while the current domain is executing a pool task (worker domains
    set it permanently).  Nested submissions check it and degrade to
@@ -42,14 +64,22 @@ let in_task_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 let in_task () = Domain.DLS.get in_task_key
 
 (* Claim and run chunks until none remain.  Called with [st.mutex] held;
-   returns with it held. *)
-let drain_chunks st f =
+   returns with it held.  [slot] identifies the draining domain's entry
+   in the pool's per-worker stats. *)
+let drain_chunks st slot f =
+  let tasks, exceptions = slot in
   while st.next_chunk < st.n_chunks do
     let c = st.next_chunk in
     st.next_chunk <- st.next_chunk + 1;
     let skip = st.failure <> None in
     Mutex.unlock st.mutex;
     let err = if skip then None else (try f c; None with e -> Some e) in
+    Atomic.incr tasks;
+    Obs.Metrics.incr m_chunks;
+    if err <> None then begin
+      Atomic.incr exceptions;
+      Obs.Metrics.incr m_exceptions
+    end;
     Mutex.lock st.mutex;
     (match err with
     | Some e when st.failure = None -> st.failure <- Some e
@@ -58,7 +88,7 @@ let drain_chunks st f =
     if st.completed = st.n_chunks then Condition.broadcast st.finished
   done
 
-let worker st =
+let worker st slot =
   Domain.DLS.set in_task_key true;
   let seen = ref 0 in
   Mutex.lock st.mutex;
@@ -67,7 +97,7 @@ let worker st =
        match st.job with
        | Some f when st.epoch <> !seen ->
          seen := st.epoch;
-         drain_chunks st f
+         drain_chunks st slot f
        | _ -> Condition.wait st.work st.mutex
      done
    with e ->
@@ -75,9 +105,12 @@ let worker st =
      raise e);
   Mutex.unlock st.mutex
 
+let make_stats size = Array.init size (fun _ -> (Atomic.make 0, Atomic.make 0))
+
 let create ~domains =
   let size = max 1 domains in
-  if size = 1 then { size = 1; state = None; workers = [] }
+  Obs.Metrics.set m_domains (float_of_int size);
+  if size = 1 then { size = 1; state = None; workers = []; stats = make_stats 1 }
   else
     let st =
       {
@@ -93,8 +126,11 @@ let create ~domains =
         stop = false;
       }
     in
-    let workers = List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker st)) in
-    { size; state = Some st; workers }
+    let stats = make_stats size in
+    let workers =
+      List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker st stats.(i + 1)))
+    in
+    { size; state = Some st; workers; stats }
 
 let shutdown t =
   match t.state with
@@ -121,6 +157,7 @@ let run_chunks t ~chunks f =
         f c
       done
     | Some st ->
+      Obs.span "pool.job" ~attrs:[ ("chunks", Obs.Json.Int chunks) ] @@ fun () ->
       Mutex.lock st.mutex;
       st.job <- Some f;
       st.n_chunks <- chunks;
@@ -131,7 +168,7 @@ let run_chunks t ~chunks f =
       Condition.broadcast st.work;
       Domain.DLS.set in_task_key true;
       let restore () = Domain.DLS.set in_task_key false in
-      (try drain_chunks st f
+      (try drain_chunks st t.stats.(0) f
        with e ->
          restore ();
          Mutex.unlock st.mutex;
@@ -200,7 +237,7 @@ let resolve () =
 
 let current_domains () = resolve ()
 
-let sequential = { size = 1; state = None; workers = [] }
+let sequential = { size = 1; state = None; workers = []; stats = make_stats 1 }
 let current = ref sequential
 let current_mutex = Mutex.create ()
 let exit_hook = ref false

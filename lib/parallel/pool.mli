@@ -32,6 +32,26 @@ val create : domains:int -> t
 val domains : t -> int
 (** Number of domains the pool was created with (>= 1). *)
 
+type worker_stats = { tasks_run : int; exceptions_caught : int }
+
+val worker_stats : t -> worker_stats array
+(** Per-slot execution counts: slot 0 is the submitting domain, slots
+    1..[domains]-1 the spawned workers.
+
+    {b Invariant.}  [tasks_run] counts chunks claimed from the pool's
+    shared chunk queue, so summed over all slots it equals the total
+    number of chunks submitted through the queue — a deterministic
+    quantity — while the per-slot split depends on scheduling and may
+    differ between runs.  [exceptions_caught] counts chunks whose task
+    raised (the first exception is re-raised to the submitter after the
+    job drains; later ones are swallowed but still counted here).
+    Chunks that degrade to in-place sequential execution (the 1-domain
+    pool, single-element arrays, nested submissions) never enter the
+    queue and are not counted.  The same counts aggregate into the
+    observability registry as the [pool.chunks_run] /
+    [pool.task_exceptions] metrics (see [lib/obs]) when tracing is
+    enabled; [worker_stats] itself is always live. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  The pool must be
     idle.  After shutdown the pool behaves sequentially. *)

@@ -1,0 +1,334 @@
+(* Observability suite (DESIGN.md §8): span recording under the domain
+   pool, histogram bucket math, exporter round-trips through the shared
+   JSON codec, and the acceptance contract — query results, DP noise
+   and degradation reports are byte-identical with tracing off or on,
+   at any domain count.
+
+   The @obs dune alias runs this twice: once plainly and once under
+   MYCELIUM_DOMAINS=8, so every cell also executes with spans landing
+   in eight per-domain buffers. *)
+
+module Rng = Mycelium_util.Rng
+module Cg = Mycelium_graph.Contact_graph
+module Epidemic = Mycelium_graph.Epidemic
+module Corpus = Mycelium_query.Corpus
+module Params = Mycelium_bgv.Params
+module Runtime = Mycelium_core.Runtime
+module Fault_plan = Mycelium_faults.Fault_plan
+module Injector = Mycelium_faults.Injector
+module Pool = Mycelium_parallel.Pool
+module Obs = Mycelium_obs.Obs
+module Json = Mycelium_obs.Obs.Json
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("bool", Json.Bool true);
+      ("int", Json.Int (-42));
+      ("num", Json.Num 3.25);
+      ("str", Json.Str "a \"quoted\"\\\nline\x01");
+      ("list", Json.List [ Json.Int 1; Json.Str "two"; Json.List [] ]);
+      ("obj", Json.Obj [ ("k", Json.Bool false) ]);
+    ]
+
+let test_json_roundtrip () =
+  match Json.parse (Json.to_string sample_json) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok v -> checkb "round-trip preserves the value" true (v = sample_json)
+
+let test_json_rejects () =
+  let bad = [ "{\"a\":1} trailing"; "[1,]"; "{\"a\"}"; "nope"; "\"unterminated"; "" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_member () =
+  checkb "member finds a key" true (Json.member "int" sample_json = Some (Json.Int (-42)));
+  checkb "member misses absent keys" true (Json.member "absent" sample_json = None);
+  checkb "member on non-objects" true (Json.member "x" (Json.Int 1) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket math                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram () =
+  let h = Obs.Metrics.histogram ~buckets:[| 1.; 2.; 4.; 8. |] "test.hist" in
+  (* Upper bounds are inclusive; past the last bound is the overflow
+     bucket. *)
+  checki "0.5 -> bucket 0" 0 (Obs.Metrics.bucket_index h 0.5);
+  checki "1.0 -> bucket 0 (bound inclusive)" 0 (Obs.Metrics.bucket_index h 1.0);
+  checki "1.5 -> bucket 1" 1 (Obs.Metrics.bucket_index h 1.5);
+  checki "4.0 -> bucket 2" 2 (Obs.Metrics.bucket_index h 4.0);
+  checki "8.0 -> bucket 3" 3 (Obs.Metrics.bucket_index h 8.0);
+  checki "9.0 -> overflow" 4 (Obs.Metrics.bucket_index h 9.0);
+  Obs.with_enabled (fun () ->
+      Obs.reset ();
+      List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.5; 4.0; 8.0; 9.0; 100. ];
+      checkb "counts per bucket" true
+        (Obs.Metrics.histogram_counts h = [| 2; 1; 1; 1; 2 |]);
+      checki "total count" 7 (Obs.Metrics.histogram_count h);
+      checkb "sum" true (Float.abs (Obs.Metrics.histogram_sum h -. 124.0) < 1e-9));
+  (* Disabled observations must not record. *)
+  Obs.Metrics.observe h 1.0;
+  checki "disabled observe is a no-op" 7 (Obs.Metrics.histogram_count h)
+
+let test_counter_gauge () =
+  let c = Obs.Metrics.counter "test.counter" in
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.with_enabled (fun () ->
+      Obs.reset ();
+      Obs.Metrics.incr c;
+      Obs.Metrics.add c 4;
+      Obs.Metrics.set g 2.5);
+  checki "counter accumulates" 5 (Obs.Metrics.value c);
+  checkb "gauge holds the last value" true (Obs.Metrics.gauge_value g = 2.5);
+  Obs.Metrics.incr c;
+  checki "disabled incr is a no-op" 5 (Obs.Metrics.value c);
+  checkb "same name returns the same metric" true
+    (Obs.Metrics.value (Obs.Metrics.counter "test.counter") = 5)
+
+(* ------------------------------------------------------------------ *)
+(* Span recording under the pool                                       *)
+(* ------------------------------------------------------------------ *)
+
+let busy_work i =
+  let acc = ref i in
+  for j = 1 to 1000 do
+    acc := (!acc * 31) + j
+  done;
+  Sys.opaque_identity !acc
+
+let test_span_nesting () =
+  Obs.with_enabled (fun () ->
+      Obs.reset ();
+      Pool.with_domains 8 (fun () ->
+          let (_ : int array) =
+            Pool.mapi_array (Pool.default ())
+              (fun i () ->
+                Obs.span "task" ~attrs:[ ("i", Json.Int i) ] (fun () ->
+                    Obs.span "task.inner" (fun () -> busy_work i)))
+              (Array.make 64 ())
+          in
+          ());
+      let spans = Obs.all_spans () in
+      checkb "spans were recorded" true (List.length spans >= 128);
+      List.iter
+        (fun (s : Obs.span) ->
+          checkb ("span closed: " ^ s.Obs.sp_name) false (Float.is_nan s.Obs.sp_end);
+          checkb "start precedes end" true (s.Obs.sp_start <= s.Obs.sp_end))
+        spans;
+      (* Per domain: start order and [sp_seq] agree, and every nested
+         span sits inside an enclosing span one level up. *)
+      let doms = List.sort_uniq compare (List.map (fun s -> s.Obs.sp_dom) spans) in
+      List.iter
+        (fun dom ->
+          let mine = List.filter (fun s -> s.Obs.sp_dom = dom) spans in
+          let by_seq =
+            List.sort (fun a b -> compare a.Obs.sp_seq b.Obs.sp_seq) mine
+          in
+          let rec check_order = function
+            | a :: (b :: _ as rest) ->
+              checkb "seq order matches start order" true
+                (a.Obs.sp_start <= b.Obs.sp_start);
+              checkb "seq values are distinct" true (a.Obs.sp_seq < b.Obs.sp_seq);
+              check_order rest
+            | _ -> ()
+          in
+          check_order by_seq;
+          List.iter
+            (fun s ->
+              if s.Obs.sp_depth > 0 then
+                checkb ("nested span has an enclosing span: " ^ s.Obs.sp_name) true
+                  (List.exists
+                     (fun p ->
+                       p.Obs.sp_depth = s.Obs.sp_depth - 1
+                       && p.Obs.sp_start <= s.Obs.sp_start
+                       && s.Obs.sp_end <= p.Obs.sp_end)
+                     mine))
+            mine)
+        doms;
+      (* The inner span is always one level below its task span. *)
+      List.iter
+        (fun s ->
+          if s.Obs.sp_name = "task.inner" then
+            checkb "inner depth > 0" true (s.Obs.sp_depth > 0))
+        spans)
+
+let test_span_disabled_is_free () =
+  Obs.disable ();
+  let before = Obs.span_count () in
+  let v = Obs.span "ghost" (fun () -> 17) in
+  checki "span returns the body's value" 17 v;
+  checki "disabled span records nothing" before (Obs.span_count ())
+
+let test_sampler () =
+  Obs.with_enabled (fun () ->
+      Obs.reset ();
+      let s = Obs.sampler ~every:4 in
+      for i = 1 to 16 do
+        ignore (Obs.sampled_span s "hot" (fun () -> i))
+      done;
+      checki "one span per [every] calls" 4
+        (List.length
+           (List.filter (fun sp -> sp.Obs.sp_name = "hot") (Obs.all_spans ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Pool worker stats (the pool.mli invariant)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_stats () =
+  Obs.with_enabled (fun () ->
+      Obs.reset ();
+      Pool.with_domains 2 (fun () ->
+          let pool = Pool.default () in
+          let sum_stats () =
+            Array.fold_left
+              (fun (t, e) (s : Pool.worker_stats) ->
+                (t + s.Pool.tasks_run, e + s.Pool.exceptions_caught))
+              (0, 0) (Pool.worker_stats pool)
+          in
+          let t0, e0 = sum_stats () in
+          let m0 = Obs.Metrics.(value (counter "pool.chunks_run")) in
+          let (_ : int array) = Pool.mapi_array pool (fun i () -> busy_work i) (Array.make 64 ()) in
+          let t1, e1 = sum_stats () in
+          let m1 = Obs.Metrics.(value (counter "pool.chunks_run")) in
+          checkb "queued chunks were counted" true (t1 > t0);
+          checki "stats sum equals the registry metric" (t1 - t0) (m1 - m0);
+          (* A raising task is counted and the exception re-raised. *)
+          (match
+             Pool.mapi_array pool
+               (fun i () -> if i = 3 then failwith "boom" else busy_work i)
+               (Array.make 64 ())
+           with
+          | (_ : int array) -> Alcotest.fail "expected the task exception to re-raise"
+          | exception Failure m -> checkb "first exception re-raised" true (m = "boom"));
+          let _, e2 = sum_stats () in
+          checkb "exceptions_caught advanced" true (e2 > e1);
+          checki "exception metric agrees" (e2 - e0)
+            Obs.Metrics.(value (counter "pool.task_exceptions"))))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end acceptance: identical results, valid exported trace      *)
+(* ------------------------------------------------------------------ *)
+
+let small_graph () =
+  let rng = Rng.create 4242L in
+  let g =
+    Cg.generate
+      { Cg.default_config with Cg.population = 16; degree_bound = 4; extra_contact_rate = 1.5 }
+      rng
+  in
+  let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
+  g
+
+let plan =
+  Fault_plan.make ~drop_rate:0.1 ~churn_rate:0.1 ~crashed_committee:[ 2 ]
+    ~aggregator_restarts:1 ~seed:2024L ()
+
+let run_q ~trace () =
+  let sys =
+    Runtime.init
+      { Runtime.default_config with
+        Runtime.params = Params.test_small;
+        degree_bound = 4;
+        faults = Some plan;
+        trace
+      }
+      (small_graph ())
+  in
+  match Runtime.run_query sys (Corpus.find "Q5").Corpus.sql with
+  | Ok r -> r
+  | Error _ -> Alcotest.fail "acceptance query failed"
+
+let same_release (a : Runtime.query_result) (b : Runtime.query_result) =
+  a.Runtime.noisy_bins = b.Runtime.noisy_bins
+  && a.Runtime.result = b.Runtime.result
+  && Injector.report_equal a.Runtime.degradation b.Runtime.degradation
+
+let test_identical_on_off () =
+  Obs.disable ();
+  let base = run_q ~trace:false () in
+  Obs.reset ();
+  let traced = run_q ~trace:true () in
+  Obs.disable ();
+  checkb "tracing on/off releases are identical" true (same_release base traced);
+  (* And across domain counts with tracing on. *)
+  List.iter
+    (fun d ->
+      Obs.reset ();
+      let r = Pool.with_domains d (fun () -> run_q ~trace:true ()) in
+      Obs.disable ();
+      checkb (Printf.sprintf "identical at %d domains (traced)" d) true
+        (same_release base r))
+    [ 1; 2; 8 ]
+
+let test_exported_trace () =
+  Obs.disable ();
+  Obs.reset ();
+  let (_ : Runtime.query_result) = run_q ~trace:true () in
+  let s = Obs.chrome_trace_string () in
+  Obs.disable ();
+  match Json.parse s with
+  | Error e -> Alcotest.failf "exported trace does not re-parse: %s" e
+  | Ok doc ->
+    let events =
+      match Json.member "traceEvents" doc with
+      | Some (Json.List evs) -> evs
+      | _ -> Alcotest.fail "trace has no traceEvents array"
+    in
+    checki "one event per recorded span" (Obs.span_count ()) (List.length events);
+    let names =
+      List.filter_map
+        (fun e -> match Json.member "name" e with Some (Json.Str n) -> Some n | _ -> None)
+        events
+    in
+    List.iter
+      (fun phase ->
+        checkb ("trace contains " ^ phase) true (List.mem phase names))
+      [ "runtime.init"; "query.gather"; "query.aggregate"; "query.summation"; "query.decrypt" ];
+    (* The metrics export also re-parses. *)
+    (match Json.parse (Json.to_string (Obs.metrics_json ())) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "metrics JSON does not re-parse: %s" e)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
+          Alcotest.test_case "member" `Quick test_json_member;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram buckets" `Quick test_histogram;
+          Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and order at 8 domains" `Quick test_span_nesting;
+          Alcotest.test_case "disabled spans record nothing" `Quick test_span_disabled_is_free;
+          Alcotest.test_case "sampled spans" `Quick test_sampler;
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "worker stats invariant" `Quick test_worker_stats ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "identical release on/off and across domains" `Slow
+            test_identical_on_off;
+          Alcotest.test_case "exported trace re-parses with all phases" `Slow
+            test_exported_trace;
+        ] );
+    ]
