@@ -6,6 +6,7 @@
      dune exec bench/main.exe                     -- everything
      dune exec bench/main.exe -- --only fig7      -- one figure
      dune exec bench/main.exe -- --only parallel  -- domain scaling
+     dune exec bench/main.exe -- --only ringops   -- ring backend old-vs-new
      dune exec bench/main.exe -- --skip-micro     -- figures only
      dune exec bench/main.exe -- --json           -- machine-readable
 
@@ -295,6 +296,239 @@ let () =
         ("events", Int events);
         ("branch_ns", Num branch_ns);
       ])
+
+(* ------------------------------------------------------------------ *)
+(* Ringops: the ring backend, old representation vs new               *)
+(* ------------------------------------------------------------------ *)
+
+(* Old-vs-new cost of the polynomial arithmetic the whole pipeline sits
+   on, at degrees 1024..8192.  "Old" is the pre-evaluation-domain
+   backend, reconstructed locally so the baseline stays honest as the
+   live code moves on: butterflies that pay a hardware division
+   ("* w mod p"), a fresh Array.copy per multiply input, and a
+   Bgv-level multiply whose every cross term runs the full
+   forward/pointwise/inverse NTT pipeline per limb.  "New" is the live
+   code: Shoup butterflies, copy-free transforms and Eval-resident
+   ciphertexts whose products are one pointwise pass per limb. *)
+module Old_kernels = struct
+  type plan = { p : int; n : int; psi_pows : int array; inv_psi_pows : int array; n_inv : int }
+
+  let bit_reverse_index bits i =
+    let r = ref 0 and v = ref i in
+    for _ = 1 to bits do
+      r := (!r lsl 1) lor (!v land 1);
+      v := !v lsr 1
+    done;
+    !r
+
+  let make ~p ~degree:n =
+    let log_n =
+      let rec go k acc = if acc = n then k else go (k + 1) (acc * 2) in
+      go 0 1
+    in
+    let open Mycelium_math in
+    let psi = Modarith.nth_root_of_unity p (2 * n) in
+    let inv_psi = Modarith.inv p psi in
+    let table root =
+      let t = Array.make n 1 in
+      let pow = Array.make n 1 in
+      for i = 1 to n - 1 do
+        pow.(i) <- Modarith.mul p pow.(i - 1) root
+      done;
+      for i = 0 to n - 1 do
+        t.(i) <- pow.(bit_reverse_index log_n i)
+      done;
+      t
+    in
+    { p; n; psi_pows = table psi; inv_psi_pows = table inv_psi; n_inv = Modarith.inv p n }
+
+  let forward t a =
+    let p = t.p and n = t.n in
+    let m = ref 1 and len = ref (n / 2) in
+    while !len >= 1 do
+      let m_v = !m and len_v = !len in
+      for i = 0 to m_v - 1 do
+        let w = t.psi_pows.(m_v + i) in
+        let j1 = 2 * i * len_v in
+        for j = j1 to j1 + len_v - 1 do
+          let u = a.(j) in
+          let v = a.(j + len_v) * w mod p in
+          let s = u + v in
+          a.(j) <- (if s >= p then s - p else s);
+          let d = u - v in
+          a.(j + len_v) <- (if d < 0 then d + p else d)
+        done
+      done;
+      m := m_v * 2;
+      len := len_v / 2
+    done
+
+  let inverse t a =
+    let p = t.p and n = t.n in
+    let m = ref (n / 2) and len = ref 1 in
+    while !m >= 1 do
+      let m_v = !m and len_v = !len in
+      for i = 0 to m_v - 1 do
+        let w = t.inv_psi_pows.(m_v + i) in
+        let j1 = 2 * i * len_v in
+        for j = j1 to j1 + len_v - 1 do
+          let u = a.(j) in
+          let v = a.(j + len_v) in
+          let s = u + v in
+          a.(j) <- (if s >= p then s - p else s);
+          let d = u - v in
+          let d = if d < 0 then d + p else d in
+          a.(j + len_v) <- d * w mod p
+        done
+      done;
+      m := m_v / 2;
+      len := len_v * 2
+    done;
+    for i = 0 to n - 1 do
+      a.(i) <- a.(i) * t.n_inv mod p
+    done
+
+  let multiply t a b =
+    let fa = Array.copy a and fb = Array.copy b in
+    forward t fa;
+    forward t fb;
+    let p = t.p in
+    for i = 0 to t.n - 1 do
+      fa.(i) <- fa.(i) * fb.(i) mod p
+    done;
+    inverse t fa;
+    fa
+end
+
+let () =
+  section "ringops" (fun () ->
+      let module Modarith = Mycelium_math.Modarith in
+      let module Rns = Mycelium_math.Rns in
+      let module Rq = Mycelium_math.Rq in
+      let levels = 3 in
+      let ns_per_op ?(reps = 5) ~inner f =
+        let best = ref infinity in
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to inner do
+            f ()
+          done;
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then best := dt
+        done;
+        !best *. 1e9 /. float_of_int inner
+      in
+      say "\n";
+      say "=== Ringops: ring backend, old (Coeff + mod) vs new (Eval + Shoup) ===\n";
+      say "  %7s %12s %12s %12s %14s %14s %8s %14s %14s %8s\n" "degree" "fwd old" "fwd new"
+        "pointwise" "rq.mul old" "rq.mul new" "speedup" "bgv.mul old" "bgv.mul new" "speedup";
+      let rows =
+        List.map
+          (fun degree ->
+            let rng = Rng.create (Int64.of_int (9000 + degree)) in
+            let p = List.hd (Ntt.find_primes ~degree ~bits:30 ~count:1) in
+            let plan = Ntt.make_plan ~p ~degree in
+            let oplan = Old_kernels.make ~p ~degree in
+            let rand () = Array.init degree (fun _ -> Rng.int rng p) in
+            let a = rand () and b = rand () in
+            (* Kernel-level: transforms run in place on a scratch row
+               (any reduced row is a valid input, so repeated
+               application measures steady-state cost). *)
+            let scratch = Array.copy a in
+            let inner = max 4 (524_288 / degree) in
+            let fwd_old = ns_per_op ~inner (fun () -> Old_kernels.forward oplan scratch) in
+            let fwd_new = ns_per_op ~inner (fun () -> Ntt.forward plan scratch) in
+            let inv_old = ns_per_op ~inner (fun () -> Old_kernels.inverse oplan scratch) in
+            let inv_new = ns_per_op ~inner (fun () -> Ntt.inverse plan scratch) in
+            let pw = ns_per_op ~inner (fun () -> Ntt.pointwise_into plan ~dst:scratch a b) in
+            (* Rq level: a 3-limb basis, matching the pipeline shape. *)
+            let basis =
+              Rns.make ~primes:(Ntt.find_primes ~degree ~bits:30 ~count:levels) ~degree
+            in
+            let oplans =
+              Array.map (fun p -> Old_kernels.make ~p ~degree) (Rns.primes basis)
+            in
+            let rows_of v =
+              let c = Rq.of_residues ~repr:(Rq.repr_of v) basis (Rq.residues v) in
+              Rq.force_coeff c;
+              Rq.residues c
+            in
+            let x = Rq.random_uniform basis rng and y = Rq.random_uniform basis rng in
+            let xr = rows_of x and yr = rows_of y in
+            let heavy = max 2 (65_536 / degree) in
+            let rq_old =
+              ns_per_op ~inner:heavy (fun () ->
+                  Array.iteri (fun j r -> ignore (Old_kernels.multiply oplans.(j) r yr.(j))) xr)
+            in
+            Rq.force_eval x;
+            Rq.force_eval y;
+            let rq_new = ns_per_op ~inner:heavy (fun () -> ignore (Rq.mul x y)) in
+            (* Bgv level: fresh degree-1 ciphertexts; the old multiply
+               is the full cross-term convolution on coefficient rows. *)
+            let params =
+              { Params.degree; plain_modulus = 65537; prime_bits = 30; levels; error_eta = 2 }
+            in
+            let ctx = Bgv.make_ctx params in
+            let _sk, pk = Bgv.keygen ctx rng in
+            let ct_a = Bgv.encrypt_value ctx rng pk 1 in
+            let ct_b = Bgv.encrypt_value ctx rng pk 2 in
+            let ca = Array.map rows_of (Bgv.components ct_a) in
+            let cb = Array.map rows_of (Bgv.components ct_b) in
+            let primes = Rns.primes basis in
+            let old_bgv_mul () =
+              let da = Array.length ca and db = Array.length cb in
+              Array.init (da + db - 1) (fun k ->
+                  let acc = Array.map (fun _ -> Array.make degree 0) primes in
+                  for i = max 0 (k - db + 1) to min (da - 1) k do
+                    Array.iteri
+                      (fun j p ->
+                        let prod = Old_kernels.multiply oplans.(j) ca.(i).(j) cb.(k - i).(j) in
+                        let accj = acc.(j) in
+                        for c = 0 to degree - 1 do
+                          accj.(c) <- Modarith.add p accj.(c) prod.(c)
+                        done)
+                      primes
+                  done;
+                  acc)
+            in
+            (* Sanity: old and new backends agree before we time them. *)
+            let expected = old_bgv_mul () in
+            let got = Array.map rows_of (Bgv.components (Bgv.mul ct_a ct_b)) in
+            if got <> expected then failwith "bench ringops: old and new backends disagree";
+            let bgv_old = ns_per_op ~inner:heavy (fun () -> ignore (old_bgv_mul ())) in
+            let bgv_new = ns_per_op ~inner:heavy (fun () -> ignore (Bgv.mul ct_a ct_b)) in
+            say "  %7d %10.1fus %10.1fus %10.2fus %12.1fus %12.1fus %7.1fx %12.1fus %12.1fus %7.1fx\n"
+              degree (fwd_old /. 1e3) (fwd_new /. 1e3) (pw /. 1e3) (rq_old /. 1e3)
+              (rq_new /. 1e3) (rq_old /. rq_new) (bgv_old /. 1e3) (bgv_new /. 1e3)
+              (bgv_old /. bgv_new);
+            ( degree,
+              Obj
+                [
+                  ("degree", Int degree);
+                  ("ntt_forward_old_ns", Num fwd_old);
+                  ("ntt_forward_ns", Num fwd_new);
+                  ("ntt_inverse_old_ns", Num inv_old);
+                  ("ntt_inverse_ns", Num inv_new);
+                  ("pointwise_ns", Num pw);
+                  ("rq_mul_old_ns", Num rq_old);
+                  ("rq_mul_ns", Num rq_new);
+                  ("rq_mul_speedup", Num (rq_old /. rq_new));
+                  ("bgv_mul_old_ns", Num bgv_old);
+                  ("bgv_mul_ns", Num bgv_new);
+                  ("bgv_mul_speedup", Num (bgv_old /. bgv_new));
+                ] ))
+          [ 1024; 2048; 4096; 8192 ]
+      in
+      let speedup_4096 =
+        match List.assoc 4096 rows with
+        | Obj kvs ->
+          (match List.assoc "bgv_mul_speedup" kvs with Num v -> v | _ -> 0.)
+        | _ -> 0.
+      in
+      say "  bgv.mul speedup at degree 4096: %.1fx (acceptance floor: 2x)\n" speedup_4096;
+      [ ("levels", Int levels);
+        ("bgv_mul_speedup_4096", Num speedup_4096);
+        ("degrees", List (List.map snd rows)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)

@@ -61,6 +61,13 @@ let keygen ctx rng =
   let e = Rq.sample_cbd ctx.basis ~eta:ctx.p.Params.error_eta rng in
   let te = Rq.mul_scalar e ctx.p.Params.plain_modulus in
   let p0 = Rq.neg (Rq.add (Rq.mul a s) te) in
+  (* The public key (and s, via the mul above) is shared by every
+     device encryption, and those run under the domain pool: pin the
+     evaluation-domain representation here, outside any parallel
+     region, so encrypt never converts shared state. *)
+  Rq.force_eval p0;
+  Rq.force_eval a;
+  Rq.force_eval s;
   ({ s }, { p0; p1 = a })
 
 let encrypt ctx rng pk pt =
@@ -144,16 +151,22 @@ let sub_plain ctx ct pt =
 let mul_impl a b =
   let da = Array.length a.comps and db = Array.length b.comps in
   let basis = Rq.basis_of a.comps.(0) in
+  (* Forward-transform every component once, before the fan-out: the
+     degree-k cross terms then reuse the cached evaluation forms (a
+     component appears in up to min(da,db) diagonals), and no two pool
+     tasks race to convert a shared component. *)
+  Array.iter Rq.force_eval a.comps;
+  Array.iter Rq.force_eval b.comps;
   (* Each output component of the tensor product is an independent
-     convolution diagonal; inner additions stay in ascending-i order so
-     the result is identical at any domain count. *)
+     convolution diagonal, computed as a fused dot product of the two
+     component slices; dot accumulates in ascending-i order so the
+     result is identical at any domain count. *)
   let out =
     Pool.init (Pool.default ()) (da + db - 1) (fun k ->
-        let acc = ref (Rq.zero basis) in
-        for i = max 0 (k - db + 1) to min (da - 1) k do
-          acc := Rq.add !acc (Rq.mul a.comps.(i) b.comps.(k - i))
-        done;
-        !acc)
+        let lo = max 0 (k - db + 1) and hi = min (da - 1) k in
+        let xs = Array.sub a.comps lo (hi - lo + 1) in
+        let ys = Array.init (hi - lo + 1) (fun i -> b.comps.(k - lo - i)) in
+        Rq.dot xs ys)
   in
   let n_bits = log (float_of_int (Rns.degree basis)) /. log 2. in
   { comps = out; noise_bits = a.noise_bits +. b.noise_bits +. n_bits +. 1. }
@@ -221,6 +234,11 @@ let relin_keygen ctx rng sk ~max_degree =
             let k0 =
               Rq.add (Rq.neg (Rq.add (Rq.mul a sk.s) e)) (Rq.mul_scalar_residues s_pow weight_res)
             in
+            (* Key digits are multiplied into decomposed ciphertext
+               digits on every relinearization, in parallel: pin them
+               to the evaluation domain once, here. *)
+            Rq.force_eval k0;
+            Rq.force_eval a;
             (k0, a)))
       powers
   in
@@ -312,7 +330,13 @@ let inv_mod m a =
    c' = a + k with k = centered(r * p_last^-1 mod t). Then
    p_last * c' - c = p_last*k - r = 0 (mod t) and is divisible by
    p_last, so [c'(s)]_{q/p_last} = ([c(s)]_q + small)/p_last and the
-   plaintext comes out scaled by p_last^-1 mod t (undone by the caller). *)
+   plaintext comes out scaled by p_last^-1 mod t (undone by the caller).
+
+   This is a representation boundary: CRT reconstruction needs
+   coefficients, so the input is read through a coefficient-domain
+   snapshot (leaving its resident Eval form untouched) and the rescaled
+   output enters the smaller basis as Coeff; the next multiplication
+   lazily moves it back to Eval. *)
 let mod_switch_poly small_ctx big_basis v =
   let primes = Rns.primes big_basis in
   let p_last = primes.(Array.length primes - 1) in
@@ -401,7 +425,13 @@ let serialize ct =
   add_i32 (Array.length ct.comps);
   Array.iter
     (fun comp ->
+      (* Serialize rows in whatever domain the component is resident
+         in, tagged, so the wire format costs no transform in either
+         direction.  The pipeline computes representations
+         deterministically, so serialized bytes (and hence hashes and
+         transcript-proof comparisons) are deterministic too. *)
       let rows = Rq.residues comp in
+      add_i32 (match Rq.repr_of comp with Rq.Coeff -> 0 | Rq.Eval -> 1);
       add_i32 (Array.length rows);
       Array.iter
         (fun row ->
@@ -432,6 +462,9 @@ let deserialize ctx data =
     if ncomps < 1 || ncomps > 64 then raise Exit;
     let comps =
       Array.init ncomps (fun _ ->
+          let repr =
+            match read_i32 () with 0 -> Rq.Coeff | 1 -> Rq.Eval | _ -> raise Exit
+          in
           let nrows = read_i32 () in
           if nrows <> Rns.level_count ctx.basis then raise Exit;
           let rows =
@@ -444,7 +477,7 @@ let deserialize ctx data =
                     if v < 0 || v >= prime then raise Exit;
                     v))
           in
-          Rq.of_residues ctx.basis rows)
+          Rq.of_residues ~repr ctx.basis rows)
     in
     if !pos <> len then raise Exit;
     Some { comps; noise_bits = float_of_int (modulus_bits ctx) }

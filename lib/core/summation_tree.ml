@@ -35,7 +35,14 @@ let build leaves =
   Obs.span "sumtree.build" ~attrs:[ ("leaves", Obs.Json.Int n) ] @@ fun () ->
   (* Sibling pairs within a level are independent (a sum plus a hash
      each); parallelise per pair index.  Levels stay strictly ordered,
-     so the committed tree is identical at any domain count. *)
+     so the committed tree is identical at any domain count.
+
+     Leaves arrive from deserialized contributions already in the NTT
+     evaluation domain (encrypt produces Eval ciphertexts and the wire
+     format preserves the tag), and Bgv.add is domain-preserving, so
+     the whole tree aggregates with zero transforms; hashes commit to
+     the tagged serialized bytes, which the deterministic pipeline
+     reproduces exactly on rebuild and audit. *)
   let pool = Pool.default () in
   let level0 =
     Obs.span "sumtree.level" ~attrs:[ ("level", Obs.Json.Int 0); ("width", Obs.Json.Int n) ]

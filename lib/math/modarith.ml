@@ -105,3 +105,32 @@ let nth_root_of_unity p n =
     invalid_arg "Modarith.nth_root_of_unity: n does not divide p-1";
   let g = primitive_root p in
   pow p g ((p - 1) / n)
+
+(* --- Shoup precomputed-quotient multiplication ----------------------- *)
+
+(* For a constant multiplicand w (an NTT twiddle), w' = floor(w*2^62/p)
+   turns "x*w mod p" into two multiplies, shifts and one conditional
+   subtraction — no hardware division.  Everything below relies on the
+   module-wide operand bound p < 2^31, which keeps every intermediate
+   inside OCaml's 63-bit native int (derivation in DESIGN.md §9). *)
+
+let shoup_precompute p w =
+  if p >= 1 lsl 31 then invalid_arg "Modarith.shoup_precompute: modulus too large";
+  let w = reduce p w in
+  (* floor(w * 2^62 / p) without a 93-bit intermediate: divide in two
+     31-bit halves.  w*2^31 < 2^62 fits; the second step folds the
+     remainder back in, so the composite quotient is the exact floor. *)
+  let q1 = (w lsl 31) / p in
+  let r1 = (w lsl 31) - (q1 * p) in
+  (q1 lsl 31) + ((r1 lsl 31) / p)
+
+let shoup_mul p w w' x =
+  (* q = floor(x * w' / 2^62), split so x*w' (up to 2^93) never
+     materialises: x*(hi 2^31 + lo)/2^62 = (x*hi + floor(x*lo/2^31))/2^31
+     — exact because the discarded fraction of x*lo/2^31 contributes
+     less than one unit after the outer shift.  Then r = x*w - q*p is in
+     [0, 2p) (standard Shoup bound given x < 2^31), so one conditional
+     subtraction completes the reduction. *)
+  let q = ((x * (w' lsr 31)) + ((x * (w' land 0x7FFFFFFF)) lsr 31)) lsr 31 in
+  let r = (x * w) - (q * p) in
+  if r >= p then r - p else r

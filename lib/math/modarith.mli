@@ -42,3 +42,15 @@ val primitive_root : int -> int
 val nth_root_of_unity : int -> int -> int
 (** [nth_root_of_unity p n] is an element of exact order [n] in
     [(Z/p)^*]. Requires [n] divides [p - 1]. *)
+
+val shoup_precompute : int -> int -> int
+(** [shoup_precompute p w] is the Shoup companion quotient
+    [floor (w * 2^62 / p)] for a fixed multiplicand [w], computed
+    entirely in native ints. Requires [p < 2^31]. *)
+
+val shoup_mul : int -> int -> int -> int -> int
+(** [shoup_mul p w w' x] is [x * w mod p] using the precomputed
+    [w' = shoup_precompute p w]: two multiplies plus a conditional
+    subtraction, no division. Requires reduced [x] and [p < 2^31].
+    The NTT butterflies inline this arithmetic; this entry point is the
+    specification used by the equivalence tests. *)

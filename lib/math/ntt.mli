@@ -24,11 +24,35 @@ val degree : plan -> int
 val forward : plan -> int array -> unit
 (** In-place forward negacyclic NTT of a length-[degree] coefficient
     array with entries in [\[0, p)]. After the call the array holds the
-    evaluation-domain representation. *)
+    evaluation-domain representation. Butterflies use Shoup
+    precomputed-quotient multiplication (two multiplies plus a
+    conditional subtraction per twiddle product; no division). *)
 
 val inverse : plan -> int array -> unit
 (** In-place inverse transform; [inverse plan (forward plan a)] restores
     [a]. *)
+
+val forward_into : plan -> src:int array -> dst:int array -> unit
+(** Forward transform reading [src] and writing [dst] without an
+    intermediate copy: the first butterfly stage is fused with the
+    load. [src] is left intact ([src == dst] is allowed and degrades to
+    the in-place transform). *)
+
+val inverse_into : plan -> src:int array -> dst:int array -> unit
+(** Inverse counterpart of {!forward_into}. *)
+
+val pointwise : plan -> int array -> int array -> int array
+(** Coordinate-wise product of two evaluation-domain arrays: the whole
+    cost of a ring multiplication once both operands are resident in
+    the evaluation domain. *)
+
+val pointwise_into : plan -> dst:int array -> int array -> int array -> unit
+(** [pointwise] into a caller-provided array ([dst] may alias an
+    input). *)
+
+val pointwise_acc : plan -> acc:int array -> int array -> int array -> unit
+(** [acc.(i) <- acc.(i) + a.(i)*b.(i) mod p]: fused multiply-accumulate
+    for convolution cross terms (dot products of component slices). *)
 
 val multiply : plan -> int array -> int array -> int array
 (** Negacyclic product of two coefficient-domain polynomials. *)

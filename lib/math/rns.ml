@@ -48,6 +48,33 @@ let to_bigint_centered t residues =
   let v = to_bigint t residues in
   if Bigint.compare v t.half_q > 0 then Bigint.sub v t.q else v
 
+(* Limb-major CRT reconstruction of a whole residue matrix
+   (rows.(limb).(coeff)): one pass per limb accumulating
+   crt_factor.(j) * rows.(j).(i) into per-coefficient accumulators,
+   then a single reduce-and-center pass.  Same accumulation order
+   (ascending limb index) as folding to_bigint_centered over columns,
+   so the results are bit-identical to the column-major loop while
+   touching each row sequentially. *)
+let to_bigint_rows_centered t rows =
+  if Array.length rows <> Array.length t.primes then
+    invalid_arg "Rns.to_bigint_rows_centered: wrong number of rows";
+  let n = t.degree in
+  let acc = Array.make n Bigint.zero in
+  Array.iteri
+    (fun j row ->
+      if Array.length row <> n then
+        invalid_arg "Rns.to_bigint_rows_centered: wrong row length";
+      let f = t.crt_factor.(j) in
+      for i = 0 to n - 1 do
+        acc.(i) <- Bigint.add acc.(i) (Bigint.mul_int f row.(i))
+      done)
+    rows;
+  Array.map
+    (fun v ->
+      let v = Bigint.erem v t.q in
+      if Bigint.compare v t.half_q > 0 then Bigint.sub v t.q else v)
+    acc
+
 let of_bigint t x = Array.map (fun p -> Bigint.rem_int x p) t.primes
 
 let of_int t x = Array.map (fun p -> Modarith.reduce p x) t.primes

@@ -36,6 +36,13 @@ val to_bigint : t -> int array -> Bigint.t
 val to_bigint_centered : t -> int array -> Bigint.t
 (** Same, but returns the centered representative in [(-q/2, q/2\]]. *)
 
+val to_bigint_rows_centered : t -> int array array -> Bigint.t array
+(** Centered CRT reconstruction of a full residue matrix
+    ([rows.(limb).(coeff)], as returned by {!Rq.residues} in the
+    coefficient domain) in a single limb-major pass — equivalent to
+    mapping {!to_bigint_centered} over columns but without the
+    per-coefficient temporary. *)
+
 val of_bigint : t -> Bigint.t -> int array
 (** Project an integer (any sign) onto the basis. *)
 

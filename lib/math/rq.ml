@@ -2,20 +2,34 @@ module Rng = Mycelium_util.Rng
 module Pool = Mycelium_parallel.Pool
 module Obs = Mycelium_obs.Obs
 
-(* Hot-op observability (DESIGN.md §8): a counter of per-limb NTT
-   multiplies, plus one sampled span per 64 ring multiplications so a
-   trace shows where ring time goes without a span per call.  The
-   call sites guard on [Obs.enabled] so the disabled path costs one
-   branch and allocates nothing. *)
+(* Hot-op observability (DESIGN.md §8): counters of per-limb ring
+   multiplies and domain transforms, plus one sampled span per 64 ring
+   multiplications so a trace shows where ring time goes without a
+   span per call.  The call sites guard on [Obs.enabled] so the
+   disabled path costs one branch and allocates nothing. *)
 let m_limb_ntt_muls = Obs.Metrics.counter "rq.limb_ntt_muls"
+let m_limb_transforms = Obs.Metrics.counter "rq.limb_transforms"
 let mul_sampler = Obs.sampler ~every:64
+let dot_sampler = Obs.sampler ~every:64
 
-type t = { basis : Rns.t; rows : int array array }
+type repr = Coeff | Eval
+
+(* An element is a mathematical value of R_q; which domain its residue
+   rows currently live in is a cache concern, not part of the value.
+   The representation tag and the rows travel together in one
+   immutable record behind a single mutable field, so a lazy
+   conversion is one atomic pointer write: a concurrent reader sees
+   either the old state or the new one, never a torn mix, and both
+   denote the same ring element.  Conversion allocates fresh rows —
+   it never mutates arrays a previously observed state points to. *)
+type state = { repr : repr; rows : int array array }
+
+type t = { basis : Rns.t; mutable st : state }
 
 (* Per-limb parallelism: each RNS row is independent, so limb ops map
    cleanly onto the domain pool.  Dispatch costs a few microseconds, so
    only ship work out once a limb is big enough to amortise it: NTT
-   multiplies (O(n log n) with a large constant) from degree 512, plain
+   transforms (O(n log n) with a large constant) from degree 512, plain
    pointwise passes only from degree 4096.  Results are written by limb
    index, so the output is identical at any domain count. *)
 let ntt_par_degree = 512
@@ -28,9 +42,43 @@ let pmapi ~min_degree basis f arr =
 
 let basis_of t = t.basis
 
+let repr_of t = t.st.repr
+
+(* Lazy domain conversion.  The snapshot-then-swap discipline makes a
+   race between two forcers benign: both compute identical rows from
+   the same snapshot and the last single-word write wins.  The hot
+   pipeline additionally pre-forces every value that is shared across
+   pool tasks (public keys, relin key digits, ciphertext components
+   before the cross-term fan-out), so in practice conversions happen
+   once, outside parallel regions. *)
+let convert target t =
+  let st = t.st in
+  if st.repr <> target then begin
+    if Obs.enabled () then Obs.Metrics.add m_limb_transforms (Array.length st.rows);
+    let plans = Rns.plans t.basis in
+    let rows =
+      pmapi ~min_degree:ntt_par_degree t.basis
+        (fun j plan ->
+          let src = st.rows.(j) in
+          let dst = Array.make (Array.length src) 0 in
+          (match target with
+          | Eval -> Ntt.forward_into plan ~src ~dst
+          | Coeff -> Ntt.inverse_into plan ~src ~dst);
+          dst)
+        plans
+    in
+    t.st <- { repr = target; rows }
+  end
+
+let force_eval t = convert Eval t
+let force_coeff t = convert Coeff t
+
 let zero basis =
   let n = Rns.degree basis in
-  { basis; rows = Array.map (fun _ -> Array.make n 0) (Rns.primes basis) }
+  {
+    basis;
+    st = { repr = Coeff; rows = Array.map (fun _ -> Array.make n 0) (Rns.primes basis) };
+  }
 
 let of_centered_coeffs basis coeffs =
   let n = Rns.degree basis in
@@ -43,7 +91,7 @@ let of_centered_coeffs basis coeffs =
         row)
       (Rns.primes basis)
   in
-  { basis; rows }
+  { basis; st = { repr = Coeff; rows } }
 
 let constant basis v = of_centered_coeffs basis [| v |]
 
@@ -59,62 +107,121 @@ let monomial basis ~coeff ~exponent =
   coeffs.(e) <- coeff;
   of_centered_coeffs basis coeffs
 
-let residues t = t.rows
+let residues t = t.st.rows
 
-let of_residues basis rows =
+let of_residues ?(repr = Coeff) basis rows =
   let n = Rns.degree basis in
   let k = Array.length (Rns.primes basis) in
   if Array.length rows <> k then invalid_arg "Rq.of_residues: wrong number of rows";
   Array.iter (fun r -> if Array.length r <> n then invalid_arg "Rq.of_residues: wrong row length") rows;
-  { basis; rows = Array.map Array.copy rows }
+  { basis; st = { repr; rows = Array.map Array.copy rows } }
 
-let to_bigint_coeffs t =
-  let n = Rns.degree t.basis in
-  let k = Array.length t.rows in
-  let tmp = Array.make k 0 in
-  Array.init n (fun i ->
-      for j = 0 to k - 1 do
-        tmp.(j) <- t.rows.(j).(i)
-      done;
-      Rns.to_bigint_centered t.basis tmp)
+(* Coefficient-domain rows without changing [t]'s resident
+   representation: decryption and noise probes must not flip a shared
+   ciphertext back to Coeff behind the pipeline's back. *)
+let coeff_rows_snapshot t =
+  let st = t.st in
+  match st.repr with
+  | Coeff -> st.rows
+  | Eval ->
+    if Obs.enabled () then Obs.Metrics.add m_limb_transforms (Array.length st.rows);
+    let plans = Rns.plans t.basis in
+    pmapi ~min_degree:ntt_par_degree t.basis
+      (fun j plan ->
+        let src = st.rows.(j) in
+        let dst = Array.make (Array.length src) 0 in
+        Ntt.inverse_into plan ~src ~dst;
+        dst)
+      plans
 
-let equal a b = Rns.primes a.basis = Rns.primes b.basis && a.rows = b.rows
+let to_bigint_coeffs t = Rns.to_bigint_rows_centered t.basis (coeff_rows_snapshot t)
+
+(* Structural comparison must not see the representation: normalise a
+   mixed pair to the evaluation domain (the transform is a bijection,
+   so equality of rows is preserved) and compare the limb arrays
+   element by element. *)
+let rows_equal ra rb =
+  Array.length ra = Array.length rb
+  && begin
+    let ok = ref true in
+    Array.iteri
+      (fun j row ->
+        let rowb = rb.(j) in
+        if Array.length row <> Array.length rowb then ok := false
+        else
+          for i = 0 to Array.length row - 1 do
+            if row.(i) <> rowb.(i) then ok := false
+          done)
+      ra;
+    !ok
+  end
+
+let equal a b =
+  Rns.primes a.basis = Rns.primes b.basis
+  && begin
+    if a.st.repr <> b.st.repr then begin
+      force_eval a;
+      force_eval b
+    end;
+    rows_equal a.st.rows b.st.rows
+  end
+
+(* Pointwise binary ops are domain-agnostic (the NTT is linear, and
+   scaling by a constant residue is coordinate-wise in both domains):
+   run them in whatever domain the operands already share; a mixed
+   pair meets in the evaluation domain, the pipeline steady state. *)
+let align a b =
+  if a.st.repr <> b.st.repr then begin
+    force_eval a;
+    force_eval b
+  end;
+  (a.st, b.st)
 
 let map2 f a b =
   if Rns.degree a.basis <> Rns.degree b.basis
      || Rns.primes a.basis <> Rns.primes b.basis
   then invalid_arg "Rq: basis mismatch";
+  let sa, sb = align a b in
   let primes = Rns.primes a.basis in
   let rows =
     pmapi ~min_degree:pointwise_par_degree a.basis
       (fun j p ->
-        let ra = a.rows.(j) and rb = b.rows.(j) in
+        let ra = sa.rows.(j) and rb = sb.rows.(j) in
         Array.init (Array.length ra) (fun i -> f p ra.(i) rb.(i)))
       primes
   in
-  { basis = a.basis; rows }
+  { basis = a.basis; st = { repr = sa.repr; rows } }
 
 let add a b = map2 Modarith.add a b
 let sub a b = map2 Modarith.sub a b
 
 let neg a =
+  let sa = a.st in
   let primes = Rns.primes a.basis in
-  { a with
-    rows =
-      pmapi ~min_degree:pointwise_par_degree a.basis
-        (fun j row -> Array.map (Modarith.neg primes.(j)) row)
-        a.rows
-  }
+  let rows =
+    pmapi ~min_degree:pointwise_par_degree a.basis
+      (fun j row -> Array.map (Modarith.neg primes.(j)) row)
+      sa.rows
+  in
+  { basis = a.basis; st = { repr = sa.repr; rows } }
 
+(* Multiplication is where the representation pays off: force both
+   operands into the evaluation domain (lazily, once per value) and
+   the product is a single pointwise pass per limb.  The result stays
+   in Eval — no inverse transform until some consumer actually needs
+   coefficients. *)
 let mul_impl a b =
   if Rns.primes a.basis <> Rns.primes b.basis then invalid_arg "Rq.mul: basis mismatch";
+  force_eval a;
+  force_eval b;
+  let sa = a.st and sb = b.st in
   let plans = Rns.plans a.basis in
   let rows =
-    pmapi ~min_degree:ntt_par_degree a.basis
-      (fun j plan -> Ntt.multiply plan a.rows.(j) b.rows.(j))
+    pmapi ~min_degree:pointwise_par_degree a.basis
+      (fun j plan -> Ntt.pointwise plan sa.rows.(j) sb.rows.(j))
       plans
   in
-  { basis = a.basis; rows }
+  { basis = a.basis; st = { repr = Eval; rows } }
 
 let mul a b =
   if not (Obs.enabled ()) then mul_impl a b
@@ -125,36 +232,74 @@ let mul a b =
       (fun () -> mul_impl a b)
   end
 
+(* dot a b = sum_i a.(i) * b.(i): the convolution cross terms of a
+   ciphertext tensor product, fused so every limb accumulates all
+   pointwise products in one pass over one accumulator row. *)
+let dot_impl a b =
+  let len = Array.length a in
+  if len = 0 || Array.length b <> len then invalid_arg "Rq.dot: length mismatch";
+  let basis = a.(0).basis in
+  let check x = if Rns.primes x.basis <> Rns.primes basis then invalid_arg "Rq.dot: basis mismatch" in
+  Array.iter check a;
+  Array.iter check b;
+  Array.iter force_eval a;
+  Array.iter force_eval b;
+  let plans = Rns.plans basis in
+  let rows =
+    pmapi ~min_degree:pointwise_par_degree basis
+      (fun j plan ->
+        let acc = Array.make (Rns.degree basis) 0 in
+        for i = 0 to len - 1 do
+          Ntt.pointwise_acc plan ~acc a.(i).st.rows.(j) b.(i).st.rows.(j)
+        done;
+        acc)
+      plans
+  in
+  { basis; st = { repr = Eval; rows } }
+
+let dot a b =
+  if Array.length a = 0 || Array.length b <> Array.length a then
+    invalid_arg "Rq.dot: length mismatch";
+  if not (Obs.enabled ()) then dot_impl a b
+  else begin
+    Obs.Metrics.add m_limb_ntt_muls (Array.length a * Array.length (Rns.primes a.(0).basis));
+    Obs.sampled_span dot_sampler "rq.dot"
+      ~attrs:[ ("terms", Obs.Json.Int (Array.length a)) ]
+      (fun () -> dot_impl a b)
+  end
+
 let mul_scalar a s =
+  let sa = a.st in
   let primes = Rns.primes a.basis in
   let rows =
     pmapi ~min_degree:pointwise_par_degree a.basis
       (fun j row ->
         let sv = Modarith.reduce primes.(j) s in
         Array.map (fun c -> Modarith.mul primes.(j) c sv) row)
-      a.rows
+      sa.rows
   in
-  { a with rows }
+  { basis = a.basis; st = { repr = sa.repr; rows } }
 
 let mul_scalar_residues a scalar =
   let primes = Rns.primes a.basis in
   if Array.length scalar <> Array.length primes then
     invalid_arg "Rq.mul_scalar_residues: wrong residue count";
+  let sa = a.st in
   let rows =
     pmapi ~min_degree:pointwise_par_degree a.basis
       (fun j row ->
         let sv = Modarith.reduce primes.(j) scalar.(j) in
         Array.map (fun c -> Modarith.mul primes.(j) c sv) row)
-      a.rows
+      sa.rows
   in
-  { a with rows }
+  { basis = a.basis; st = { repr = sa.repr; rows } }
 
 let random_uniform basis rng =
   let n = Rns.degree basis in
   let rows =
     Array.map (fun p -> Array.init n (fun _ -> Rng.int rng p)) (Rns.primes basis)
   in
-  { basis; rows }
+  { basis; st = { repr = Coeff; rows } }
 
 let sample_signed basis rng draw =
   let n = Rns.degree basis in

@@ -1,12 +1,33 @@
 (** Elements of the polynomial ring R_q = Z_q[x]/(x^N + 1) in RNS form.
 
     An element stores, for every prime of the basis, a length-N residue
-    array in the coefficient domain. All operations are functional
-    (inputs are never mutated). *)
+    array — either in the coefficient domain or in the NTT evaluation
+    domain (double-CRT form), tracked by a {!repr} tag. Conversion
+    between domains is lazy and in place: operations force the
+    representation they need, cache it, and never change the
+    mathematical value. All operations are functional with respect to
+    that value (an input's *representation* may change; the ring
+    element it denotes never does). *)
 
 type t
 
+type repr = Coeff | Eval
+(** [Coeff]: rows hold polynomial coefficients. [Eval]: rows hold the
+    negacyclic NTT of the coefficients (evaluation domain), in which
+    ring multiplication is coordinate-wise. *)
+
 val basis_of : t -> Rns.t
+
+val repr_of : t -> repr
+(** The domain the rows currently reside in. *)
+
+val force_eval : t -> unit
+(** Convert to the evaluation domain in place (no-op if already
+    there). Use before sharing a value across parallel tasks so no two
+    tasks race to convert it. *)
+
+val force_coeff : t -> unit
+(** Convert to the coefficient domain in place. *)
 
 val zero : Rns.t -> t
 val one : Rns.t -> t
@@ -24,29 +45,48 @@ val of_centered_coeffs : Rns.t -> int array -> t
 
 val to_bigint_coeffs : t -> Bigint.t array
 (** CRT-reconstruct every coefficient, centered in [(-q/2, q/2\]].
-    Cold path. *)
+    Cold path; does not change the input's resident representation
+    (an Eval input is inverse-transformed into a scratch copy). *)
 
 val residues : t -> int array array
-(** Underlying per-prime rows (do not mutate). *)
+(** Underlying per-prime rows, in the domain reported by {!repr_of}
+    (do not mutate). Callers that need a specific domain must force it
+    first. *)
 
-val of_residues : Rns.t -> int array array -> t
-(** Adopt per-prime rows (copied). Lengths must match the basis. *)
+val of_residues : ?repr:repr -> Rns.t -> int array array -> t
+(** Adopt per-prime rows (copied), tagged with the domain they are in
+    ([Coeff] by default). Lengths must match the basis. *)
 
 val equal : t -> t -> bool
+(** Mathematical equality: a mixed-representation pair is normalised
+    to a common domain (forcing both operands to [Eval]) and the limb
+    arrays are compared element by element. *)
 
 val add : t -> t -> t
 val sub : t -> t -> t
 val neg : t -> t
+(** Linear ops work in either domain and preserve the operands'
+    representation; a mixed pair meets in [Eval]. *)
+
 val mul : t -> t -> t
-(** Negacyclic product via per-prime NTT. *)
+(** Negacyclic product. Forces both operands to [Eval] (lazily, once
+    per value) and multiplies coordinate-wise per limb; the result
+    stays in [Eval]. *)
+
+val dot : t array -> t array -> t
+(** [dot a b = sum_i a.(i) * b.(i)], fused: each limb runs one
+    multiply-accumulate pass per term into a single accumulator row.
+    Forces every operand to [Eval]; the result is [Eval]. Used for the
+    cross-term diagonals of ciphertext tensor products. *)
 
 val mul_scalar : t -> int -> t
-(** Multiply by a signed integer scalar. *)
+(** Multiply by a signed integer scalar (domain-agnostic; preserves
+    representation). *)
 
 val mul_scalar_residues : t -> int array -> t
 (** Multiply by a scalar given directly by its per-prime residues (for
     scalars wider than a machine word, e.g. digit weights B^i in key
-    switching). *)
+    switching). Domain-agnostic; preserves representation. *)
 
 val random_uniform : Rns.t -> Mycelium_util.Rng.t -> t
 (** Uniform element of R_q (independent uniform residues per prime,

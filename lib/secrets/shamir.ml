@@ -51,10 +51,16 @@ let reconstruct ~p shares =
 
 type rq_share = { idx : int; value : Rq.t }
 
+(* Ring shares live canonically in the evaluation domain: the secret
+   key is Eval-resident after keygen, partial decryptions multiply
+   shares straight into Eval ciphertexts, and sharing, interpolation
+   and redistribution are all linear, so they commute with the NTT —
+   sharing the transformed rows IS sharing the polynomial. *)
 let share_rq rng ~threshold ~parties v =
   let basis = Rq.basis_of v in
   let primes = Rns.primes basis in
   let n = Rns.degree basis in
+  Rq.force_eval v;
   let rows = Rq.residues v in
   (* One residue matrix per party, filled coefficient by coefficient. *)
   let outs = Array.init parties (fun _ -> Array.map (fun _ -> Array.make n 0) primes) in
@@ -72,7 +78,7 @@ let share_rq rng ~threshold ~parties v =
         done
       done)
     primes;
-  Array.mapi (fun j rows -> { idx = j + 1; value = Rq.of_residues basis rows }) outs
+  Array.mapi (fun j rows -> { idx = j + 1; value = Rq.of_residues ~repr:Rq.Eval basis rows }) outs
 
 let lambda_rows basis xs =
   Array.map (fun p -> lagrange_at_zero ~p xs) (Rns.primes basis)
@@ -85,6 +91,7 @@ let reconstruct_rq basis shares =
   let acc = Array.map (fun _ -> Array.make n 0) primes in
   List.iteri
     (fun i s ->
+      Rq.force_eval s.value;
       let rows = Rq.residues s.value in
       Array.iteri
         (fun pi p ->
@@ -94,4 +101,4 @@ let reconstruct_rq basis shares =
           done)
         primes)
     shares;
-  Rq.of_residues basis acc
+  Rq.of_residues ~repr:Rq.Eval basis acc

@@ -84,6 +84,8 @@ let redistribute_rq rng ~new_threshold ~new_parties old_shares =
         let subs = Shamir.share_rq rng ~threshold:new_threshold ~parties:new_parties old.Shamir.value in
         Array.iteri
           (fun j sub ->
+            (* share_rq emits Eval-domain shares; the accumulate below
+               is linear, so the redistributed shares stay Eval. *)
             let rows = Rq.residues sub.Shamir.value in
             Array.iteri
               (fun pi p ->
@@ -95,7 +97,7 @@ let redistribute_rq rng ~new_threshold ~new_parties old_shares =
           subs)
       old_shares;
     Array.mapi
-      (fun j rows -> { Shamir.idx = j + 1; value = Rq.of_residues basis rows })
+      (fun j rows -> { Shamir.idx = j + 1; value = Rq.of_residues ~repr:Rq.Eval basis rows })
       acc
 
 let batch_weights basis ~context =
@@ -128,6 +130,10 @@ let batch_weights basis ~context =
 
 let fold_rq basis gamma v =
   let primes = Rns.primes basis in
+  (* The fold is a random linear functional of the raw rows, so prover
+     and verifier must read the rows in the same domain: pin Eval, the
+     canonical domain for shares. *)
+  Rq.force_eval v;
   let rows = Rq.residues v in
   Array.mapi
     (fun pi p ->

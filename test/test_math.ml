@@ -602,6 +602,24 @@ let test_rq_scalar () =
   let minus_x = Rq.mul_scalar x (-1) in
   checkb "scalar -1 = neg" true (Rq.equal minus_x (Rq.neg x))
 
+let test_rq_equal_across_representations () =
+  let b = Lazy.force small_basis in
+  let rng = Rng.create 302L in
+  for _ = 1 to 20 do
+    (* The same value in both domains: equal must see through the
+       representation tag (regression for the polymorphic-= version,
+       which compared Eval rows against Coeff rows). *)
+    let rows = Rq.residues (Rq.random_uniform b rng) in
+    let x = Rq.of_residues b rows in
+    let y = Rq.of_residues b rows in
+    Rq.force_eval x;
+    checkb "repr moved" true (Rq.repr_of x = Rq.Eval && Rq.repr_of y = Rq.Coeff);
+    checkb "equal (eval x) (coeff x)" true (Rq.equal x y);
+    checkb "equal (coeff x) (eval x)" true (Rq.equal y x);
+    let z = Rq.add (Rq.of_residues b rows) (Rq.one b) in
+    checkb "unequal values stay unequal across reprs" false (Rq.equal x z)
+  done
+
 let test_rq_sampling_ranges () =
   let b = Lazy.force small_basis in
   let rng = Rng.create 301L in
@@ -697,6 +715,8 @@ let () =
           Alcotest.test_case "negacyclic exponent wrap" `Quick test_rq_negacyclic;
           Alcotest.test_case "ring axioms" `Quick test_rq_ring_ops;
           Alcotest.test_case "scalar multiplication" `Quick test_rq_scalar;
+          Alcotest.test_case "equal across representations" `Quick
+            test_rq_equal_across_representations;
           Alcotest.test_case "sampler ranges" `Quick test_rq_sampling_ranges;
         ] );
     ]

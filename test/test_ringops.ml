@@ -1,0 +1,220 @@
+(* Cross-checks for the evaluation-domain (double-CRT) ring backend:
+   Eval-resident multiplication against the coefficient-domain NTT path
+   and the schoolbook oracle, Shoup-vs-mod multiplier equivalence, the
+   copy-free forward_into/inverse_into kernels, and representation
+   round-trips at the BGV layer.  Seeded throughout; the @ringops alias
+   runs this binary plainly and under MYCELIUM_DOMAINS=8, so every
+   check also exercises the per-limb pool dispatch. *)
+
+module Rng = Mycelium_util.Rng
+module Modarith = Mycelium_math.Modarith
+module Ntt = Mycelium_math.Ntt
+module Rns = Mycelium_math.Rns
+module Rq = Mycelium_math.Rq
+module Bgv = Mycelium_bgv.Bgv
+module Params = Mycelium_bgv.Params
+module Plaintext = Mycelium_bgv.Plaintext
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* A 3-prime basis: every property below is checked per limb. *)
+let basis = lazy (Rns.standard ~degree:256 ~prime_bits:30 ~levels:3)
+
+let random_rows rng basis =
+  let n = Rns.degree basis in
+  Array.map (fun p -> Array.init n (fun _ -> Rng.int rng p)) (Rns.primes basis)
+
+(* Eval-domain multiply vs coefficient-domain Ntt.multiply vs the
+   O(n^2) schoolbook product, for every limb. *)
+let test_eval_mul_cross_check () =
+  let b = Lazy.force basis in
+  let rng = Rng.create 41L in
+  let primes = Rns.primes b in
+  let plans = Rns.plans b in
+  for _ = 1 to 8 do
+    let rows_a = random_rows rng b and rows_b = random_rows rng b in
+    let x = Rq.of_residues b rows_a and y = Rq.of_residues b rows_b in
+    Rq.force_eval x;
+    Rq.force_eval y;
+    let prod = Rq.mul x y in
+    checkb "product resident in Eval" true (Rq.repr_of prod = Rq.Eval);
+    Rq.force_coeff prod;
+    let prod_rows = Rq.residues prod in
+    Array.iteri
+      (fun j plan ->
+        let expected = Ntt.multiply plan rows_a.(j) rows_b.(j) in
+        let naive = Ntt.multiply_naive ~p:primes.(j) rows_a.(j) rows_b.(j) in
+        checkb "coefficient-domain NTT = schoolbook" true (expected = naive);
+        checkb "eval-domain mul = coefficient-domain mul" true (prod_rows.(j) = expected))
+      plans
+  done
+
+(* Shoup precomputed-quotient multiplication agrees with "* w mod p"
+   for every modulus find_primes can hand the ring backend at the
+   30-bit operating point, including boundary operands. *)
+let test_shoup_vs_mod () =
+  let primes = Ntt.find_primes ~degree:1024 ~bits:30 ~count:10 in
+  let rng = Rng.create 42L in
+  List.iter
+    (fun p ->
+      for _ = 1 to 2000 do
+        let w = Rng.int rng p in
+        let w' = Modarith.shoup_precompute p w in
+        let x = Rng.int rng p in
+        checki "shoup = mod" (Modarith.mul p x w) (Modarith.shoup_mul p w w' x)
+      done;
+      List.iter
+        (fun w ->
+          let w' = Modarith.shoup_precompute p w in
+          List.iter
+            (fun x ->
+              checki "shoup = mod (boundary)" (Modarith.mul p x w)
+                (Modarith.shoup_mul p w w' x))
+            [ 0; 1; 2; p - 2; p - 1 ])
+        [ 0; 1; 2; p - 2; p - 1 ])
+    primes
+
+(* The copy-free kernels: forward_into leaves src intact and matches
+   the in-place transform; inverse_into inverts it. *)
+let test_into_variants () =
+  let rng = Rng.create 43L in
+  List.iter
+    (fun n ->
+      let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+      let plan = Ntt.make_plan ~p ~degree:n in
+      for _ = 1 to 5 do
+        let a = Array.init n (fun _ -> Rng.int rng p) in
+        let keep = Array.copy a in
+        let fa = Array.make n 0 in
+        Ntt.forward_into plan ~src:a ~dst:fa;
+        checkb "forward_into leaves src intact" true (a = keep);
+        let ip = Array.copy a in
+        Ntt.forward plan ip;
+        checkb "forward_into = in-place forward" true (fa = ip);
+        let back = Array.make n 0 in
+        Ntt.inverse_into plan ~src:fa ~dst:back;
+        checkb "inverse_into . forward_into = id" true (back = a);
+        checkb "inverse_into leaves src intact" true (fa = ip);
+        Ntt.inverse plan ip;
+        checkb "inverse_into = in-place inverse" true (ip = back)
+      done)
+    [ 1; 2; 8; 64; 256; 1024 ]
+
+let test_pointwise_kernels () =
+  let n = 128 in
+  let p = List.hd (Ntt.find_primes ~degree:n ~bits:28 ~count:1) in
+  let plan = Ntt.make_plan ~p ~degree:n in
+  let rng = Rng.create 44L in
+  let a = Array.init n (fun _ -> Rng.int rng p) in
+  let b = Array.init n (fun _ -> Rng.int rng p) in
+  let acc0 = Array.init n (fun _ -> Rng.int rng p) in
+  let pw = Ntt.pointwise plan a b in
+  for i = 0 to n - 1 do
+    checki "pointwise" (Modarith.mul p a.(i) b.(i)) pw.(i)
+  done;
+  let acc = Array.copy acc0 in
+  Ntt.pointwise_acc plan ~acc a b;
+  for i = 0 to n - 1 do
+    checki "pointwise_acc" (Modarith.add p acc0.(i) (Modarith.mul p a.(i) b.(i))) acc.(i)
+  done;
+  (* dst aliasing an input is allowed. *)
+  let c = Array.copy a in
+  Ntt.pointwise_into plan ~dst:c c b;
+  checkb "pointwise_into aliasing" true (c = pw)
+
+(* Rq.dot is the fused cross-term primitive behind Bgv.mul. *)
+let test_dot_matches_sum_of_products () =
+  let b = Lazy.force basis in
+  let rng = Rng.create 45L in
+  for k = 1 to 4 do
+    let xs = Array.init k (fun _ -> Rq.random_uniform b rng) in
+    let ys = Array.init k (fun _ -> Rq.random_uniform b rng) in
+    let d = Rq.dot xs ys in
+    checkb "dot resident in Eval" true (Rq.repr_of d = Rq.Eval);
+    let expected = ref (Rq.zero b) in
+    for i = 0 to k - 1 do
+      expected := Rq.add !expected (Rq.mul xs.(i) ys.(i))
+    done;
+    checkb "dot = sum of products" true (Rq.equal d !expected)
+  done
+
+(* Linear ops must commute with the representation. *)
+let test_linear_ops_domain_agnostic () =
+  let b = Lazy.force basis in
+  let rng = Rng.create 46L in
+  for _ = 1 to 10 do
+    let rows_x = random_rows rng b and rows_y = random_rows rng b in
+    let fresh rows = Rq.of_residues b rows in
+    let eval rows = let v = Rq.of_residues b rows in Rq.force_eval v; v in
+    checkb "add commutes with repr" true
+      (Rq.equal (Rq.add (fresh rows_x) (fresh rows_y)) (Rq.add (eval rows_x) (eval rows_y)));
+    checkb "mixed-repr add" true
+      (Rq.equal (Rq.add (fresh rows_x) (eval rows_y)) (Rq.add (eval rows_x) (fresh rows_y)));
+    checkb "sub commutes with repr" true
+      (Rq.equal (Rq.sub (fresh rows_x) (fresh rows_y)) (Rq.sub (eval rows_x) (eval rows_y)));
+    checkb "neg commutes with repr" true (Rq.equal (Rq.neg (fresh rows_x)) (Rq.neg (eval rows_x)));
+    checkb "mul_scalar commutes with repr" true
+      (Rq.equal (Rq.mul_scalar (fresh rows_x) 17) (Rq.mul_scalar (eval rows_x) 17));
+    (* Round-tripping the representation is the identity. *)
+    let v = fresh rows_x in
+    Rq.force_eval v;
+    Rq.force_coeff v;
+    checkb "force roundtrip is identity" true (Rq.equal v (fresh rows_x))
+  done
+
+(* BGV layer: fresh ciphertexts are Eval-resident, products decrypt
+   correctly, serialization preserves the representation tag, and the
+   decrypted plaintext does not depend on the resident domain. *)
+let test_bgv_representation () =
+  let ctx = Bgv.make_ctx Params.test_small in
+  let rng = Rng.create 47L in
+  let sk, pk = Bgv.keygen ctx rng in
+  let rk = Bgv.relin_keygen ctx rng sk ~max_degree:2 in
+  let a = Bgv.encrypt_value ctx rng pk 3 in
+  let b = Bgv.encrypt_value ctx rng pk 5 in
+  Array.iter
+    (fun c -> checkb "fresh ciphertext is Eval-resident" true (Rq.repr_of c = Rq.Eval))
+    (Bgv.components a);
+  let prod = Bgv.relinearize ctx rk (Bgv.mul a b) in
+  let pt = Bgv.decrypt ctx sk prod in
+  checki "x^3 * x^5 decrypts to x^8" 1 (Plaintext.coeff pt 8);
+  checki "no stray bin" 0 (Plaintext.coeff pt 7);
+  (* Serialization round-trips bytes and tags in either domain. *)
+  let check_roundtrip ct =
+    let bytes = Bgv.serialize ct in
+    match Bgv.deserialize ctx bytes with
+    | None -> Alcotest.fail "deserialize rejected serialized ciphertext"
+    | Some ct' ->
+      checkb "serialize . deserialize stable" true (Bytes.equal (Bgv.serialize ct') bytes);
+      Array.iteri
+        (fun i c -> checkb "repr tag preserved" true (Rq.repr_of c = Rq.repr_of (Bgv.components ct).(i)))
+        (Bgv.components ct')
+  in
+  check_roundtrip prod;
+  Array.iter Rq.force_coeff (Bgv.components prod);
+  check_roundtrip prod;
+  let pt2 = Bgv.decrypt ctx sk prod in
+  checkb "decrypt independent of resident domain" true
+    (Plaintext.coeffs pt = Plaintext.coeffs pt2)
+
+let () =
+  Alcotest.run "mycelium-ringops"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "shoup vs mod, all 30-bit moduli" `Quick test_shoup_vs_mod;
+          Alcotest.test_case "forward_into / inverse_into" `Quick test_into_variants;
+          Alcotest.test_case "pointwise kernels" `Quick test_pointwise_kernels;
+        ] );
+      ( "cross-check",
+        [
+          Alcotest.test_case "eval mul vs ntt vs naive, per limb" `Quick
+            test_eval_mul_cross_check;
+          Alcotest.test_case "dot = sum of products" `Quick test_dot_matches_sum_of_products;
+          Alcotest.test_case "linear ops domain-agnostic" `Quick
+            test_linear_ops_domain_agnostic;
+        ] );
+      ( "bgv",
+        [ Alcotest.test_case "representation end-to-end" `Quick test_bgv_representation ] );
+    ]
