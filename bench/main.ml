@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --only fig7      -- one figure
      dune exec bench/main.exe -- --only parallel  -- domain scaling
      dune exec bench/main.exe -- --only ringops   -- ring backend old-vs-new
+     dune exec bench/main.exe -- --only lint      -- full-repo static analysis
      dune exec bench/main.exe -- --skip-micro     -- figures only
      dune exec bench/main.exe -- --json           -- machine-readable
 
@@ -529,6 +530,64 @@ let () =
       [ ("levels", Int levels);
         ("bgv_mul_speedup_4096", Num speedup_4096);
         ("degrees", List (List.map snd rows)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Lint: the full-repo static-analysis pass                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the same walk `dune build @lint` runs — parse every .ml/.mli
+   under lib/, bin/, bench/ and test/ and check every rule — so the
+   cost of the gate is tracked alongside the code it gates.  Skipped
+   gracefully when the sources are not reachable from the working
+   directory (an installed binary run elsewhere). *)
+let () =
+  section "lint" (fun () ->
+      let module Lint = Mycelium_lint.Lint in
+      let rec find_root dir =
+        if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+        else begin
+          let parent = Filename.dirname dir in
+          if String.equal parent dir then None else find_root parent
+        end
+      in
+      let root =
+        match find_root (Sys.getcwd ()) with
+        | Some r when Sys.file_exists (Filename.concat r "lib") -> Some r
+        | Some _ | None -> None
+      in
+      match root with
+      | None ->
+        say "\n=== Lint: repository sources not found; section skipped ===\n";
+        [ ("skipped", Bool true) ]
+      | Some root ->
+        let cwd = Sys.getcwd () in
+        let report, dt =
+          Fun.protect
+            ~finally:(fun () -> Sys.chdir cwd)
+            (fun () ->
+              Sys.chdir root;
+              let roots =
+                List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ]
+              in
+              let t0 = Unix.gettimeofday () in
+              let report = Lint.run ~roots () in
+              (report, Unix.gettimeofday () -. t0))
+        in
+        let files = report.Lint.files in
+        say "\n";
+        say "=== Lint: full-repo static analysis ===\n";
+        say "  %d files in %.1f ms (%.0f files/s)\n" files (dt *. 1e3)
+          (float_of_int files /. dt);
+        say "  violations %d, suppressed %d\n"
+          (List.length report.Lint.violations)
+          (List.length report.Lint.suppressed);
+        [
+          ("files", Int files);
+          ("ms", Num (dt *. 1e3));
+          ("files_per_s", Num (float_of_int files /. dt));
+          ("violations", Int (List.length report.Lint.violations));
+          ("suppressed", Int (List.length report.Lint.suppressed));
+        ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)

@@ -60,6 +60,8 @@ let run_flooded info graph =
   (* Every reached vertex evaluates its own row for every origin. *)
   let partials = Array.init n (fun _ -> Hashtbl.create 8) in
   for v = 0 to n - 1 do
+    (* lint: allow determinism — per-origin rows write disjoint keys; int
+       sums commute, so iteration order cannot affect the result *)
     Hashtbl.iter
       (fun o (_, first_edge, odata) ->
         let sums = Array.make groups 0 and counts = Array.make groups 0 in
@@ -76,6 +78,8 @@ let run_flooded info graph =
   (* Phase 2: k aggregation rounds, deepest level first. *)
   for dist = k downto 1 do
     for v = 0 to n - 1 do
+      (* lint: allow determinism — each origin accumulates into its own
+         parent entry; integer addition commutes across iteration order *)
       Hashtbl.iter
         (fun o (d, _, _) ->
           if d = dist then
@@ -100,6 +104,9 @@ let run_flooded info graph =
   (bins, 2 * k)
 
 let time_plaintext_query info graph =
+  (* lint: allow determinism — wall-clock measurement is this function's
+     purpose; the timing never feeds back into query results *)
   let t0 = Unix.gettimeofday () in
   let (_ : Semantics.result) = run info graph in
+  (* lint: allow determinism — end of the measured interval *)
   Unix.gettimeofday () -. t0

@@ -29,7 +29,7 @@ let run graph ~init ~program ~max_supersteps =
         let halted = ref false in
         let neighbor_ids = List.map fst (Cg.neighbors graph v) in
         let send u m =
-          if not (List.mem u neighbor_ids) then
+          if not (List.exists (Int.equal u) neighbor_ids) then
             invalid_arg "Pregel: send to non-neighbor";
           outbox.(u) <- m :: outbox.(u)
         in

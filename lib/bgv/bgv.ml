@@ -51,7 +51,7 @@ type relin_key = { digit_bits : int; keys : (Rq.t * Rq.t) array array (* [power-
 let relin_max_degree rk = Array.length rk.keys + 1
 
 let plaintext_to_rq ctx pt =
-  if Plaintext.plain_modulus pt <> ctx.p.Params.plain_modulus then
+  if not (Int.equal (Plaintext.plain_modulus pt) ctx.p.Params.plain_modulus) then
     invalid_arg "Bgv: plaintext modulus mismatch";
   Rq.of_centered_coeffs ctx.basis (Plaintext.coeffs pt)
 
@@ -466,11 +466,11 @@ let deserialize ctx data =
             match read_i32 () with 0 -> Rq.Coeff | 1 -> Rq.Eval | _ -> raise Exit
           in
           let nrows = read_i32 () in
-          if nrows <> Rns.level_count ctx.basis then raise Exit;
+          if not (Int.equal nrows (Rns.level_count ctx.basis)) then raise Exit;
           let rows =
             Array.init nrows (fun j ->
                 let rowlen = read_i32 () in
-                if rowlen <> Rns.degree ctx.basis then raise Exit;
+                if not (Int.equal rowlen (Rns.degree ctx.basis)) then raise Exit;
                 let prime = (Rns.primes ctx.basis).(j) in
                 Array.init rowlen (fun _ ->
                     let v = read_i32 () in

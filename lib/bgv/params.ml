@@ -18,6 +18,13 @@ let test_wide =
 let paper =
   { degree = 32768; plain_modulus = 1 lsl 30; prime_bits = 30; levels = 19; error_eta = 2 }
 
+let equal a b =
+  Int.equal a.degree b.degree
+  && Int.equal a.plain_modulus b.plain_modulus
+  && Int.equal a.prime_bits b.prime_bits
+  && Int.equal a.levels b.levels
+  && Int.equal a.error_eta b.error_eta
+
 let modulus_bits t = t.prime_bits * t.levels
 
 let ciphertext_bytes t ~degree =

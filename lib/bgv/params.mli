@@ -16,6 +16,10 @@ type t = {
   error_eta : int;  (** centered-binomial error parameter *)
 }
 
+val equal : t -> t -> bool
+(** Field-wise equality; equal parameter sets build interchangeable
+    contexts. *)
+
 val test_small : t
 (** N=256: fast unit tests. *)
 

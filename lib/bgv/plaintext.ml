@@ -41,7 +41,7 @@ let equal a b =
   a.t_mod = b.t_mod
   &&
   let n = max (Array.length a.c) (Array.length b.c) in
-  let rec go i = i >= n || (coeff a i = coeff b i && go (i + 1)) in
+  let rec go i = i >= n || (Int.equal (coeff a i) (coeff b i) && go (i + 1)) in
   go 0
 
 let histogram t ~max_bin =

@@ -82,7 +82,7 @@ let decrypt_and_release ?(churn = 0.) ?(max_attempts = 10) ?(excluded = []) t rn
   if Bgv.degree ct <> 1 then Error "ciphertext must be relinearized to degree 1"
   else begin
     let candidates =
-      List.filter (fun i -> not (List.mem i excluded)) (List.init t.size Fun.id)
+      List.filter (fun i -> not (List.exists (Int.equal i) excluded)) (List.init t.size Fun.id)
     in
     match recruit rng ~candidates ~needed:(t.thresh + 1) ~churn ~max_attempts ~attempt:1 with
     | None -> Error "committee liveness failure: too few members reachable"

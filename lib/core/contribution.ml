@@ -22,7 +22,7 @@ let conjuncts where =
 let is_cross p =
   match Analysis.classify_atom p with
   | Ok (Analysis.Cross _) -> true
-  | Ok _ -> false
+  | Ok (Analysis.Origin_side | Analysis.Dest_side | Analysis.Constant) -> false
   | Error _ -> (
     (* compound conjunct: cross if it mixes self and dest *)
     let cols = Ast.pred_cols p in
@@ -35,13 +35,15 @@ let cross_field info =
       (fun p ->
         match Analysis.classify_atom p with
         | Ok (Analysis.Cross f) -> Some f
-        | _ -> None)
+        | Ok (Analysis.Origin_side | Analysis.Dest_side | Analysis.Constant) | Error _ -> None)
       (conjuncts info.Analysis.query.Ast.where)
   in
   let from_group =
-    match info.Analysis.group_kind with Analysis.Group_cross f -> [ f ] | _ -> []
+    match info.Analysis.group_kind with
+    | Analysis.Group_cross f -> [ f ]
+    | Analysis.Group_none | Analysis.Group_self | Analysis.Group_edge -> []
   in
-  match List.sort_uniq compare (fields @ from_group) with
+  match List.sort_uniq Ast.compare_field (fields @ from_group) with
   | [] -> None
   | [ f ] -> Some f
   | _ -> failwith "Contribution: multiple cross-column fields are not supported"
@@ -79,7 +81,13 @@ let row_payload info ~dest ~edge =
           | Ast.Edge, Ast.Duration, Some e -> Some e.Schema.duration_min
           | Ast.Edge, Ast.Contacts, Some e -> Some e.Schema.contacts
           | Ast.Edge, Ast.Last_contact, Some e -> Some e.Schema.last_contact
-          | _, _, _ -> None
+          | Ast.Self, _, _
+          | ( Ast.Dest,
+              (Ast.Duration | Ast.Contacts | Ast.Last_contact | Ast.Location | Ast.Setting),
+              _ )
+          | Ast.Edge, (Ast.Inf | Ast.T_inf | Ast.Age | Ast.Location | Ast.Setting), _
+          | Ast.Edge, (Ast.Duration | Ast.Contacts | Ast.Last_contact), None ->
+            None
         in
         match raw with Some v -> Analysis.bucketize c.Ast.field v | None -> 0)
     in
@@ -92,7 +100,7 @@ let cross_bucket field (dest : Schema.vertex_data) =
   match field with
   | Ast.T_inf -> Option.map (Analysis.bucketize Ast.T_inf) dest.Schema.t_inf
   | Ast.Age -> Some (Analysis.bucketize Ast.Age dest.Schema.age)
-  | _ -> None
+  | Ast.Inf | Ast.Duration | Ast.Contacts | Ast.Last_contact | Ast.Location | Ast.Setting -> None
 
 (* A synthetic destination whose cross-field bucket is [v]; used by the
    origin to evaluate cross predicates position by position. *)
@@ -100,7 +108,8 @@ let synthetic_dest field v : Schema.vertex_data =
   match field with
   | Ast.T_inf -> { Schema.infected = true; t_inf = Some v; age = 0; household = 0 }
   | Ast.Age -> { Schema.infected = false; t_inf = None; age = v * 10; household = 0 }
-  | _ -> failwith "Contribution: unsupported cross field"
+  | Ast.Inf | Ast.Duration | Ast.Contacts | Ast.Last_contact | Ast.Location | Ast.Setting ->
+    failwith "Contribution: unsupported cross field"
 
 (* ------------------------------------------------------------------ *)
 (* Building                                                            *)
@@ -138,7 +147,7 @@ let build srs ctx rng pk info ~dest ~edge =
     let m = cross_bucket field dest in
     let pairs =
       Array.init l (fun v ->
-          let e = if m = Some v then payload else 0 in
+          let e = match m with Some b when Int.equal b v -> payload | _ -> 0 in
           encrypt_with_proof srs ctx rng pk e)
     in
     { ciphertexts = Array.map fst pairs; proofs = Array.map snd pairs }
@@ -168,6 +177,10 @@ let to_bytes t =
   Array.iter (fun ct -> add_framed (Bgv.serialize ct)) t.ciphertexts;
   Array.iter (fun p -> add_framed (Zkp.proof_to_bytes p)) t.proofs;
   Buffer.to_bytes buf
+
+(* Serialization is canonical (fixed framing, deterministic ciphertext
+   encoding), so wire equality is structural equality. *)
+let equal a b = Bytes.equal (to_bytes a) (to_bytes b)
 
 let of_bytes ctx data =
   let pos = ref 0 and len = Bytes.length data in

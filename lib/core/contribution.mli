@@ -49,6 +49,9 @@ val build_malicious :
 (** A Byzantine contribution: an over-weighted value with forged
     proofs. The aggregator must reject it (§4.6). *)
 
+val equal : t -> t -> bool
+(** Wire-form equality; {!to_bytes} is canonical. *)
+
 val to_bytes : t -> bytes
 (** Wire form for routing through the mixnet. *)
 

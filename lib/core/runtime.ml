@@ -334,6 +334,9 @@ let gather_rows t inj info =
     let built =
       Pool.map_array pool
         (fun (origin, m, edge) ->
+          (* lint: allow rng-capture — task_rng is the rng.mli pre-split
+             pattern: a pure Rng.mix64 derivation from (seed, coords),
+             not a shared mutable stream *)
           let row = build_for (task_rng gather_seed origin m) m edge in
           (Contribution.verify t.srs t.ctx info row, row))
         tasks
@@ -415,6 +418,9 @@ let run_query_ast ?(epsilon = 1.0) t query =
     let parents = Cg.spanning_parents t.graph origin ~k:hops in
     let members = Cg.k_hop t.graph origin ~k:hops in
     let children = Hashtbl.create 16 in
+    (* lint: allow determinism — inverts the parents map; OCaml hash tables
+       iterate reproducibly for a fixed insertion sequence (no seed), and
+       parents is built deterministically, so child order is stable *)
     Hashtbl.iter
       (fun child parent ->
         Hashtbl.replace children parent (child :: Option.value ~default:[] (Hashtbl.find_opt children parent)))
@@ -422,7 +428,7 @@ let run_query_ast ?(epsilon = 1.0) t query =
     let contribution_of = Hashtbl.create 16 in
     List.iter (fun (m, _, (row : Contribution.t)) -> Hashtbl.replace contribution_of m row) rows.(origin);
     (* Partial products, deepest first. *)
-    let by_depth = List.sort (fun (_, d1) (_, d2) -> compare d2 d1) members in
+    let by_depth = List.sort (fun (_, d1) (_, d2) -> Int.compare d2 d1) members in
     let products = Hashtbl.create 16 in
     List.iter
       (fun (m, _) ->
@@ -483,6 +489,8 @@ let run_query_ast ?(epsilon = 1.0) t query =
   let outcomes =
     Obs.span "query.aggregate" ~attrs:[ ("origins", Obs.Json.Int n) ] @@ fun () ->
     Pool.init pool n (fun origin ->
+        (* lint: allow rng-capture — task_rng is the rng.mli pre-split
+           pattern; the task-local generator is derived, never shared *)
         let rng = task_rng agg_seed origin 0 in
         if Injector.device_offline inj ~device:origin then
           (* Offline origin: the aggregator substitutes the §6.3 default

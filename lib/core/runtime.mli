@@ -70,6 +70,7 @@ val default_config : config
 (** test_medium BGV parameters, committee of 10 with threshold 4,
     budget 10, d=6, honest devices, abstract channel, no faults. *)
 
+(* lint: allow interface — the runtime is a stateful orchestrator (graph, keys, rng, pools); handles are compared by identity only *)
 type t
 
 val init : config -> Mycelium_graph.Contact_graph.t -> t

@@ -20,6 +20,9 @@ val root_sum : t -> Mycelium_bgv.Bgv.ciphertext
 (** The final aggregate: equal to folding {!Mycelium_bgv.Bgv.add} over
     the leaves. *)
 
+val equal : t -> t -> bool
+(** Root-hash equality; the hash commits to every leaf and the shape. *)
+
 val root_hash : t -> bytes
 (** Commitment for the bulletin board. *)
 

@@ -13,6 +13,9 @@ type t = {
 
 val paper : t
 
+val equal : t -> t -> bool
+(** Field-wise equality (floats compare with [Float.equal]). *)
+
 val ciphertext_bytes : float
 (** Size of one degree-1 ciphertext at the paper's BGV parameters
     (~4.5 MB; the paper reports 4.3 MB). *)

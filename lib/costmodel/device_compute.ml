@@ -10,6 +10,9 @@ type unit_costs = {
   add_s : float;
 }
 
+(* lint: allow-file determinism — this module calibrates the cost model
+   against real wall-clock time; measurements are reported, never mixed
+   into query results *)
 let time_it f =
   let t0 = Unix.gettimeofday () in
   let reps = ref 0 in

@@ -51,9 +51,24 @@ let make ?(drop_rate = 0.) ?(max_send_attempts = 4) ?(delay_rate = 0.)
     aggregator_restarts;
   }
 
+let rate_zero r = Float.equal r 0.
+
 let is_none t =
-  t.drop_rate = 0. && t.delay_rate = 0. && t.churn_rate = 0. && t.forge_rate = 0.
-  && t.crashed_committee = [] && t.aggregator_restarts = 0
+  rate_zero t.drop_rate && rate_zero t.delay_rate && rate_zero t.churn_rate
+  && rate_zero t.forge_rate
+  && (match t.crashed_committee with [] -> true | _ :: _ -> false)
+  && t.aggregator_restarts = 0
+
+let equal a b =
+  Int64.equal a.seed b.seed
+  && Float.equal a.drop_rate b.drop_rate
+  && Int.equal a.max_send_attempts b.max_send_attempts
+  && Float.equal a.delay_rate b.delay_rate
+  && Int.equal a.max_delay_rounds b.max_delay_rounds
+  && Float.equal a.churn_rate b.churn_rate
+  && List.equal Int.equal a.crashed_committee b.crashed_committee
+  && Float.equal a.forge_rate b.forge_rate
+  && Int.equal a.aggregator_restarts b.aggregator_restarts
 
 (* Fault-class salts keep the decision streams of different classes
    independent even at identical coordinates. *)
@@ -83,14 +98,14 @@ let send_dropped t ~round ~source ~dest ~attempt =
   && chance (key t salt_drop [ round; source; dest; attempt ]) < t.drop_rate
 
 let send_delay t ~round ~source ~dest =
-  if t.delay_rate = 0. then 0
+  if rate_zero t.delay_rate then 0
   else begin
     let k = key t salt_delay [ round; source; dest ] in
     if chance k >= t.delay_rate then 0
     else 1 + Int64.to_int (Int64.rem (Int64.shift_right_logical (Rng.mix64 k 1L) 1) (Int64.of_int t.max_delay_rounds))
   end
 
-let committee_crashed t ~member = List.mem member t.crashed_committee
+let committee_crashed t ~member = List.exists (Int.equal member) t.crashed_committee
 
 let backoff_units t ~attempts =
   ignore t;
@@ -105,7 +120,7 @@ let forging_devices t ~n =
   List.filter (fun d -> contribution_forged t ~device:d) (List.init n Fun.id)
 
 let crashed_members t ~size =
-  List.sort_uniq compare (List.filter (fun m -> m >= 0 && m < size) t.crashed_committee)
+  List.sort_uniq Int.compare (List.filter (fun m -> m >= 0 && m < size) t.crashed_committee)
 
 let pp fmt t =
   Format.fprintf fmt

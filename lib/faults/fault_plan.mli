@@ -69,6 +69,10 @@ val make :
 val is_none : t -> bool
 (** No fault of any class can fire under this plan. *)
 
+val equal : t -> t -> bool
+(** Field-wise equality (floats compare with [Float.equal]); equal
+    plans inject identical fault sets. *)
+
 (** {2 Stateless decisions}
 
     Coordinates identify the event, not the call site: the same

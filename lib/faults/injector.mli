@@ -36,6 +36,7 @@ val report_equal : report -> report -> bool
 val pp_report : Format.formatter -> report -> unit
 val report_to_string : report -> string
 
+(* lint: allow interface — an injector wraps a mutable degradation report; only identity comparison makes sense *)
 type t
 
 val create : Fault_plan.t -> t

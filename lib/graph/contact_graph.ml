@@ -160,7 +160,10 @@ let clip_to_degree_bound ?bound t =
     (fun u l -> List.iter (fun (v, data) -> if u < v then edges := (u, v, data) :: !edges) l)
     t.adj;
   let edges =
-    List.sort (fun (u1, v1, _) (u2, v2, _) -> compare (u1, v1) (u2, v2)) !edges
+    List.sort
+      (fun (u1, v1, _) (u2, v2, _) ->
+        match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
+      !edges
   in
   let g =
     {

@@ -18,6 +18,7 @@ type config = {
 val default_config : config
 (** 1000 people, d = 10, households ~2.5, 14-day horizon. *)
 
+(* lint: allow interface — graphs are large mutable adjacency stores; tests compare derived views (edges, vertices), never whole graphs *)
 type t
 
 val generate : config -> Mycelium_util.Rng.t -> t

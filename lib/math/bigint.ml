@@ -47,17 +47,18 @@ let is_zero t = t.sign = 0
 
 let compare_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Int.compare la lb
   else begin
-    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Int.compare a.(i) b.(i) else go (i - 1) in
     go (la - 1)
   end
 
 let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
+  if a.sign <> b.sign then Int.compare a.sign b.sign
   else if a.sign >= 0 then compare_mag a.mag b.mag
   else compare_mag b.mag a.mag
 
+(* lint: allow poly-compare — Bigint's own typed compare, shadowing Stdlib's *)
 let equal a b = compare a b = 0
 
 let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
@@ -445,6 +446,7 @@ let random rng bound =
     let mag = Array.init nlimbs (fun _ -> Rng.bits62 rng land limb_mask) in
     mag.(nlimbs - 1) <- mag.(nlimbs - 1) land top_mask;
     let v = normalize 1 mag in
+    (* lint: allow poly-compare — Bigint's own typed compare, shadowing Stdlib's *)
     if compare v bound < 0 then v else draw ()
   in
   draw ()
@@ -506,7 +508,7 @@ let random_prime rng ~bits =
     let c = random_bits rng bits in
     (* Force odd. *)
     let c = if testbit c 0 then c else add c one in
-    if num_bits c = bits && is_probable_prime rng c then c else try_candidate ()
+    if Int.equal (num_bits c) bits && is_probable_prime rng c then c else try_candidate ()
   in
   try_candidate ()
 

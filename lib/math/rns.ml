@@ -10,6 +10,11 @@ type t = {
 }
 
 let primes t = t.primes
+
+let equal a b =
+  Int.equal a.degree b.degree
+  && Int.equal (Array.length a.primes) (Array.length b.primes)
+  && Array.for_all2 Int.equal a.primes b.primes
 let plans t = t.plans
 let degree t = t.degree
 let level_count t = Array.length t.primes
@@ -20,7 +25,7 @@ let make ~primes ~degree =
   let primes = Array.of_list primes in
   let n = Array.length primes in
   if n = 0 then invalid_arg "Rns.make: empty basis";
-  let distinct = Array.to_list primes |> List.sort_uniq compare |> List.length in
+  let distinct = Array.to_list primes |> List.sort_uniq Int.compare |> List.length in
   if distinct <> n then invalid_arg "Rns.make: duplicate primes";
   let plans = Array.map (fun p -> Ntt.make_plan ~p ~degree) primes in
   let q = Array.fold_left (fun acc p -> Bigint.mul acc (Bigint.of_int p)) Bigint.one primes in

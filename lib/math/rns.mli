@@ -10,6 +10,11 @@ type t
 (** An RNS basis: the primes, their NTT plans for a fixed ring degree,
     and precomputed CRT constants. *)
 
+val equal : t -> t -> bool
+(** Same ring degree and the same prime chain, in order.  Two equal
+    bases share all derived constants, so elements may move freely
+    between them. *)
+
 val make : primes:int list -> degree:int -> t
 (** Build a basis. Every prime must satisfy [p = 1 (mod 2*degree)] and
     be pairwise distinct. *)

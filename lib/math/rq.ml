@@ -157,7 +157,7 @@ let rows_equal ra rb =
   end
 
 let equal a b =
-  Rns.primes a.basis = Rns.primes b.basis
+  Rns.equal a.basis b.basis
   && begin
     if a.st.repr <> b.st.repr then begin
       force_eval a;
@@ -178,9 +178,7 @@ let align a b =
   (a.st, b.st)
 
 let map2 f a b =
-  if Rns.degree a.basis <> Rns.degree b.basis
-     || Rns.primes a.basis <> Rns.primes b.basis
-  then invalid_arg "Rq: basis mismatch";
+  if not (Rns.equal a.basis b.basis) then invalid_arg "Rq: basis mismatch";
   let sa, sb = align a b in
   let primes = Rns.primes a.basis in
   let rows =
@@ -211,7 +209,7 @@ let neg a =
    in Eval — no inverse transform until some consumer actually needs
    coefficients. *)
 let mul_impl a b =
-  if Rns.primes a.basis <> Rns.primes b.basis then invalid_arg "Rq.mul: basis mismatch";
+  if not (Rns.equal a.basis b.basis) then invalid_arg "Rq.mul: basis mismatch";
   force_eval a;
   force_eval b;
   let sa = a.st and sb = b.st in
@@ -239,7 +237,7 @@ let dot_impl a b =
   let len = Array.length a in
   if len = 0 || Array.length b <> len then invalid_arg "Rq.dot: length mismatch";
   let basis = a.(0).basis in
-  let check x = if Rns.primes x.basis <> Rns.primes basis then invalid_arg "Rq.dot: basis mismatch" in
+  let check x = if not (Rns.equal x.basis basis) then invalid_arg "Rq.dot: basis mismatch" in
   Array.iter check a;
   Array.iter check b;
   Array.iter force_eval a;

@@ -20,6 +20,10 @@ val create : unit -> t
 val post : t -> author:string -> bytes -> entry
 (** Append and return the new entry. *)
 
+val equal : t -> t -> bool
+(** Same length and head hash — the chained hash commits to the whole
+    log. *)
+
 val length : t -> int
 val get : t -> int -> entry option
 val head_hash : t -> bytes

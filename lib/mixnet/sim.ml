@@ -422,6 +422,9 @@ let run_query_round_impl t ~payload_of =
      pure (see the mli).  Phase 3 (sequential) deposits the surviving
      copies in the original order, so sid allocation is unchanged. *)
   let msg_groups = ref [] in
+  (* lint: allow determinism — unseeded Hashtbl iteration is reproducible
+     for a fixed insertion sequence, and messages are inserted in sid
+     order; phase 3 re-sorts deposits into the original order anyway *)
   Hashtbl.iter
     (fun _msg paths ->
       match paths with
@@ -513,6 +516,8 @@ let run_query_round_impl t ~payload_of =
                  t.mailboxes.(own_pseudo t dev + j)))
         in
         let expected =
+          (* lint: allow determinism — per-device route table, deterministic
+             insertion sequence; fold order is reproducible run to run *)
           Hashtbl.fold
             (fun link_id entry acc -> if entry.stage = stage then (link_id, entry) :: acc else acc)
             t.routes.(dev) []
@@ -587,6 +592,8 @@ let run_query_round_impl t ~payload_of =
   let delivered_sids = Hashtbl.create 256 in
   let deliveries = ref [] in
   let pickup = ref [] in
+  (* lint: allow determinism — iteration over messages inserted in sid
+     order; delivery is re-sequenced by the sequential deposit phase *)
   Hashtbl.iter
     (fun _msg paths ->
       let entries =
@@ -697,6 +704,8 @@ let run_query_round_impl t ~payload_of =
   let messages_sent = ref 0 and delivered = ref 0 and lost = ref 0 in
   let copies_delivered = ref 0 and copies_lost = ref 0 and identified = ref 0 in
   let anon = ref [] in
+  (* lint: allow determinism — per-message counters commute; the anon list
+     is only consumed through its sorted summary statistics *)
   Hashtbl.iter
     (fun _msg paths ->
       incr messages_sent;

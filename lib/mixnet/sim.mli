@@ -49,6 +49,7 @@ val default_config : config
 (** Figure 4's parameters at simulable scale: k=3, r=2, f=0.1, d=10,
     2% malicious, no churn, n=500. *)
 
+(* lint: allow interface — the simulator is a mutable world (mailboxes, routes, in-flight messages); structural comparison is meaningless *)
 type t
 
 val create : config -> t

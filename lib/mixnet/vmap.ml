@@ -137,7 +137,9 @@ let m2_contains_pk l ~pk =
   (* The payload embeds 32-byte hash blocks; a substring check over the
      encoded form suffices for 32-byte digests. *)
   let nlen = String.length needle and hlen = String.length hay in
-  let rec scan i = i + nlen <= hlen && (String.sub hay i nlen = needle || scan (i + 1)) in
+  let rec scan i =
+    i + nlen <= hlen && (String.equal (String.sub hay i nlen) needle || scan (i + 1))
+  in
   scan 0
 
 let audit_own_pseudonyms t ~device ~pseudonyms =

@@ -18,6 +18,7 @@
 
 type m1_leaf = { pseudonym : bytes; pk : bytes; device : int }
 
+(* lint: allow interface — a VMap log is compared through its Merkle roots (m1_root/m2_root), not structurally *)
 type t
 
 val build : max_pseudonyms_per_device:int -> m1_leaf array -> (t, string) result

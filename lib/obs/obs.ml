@@ -30,6 +30,18 @@ module Json = struct
     | List of t list
     | Obj of (string * t) list
 
+  let rec equal a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Bool a, Bool b -> Bool.equal a b
+    | Int a, Int b -> Int.equal a b
+    | Num a, Num b -> Float.equal a b
+    | Str a, Str b -> String.equal a b
+    | List a, List b -> List.equal equal a b
+    | Obj a, Obj b ->
+      List.equal (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) a b
+    | (Null | Bool _ | Int _ | Num _ | Str _ | List _ | Obj _), _ -> false
+
   let add_escaped buf s =
     Buffer.add_char buf '"';
     String.iter
@@ -87,6 +99,7 @@ module Json = struct
     let pos = ref 0 in
     let fail msg = raise (Parse_fail (Printf.sprintf "%s at offset %d" msg !pos)) in
     let peek () = if !pos < n then Some s.[!pos] else None in
+    let peek_is c = !pos < n && Char.equal s.[!pos] c in
     let advance () = incr pos in
     let skip_ws () =
       while
@@ -101,7 +114,7 @@ module Json = struct
     in
     let literal lit v =
       let l = String.length lit in
-      if !pos + l <= n && String.sub s !pos l = lit then begin
+      if !pos + l <= n && String.equal (String.sub s !pos l) lit then begin
         pos := !pos + l;
         v
       end
@@ -176,7 +189,7 @@ module Json = struct
       | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then begin
+        if peek_is '}' then begin
           advance ();
           Obj []
         end
@@ -202,7 +215,7 @@ module Json = struct
       | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then begin
+        if peek_is ']' then begin
           advance ();
           List []
         end
@@ -239,7 +252,8 @@ module Json = struct
     | exception Parse_fail msg -> Error msg
 
   let member key = function
-    | Obj kvs -> List.assoc_opt key kvs
+    | Obj kvs ->
+      List.find_map (fun (k, v) -> if String.equal k key then Some v else None) kvs
     | _ -> None
 end
 
@@ -247,6 +261,8 @@ end
 (* The switch                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* lint: allow determinism — wall-clock feeds span timestamps only; trace
+   content is diagnostic and never enters query results *)
 let now () = Unix.gettimeofday ()
 
 let enabled_flag =
@@ -371,8 +387,11 @@ let all_spans () =
   in
   List.sort
     (fun a b ->
-      match compare a.sp_start b.sp_start with
-      | 0 -> compare (a.sp_dom, a.sp_seq) (b.sp_dom, b.sp_seq)
+      match Float.compare a.sp_start b.sp_start with
+      | 0 -> (
+        match Int.compare a.sp_dom b.sp_dom with
+        | 0 -> Int.compare a.sp_seq b.sp_seq
+        | c -> c)
       | c -> c)
     out
 
@@ -478,6 +497,7 @@ module Metrics = struct
 
   let reset_values () =
     Mutex.lock table_mutex;
+    (* lint: allow determinism — per-entry reset is order-insensitive *)
     Hashtbl.iter
       (fun _ m ->
         match m with
@@ -491,9 +511,10 @@ module Metrics = struct
 
   let sorted_metrics () =
     Mutex.lock table_mutex;
+    (* lint: allow determinism — fold order is erased by the sort below *)
     let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [] in
     Mutex.unlock table_mutex;
-    List.sort (fun (a, _) (b, _) -> compare a b) all
+    List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
   let to_json () =
     let entry = function
@@ -520,7 +541,7 @@ module Metrics = struct
         | C c ->
           if value c <> 0 then Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" name (value c))
         | G g ->
-          if gauge_value g <> 0. then
+          if not (Float.equal (gauge_value g) 0.) then
             Buffer.add_string buf (Printf.sprintf "  %-40s %.3f\n" name (gauge_value g))
         | H h ->
           if histogram_count h <> 0 then
@@ -569,7 +590,7 @@ let duration_s sp = if Float.is_nan sp.sp_end then 0. else Float.max 0. (sp.sp_e
 let console_tree () =
   let buf = Buffer.create 1024 in
   let spans = all_spans () in
-  let doms = List.sort_uniq compare (List.map (fun sp -> sp.sp_dom) spans) in
+  let doms = List.sort_uniq Int.compare (List.map (fun sp -> sp.sp_dom) spans) in
   Buffer.add_string buf
     (Printf.sprintf "=== trace: %d spans across %d domain(s) ===\n" (List.length spans)
        (List.length doms));
@@ -578,7 +599,7 @@ let console_tree () =
       Buffer.add_string buf (Printf.sprintf "[domain %d]\n" dom);
       let mine =
         List.filter (fun sp -> sp.sp_dom = dom) spans
-        |> List.sort (fun a b -> compare a.sp_seq b.sp_seq)
+        |> List.sort (fun a b -> Int.compare a.sp_seq b.sp_seq)
       in
       List.iter
         (fun sp ->

@@ -33,6 +33,10 @@ module Json : sig
     | List of t list
     | Obj of (string * t) list
 
+  val equal : t -> t -> bool
+  (** Structural equality; [Num] compares with [Float.equal] (so [nan]
+      equals [nan]) and object fields compare in order. *)
+
   val to_buf : Buffer.t -> t -> unit
   val to_string : t -> string
 

@@ -246,11 +246,11 @@ let exit_hook = ref false
    call [default] with a different resolved size (nested calls run
    sequentially without touching it), so the lock is belt-and-braces. *)
 let default () =
-  if (!current).size = resolve () then !current
+  if Int.equal (!current).size (resolve ()) then !current
   else begin
     Mutex.lock current_mutex;
     let want = resolve () in
-    if (!current).size <> want then begin
+    if not (Int.equal (!current).size want) then begin
       shutdown !current;
       current := create ~domains:want;
       if not !exit_hook then begin

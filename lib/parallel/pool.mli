@@ -22,6 +22,7 @@
     {b Exceptions.}  If a task raises, the first exception observed is
     re-raised on the caller's domain after all chunks have drained. *)
 
+(* lint: allow interface — a pool is a handle to live domains; identity, not structure, is what distinguishes two pools *)
 type t
 
 val create : domains:int -> t

@@ -20,7 +20,8 @@ let side_of_cols cols =
 let classify_atom = function
   | Ast.And _ | Ast.Or _ -> Error "classify_atom: not atomic"
   | Ast.True -> Ok Constant
-  | atom -> Ok (side_of_cols (Ast.pred_cols atom))
+  | (Ast.Truthy _ | Ast.Cmp _ | Ast.Between _ | Ast.Fn _) as atom ->
+    Ok (side_of_cols (Ast.pred_cols atom))
 
 type group_kind = Group_none | Group_self | Group_edge | Group_cross of Ast.field
 
@@ -125,11 +126,17 @@ let analyze ?(degree_bound = 10) (q : Ast.t) =
     let from_preds =
       Ast.fold_preds
         (fun acc atom ->
-          match classify_atom atom with Ok (Cross f) -> f :: acc | Ok _ | Error _ -> acc)
+          match classify_atom atom with
+          | Ok (Cross f) -> f :: acc
+          | Ok (Origin_side | Dest_side | Constant) | Error _ -> acc)
         [] q.Ast.where
     in
-    let from_group = match group_kind with Group_cross f -> [ f ] | _ -> [] in
-    List.sort_uniq compare (from_preds @ from_group)
+    let from_group =
+      match group_kind with
+      | Group_cross f -> [ f ]
+      | Group_none | Group_self | Group_edge -> []
+    in
+    List.sort_uniq Ast.compare_field (from_preds @ from_group)
   in
   let ciphertext_count =
     List.fold_left (fun acc f -> acc * field_slots f) 1 cross_fields
@@ -148,7 +155,11 @@ let analyze ?(degree_bound = 10) (q : Ast.t) =
       else Ok (field_slots c.Ast.field - 1)
   in
   let value_slots = (per_contribution_max * contributions) + 1 in
-  let is_ratio = match q.Ast.output with Ast.Gsum { ratio = true; _ } -> true | _ -> false in
+  let is_ratio =
+    match q.Ast.output with
+    | Ast.Gsum { ratio; _ } -> ratio
+    | Ast.Histo _ -> false
+  in
   let count_slots = if is_ratio then contributions + 1 else 1 in
   let layout =
     {

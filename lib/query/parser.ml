@@ -84,17 +84,23 @@ let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> (EOF, 0)
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
 
-let keyword_eq a b = String.lowercase_ascii a = String.lowercase_ascii b
+let keyword_eq a b = String.equal (String.lowercase_ascii a) (String.lowercase_ascii b)
 
 let expect_keyword st kw =
   match peek st with
   | IDENT s, _ when keyword_eq s kw -> advance st
-  | _, pos -> fail (Printf.sprintf "expected %s" kw) pos
+  | ( ( INT _ | IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS
+      | MINUS | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+      pos ) ->
+    fail (Printf.sprintf "expected %s" kw) pos
 
 let accept_keyword st kw =
   match peek st with
   | IDENT s, _ when keyword_eq s kw -> advance st; true
-  | _ -> false
+  | ( ( INT _ | IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS
+      | MINUS | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+      _ ) ->
+    false
 
 let expect st tok what =
   let t, pos = peek st in
@@ -103,12 +109,36 @@ let expect st tok what =
 let expect_int st =
   match peek st with
   | INT v, _ -> advance st; v
-  | _, pos -> fail "expected integer" pos
+  | ( ( IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS | MINUS
+      | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+      pos ) ->
+    fail "expected integer" pos
 
 let expect_ident st =
   match peek st with
   | IDENT s, _ -> advance st; s
-  | _, pos -> fail "expected identifier" pos
+  | ( ( INT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS | MINUS
+      | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+      pos ) ->
+    fail "expected identifier" pos
+
+(* "IDENT immediately followed by '('" — the lookahead deciding between
+   a predicate/grouping function call and a plain column reference.
+   Enumerated exhaustively so a new token forces this decision to be
+   revisited. *)
+let at_fn_call st =
+  match peek st with
+  | IDENT name, _ -> (
+    match peek2 st with
+    | LPAREN, _ -> Some name
+    | ( ( INT _ | IDENT _ | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS | MINUS
+        | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+        _ ) ->
+      None)
+  | ( ( INT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS | MINUS
+      | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+      _ ) ->
+    None
 
 (* ------------------------------------------------------------------ *)
 (* Grammar                                                             *)
@@ -139,7 +169,10 @@ let parse_scalar st =
     match peek st with
     | INT v, _ -> advance st; Ast.Const v
     | IDENT _, _ -> Ast.Col (parse_colref st)
-    | _, pos -> fail "expected integer or column" pos
+    | ( ( LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS | MINUS | STAR
+        | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+        pos ) ->
+      fail "expected integer or column" pos
   in
   let acc = ref (primary ()) in
   let continue_scan = ref true in
@@ -149,14 +182,23 @@ let parse_scalar st =
       advance st;
       match peek st with
       | INT v, _ -> advance st; acc := Ast.Plus (!acc, v)
-      | _ -> fail "expected integer after +" pos)
+      | ( ( IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS
+          | MINUS | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+          _ ) ->
+        fail "expected integer after +" pos)
     | MINUS, _ -> (
       advance st;
       match peek st with
       | INT v, _ -> advance st; acc := Ast.Minus (!acc, v)
       | IDENT _, _ -> acc := Ast.Minus_col (!acc, parse_colref st)
-      | _, pos -> fail "expected integer or column after -" pos)
-    | _ -> continue_scan := false
+      | ( ( LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS | MINUS | STAR
+          | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+          pos ) ->
+        fail "expected integer or column after -" pos)
+    | ( ( INT _ | IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT
+        | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+        _ ) ->
+      continue_scan := false
   done;
   !acc
 
@@ -171,23 +213,26 @@ and parse_and st =
   if accept_keyword st "AND" then Ast.And (left, parse_and st) else left
 
 and parse_atom st =
-  match (peek st, peek2 st) with
-  | (LPAREN, _), _ ->
-    advance st;
-    let p = parse_pred st in
-    expect st RPAREN "')'";
-    p
-  | (IDENT name, _), (LPAREN, _)
-    when not (List.exists (keyword_eq name) [ "self"; "dest"; "edge" ]) ->
+  match at_fn_call st with
+  | Some name when not (List.exists (keyword_eq name) [ "self"; "dest"; "edge" ]) ->
     (* Predicate function like onSubway(edge.location). *)
     advance st;
     advance st;
     let c = parse_colref st in
     expect st RPAREN "')'";
     Ast.Fn (name, c)
-  | _ ->
-    let s = parse_scalar st in
-    parse_rest st s
+  | Some _ | None -> (
+    match peek st with
+    | LPAREN, _ ->
+      advance st;
+      let p = parse_pred st in
+      expect st RPAREN "')'";
+      p
+    | ( ( INT _ | IDENT _ | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS | MINUS
+        | STAR | SLASH | LT | LE | GT | GE | EQUAL | EOF ),
+        _ ) ->
+      let s = parse_scalar st in
+      parse_rest st s)
 
 and parse_rest st s =
   match peek st with
@@ -204,10 +249,13 @@ and parse_rest st s =
     let hi = parse_scalar st in
     expect st RBRACK "']'";
     Ast.Between (s, lo, hi)
-  | _, pos -> (
+  | ( ( INT _ | IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS
+      | MINUS | STAR | SLASH | EOF ),
+      pos ) -> (
     match s with
     | Ast.Col c -> Ast.Truthy c
-    | _ -> fail "expected comparison after scalar" pos)
+    | Ast.Const _ | Ast.Plus _ | Ast.Minus _ | Ast.Minus_col _ ->
+      fail "expected comparison after scalar" pos)
 
 let parse_agg st =
   if accept_keyword st "COUNT" then begin
@@ -246,7 +294,10 @@ let parse_output st =
         expect st STAR "'*'";
         expect st RPAREN "')'";
         true
-      | _ -> false
+      | ( ( INT _ | IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT
+          | PLUS | MINUS | STAR | LT | LE | GT | GE | EQUAL | EOF ),
+          _ ) ->
+        false
     in
     expect st RPAREN "')'";
     Ast.Gsum { num; ratio; clip = None }
@@ -257,15 +308,14 @@ let parse_output st =
   end
 
 let parse_group_by st =
-  match (peek st, peek2 st) with
-  | (IDENT name, _), (LPAREN, _)
-    when not (List.exists (keyword_eq name) [ "self"; "dest"; "edge" ]) ->
+  match at_fn_call st with
+  | Some name when not (List.exists (keyword_eq name) [ "self"; "dest"; "edge" ]) ->
     advance st;
     advance st;
     let s = parse_scalar st in
     expect st RPAREN "')'";
     Ast.By_fn (name, s)
-  | _ -> Ast.By_col (parse_colref st)
+  | Some _ | None -> Ast.By_col (parse_colref st)
 
 let parse_query st name =
   expect_keyword st "SELECT";
@@ -299,7 +349,10 @@ let parse_query st name =
   in
   (match peek st with
   | EOF, _ -> ()
-  | _, pos -> fail "trailing input after query" pos);
+  | ( ( INT _ | IDENT _ | LPAREN | RPAREN | LBRACK | RBRACK | COMMA | DOT | PLUS
+      | MINUS | STAR | SLASH | LT | LE | GT | GE | EQUAL ),
+      pos ) ->
+    fail "trailing input after query" pos);
   { Ast.name; output; hops; where; group_by }
 
 let parse ?(name = "query") src =

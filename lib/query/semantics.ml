@@ -31,7 +31,10 @@ let raw_value ctx (c : Ast.colref) =
   | Ast.Edge, Ast.Last_contact -> Option.map (fun e -> e.Schema.last_contact) ctx.edge
   | Ast.Edge, Ast.Location -> Option.map (fun e -> enum_of_location e.Schema.location) ctx.edge
   | Ast.Edge, Ast.Setting -> Option.map (fun e -> enum_of_setting e.Schema.setting) ctx.edge
-  | _, _ -> None
+  | ( (Ast.Self | Ast.Dest),
+      (Ast.Duration | Ast.Contacts | Ast.Last_contact | Ast.Location | Ast.Setting) )
+  | Ast.Edge, (Ast.Inf | Ast.T_inf | Ast.Age) ->
+    None
 
 (* Bucketized value: what the encrypted protocol actually compares. *)
 let bucket_value ctx c =
@@ -78,7 +81,8 @@ let eval_atom atom ctx =
       | Ast.Self -> Some (ctx.self.Schema.t_inf <> None)
       | Ast.Dest -> Some (ctx.dest.Schema.t_inf <> None)
       | Ast.Edge -> None)
-    | _ -> Option.map (fun v -> v <> 0) (raw_value ctx c))
+    | Ast.Age | Ast.Duration | Ast.Contacts | Ast.Last_contact | Ast.Location | Ast.Setting ->
+      Option.map (fun v -> v <> 0) (raw_value ctx c))
   | Ast.Cmp (op, a, b) -> (
     let div = if scalar_has_age a || scalar_has_age b then 10 else 1 in
     match (eval_scalar ~div ctx a, eval_scalar ~div ctx b) with
@@ -103,12 +107,13 @@ let rec eval_pred p ctx =
   match p with
   | Ast.And (a, b) -> eval_pred a ctx && eval_pred b ctx
   | Ast.Or (a, b) -> eval_pred a ctx || eval_pred b ctx
-  | atom -> ( match eval_atom atom ctx with Some v -> v | None -> false)
+  | (Ast.True | Ast.Truthy _ | Ast.Cmp _ | Ast.Between _ | Ast.Fn _) as atom -> (
+    match eval_atom atom ctx with Some v -> v | None -> false)
 
 let rec conjuncts = function
   | Ast.And (a, b) -> conjuncts a @ conjuncts b
   | Ast.True -> []
-  | p -> [ p ]
+  | (Ast.Or _ | Ast.Truthy _ | Ast.Cmp _ | Ast.Between _ | Ast.Fn _) as p -> [ p ]
 
 let conjunct_is_self_only p =
   List.for_all (fun (c : Ast.colref) -> c.Ast.group = Ast.Self) (Ast.pred_cols p)
@@ -128,11 +133,16 @@ let split_where where =
     else `Constant
   in
   let check_placeable p =
-    let rec disjuncts = function Ast.Or (a, b) -> disjuncts a @ disjuncts b | q -> [ q ] in
+    let rec disjuncts = function
+      | Ast.Or (a, b) -> disjuncts a @ disjuncts b
+      | (Ast.True | Ast.And _ | Ast.Truthy _ | Ast.Cmp _ | Ast.Between _ | Ast.Fn _) as q -> [ q ]
+    in
     let sides =
       List.filter (fun s -> s <> `Constant) (List.map side_of_pred (disjuncts p))
     in
-    if List.length (List.sort_uniq compare sides) > 1 then
+    let side_rank = function `Cross -> 0 | `Dest -> 1 | `Origin -> 2 | `Constant -> 3 in
+    let compare_side a b = Int.compare (side_rank a) (side_rank b) in
+    if List.length (List.sort_uniq compare_side sides) > 1 then
       Error "disjunction spans column groups; the protocol cannot place it"
     else Ok ()
   in
@@ -172,7 +182,13 @@ let origin_group info (self : Schema.vertex_data) =
   match info.Analysis.query.Ast.group_by with
   | Ast.By_col { Ast.group = Ast.Self; field = Ast.Age } -> Schema.age_group self.Schema.age
   | Ast.By_col { Ast.group = Ast.Self; field = Ast.Inf } -> if self.Schema.infected then 1 else 0
-  | _ -> 0
+  | Ast.By_col
+      { Ast.group = Ast.Self;
+        field =
+          Ast.T_inf | Ast.Duration | Ast.Contacts | Ast.Last_contact | Ast.Location | Ast.Setting
+      }
+  | Ast.By_col { Ast.group = Ast.Dest | Ast.Edge; _ }
+  | Ast.No_group | Ast.By_fn _ -> 0
 
 let row_group info ctx =
   match info.Analysis.query.Ast.group_by with
@@ -295,7 +311,9 @@ let group_labels info =
   | Ast.By_col { Ast.field = Ast.Setting; _ } -> [| "family"; "social"; "work" |]
   | Ast.By_col { Ast.field = Ast.Location; _ } ->
     [| "household"; "subway"; "workplace"; "social-venue"; "other" |]
-  | Ast.By_col _ -> Array.init n (fun g -> Printf.sprintf "group %d" g)
+  | Ast.By_col { Ast.field = Ast.Inf | Ast.T_inf | Ast.Duration | Ast.Contacts | Ast.Last_contact; _ }
+    ->
+    Array.init n (fun g -> Printf.sprintf "group %d" g)
   | Ast.By_fn ("stage", _) -> [| "incubation"; "illness" |]
   | Ast.By_fn ("isHousehold", _) -> [| "non-household"; "household" |]
   | Ast.By_fn ("onSubway", _) -> [| "off-subway"; "subway" |]

@@ -41,7 +41,7 @@ let lagrange_at_zero ~p xs =
 
 let reconstruct ~p shares =
   let xs = Array.of_list (List.map (fun s -> s.x) shares) in
-  let distinct = Array.to_list xs |> List.sort_uniq compare |> List.length in
+  let distinct = Array.to_list xs |> List.sort_uniq Int.compare |> List.length in
   if distinct <> Array.length xs then invalid_arg "Shamir.reconstruct: duplicate share x";
   let lambdas = lagrange_at_zero ~p xs in
   List.fold_left

@@ -40,7 +40,7 @@ let verify_dealing ~group ~old_commitment dealing =
 
 let check_distinct_dealers dealings =
   let xs = List.map (fun d -> d.from_x) dealings in
-  if List.length (List.sort_uniq compare xs) <> List.length xs then
+  if List.length (List.sort_uniq Int.compare xs) <> List.length xs then
     invalid_arg "Vsr: duplicate dealer"
 
 let finish ~p ~dealings j =
@@ -71,7 +71,7 @@ let redistribute_rq rng ~new_threshold ~new_parties old_shares =
   | first :: _ ->
     let basis = Rq.basis_of first.Shamir.value in
     let xs = Array.of_list (List.map (fun s -> s.Shamir.idx) old_shares) in
-    if Array.length xs <> (Array.to_list xs |> List.sort_uniq compare |> List.length) then
+    if Array.length xs <> (Array.to_list xs |> List.sort_uniq Int.compare |> List.length) then
       invalid_arg "Vsr.redistribute_rq: duplicate share index";
     let lambdas = Shamir.lambda_rows basis xs in
     let primes = Rns.primes basis in

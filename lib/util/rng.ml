@@ -125,7 +125,7 @@ let gaussian t sigma =
 
 let geometric t p =
   if p <= 0. || p > 1. then invalid_arg "Rng.geometric: p must be in (0,1]";
-  if p = 1. then 0
+  if Float.equal p 1. then 0
   else
     let u = float t in
     int_of_float (Float.floor (log1p (-.u) /. log1p (-.p)))

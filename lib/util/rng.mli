@@ -28,6 +28,8 @@
     domain count.  [split] and [copy] are for single-domain use; they do
     not make sharing safe. *)
 
+(* lint: allow interface — a generator is an owned mutable stream;
+   handles are compared by identity, never by structure *)
 type t
 
 val create : int64 -> t

@@ -20,7 +20,7 @@ let percentile a p =
   let n = Array.length a in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
   else begin
     let rank = p /. 100. *. float_of_int (n - 1) in

@@ -1,0 +1,7 @@
+(* Fixture: hot-module obs discipline violations. *)
+
+let work x =
+  Obs.Metrics.incr "ops";
+  if Obs.enabled () then Obs.Metrics.add "n" (float_of_int x)
+  else ignore (Printf.sprintf "%d" x);
+  x

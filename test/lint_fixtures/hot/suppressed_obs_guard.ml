@@ -1,0 +1,5 @@
+(* Fixture: the same update, consciously suppressed. *)
+
+let init () =
+  (* lint: allow obs-guard — fixture: one-time cold initialization path *)
+  Obs.Metrics.incr "boot"

@@ -1,0 +1,6 @@
+(* Fixture: a compliant interface — abstract t with typed comparisons. *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

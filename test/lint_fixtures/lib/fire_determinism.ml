@@ -1,0 +1,5 @@
+(* Fixture: nondeterminism sources that are banned outside rng.ml. *)
+
+let roll () = Random.int 6
+let stamp () = Unix.gettimeofday ()
+let total tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0

@@ -1,0 +1,5 @@
+(* Fixture companion implementation. *)
+
+type t = int
+
+let make n = n

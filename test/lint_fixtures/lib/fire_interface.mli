@@ -1,0 +1,5 @@
+(* Fixture: abstract t with no typed equal/compare. *)
+
+type t
+
+val make : int -> t

@@ -1,0 +1,8 @@
+(* Fixture: every comparison below must trip the poly-compare rule. *)
+
+type pt = { x : int; y : int }
+
+let at_origin p = p = { x = 0; y = 0 }
+let same_pair a b = (a, 0) = (b, 0)
+let ordered a b = compare a b < 0
+let known x xs = List.mem (x, x) xs

@@ -1,0 +1,4 @@
+(* Fixture: an Rng stream captured by a Pool task closure. *)
+
+let jitter pool rng xs =
+  Pool.map_array pool (fun x -> x + Rng.int rng 3) xs

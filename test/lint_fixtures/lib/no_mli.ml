@@ -1,0 +1,4 @@
+(* Fixture: a lib module with no interface file; the missing-.mli half
+   of the interface rule must flag it. *)
+
+let id x = x

@@ -1,0 +1,4 @@
+(* Fixture: the same source, suppressed with a reason. *)
+
+(* lint: allow determinism — fixture: feeds diagnostics, never results *)
+let stamp () = Unix.gettimeofday ()

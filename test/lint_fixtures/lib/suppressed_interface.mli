@@ -1,0 +1,6 @@
+(* Fixture: abstract t whose identity-only comparison is documented. *)
+
+(* lint: allow interface — fixture: handles compare by identity only *)
+type t
+
+val make : int -> t

@@ -1,0 +1,8 @@
+(* Fixture: the same patterns, each carrying a reasoned suppression. *)
+
+type pt = { x : int; y : int }
+
+(* lint: allow poly-compare — fixture: structural equality is intended *)
+let at_origin p = p = { x = 0; y = 0 }
+
+let ordered a b = (compare a b < 0) [@lint.allow "poly-compare"]

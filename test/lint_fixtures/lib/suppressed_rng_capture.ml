@@ -1,0 +1,5 @@
+(* Fixture: the pre-split pattern, with a suppression citing rng.mli. *)
+
+let jitter pool rng xs =
+  (* lint: allow rng-capture — fixture: task_rng-style pre-split stream *)
+  Pool.map_array pool (fun x -> x + Rng.int rng 3) xs

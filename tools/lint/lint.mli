@@ -1,0 +1,57 @@
+(** mycelium-lint: a compiler-libs static-analysis pass over the
+    repository's own sources, machine-checking the determinism,
+    domain-safety and comparison invariants that DESIGN.md states in
+    prose.  Zero external dependencies: parsing is the compiler's own
+    [compiler-libs], JSON output is [Obs.Json].
+
+    Rule catalogue, motivations and suppression syntax: DESIGN.md §10. *)
+
+module Json = Mycelium_obs.Obs.Json
+
+(** Which part of the tree a file belongs to; rules are scoped per
+    zone (e.g. [obs-guard] only runs in [Lib_hot] = lib/math +
+    lib/bgv, [determinism] exempts [Lib_rng] = lib/util/rng.ml). *)
+type zone = Lint_rules.zone =
+  | Lib
+  | Lib_hot
+  | Lib_rng
+  | Bin
+  | Bench
+  | Test
+
+type violation = Lint_rules.violation = {
+  rule : string;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  msg : string;
+}
+
+type report = {
+  files : int;  (** files analysed *)
+  violations : violation list;  (** unsuppressed, sorted by (file, line, col) *)
+  suppressed : violation list;  (** sites carrying a reasoned suppression *)
+}
+
+val rule_ids : string list
+(** The closed set of rule identifiers accepted by suppressions. *)
+
+val zone_of_rel : string -> zone option
+(** Zone of a repo-root-relative path; [None] for files the linter
+    does not analyse. *)
+
+type kind = Ml | Mli
+
+val lint_source : zone:zone -> file:string -> kind:kind -> string -> violation list * violation list
+(** [lint_source ~zone ~file ~kind src] parses and checks one source
+    text, returning [(violations, suppressed)].  Parse failures
+    surface as a single ["parse-error"] violation. *)
+
+val run : ?force_zone:zone -> roots:string list -> unit -> report
+(** Walk [roots] (directories or single files, repo-root relative),
+    analyse every [.ml]/[.mli] found — skipping [_build] and
+    [lint_fixtures] — and aggregate.  [force_zone] pins every file to
+    one zone (used by the fixture tests). *)
+
+val json_of_report : report -> Json.t
+val console_of_report : report -> string

@@ -1,0 +1,179 @@
+(* Parsetree plumbing shared by the rules: identifier paths, operand
+   classification for the polymorphic-compare rule, pattern-variable
+   collection for the capture rule, and location helpers.
+
+   The linter works on the parsetree (no type information): every
+   classification here is a documented syntactic approximation, erring
+   toward silence on bare identifiers and toward reporting on
+   structurally-typed operands (records, tuples, constructors with
+   payloads, unknown function results).  DESIGN.md §10 spells out the
+   contract rule by rule. *)
+
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* Identifier paths                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* Strip the explicit stdlib prefixes so [Stdlib.compare] and
+   [compare] are the same path, likewise [Stdlib.Random.int]. *)
+let norm_path lid =
+  match flatten lid with
+  | ("Stdlib" | "Pervasives") :: rest -> rest
+  | p -> p
+
+let line_col (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let loc_range (loc : Location.t) = (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+
+let within (lo, hi) (loc : Location.t) =
+  let s = loc.loc_start.pos_cnum in
+  s >= lo && s <= hi
+
+(* ------------------------------------------------------------------ *)
+(* Operand classification (poly-compare rule)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Applications whose result is evidently an immediate (int-like)
+   value: arithmetic and bit operators, the [length] family, character
+   codes.  Comparing their results with [=] is fine. *)
+let int_returning_head path =
+  match path with
+  | [ ("+" | "-" | "*" | "/" | "mod" | "land" | "lor" | "lxor" | "lsl" | "lsr" | "asr"
+      | "abs" | "succ" | "pred" | "~-" | "~+" | "int_of_float" | "int_of_char"
+      | "int_of_string") ] ->
+    true
+  | [ _; "length" ] | [ "Char"; "code" ] | [ _; "to_int" ] -> true
+  | _ -> false
+
+let rec strip e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) -> strip e'
+  | _ -> e
+
+(* Immediate-safe operands: int/char/string literals, nullary
+   constructors and polymorphic variants (immediate enums), and
+   int-returning applications.  Float literals are deliberately NOT
+   immediate: [x = 0.0] is a NaN trap and must go through
+   [Float.equal]. *)
+let rec evidently_immediate e =
+  match (strip e).pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_string _) -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_variant (_, None) -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+    int_returning_head (norm_path txt)
+    || (match (norm_path txt, args) with
+       (* unary minus on a literal *)
+       | ([ ("~-" | "-") ], [ (_, a) ]) -> evidently_immediate a
+       | _ -> false)
+  | _ -> false
+
+(* Operands that evidently carry structure a polymorphic [=] would
+   walk: literal records/tuples/arrays, constructors and variants with
+   payloads (covers list cells), float literals, lazy values, closures
+   and the result of an unknown (non-arithmetic) function call. *)
+let evidently_structured e =
+  match (strip e).pexp_desc with
+  | Pexp_record _ | Pexp_tuple _ | Pexp_array _ -> true
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_construct (_, Some _) | Pexp_variant (_, Some _) -> true
+  | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> true
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    let p = norm_path txt in
+    (not (int_returning_head p))
+    && (match p with
+       (* indexing yields an element of unknown type: neutral, not
+          structured — [a.(i) = b.(i)] over int arrays is idiomatic *)
+       | [ ("Array" | "String" | "Bytes"); ("get" | "unsafe_get") ] -> false
+       | [ op ] when String.length op > 0 && not (op.[0] >= 'a' && op.[0] <= 'z') ->
+         false (* remaining operator idents: neutral *)
+       | _ -> true)
+  | Pexp_apply _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pattern variables and free-identifier scans (rng-capture rule)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every variable bound anywhere inside [e] (fun parameters, lets,
+   match cases...).  Over-approximates lexical scope, which is the
+   safe direction for a capture check: a name bound anywhere inside
+   the closure is treated as task-local. *)
+let bound_vars_in (e : expression) : string list =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.expr it e;
+  !acc
+
+let iter_idents (e : expression) (f : Longident.t -> Location.t -> unit) =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e' ->
+          (match e'.pexp_desc with
+          | Pexp_ident { txt; loc } -> f txt loc
+          | Pexp_field (_, { txt; loc }) -> f txt loc
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e');
+    }
+  in
+  it.expr it e
+
+(* A name that plausibly denotes an [Rng.t] stream. *)
+let rngish name =
+  let name = String.lowercase_ascii name in
+  let n = String.length name in
+  let rec find i =
+    i + 3 <= n && (String.sub name i 3 = "rng" || find (i + 1))
+  in
+  find 0
+
+(* Unwrap [fun]-literal arguments through constraints and [@...]
+   wrappers. *)
+let as_fun_literal e =
+  match (strip e).pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> Some (strip e)
+  | _ -> None
+
+(* Does [e] syntactically contain a call through [Obs.enabled]? *)
+let mentions_enabled (e : expression) =
+  let found = ref false in
+  iter_idents e (fun lid _ ->
+      match norm_path lid with
+      | [ "Obs"; "enabled" ] | [ "Mycelium_obs"; "Obs"; "enabled" ] | [ "enabled" ] ->
+        found := true
+      | _ -> ());
+  !found
+
+(* Polarity of an enabled-guard condition: [`On] when the condition is
+   the flag itself ([Obs.enabled ()]), [`Off] when it is the negation,
+   [`Unknown] for anything more complex (then treated conservatively
+   as enabled on both branches). *)
+let rec guard_polarity (e : expression) =
+  match (strip e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, arg) ]) -> (
+    match norm_path txt with
+    | [ "Obs"; "enabled" ] | [ "Mycelium_obs"; "Obs"; "enabled" ] | [ "enabled" ] -> `On
+    | [ "not" ] -> (
+      match guard_polarity arg with `On -> `Off | `Off -> `On | u -> u)
+    | _ -> `Unknown)
+  | _ -> `Unknown

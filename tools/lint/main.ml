@@ -1,0 +1,42 @@
+(* mycelium-lint CLI.
+
+     main.exe [--root DIR] [--json PATH|-] [ROOT...]
+
+   Analyses every .ml/.mli under the given roots (default: lib bin
+   bench test, relative to --root or the current directory), prints
+   the console report, optionally writes the JSON report, and exits
+   non-zero when unsuppressed violations remain. *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse roots json = function
+    | "--root" :: dir :: rest ->
+      Sys.chdir dir;
+      parse roots json rest
+    | "--json" :: path :: rest -> parse roots (Some path) rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      prerr_endline ("mycelium-lint: unknown option " ^ arg);
+      exit 2
+    | root :: rest -> parse (root :: roots) json rest
+    | [] -> (List.rev roots, json)
+  in
+  let roots, json = parse [] None args in
+  let roots = if roots = [] then [ "lib"; "bin"; "bench"; "test" ] else roots in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        prerr_endline ("mycelium-lint: no such root: " ^ r ^ " (run from the repo root or pass --root)");
+        exit 2
+      end)
+    roots;
+  let report = Mycelium_lint.Lint.run ~roots () in
+  print_string (Mycelium_lint.Lint.console_of_report report);
+  (match json with
+  | Some "-" -> print_endline (Mycelium_lint.Lint.Json.to_string (Mycelium_lint.Lint.json_of_report report))
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Mycelium_lint.Lint.Json.to_string (Mycelium_lint.Lint.json_of_report report));
+    output_string oc "\n";
+    close_out oc
+  | None -> ());
+  if report.violations <> [] then exit 1
