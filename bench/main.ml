@@ -10,6 +10,10 @@
      dune exec bench/main.exe -- --only lint      -- full-repo static analysis
      dune exec bench/main.exe -- --skip-micro     -- figures only
      dune exec bench/main.exe -- --json           -- machine-readable
+     dune exec bench/main.exe -- --only ringops --check
+                                                  -- CI gate: exit 1 unless the
+                                                     Montgomery forward at N=8192
+                                                     is >= 2x BENCH_pr4.json
 
    With --json the pretty output is suppressed and a single JSON
    document goes to stdout: wall-clock seconds per section, the chaos
@@ -46,6 +50,7 @@ let only =
 
 let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
 let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
+let check_mode = Array.exists (fun a -> a = "--check") Sys.argv
 
 let wants id = match only with None -> true | Some o -> o = id
 
@@ -401,11 +406,16 @@ module Old_kernels = struct
     fa
 end
 
+(* The measured Montgomery forward at N=8192 from the table below,
+   compared against the committed BENCH_pr4.json by --check. *)
+let mont_fwd_8192_ns = ref None
+
 let () =
   section "ringops" (fun () ->
       let module Modarith = Mycelium_math.Modarith in
       let module Rns = Mycelium_math.Rns in
       let module Rq = Mycelium_math.Rq in
+      let module Ring_backend = Mycelium_math.Ring_backend in
       let levels = 3 in
       let ns_per_op ?(reps = 5) ~inner f =
         let best = ref infinity in
@@ -420,16 +430,17 @@ let () =
         !best *. 1e9 /. float_of_int inner
       in
       say "\n";
-      say "=== Ringops: ring backend, old (Coeff + mod) vs new (Eval + Shoup) ===\n";
-      say "  %7s %12s %12s %12s %14s %14s %8s %14s %14s %8s\n" "degree" "fwd old" "fwd new"
-        "pointwise" "rq.mul old" "rq.mul new" "speedup" "bgv.mul old" "bgv.mul new" "speedup";
+      say "=== Ringops: ring backends, Reference (Shoup) vs Montgomery (Bigarray radix-4) ===\n";
+      say "  %7s %12s %12s %8s %12s %12s %8s %12s %12s %12s\n" "degree" "fwd ref"
+        "fwd mont" "speedup" "inv ref" "inv mont" "speedup" "pointwise" "rq.mul ref"
+        "rq.mul mont";
       let rows =
         List.map
           (fun degree ->
             let rng = Rng.create (Int64.of_int (9000 + degree)) in
             let p = List.hd (Ntt.find_primes ~degree ~bits:30 ~count:1) in
-            let plan = Ntt.make_plan ~p ~degree in
-            let oplan = Old_kernels.make ~p ~degree in
+            let rplan = Ring_backend.Reference.make_plan ~p ~degree in
+            let mplan = Ring_backend.Montgomery.make_plan ~p ~degree in
             let rand () = Array.init degree (fun _ -> Rng.int rng p) in
             let a = rand () and b = rand () in
             (* Kernel-level: transforms run in place on a scratch row
@@ -437,98 +448,147 @@ let () =
                application measures steady-state cost). *)
             let scratch = Array.copy a in
             let inner = max 4 (524_288 / degree) in
-            let fwd_old = ns_per_op ~inner (fun () -> Old_kernels.forward oplan scratch) in
-            let fwd_new = ns_per_op ~inner (fun () -> Ntt.forward plan scratch) in
-            let inv_old = ns_per_op ~inner (fun () -> Old_kernels.inverse oplan scratch) in
-            let inv_new = ns_per_op ~inner (fun () -> Ntt.inverse plan scratch) in
-            let pw = ns_per_op ~inner (fun () -> Ntt.pointwise_into plan ~dst:scratch a b) in
-            (* Rq level: a 3-limb basis, matching the pipeline shape. *)
-            let basis =
-              Rns.make ~primes:(Ntt.find_primes ~degree ~bits:30 ~count:levels) ~degree
+            let fwd_ref = ns_per_op ~inner (fun () -> Ring_backend.forward rplan scratch) in
+            let fwd_mont = ns_per_op ~inner (fun () -> Ring_backend.forward mplan scratch) in
+            let inv_ref = ns_per_op ~inner (fun () -> Ring_backend.inverse rplan scratch) in
+            let inv_mont = ns_per_op ~inner (fun () -> Ring_backend.inverse mplan scratch) in
+            let pw =
+              ns_per_op ~inner (fun () -> Ring_backend.pointwise_into mplan ~dst:scratch a b)
             in
-            let oplans =
-              Array.map (fun p -> Old_kernels.make ~p ~degree) (Rns.primes basis)
-            in
-            let rows_of v =
-              let c = Rq.of_residues ~repr:(Rq.repr_of v) basis (Rq.residues v) in
-              Rq.force_coeff c;
-              Rq.residues c
-            in
-            let x = Rq.random_uniform basis rng and y = Rq.random_uniform basis rng in
-            let xr = rows_of x and yr = rows_of y in
+            if degree = 8192 then mont_fwd_8192_ns := Some fwd_mont;
+            (* Rq level: a 3-limb basis per backend, matching the
+               pipeline shape (Eval-resident operands, so this measures
+               the pointwise path plus dispatch). *)
+            let primes = Ntt.find_primes ~degree ~bits:30 ~count:levels in
+            let b_ref = Rns.make ~backend:"reference" ~primes ~degree () in
+            let b_mont = Rns.make ~backend:"montgomery" ~primes ~degree () in
             let heavy = max 2 (65_536 / degree) in
-            let rq_old =
-              ns_per_op ~inner:heavy (fun () ->
-                  Array.iteri (fun j r -> ignore (Old_kernels.multiply oplans.(j) r yr.(j))) xr)
+            let rq_on basis =
+              let x = Rq.random_uniform basis (Rng.create 77L) in
+              let y = Rq.random_uniform basis (Rng.create 78L) in
+              Rq.force_eval x;
+              Rq.force_eval y;
+              ns_per_op ~inner:heavy (fun () -> ignore (Rq.mul x y))
             in
-            Rq.force_eval x;
-            Rq.force_eval y;
-            let rq_new = ns_per_op ~inner:heavy (fun () -> ignore (Rq.mul x y)) in
-            (* Bgv level: fresh degree-1 ciphertexts; the old multiply
-               is the full cross-term convolution on coefficient rows. *)
-            let params =
-              { Params.degree; plain_modulus = 65537; prime_bits = 30; levels; error_eta = 2 }
-            in
-            let ctx = Bgv.make_ctx params in
-            let _sk, pk = Bgv.keygen ctx rng in
-            let ct_a = Bgv.encrypt_value ctx rng pk 1 in
-            let ct_b = Bgv.encrypt_value ctx rng pk 2 in
-            let ca = Array.map rows_of (Bgv.components ct_a) in
-            let cb = Array.map rows_of (Bgv.components ct_b) in
-            let primes = Rns.primes basis in
-            let old_bgv_mul () =
-              let da = Array.length ca and db = Array.length cb in
-              Array.init (da + db - 1) (fun k ->
-                  let acc = Array.map (fun _ -> Array.make degree 0) primes in
-                  for i = max 0 (k - db + 1) to min (da - 1) k do
-                    Array.iteri
-                      (fun j p ->
-                        let prod = Old_kernels.multiply oplans.(j) ca.(i).(j) cb.(k - i).(j) in
-                        let accj = acc.(j) in
-                        for c = 0 to degree - 1 do
-                          accj.(c) <- Modarith.add p accj.(c) prod.(c)
-                        done)
-                      primes
-                  done;
-                  acc)
-            in
-            (* Sanity: old and new backends agree before we time them. *)
-            let expected = old_bgv_mul () in
-            let got = Array.map rows_of (Bgv.components (Bgv.mul ct_a ct_b)) in
-            if got <> expected then failwith "bench ringops: old and new backends disagree";
-            let bgv_old = ns_per_op ~inner:heavy (fun () -> ignore (old_bgv_mul ())) in
-            let bgv_new = ns_per_op ~inner:heavy (fun () -> ignore (Bgv.mul ct_a ct_b)) in
-            say "  %7d %10.1fus %10.1fus %10.2fus %12.1fus %12.1fus %7.1fx %12.1fus %12.1fus %7.1fx\n"
-              degree (fwd_old /. 1e3) (fwd_new /. 1e3) (pw /. 1e3) (rq_old /. 1e3)
-              (rq_new /. 1e3) (rq_old /. rq_new) (bgv_old /. 1e3) (bgv_new /. 1e3)
-              (bgv_old /. bgv_new);
+            let rq_ref = rq_on b_ref in
+            let rq_mont = rq_on b_mont in
+            say "  %7d %10.1fus %10.1fus %7.2fx %10.1fus %10.1fus %7.2fx %10.2fus %10.1fus %10.1fus\n"
+              degree (fwd_ref /. 1e3) (fwd_mont /. 1e3) (fwd_ref /. fwd_mont)
+              (inv_ref /. 1e3) (inv_mont /. 1e3) (inv_ref /. inv_mont) (pw /. 1e3)
+              (rq_ref /. 1e3) (rq_mont /. 1e3);
             ( degree,
               Obj
                 [
                   ("degree", Int degree);
-                  ("ntt_forward_old_ns", Num fwd_old);
-                  ("ntt_forward_ns", Num fwd_new);
-                  ("ntt_inverse_old_ns", Num inv_old);
-                  ("ntt_inverse_ns", Num inv_new);
+                  ("ntt_forward_old_ns", Num fwd_ref);
+                  ("ntt_forward_ns", Num fwd_mont);
+                  ("ntt_forward_speedup", Num (fwd_ref /. fwd_mont));
+                  ("ntt_inverse_old_ns", Num inv_ref);
+                  ("ntt_inverse_ns", Num inv_mont);
+                  ("ntt_inverse_speedup", Num (inv_ref /. inv_mont));
                   ("pointwise_ns", Num pw);
-                  ("rq_mul_old_ns", Num rq_old);
-                  ("rq_mul_ns", Num rq_new);
-                  ("rq_mul_speedup", Num (rq_old /. rq_new));
-                  ("bgv_mul_old_ns", Num bgv_old);
-                  ("bgv_mul_ns", Num bgv_new);
-                  ("bgv_mul_speedup", Num (bgv_old /. bgv_new));
+                  ("rq_mul_old_ns", Num rq_ref);
+                  ("rq_mul_ns", Num rq_mont);
                 ] ))
-          [ 1024; 2048; 4096; 8192 ]
+          [ 1024; 2048; 4096; 8192; 32768 ]
       in
-      let speedup_4096 =
-        match List.assoc 4096 rows with
-        | Obj kvs ->
-          (match List.assoc "bgv_mul_speedup" kvs with Num v -> v | _ -> 0.)
-        | _ -> 0.
+      (* Representation ablation at 4096, pinning the PR4 acceptance
+         metric: the pre-evaluation-domain backend (Old_kernels, full
+         coefficient-domain convolution per cross term) vs the live
+         Eval-resident Bgv.mul. *)
+      let degree = 4096 in
+      let rng = Rng.create (Int64.of_int (9000 + degree)) in
+      let basis =
+        Rns.make ~primes:(Ntt.find_primes ~degree ~bits:30 ~count:levels) ~degree ()
       in
-      say "  bgv.mul speedup at degree 4096: %.1fx (acceptance floor: 2x)\n" speedup_4096;
+      let oplans = Array.map (fun p -> Old_kernels.make ~p ~degree) (Rns.primes basis) in
+      let rows_of v =
+        let c = Rq.of_residues ~repr:(Rq.repr_of v) basis (Rq.residues v) in
+        Rq.force_coeff c;
+        Rq.residues c
+      in
+      let params =
+        { Params.degree; plain_modulus = 65537; prime_bits = 30; levels; error_eta = 2 }
+      in
+      let ctx = Bgv.make_ctx params in
+      let _sk, pk = Bgv.keygen ctx rng in
+      let ct_a = Bgv.encrypt_value ctx rng pk 1 in
+      let ct_b = Bgv.encrypt_value ctx rng pk 2 in
+      let ca = Array.map rows_of (Bgv.components ct_a) in
+      let cb = Array.map rows_of (Bgv.components ct_b) in
+      let primes = Rns.primes basis in
+      let old_bgv_mul () =
+        let da = Array.length ca and db = Array.length cb in
+        Array.init (da + db - 1) (fun k ->
+            let acc = Array.map (fun _ -> Array.make degree 0) primes in
+            for i = max 0 (k - db + 1) to min (da - 1) k do
+              Array.iteri
+                (fun j p ->
+                  let prod = Old_kernels.multiply oplans.(j) ca.(i).(j) cb.(k - i).(j) in
+                  let accj = acc.(j) in
+                  for c = 0 to degree - 1 do
+                    accj.(c) <- Modarith.add p accj.(c) prod.(c)
+                  done)
+                primes
+            done;
+            acc)
+      in
+      (* Sanity: old and new representations agree before we time them. *)
+      let expected = old_bgv_mul () in
+      let got = Array.map rows_of (Bgv.components (Bgv.mul ct_a ct_b)) in
+      if got <> expected then failwith "bench ringops: old and new representations disagree";
+      let heavy = max 2 (65_536 / degree) in
+      let bgv_old = ns_per_op ~inner:heavy (fun () -> ignore (old_bgv_mul ())) in
+      let bgv_new = ns_per_op ~inner:heavy (fun () -> ignore (Bgv.mul ct_a ct_b)) in
+      let speedup_4096 = bgv_old /. bgv_new in
+      say "  bgv.mul at 4096: old representation %.1fus, live %.1fus -> %.1fx (floor: 2x)\n"
+        (bgv_old /. 1e3) (bgv_new /. 1e3) speedup_4096;
+      (* Paper profile (§5): N=32768, 19 30-bit primes (~550-bit q),
+         t=2^30 — the full keygen/encrypt/mul/relinearize/decrypt
+         pipeline at the parameters the paper deploys, run end-to-end
+         on the default (Montgomery) backend. *)
+      say "\n";
+      say "  --- paper profile: N=32768, %d-bit q, t=2^30 ---\n"
+        (Params.modulus_bits Params.paper);
+      let once label f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        say "  %-22s %10.1f ms\n" label ms;
+        ((label ^ "_ms", Num ms), r)
+      in
+      let t_ctx, pctx = once "make_ctx" (fun () -> Bgv.make_ctx Params.paper) in
+      let prng = Rng.create 4242L in
+      let t_keygen, (psk, ppk) = once "keygen" (fun () -> Bgv.keygen pctx prng) in
+      (* 30-bit digits keep the relin key at ~19 digit rows instead of
+         ~69: the right operating point at a 550-bit modulus. *)
+      let t_rk, prk =
+        once "relin_keygen" (fun () ->
+            Bgv.relin_keygen ~digit_bits:30 pctx prng psk ~max_degree:2)
+      in
+      let t_enc, (pa, pb) =
+        once "encrypt_x2" (fun () ->
+            (Bgv.encrypt_value pctx prng ppk 3, Bgv.encrypt_value pctx prng ppk 5))
+      in
+      let t_mul, pprod = once "mul" (fun () -> Bgv.mul pa pb) in
+      let t_relin, prelin = once "relinearize" (fun () -> Bgv.relinearize pctx prk pprod) in
+      let t_dec, ppt = once "decrypt" (fun () -> Bgv.decrypt pctx psk prelin) in
+      let module Plaintext = Mycelium_bgv.Plaintext in
+      if Plaintext.coeff ppt 8 <> 1 || Plaintext.coeff ppt 7 <> 0 then
+        failwith "bench ringops: paper-profile pipeline decrypted incorrectly";
+      say "  decrypt(x^3 * x^5) = x^8: ok\n";
       [ ("levels", Int levels);
         ("bgv_mul_speedup_4096", Num speedup_4096);
+        ("bgv_mul_old_ns_4096", Num bgv_old);
+        ("bgv_mul_ns_4096", Num bgv_new);
+        ( "paper_profile",
+          Obj
+            ([
+               ("degree", Int Params.paper.Params.degree);
+               ("modulus_bits", Int (Params.modulus_bits Params.paper));
+               ("backend", Str (Rns.backend_name (Bgv.basis pctx)));
+             ]
+            @ [ t_ctx; t_keygen; t_rk; t_enc; t_mul; t_relin; t_dec ]) );
         ("degrees", List (List.map snd rows)) ])
 
 (* ------------------------------------------------------------------ *)
@@ -703,3 +763,58 @@ let () =
               ("cores", Int (Domain.recommended_domain_count ()));
               ("sections", Obj (List.rev !json_sections));
             ]))
+
+(* ------------------------------------------------------------------ *)
+(* --check: the ringops CI gate (runs last so --json stays intact)     *)
+(* ------------------------------------------------------------------ *)
+
+(* Fails the process unless the Montgomery forward at N=8192 measured
+   above is at least 2x faster than the ntt_forward_ns committed in
+   BENCH_pr4.json (the Reference-backend number of record).  Keeps the
+   backend's reason to exist from silently regressing. *)
+let () =
+  if check_mode && wants "ringops" then begin
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check: " ^ s); exit 1) fmt in
+    let reference_ns =
+      let rec find_root dir =
+        if Sys.file_exists (Filename.concat dir "BENCH_pr4.json") then Some dir
+        else
+          let parent = Filename.dirname dir in
+          if String.equal parent dir then None else find_root parent
+      in
+      match find_root (Sys.getcwd ()) with
+      | None -> fail "BENCH_pr4.json not found upward of %s" (Sys.getcwd ())
+      | Some root ->
+        let path = Filename.concat root "BENCH_pr4.json" in
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (match Json.parse s with
+        | Error e -> fail "%s does not parse: %s" path e
+        | Ok doc ->
+          let ( >>= ) o f = Option.bind o f in
+          let row =
+            Json.member "sections" doc >>= Json.member "ringops"
+            >>= Json.member "degrees"
+            >>= function
+            | List rows ->
+              List.find_opt
+                (fun r -> Json.member "degree" r = Some (Int 8192))
+                rows
+            | _ -> None
+          in
+          (match row >>= Json.member "ntt_forward_ns" with
+          | Some (Num ns) -> ns
+          | _ -> fail "%s has no ntt_forward_ns row at degree 8192" path))
+    in
+    match !mont_fwd_8192_ns with
+    | None -> fail "ringops section did not measure the N=8192 forward"
+    | Some measured ->
+      let speedup = reference_ns /. measured in
+      if speedup < 2.0 then
+        fail
+          "montgomery forward at N=8192 is %.0f ns vs %.0f ns committed (%.2fx < 2x floor)"
+          measured reference_ns speedup;
+      say "check: montgomery forward at N=8192: %.0f ns vs %.0f ns committed (%.2fx >= 2x) ok\n"
+        measured reference_ns speedup
+  end

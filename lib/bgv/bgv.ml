@@ -17,9 +17,12 @@ let ct_mul_sampler = Obs.sampler ~every:64
 
 type ctx = { p : Params.t; basis : Rns.t; fresh_noise_bits : float }
 
-let make_ctx p =
+let make_ctx ?backend p =
   Params.validate p;
-  let basis = Rns.standard ~degree:p.Params.degree ~prime_bits:p.Params.prime_bits ~levels:p.Params.levels in
+  let basis =
+    Rns.standard ?backend ~degree:p.Params.degree ~prime_bits:p.Params.prime_bits
+      ~levels:p.Params.levels ()
+  in
   (* t must be invertible mod q for the scheme to be non-degenerate. *)
   Array.iter
     (fun prime ->
@@ -207,9 +210,10 @@ let mul_many = function
 
 (* --- relinearization ------------------------------------------------ *)
 
-let relin_keygen ctx rng sk ~max_degree =
+let relin_keygen ?(digit_bits = 8) ctx rng sk ~max_degree =
   if max_degree < 2 then invalid_arg "Bgv.relin_keygen: max_degree must be >= 2";
-  let digit_bits = 8 in
+  if digit_bits < 1 || digit_bits > 30 then
+    invalid_arg "Bgv.relin_keygen: digit_bits must be in [1, 30]";
   let qbits = modulus_bits ctx in
   let ndigits = (qbits + digit_bits - 1) / digit_bits in
   let t = ctx.p.Params.plain_modulus in
@@ -310,7 +314,11 @@ let relinearize ctx rk ct =
 
 let drop_level ctx =
   if ctx.p.Params.levels < 2 then invalid_arg "Bgv.drop_level: single-prime context";
-  make_ctx { ctx.p with Params.levels = ctx.p.Params.levels - 1 }
+  (* Keep the child context on the parent's (resolved) ring backend so
+     a pipeline pinned to one backend stays on it across levels. *)
+  make_ctx
+    ~backend:(Rns.backend_name ctx.basis)
+    { ctx.p with Params.levels = ctx.p.Params.levels - 1 }
 
 (* Modular inverse by extended Euclid; t need not be prime. *)
 let inv_mod m a =

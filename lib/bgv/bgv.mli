@@ -18,7 +18,13 @@ module Rns = Mycelium_math.Rns
 
 type ctx
 
-val make_ctx : Params.t -> ctx
+val make_ctx : ?backend:string -> Params.t -> ctx
+(** [?backend] pins the ring-kernel backend for the context's RNS basis
+    (see {!Mycelium_math.Ring_backend}); by default the backend is
+    selected per parameter profile.  The choice is invisible to every
+    value this module produces: ciphertexts, keys, noise estimates and
+    the wire format are bit-identical across backends. *)
+
 val params : ctx -> Params.t
 val basis : ctx -> Rns.t
 val plain_modulus : ctx -> int
@@ -35,8 +41,14 @@ type ciphertext
 val keygen : ctx -> Mycelium_util.Rng.t -> secret_key * public_key
 
 val relin_keygen :
-  ctx -> Mycelium_util.Rng.t -> secret_key -> max_degree:int -> relin_key
-(** Supports relinearizing ciphertexts up to the given degree. *)
+  ?digit_bits:int -> ctx -> Mycelium_util.Rng.t -> secret_key -> max_degree:int -> relin_key
+(** Supports relinearizing ciphertexts up to the given degree.
+    [digit_bits] (default 8, range [\[1, 30]]) trades key size and
+    keygen time against relinearization noise: ceil(qbits/digit_bits)
+    key pairs are stored per power, each contributing noise
+    proportional to 2^digit_bits.  Paper-scale contexts (N = 32768,
+    ~550-bit q) want a coarser base, e.g. 30, to keep the key material
+    in the hundreds of megabytes. *)
 
 val relin_max_degree : relin_key -> int
 

@@ -32,9 +32,11 @@ val test_wide : t
 
 val paper : t
 (** N=32768, 19 30-bit primes (~550-bit q), t=2^30: the paper's
-    parameter set. Never instantiated as a ring in tests — used by the
-    cost model for sizes and by benchmarks that measure per-operation
-    cost at smaller N and extrapolate. *)
+    parameter set. Too heavy for unit tests, but runnable end-to-end:
+    [bench --only ringops] drives keygen/encrypt/mul/relinearize/
+    decrypt at these dimensions on the Montgomery backend (with
+    [~digit_bits:30] relinearization keys); the cost model uses it for
+    sizes and extrapolation. *)
 
 val modulus_bits : t -> int
 (** Approximate bits of q. *)

@@ -44,9 +44,22 @@ let bit_reverse_index bits i =
   done;
   !r
 
-let make_plan ~p ~degree:n =
-  if not (is_power_of_two n) then invalid_arg "Ntt.make_plan: degree not a power of two";
-  if (p - 1) mod (2 * n) <> 0 then invalid_arg "Ntt.make_plan: p <> 1 mod 2N";
+(* The twiddle tables are shared verbatim by every ring backend (the
+   Shoup path below and the Montgomery Bigarray kernels in
+   Mont_backend): bit-identical cross-backend results hinge on both
+   reading the same psi powers in the same bit-reversed layout. *)
+type tables = {
+  t_p : int;
+  t_n : int;
+  t_log_n : int;
+  t_psi_pows : int array;
+  t_inv_psi_pows : int array;
+  t_n_inv : int;
+}
+
+let tables ~p ~degree:n =
+  if not (is_power_of_two n) then invalid_arg "Ntt.tables: degree not a power of two";
+  if (p - 1) mod (2 * n) <> 0 then invalid_arg "Ntt.tables: p <> 1 mod 2N";
   let log_n =
     let rec go k acc = if acc = n then k else go (k + 1) (acc * 2) in
     go 0 1
@@ -64,13 +77,24 @@ let make_plan ~p ~degree:n =
     done;
     t
   in
-  let psi_pows = table psi in
-  let inv_psi_pows = table inv_psi in
-  let n_inv = Modarith.inv p n in
+  {
+    t_p = p;
+    t_n = n;
+    t_log_n = log_n;
+    t_psi_pows = table psi;
+    t_inv_psi_pows = table inv_psi;
+    t_n_inv = Modarith.inv p n;
+  }
+
+let make_plan ~p ~degree:n =
+  let tb = tables ~p ~degree:n in
+  let psi_pows = tb.t_psi_pows in
+  let inv_psi_pows = tb.t_inv_psi_pows in
+  let n_inv = tb.t_n_inv in
   {
     p;
     n;
-    log_n;
+    log_n = tb.t_log_n;
     psi_pows;
     inv_psi_pows;
     n_inv;

@@ -18,6 +18,22 @@ val make_plan : p:int -> degree:int -> plan
 (** Build tables for the ring Z_p[x]/(x^degree + 1). [degree] must be a
     power of two and [p = 1 (mod 2*degree)]. *)
 
+type tables = {
+  t_p : int;
+  t_n : int;
+  t_log_n : int;
+  t_psi_pows : int array;  (** psi^(bitrev i), psi a primitive 2N-th root *)
+  t_inv_psi_pows : int array;
+  t_n_inv : int;
+}
+(** The raw merged twist+twiddle tables (Longa–Naehrig layout), shared
+    by every ring backend: {!Mont_backend} re-encodes exactly these
+    values into the Montgomery domain, which is what makes
+    cross-backend results bit-identical by construction. *)
+
+val tables : p:int -> degree:int -> tables
+(** Same preconditions as {!make_plan}. *)
+
 val modulus : plan -> int
 val degree : plan -> int
 

@@ -1,0 +1,154 @@
+(* Pluggable ring-kernel backends.
+
+   A plan is a record of closures over one (p, N) pair: the four
+   primitives Rq needs to move limbs between the coefficient and
+   evaluation domains and to multiply evaluation-resident rows.  Two
+   backends implement it — Reference (the Shoup kernels in Ntt) and
+   Montgomery (the radix-4 Bigarray kernels in Mont_backend) — and
+   both read the same twiddle tables (Ntt.tables), so their outputs
+   are bit-identical; the choice is purely a performance knob and is
+   deliberately invisible to serialization, secrets and query layers.
+
+   Selection per parameter profile: an in-process override
+   (with_backend) beats the MYCELIUM_RING_BACKEND environment
+   variable, which beats the default policy (Montgomery wherever the
+   modulus allows it, i.e. p < 2^30; Reference otherwise).  A
+   requested backend that cannot handle the modulus falls back to
+   Reference rather than failing: every backend accepts the same
+   inputs and produces the same outputs, so availability is the only
+   correctness concern. *)
+
+type plan = {
+  backend : string;
+  p : int;
+  n : int;
+  forward_into : src:int array -> dst:int array -> unit;
+  inverse_into : src:int array -> dst:int array -> unit;
+  pointwise_into : dst:int array -> int array -> int array -> unit;
+  pointwise_acc : acc:int array -> int array -> int array -> unit;
+}
+
+module type S = sig
+  val name : string
+
+  val available : p:int -> degree:int -> bool
+  (** Can this backend run the given profile at all? *)
+
+  val make_plan : p:int -> degree:int -> plan
+end
+
+module Reference : S = struct
+  let name = "reference"
+  let available ~p:_ ~degree:_ = true
+
+  let make_plan ~p ~degree =
+    let t = Ntt.make_plan ~p ~degree in
+    {
+      backend = name;
+      p;
+      n = degree;
+      forward_into = (fun ~src ~dst -> Ntt.forward_into t ~src ~dst);
+      inverse_into = (fun ~src ~dst -> Ntt.inverse_into t ~src ~dst);
+      pointwise_into = (fun ~dst a b -> Ntt.pointwise_into t ~dst a b);
+      pointwise_acc = (fun ~acc a b -> Ntt.pointwise_acc t ~acc a b);
+    }
+end
+
+module Montgomery : S = struct
+  let name = "montgomery"
+  let available ~p ~degree:_ = Mont_backend.available ~p
+
+  let make_plan ~p ~degree =
+    let t = Mont_backend.make_plan ~p ~degree in
+    {
+      backend = name;
+      p;
+      n = degree;
+      forward_into = (fun ~src ~dst -> Mont_backend.forward_into t ~src ~dst);
+      inverse_into = (fun ~src ~dst -> Mont_backend.inverse_into t ~src ~dst);
+      pointwise_into = (fun ~dst a b -> Mont_backend.pointwise_into t ~dst a b);
+      pointwise_acc = (fun ~acc a b -> Mont_backend.pointwise_acc t ~acc a b);
+    }
+end
+
+let all = [ (module Montgomery : S); (module Reference : S) ]
+
+let of_name name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun (module B : S) -> B.name = name) all
+
+let names = List.map (fun (module B : S) -> B.name) all
+
+let checked_of_name ~who name =
+  match of_name name with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "%s: unknown ring backend %S (expected one of: %s)" who name
+         (String.concat ", " names))
+
+(* In-process override, used by the cross-backend acceptance sweeps.
+   Atomic for domain-safety, though tests only flip it from the main
+   domain; nested with_backend restores the outer choice on exit. *)
+let override : string option Atomic.t = Atomic.make None
+
+let env_choice =
+  lazy
+    (match Sys.getenv_opt "MYCELIUM_RING_BACKEND" with
+    | None | Some "" -> None
+    | Some s ->
+      let (module B : S) = checked_of_name ~who:"MYCELIUM_RING_BACKEND" s in
+      Some B.name)
+
+let with_backend name f =
+  let (module B : S) = checked_of_name ~who:"Ring_backend.with_backend" name in
+  let saved = Atomic.get override in
+  Atomic.set override (Some B.name);
+  Fun.protect ~finally:(fun () -> Atomic.set override saved) f
+
+let requested ?backend () =
+  match backend with
+  | Some s ->
+    let (module B : S) = checked_of_name ~who:"Ring_backend.make_plan" s in
+    Some B.name
+  | None -> (
+    match Atomic.get override with
+    | Some s -> Some s
+    | None -> Lazy.force env_choice)
+
+let resolve ?backend ~p ~degree () : (module S) =
+  match requested ?backend () with
+  | Some s -> (
+    let (module B : S) = checked_of_name ~who:"Ring_backend.make_plan" s in
+    if B.available ~p ~degree then (module B) else (module Reference))
+  | None ->
+    if Montgomery.available ~p ~degree then (module Montgomery) else (module Reference)
+
+let make_plan ?backend ~p ~degree () =
+  let (module B : S) = resolve ?backend ~p ~degree () in
+  B.make_plan ~p ~degree
+
+(* Convenience wrappers mirroring the Ntt entry points; tests and the
+   bench table drive backends through these. *)
+let forward pl a = pl.forward_into ~src:a ~dst:a
+let inverse pl a = pl.inverse_into ~src:a ~dst:a
+let forward_into pl ~src ~dst = pl.forward_into ~src ~dst
+let inverse_into pl ~src ~dst = pl.inverse_into ~src ~dst
+let pointwise_into pl ~dst a b = pl.pointwise_into ~dst a b
+let pointwise_acc pl ~acc a b = pl.pointwise_acc ~acc a b
+
+let pointwise pl a b =
+  let dst = Array.make pl.n 0 in
+  pl.pointwise_into ~dst a b;
+  dst
+
+let multiply pl a b =
+  let n = pl.n in
+  if Array.length a <> n || Array.length b <> n then
+    invalid_arg "Ring_backend.multiply: wrong length";
+  let fa = Array.make n 0 and fb = Array.make n 0 in
+  pl.forward_into ~src:a ~dst:fa;
+  pl.forward_into ~src:b ~dst:fb;
+  pl.pointwise_into ~dst:fa fa fb;
+  pl.inverse_into ~src:fa ~dst:fa;
+  fa

@@ -1,0 +1,75 @@
+(** Pluggable ring-kernel backends, selected per parameter profile.
+
+    Every backend computes the same negacyclic transform from the same
+    twiddle tables ({!Ntt.tables}) and reduces every butterfly output
+    canonically, so results are bit-identical across backends — the
+    property the cross-backend differential suite enforces.  The
+    backend choice is a pure performance knob: it never appears in the
+    wire format, and bases built on different backends interoperate.
+
+    Selection precedence: an explicit [?backend] argument, then the
+    {!with_backend} in-process override, then the
+    [MYCELIUM_RING_BACKEND] environment variable, then the default
+    policy (Montgomery wherever the modulus allows it, Reference
+    otherwise).  A requested backend that cannot handle the modulus
+    falls back to Reference. *)
+
+type plan = {
+  backend : string;  (** name of the backend that built this plan *)
+  p : int;
+  n : int;
+  forward_into : src:int array -> dst:int array -> unit;
+  inverse_into : src:int array -> dst:int array -> unit;
+  pointwise_into : dst:int array -> int array -> int array -> unit;
+  pointwise_acc : acc:int array -> int array -> int array -> unit;
+}
+(** Precomputed kernels for one (p, N) pair.  Contracts match the
+    {!Ntt} entry points: [src == dst] allowed for the transforms,
+    [dst] may alias an input for [pointwise_into]. *)
+
+module type S = sig
+  val name : string
+
+  val available : p:int -> degree:int -> bool
+  (** Can this backend run the given profile at all?  (Montgomery
+      requires an odd modulus below 2^30; Reference accepts anything
+      {!Ntt.make_plan} does.) *)
+
+  val make_plan : p:int -> degree:int -> plan
+end
+
+module Reference : S
+(** The Shoup-multiplier kernels of {!Ntt}, valid for any p < 2^31. *)
+
+module Montgomery : S
+(** Radix-4 Bigarray kernels with Montgomery reduction
+    ({!Mont_backend}); requires p < 2^30. *)
+
+val all : (module S) list
+val names : string list
+
+val of_name : string -> (module S) option
+(** Case-insensitive lookup by {!S.name}. *)
+
+val with_backend : string -> (unit -> 'a) -> 'a
+(** [with_backend name f] runs [f] with every plan built during the
+    call pinned to [name] (unless overridden by an explicit
+    [?backend]).  Restores the previous override on exit; nests.
+    Raises [Invalid_argument] for an unknown name. *)
+
+val make_plan : ?backend:string -> p:int -> degree:int -> unit -> plan
+(** Build a plan for the profile under the selection policy above.
+    Raises [Invalid_argument] for an unknown [?backend] name. *)
+
+(** Convenience wrappers mirroring the {!Ntt} entry points. *)
+
+val forward : plan -> int array -> unit
+val inverse : plan -> int array -> unit
+val forward_into : plan -> src:int array -> dst:int array -> unit
+val inverse_into : plan -> src:int array -> dst:int array -> unit
+val pointwise : plan -> int array -> int array -> int array
+val pointwise_into : plan -> dst:int array -> int array -> int array -> unit
+val pointwise_acc : plan -> acc:int array -> int array -> int array -> unit
+
+val multiply : plan -> int array -> int array -> int array
+(** Negacyclic product of two coefficient-domain polynomials. *)

@@ -15,16 +15,23 @@ val equal : t -> t -> bool
     bases share all derived constants, so elements may move freely
     between them. *)
 
-val make : primes:int list -> degree:int -> t
+val make : ?backend:string -> primes:int list -> degree:int -> unit -> t
 (** Build a basis. Every prime must satisfy [p = 1 (mod 2*degree)] and
-    be pairwise distinct. *)
+    be pairwise distinct. [?backend] pins the ring-kernel backend for
+    every limb plan; by default {!Ring_backend} picks per profile (see
+    its selection policy). The backend never affects values — bases
+    differing only in backend are {!equal} and fully interoperable. *)
 
-val standard : degree:int -> prime_bits:int -> levels:int -> t
+val standard : ?backend:string -> degree:int -> prime_bits:int -> levels:int -> unit -> t
 (** Convenience: pick [levels] NTT-friendly primes of [prime_bits] bits
     via {!Ntt.find_primes}. *)
 
 val primes : t -> int array
-val plans : t -> Ntt.plan array
+val plans : t -> Ring_backend.plan array
+
+(** [backend_name t] is the name of the ring backend the limb plans
+    were built on. *)
+val backend_name : t -> string
 val degree : t -> int
 val level_count : t -> int
 

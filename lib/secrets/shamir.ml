@@ -95,9 +95,14 @@ let reconstruct_rq basis shares =
       let rows = Rq.residues s.value in
       Array.iteri
         (fun pi p ->
+          (* The Lagrange weight is fixed across the whole row, so a
+             Shoup companion turns the per-coefficient reduction into
+             two multiplies — this loop is degree * limbs * shares at
+             paper scale. *)
           let l = lambdas.(pi).(i) in
+          let l' = Modarith.shoup_precompute p l in
           for c = 0 to n - 1 do
-            acc.(pi).(c) <- Modarith.add p acc.(pi).(c) (Modarith.mul p l rows.(pi).(c))
+            acc.(pi).(c) <- Modarith.add p acc.(pi).(c) (Modarith.shoup_mul p l l' rows.(pi).(c))
           done)
         primes)
     shares;

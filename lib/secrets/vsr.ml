@@ -89,9 +89,13 @@ let redistribute_rq rng ~new_threshold ~new_parties old_shares =
             let rows = Rq.residues sub.Shamir.value in
             Array.iteri
               (fun pi p ->
+                (* Fixed weight per row: Shoup companion, as in
+                   Shamir.reconstruct_rq. *)
                 let l = lambdas.(pi).(i) in
+                let l' = Modarith.shoup_precompute p l in
                 for c = 0 to n - 1 do
-                  acc.(j).(pi).(c) <- Modarith.add p acc.(j).(pi).(c) (Modarith.mul p l rows.(pi).(c))
+                  acc.(j).(pi).(c) <-
+                    Modarith.add p acc.(j).(pi).(c) (Modarith.shoup_mul p l l' rows.(pi).(c))
                 done)
               primes)
           subs)

@@ -1,0 +1,8 @@
+(* Fixture: Bigarray scratch allocated on the tracing-disabled path
+   of a hot-module butterfly. *)
+
+let butterfly src =
+  let n = Bigarray.Array1.dim src in
+  if Obs.enabled () then Obs.Metrics.add "ntt.butterflies" (float_of_int n)
+  else ignore (Bigarray.Array1.create Bigarray.int Bigarray.c_layout n);
+  src

@@ -1,0 +1,5 @@
+(* Fixture: the same Bigarray create, consciously suppressed. *)
+
+let make_scratch n =
+  (* lint: allow obs-guard — fixture: one-time plan construction, not a butterfly *)
+  if Obs.enabled () then () else ignore (Bigarray.Array1.create Bigarray.int Bigarray.c_layout n)

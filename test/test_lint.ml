@@ -73,7 +73,12 @@ let test_obs_guard_fires () =
   let r = Lazy.force hot_report in
   Alcotest.check sites "obs-guard sites"
     [ ("obs-guard", 4); ("obs-guard", 6) ]
-    (site_list (only "fire_obs_guard.ml" r.violations))
+    (site_list (only "fire_obs_guard.ml" r.violations));
+  (* The Bigarray extension of the allocating-head set: an unguarded
+     scratch create inside a butterfly's disabled path fires. *)
+  Alcotest.check sites "obs-guard bigarray sites"
+    [ ("obs-guard", 7) ]
+    (site_list (only "fire_obs_guard_ba.ml" r.violations))
 
 let test_clean_files_are_clean () =
   let r = Lazy.force lib_report in
@@ -100,7 +105,9 @@ let test_suppressions_silence () =
     [ "suppressed_poly_compare.ml"; "suppressed_determinism.ml";
       "suppressed_rng_capture.ml"; "suppressed_interface.mli" ];
   Alcotest.check sites "suppressed_obs_guard.ml has no live violations" []
-    (site_list (only "suppressed_obs_guard.ml" h.violations))
+    (site_list (only "suppressed_obs_guard.ml" h.violations));
+  Alcotest.check sites "suppressed_obs_guard_ba.ml has no live violations" []
+    (site_list (only "suppressed_obs_guard_ba.ml" h.violations))
 
 let test_suppressions_are_counted () =
   let r = Lazy.force lib_report in
@@ -120,7 +127,10 @@ let test_suppressions_are_counted () =
     (site_list (only "suppressed_interface.mli" r.suppressed));
   Alcotest.check sites "obs-guard suppression recorded"
     [ ("obs-guard", 5) ]
-    (site_list (only "suppressed_obs_guard.ml" h.suppressed))
+    (site_list (only "suppressed_obs_guard.ml" h.suppressed));
+  Alcotest.check sites "obs-guard bigarray suppression recorded"
+    [ ("obs-guard", 5) ]
+    (site_list (only "suppressed_obs_guard_ba.ml" h.suppressed))
 
 (* ------------------------------------------------------------------ *)
 (* JSON report round-trip                                              *)
@@ -213,9 +223,9 @@ let test_ast_equal () =
   checkb "compare_field is reflexive" true (Ast.compare_field Ast.Age Ast.Age = 0)
 
 let test_rns_equal () =
-  let a = Rns.standard ~degree:64 ~prime_bits:20 ~levels:2 in
-  let b = Rns.standard ~degree:64 ~prime_bits:20 ~levels:2 in
-  let c = Rns.standard ~degree:64 ~prime_bits:20 ~levels:3 in
+  let a = Rns.standard ~degree:64 ~prime_bits:20 ~levels:2 () in
+  let b = Rns.standard ~degree:64 ~prime_bits:20 ~levels:2 () in
+  let c = Rns.standard ~degree:64 ~prime_bits:20 ~levels:3 () in
   checkb "same construction, equal bases" true (Rns.equal a b);
   checkb "level count differs" false (Rns.equal a c);
   checkb "drop_last c equals a" true (Rns.equal (Rns.drop_last c) a);

@@ -18,6 +18,7 @@ module Fault_plan = Mycelium_faults.Fault_plan
 module Injector = Mycelium_faults.Injector
 module Pool = Mycelium_parallel.Pool
 module Obs = Mycelium_obs.Obs
+module Ring_backend = Mycelium_math.Ring_backend
 module Json = Mycelium_obs.Obs.Json
 
 let checkb = Alcotest.(check bool)
@@ -271,7 +272,20 @@ let test_identical_on_off () =
       Obs.disable ();
       checkb (Printf.sprintf "identical at %d domains (traced)" d) true
         (same_release base r))
-    [ 1; 2; 8 ]
+    [ 1; 2; 8 ];
+  (* Sweep the ring-backend switch too: trace on, either backend, must
+     release the same bytes as the untraced default-backend baseline. *)
+  List.iter
+    (fun backend ->
+      Obs.reset ();
+      let r =
+        Ring_backend.with_backend backend (fun () ->
+            Pool.with_domains 8 (fun () -> run_q ~trace:true ()))
+      in
+      Obs.disable ();
+      checkb (Printf.sprintf "identical on %s backend (traced, 8 domains)" backend) true
+        (same_release base r))
+    [ "reference"; "montgomery" ]
 
 let test_exported_trace () =
   Obs.disable ();

@@ -8,7 +8,10 @@
 
 module Rng = Mycelium_util.Rng
 module Modarith = Mycelium_math.Modarith
+module Montarith = Mycelium_math.Montarith
 module Ntt = Mycelium_math.Ntt
+module Mont_backend = Mycelium_math.Mont_backend
+module Ring_backend = Mycelium_math.Ring_backend
 module Rns = Mycelium_math.Rns
 module Rq = Mycelium_math.Rq
 module Bgv = Mycelium_bgv.Bgv
@@ -19,7 +22,7 @@ let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
 (* A 3-prime basis: every property below is checked per limb. *)
-let basis = lazy (Rns.standard ~degree:256 ~prime_bits:30 ~levels:3)
+let basis = lazy (Rns.standard ~degree:256 ~prime_bits:30 ~levels:3 ())
 
 let random_rows rng basis =
   let n = Rns.degree basis in
@@ -43,7 +46,7 @@ let test_eval_mul_cross_check () =
     let prod_rows = Rq.residues prod in
     Array.iteri
       (fun j plan ->
-        let expected = Ntt.multiply plan rows_a.(j) rows_b.(j) in
+        let expected = Ring_backend.multiply plan rows_a.(j) rows_b.(j) in
         let naive = Ntt.multiply_naive ~p:primes.(j) rows_a.(j) rows_b.(j) in
         checkb "coefficient-domain NTT = schoolbook" true (expected = naive);
         checkb "eval-domain mul = coefficient-domain mul" true (prod_rows.(j) = expected))
@@ -198,12 +201,311 @@ let test_bgv_representation () =
   checkb "decrypt independent of resident domain" true
     (Plaintext.coeffs pt = Plaintext.coeffs pt2)
 
+(* --- Montgomery KATs (SNIPPETS.md №3 shape) -------------------------
+
+   Known-answer vectors for Montarith, the scalar specification the
+   Mont_backend butterflies hand-inline.  Each entry pins a modulus'
+   derived constants (-p^-1 mod 2^62, R mod p, R^2 mod p), a list of
+   (t, REDC(t)) reduction vectors — with boundary operands 0, 1, p-1
+   and values straddling the R = 2^62 radix — and (x, y, mont_mul)
+   product vectors.  Every expectation is additionally re-derived from
+   the Modarith mod-based reference inside the test, so the fixed
+   numbers and the independent oracle must agree with each other and
+   with the implementation. *)
+let montgomery_kats =
+  [
+    (* First two find_primes ~degree:1024 ~bits:30 moduli and the first
+       ~degree:256 ~bits:28 modulus. *)
+    ( 1073707009,
+      2975768425902602239,
+      553508864,
+      1009923275,
+      [
+        (0, 0);
+        (1, 692827613);
+        (2, 311948217);
+        (1073707008, 380879396);
+        (1073707009, 0);
+        (1073707010, 692827613);
+        (2147483648, 1004485829);
+        (2305843009213693952, 536853505);
+        (2305843009213693953, 155974109);
+        (4611686018427387903, 380879397);
+        (4611686017353680895, 1);
+        (4611686017353680896, 692827614);
+        (1234567890123456789, 901025685);
+      ],
+      [
+        (0, 0, 0);
+        (0, 1, 0);
+        (1, 1, 692827613);
+        (1, 1073707008, 380879396);
+        (1073707008, 1073707008, 692827613);
+        (2, 536853504, 380879396);
+        (123456789, 987654321, 107736587);
+      ] );
+    ( 1073698817,
+      1203863690021918719,
+      956215294,
+      284234052,
+      [
+        (0, 0);
+        (1, 280285131);
+        (2, 560570262);
+        (1073698816, 793413686);
+        (1073698817, 0);
+        (1073698818, 280285131);
+        (2147483648, 685719733);
+        (2305843009213693952, 536849409);
+        (2305843009213693953, 817134540);
+        (4611686018427387903, 793413687);
+        (4611686017353689087, 1);
+        (4611686017353689088, 280285132);
+        (1234567890123456789, 297478379);
+      ],
+      [
+        (0, 0, 0);
+        (0, 1, 0);
+        (1, 1, 280285131);
+        (1, 1073698816, 793413686);
+        (1073698816, 1073698816, 280285131);
+        (2, 536849408, 793413686);
+        (123456789, 987654321, 864628906);
+      ] );
+    ( 268432897,
+      3840438174813517311,
+      150669887,
+      189441867,
+      [
+        (0, 0);
+        (1, 223540792);
+        (2, 178648687);
+        (268432896, 44892105);
+        (268432897, 0);
+        (268432898, 223540792);
+        (2147483648, 83065768);
+        (2305843009213693952, 134216449);
+        (2305843009213693953, 89324344);
+        (4611686018427387903, 44892106);
+        (4611686018158955007, 1);
+        (4611686018158955008, 223540793);
+        (1234567890123456789, 19781488);
+      ],
+      [
+        (0, 0, 0);
+        (0, 1, 0);
+        (1, 1, 223540792);
+        (1, 268432896, 44892105);
+        (268432896, 268432896, 223540792);
+        (2, 134216448, 44892105);
+        (123456789, 182355630, 92186721);
+      ] );
+  ]
+
+(* t * R^-1 mod p via the plain mod-based reference. *)
+let redc_oracle p t =
+  let r_inv = Modarith.inv p (Modarith.pow p 2 Montarith.r_bits) in
+  Modarith.mul p (Modarith.reduce p t) r_inv
+
+let test_montgomery_kat () =
+  List.iter
+    (fun (p, neg_p_inv, r_mod_p, r2_mod_p, reduces, muls) ->
+      checkb "kat modulus supported" true (Montarith.supports p);
+      let c = Montarith.precompute p in
+      (* Derived constants. *)
+      checki "kat -p^-1 mod 2^62" neg_p_inv (Montarith.neg_p_inv c);
+      checki "kat R mod p" r_mod_p (Montarith.r_mod_p c);
+      checki "kat R mod p vs modarith" (Modarith.pow p 2 Montarith.r_bits)
+        (Montarith.r_mod_p c);
+      checki "kat R^2 mod p" r2_mod_p (Montarith.r2_mod_p c);
+      checki "kat R^2 mod p vs modarith"
+        (Modarith.mul p (Montarith.r_mod_p c) (Montarith.r_mod_p c))
+        (Montarith.r2_mod_p c);
+      (* -p^-1 * p = -1 mod 2^62. *)
+      let mask62 = (1 lsl 62) - 1 in
+      checki "kat p * (-p^-1) = -1 mod 2^62" mask62 ((neg_p_inv * p) land mask62);
+      (* montgomery_reduce vectors, each cross-checked against the
+         mod-based oracle. *)
+      List.iter
+        (fun (t, expected) ->
+          checki "kat reduce" expected (Montarith.reduce c t);
+          checki "kat reduce vs modarith oracle" (redc_oracle p t) (Montarith.reduce c t))
+        reduces;
+      (* montgomery_mul vectors. *)
+      List.iter
+        (fun (x, y, expected) ->
+          checki "kat mul" expected (Montarith.mul c x y);
+          checki "kat mul vs modarith oracle" (redc_oracle p (x * y)) (Montarith.mul c x y))
+        muls;
+      (* Domain round-trip at the boundary operands. *)
+      List.iter
+        (fun x ->
+          checki "to_mont/of_mont roundtrip" x (Montarith.of_mont c (Montarith.to_mont c x));
+          checki "to_mont vs modarith" (Modarith.mul p x (Montarith.r_mod_p c))
+            (Montarith.to_mont c x))
+        [ 0; 1; 2; p - 2; p - 1 ];
+      (* Randomized cross-check against the mod-based reference. *)
+      let rng = Rng.create 48L in
+      for _ = 1 to 2000 do
+        let x = Rng.int rng p and y = Rng.int rng p in
+        checki "mont mul vs mod oracle" (redc_oracle p (x * y)) (Montarith.mul c x y)
+      done;
+      (* Out-of-range operands must be rejected, not silently wrapped. *)
+      Alcotest.check_raises "reduce rejects negatives" (Invalid_argument
+        "Montarith.reduce: operand must lie in [0, 2^62)") (fun () ->
+          ignore (Montarith.reduce c (-1)));
+      Alcotest.check_raises "mul rejects unreduced"
+        (Invalid_argument "Montarith.mul: operands must be reduced") (fun () ->
+          ignore (Montarith.mul c p 1)))
+    montgomery_kats
+
+(* --- Cross-backend differential suite -------------------------------
+
+   Seeded random polynomials for every find_primes 30-bit modulus at
+   N in {1024, 8192, 32768} must transform and multiply identically on
+   the Reference and Montgomery backends.  The @ringops alias runs
+   this binary plainly, under MYCELIUM_DOMAINS=8 and under
+   MYCELIUM_RING_BACKEND=reference, so the per-limb pool dispatch and
+   the ambient-default paths are swept too. *)
+
+let differential_profiles =
+  (* (degree, moduli to cover, Rq/Rns rounds).  All ten 30-bit moduli
+     at N=1024; transform cost bounds the counts at the larger sizes,
+     with N=32768 — the paper's ring degree — covered by two moduli. *)
+  [ (1024, 10, 3); (8192, 3, 2); (32768, 2, 1) ]
+
+let test_cross_backend_differential () =
+  List.iter
+    (fun (degree, count, rq_rounds) ->
+      let primes = Ntt.find_primes ~degree ~bits:30 ~count in
+      let rng = Rng.create (Int64.of_int (49 + degree)) in
+      (* Plan-level: forward / inverse / pointwise per modulus. *)
+      List.iter
+        (fun p ->
+          let rp = Ring_backend.Reference.make_plan ~p ~degree in
+          let mp = Ring_backend.Montgomery.make_plan ~p ~degree in
+          checkb "reference plan tagged" true (rp.Ring_backend.backend = "reference");
+          checkb "montgomery plan tagged" true (mp.Ring_backend.backend = "montgomery");
+          let a = Array.init degree (fun _ -> Rng.int rng p) in
+          let b = Array.init degree (fun _ -> Rng.int rng p) in
+          let fa_r = Array.make degree 0 and fa_m = Array.make degree 0 in
+          Ring_backend.forward_into rp ~src:a ~dst:fa_r;
+          Ring_backend.forward_into mp ~src:a ~dst:fa_m;
+          checkb "forward identical" true (fa_r = fa_m);
+          let fb = Array.copy b in
+          Ring_backend.forward mp fb;
+          let pw_r = Ring_backend.pointwise rp fa_r fb in
+          let pw_m = Ring_backend.pointwise mp fa_m fb in
+          checkb "pointwise identical" true (pw_r = pw_m);
+          let acc_r = Array.init degree (fun i -> i mod p) in
+          let acc_m = Array.copy acc_r in
+          Ring_backend.pointwise_acc rp ~acc:acc_r fa_r fb;
+          Ring_backend.pointwise_acc mp ~acc:acc_m fa_m fb;
+          checkb "pointwise_acc identical" true (acc_r = acc_m);
+          let ia_r = Array.make degree 0 and ia_m = Array.make degree 0 in
+          Ring_backend.inverse_into rp ~src:pw_r ~dst:ia_r;
+          Ring_backend.inverse_into mp ~src:pw_m ~dst:ia_m;
+          checkb "inverse identical" true (ia_r = ia_m);
+          let rt = Array.copy a in
+          Ring_backend.forward mp rt;
+          Ring_backend.inverse mp rt;
+          checkb "montgomery roundtrip is identity" true (rt = a))
+        primes;
+      (* Rq level: mul and dot on bases pinned to each backend must
+         produce identical residue rows. *)
+      let levels = min count 3 in
+      let primes = Ntt.find_primes ~degree ~bits:30 ~count:levels in
+      let b_ref = Rns.make ~backend:"reference" ~primes ~degree () in
+      let b_mont = Rns.make ~backend:"montgomery" ~primes ~degree () in
+      checkb "bases equal across backends" true (Rns.equal b_ref b_mont);
+      checkb "reference basis tagged" true (Rns.backend_name b_ref = "reference");
+      checkb "montgomery basis tagged" true (Rns.backend_name b_mont = "montgomery");
+      let random_rows rng =
+        Array.map (fun p -> Array.init degree (fun _ -> Rng.int rng p)) (Array.of_list primes)
+      in
+      for _ = 1 to rq_rounds do
+        let rows_x = random_rows rng and rows_y = random_rows rng in
+        let on basis =
+          let x = Rq.of_residues basis rows_x and y = Rq.of_residues basis rows_y in
+          let prod = Rq.mul x y in
+          Rq.force_coeff prod;
+          let d = Rq.dot [| x; y |] [| y; x |] in
+          Rq.force_coeff d;
+          (Rq.residues prod, Rq.residues d)
+        in
+        let prod_r, dot_r = on b_ref in
+        let prod_m, dot_m = on b_mont in
+        checkb "Rq.mul identical across backends" true (prod_r = prod_m);
+        checkb "Rq.dot identical across backends" true (dot_r = dot_m)
+      done)
+    differential_profiles
+
+(* BGV end-to-end: with a fixed rng seed, the entire
+   keygen/encrypt/mul/keyswitch/decrypt pipeline must produce
+   byte-identical ciphertexts and identical plaintexts on either
+   backend — the wire format cannot see the kernel choice. *)
+let test_bgv_backend_independent () =
+  let run backend =
+    let ctx = Bgv.make_ctx ~backend Params.test_small in
+    let rng = Rng.create 50L in
+    let sk, pk = Bgv.keygen ctx rng in
+    let rk = Bgv.relin_keygen ctx rng sk ~max_degree:2 in
+    let a = Bgv.encrypt_value ctx rng pk 3 in
+    let b = Bgv.encrypt_value ctx rng pk 5 in
+    let prod = Bgv.relinearize ctx rk (Bgv.mul a b) in
+    let pt = Bgv.decrypt ctx sk prod in
+    (Bgv.serialize a, Bgv.serialize prod, Plaintext.coeffs pt)
+  in
+  let ct_a_r, ct_p_r, pt_r = run "reference" in
+  let ct_a_m, ct_p_m, pt_m = run "montgomery" in
+  checkb "fresh ciphertext bytes identical" true (Bytes.equal ct_a_r ct_a_m);
+  checkb "relinearized ciphertext bytes identical" true (Bytes.equal ct_p_r ct_p_m);
+  checkb "plaintext identical" true (pt_r = pt_m);
+  (* Mixed-backend interop: a ciphertext serialized under one backend
+     deserializes and decrypts under the other. *)
+  let ctx_m = Bgv.make_ctx ~backend:"montgomery" Params.test_small in
+  let rng = Rng.create 50L in
+  let sk, _pk = Bgv.keygen ctx_m rng in
+  match Bgv.deserialize ctx_m ct_p_r with
+  | None -> Alcotest.fail "cross-backend deserialize rejected"
+  | Some ct ->
+    let pt = Bgv.decrypt ctx_m sk ct in
+    checkb "cross-backend decrypt" true (Plaintext.coeffs pt = pt_r)
+
+(* The with_backend override pins plans built inside the callback and
+   restores the ambient choice afterwards. *)
+let test_with_backend_override () =
+  let name_at ~p ~degree = (Ring_backend.make_plan ~p ~degree ()).Ring_backend.backend in
+  let p = List.hd (Ntt.find_primes ~degree:64 ~bits:30 ~count:1) in
+  let ambient = name_at ~p ~degree:64 in
+  Ring_backend.with_backend "reference" (fun () ->
+      checkb "override to reference" true (name_at ~p ~degree:64 = "reference");
+      Ring_backend.with_backend "montgomery" (fun () ->
+          checkb "nested override" true (name_at ~p ~degree:64 = "montgomery"));
+      checkb "inner override restored" true (name_at ~p ~degree:64 = "reference"));
+  checkb "ambient restored" true (name_at ~p ~degree:64 = ambient);
+  (* Unknown names fail loudly. *)
+  checkb "unknown backend rejected" true
+    (try
+       Ring_backend.with_backend "bogus" (fun () -> ());
+       false
+     with Invalid_argument _ -> true);
+  (* Montgomery refuses moduli at or above 2^30; selection falls back
+     to Reference rather than failing. *)
+  let p31 = List.hd (Ntt.find_primes ~degree:64 ~bits:31 ~count:1) in
+  checkb "31-bit modulus unavailable to montgomery" true
+    (not (Ring_backend.Montgomery.available ~p:p31 ~degree:64));
+  Ring_backend.with_backend "montgomery" (fun () ->
+      checkb "fallback to reference for wide modulus" true
+        (name_at ~p:p31 ~degree:64 = "reference"))
+
 let () =
   Alcotest.run "mycelium-ringops"
     [
       ( "kernels",
         [
           Alcotest.test_case "shoup vs mod, all 30-bit moduli" `Quick test_shoup_vs_mod;
+          Alcotest.test_case "montgomery KATs" `Quick test_montgomery_kat;
           Alcotest.test_case "forward_into / inverse_into" `Quick test_into_variants;
           Alcotest.test_case "pointwise kernels" `Quick test_pointwise_kernels;
         ] );
@@ -214,6 +516,15 @@ let () =
           Alcotest.test_case "dot = sum of products" `Quick test_dot_matches_sum_of_products;
           Alcotest.test_case "linear ops domain-agnostic" `Quick
             test_linear_ops_domain_agnostic;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "cross-backend differential, N in {1024, 8192, 32768}" `Quick
+            test_cross_backend_differential;
+          Alcotest.test_case "with_backend override + fallback" `Quick
+            test_with_backend_override;
+          Alcotest.test_case "BGV pipeline backend-independent" `Quick
+            test_bgv_backend_independent;
         ] );
       ( "bgv",
         [ Alcotest.test_case "representation end-to-end" `Quick test_bgv_representation ] );

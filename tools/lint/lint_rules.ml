@@ -229,6 +229,12 @@ let allocating_head path =
   | [ "String"; ("concat" | "cat") ]
   | [ ("^" | "^^" | "@") ] ->
     true
+  (* Bigarray scratch creation: a malloc + custom-block allocation,
+     far too heavy for the disabled fast path of a kernel (the
+     Mont_backend butterflies keep theirs in domain-local state). *)
+  | [ "Bigarray"; ("Array1" | "Array2" | "Array3" | "Genarray"); "create" ]
+  | [ ("Array1" | "Array2" | "Array3" | "Genarray"); "create" ] ->
+    true
   | _ -> false
 
 let obs_guard ~file str =
@@ -287,8 +293,8 @@ let obs_guard ~file str =
             when allocating_head (norm_path txt) && in_any !disabled_ranges loc ->
             out :=
               viol "obs-guard" file loc
-                "allocation (string building) on the tracing-disabled path of a \
-                 hot module"
+                "allocation (string building or Bigarray create) on the \
+                 tracing-disabled path of a hot module"
               :: !out
           | Pexp_fun _ | Pexp_function _ when in_any !disabled_ranges e.pexp_loc ->
             out :=
