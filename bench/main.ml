@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --only fig7      -- one figure
      dune exec bench/main.exe -- --only parallel  -- domain scaling
      dune exec bench/main.exe -- --only ringops   -- ring backend old-vs-new
+     dune exec bench/main.exe -- --only mixnet    -- mixnet scale sweep (Figs 7-9)
      dune exec bench/main.exe -- --only lint      -- full-repo static analysis
      dune exec bench/main.exe -- --skip-micro     -- figures only
      dune exec bench/main.exe -- --json           -- machine-readable
@@ -31,6 +32,7 @@ module Chacha20 = Mycelium_crypto.Chacha20
 module Elgamal = Mycelium_crypto.Elgamal
 module Merkle = Mycelium_crypto.Merkle
 module Onion = Mycelium_mixnet.Onion
+module Sim = Mycelium_mixnet.Sim
 module Shamir = Mycelium_secrets.Shamir
 module Cg = Mycelium_graph.Contact_graph
 module Epidemic = Mycelium_graph.Epidemic
@@ -592,6 +594,142 @@ let () =
         ("degrees", List (List.map snd rows)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Mixnet at scale: the Figure 7-9 quantities, measured                *)
+(* ------------------------------------------------------------------ *)
+
+(* Streams the arena simulator (DESIGN.md §12) across population
+   sizes with churn and Byzantine fractions, and reports the measured
+   counterparts of the paper's mixnet evaluation: anonymity-set size
+   (Fig 7), identification probability (Fig 8), C-round duration and
+   deposited bytes / goodput (Fig 9).  Every cell uses [fast_keys] —
+   the sweep measures forwarding, mixing and verification, not modular
+   exponentiation at setup.  The 10^6-device flagship runs only in a
+   full bench (it takes minutes); under --check the reduced cells
+   rerun and gate against the committed BENCH_pr7.json. *)
+
+(* The n=10^5 anchor's measurements, for the --check gate. *)
+let mixnet_anchor = ref None
+
+let () =
+  section "mixnet" (fun () ->
+      say "\n=== Mixnet: streaming simulator at scale (Figures 7-9) ===\n";
+      say "  %-14s %6s %5s %9s %9s %7s %7s %10s %10s %8s\n" "cell" "churn" "byz"
+        "setup s" "round s" "anon" "ident" "dep MB" "goodput" "heap MB";
+      let h_round = Obs.Metrics.histogram "bench.mixnet.cround_seconds" in
+      let h_goodput = Obs.Metrics.histogram "bench.mixnet.goodput_mbps" in
+      let payload = Bytes.make 32 'q' in
+      let run_cell ~label ~n ~degree ~churn ~byz ~qrounds ~verify_sample ~anon_sample =
+        let cfg =
+          {
+            Sim.default_config with
+            Sim.n_devices = n;
+            degree;
+            hops = 3;
+            replicas = 2;
+            fraction = 0.1;
+            churn;
+            malicious_fraction = byz;
+            fast_setup = true;
+            fast_keys = true;
+            verify_sample;
+            anon_sample;
+            seed = 20260809L;
+          }
+        in
+        let t = Sim.create cfg in
+        let t0 = Unix.gettimeofday () in
+        let (_ : Sim.setup_stats) = Sim.setup_paths t in
+        let setup_s = Unix.gettimeofday () -. t0 in
+        let round_s = ref 0. in
+        let sent = ref 0 and delivered = ref 0 and identified = ref 0 in
+        let dep_bytes = ref 0 in
+        let anon_sum = ref 0. and anon_n = ref 0 in
+        for _ = 1 to qrounds do
+          let t0 = Unix.gettimeofday () in
+          let r = Sim.run_query_round t ~payload in
+          let dt = Unix.gettimeofday () -. t0 in
+          round_s := !round_s +. dt;
+          Obs.Metrics.observe h_round dt;
+          sent := !sent + r.Sim.messages_sent;
+          delivered := !delivered + r.Sim.delivered;
+          identified := !identified + r.Sim.identified;
+          dep_bytes := !dep_bytes + r.Sim.deposited_bytes;
+          Array.iter
+            (fun s ->
+              anon_sum := !anon_sum +. float_of_int s;
+              incr anon_n)
+            r.Sim.anonymity_sets
+        done;
+        let anon_mean = if !anon_n = 0 then 0. else !anon_sum /. float_of_int !anon_n in
+        let ident_prob = float_of_int !identified /. float_of_int (max 1 !sent) in
+        (* Goodput: delivered payload bytes per second of C-round time
+           (Fig 9's useful-throughput axis, with the deposited-bytes
+           column giving the overhead it is paid for). *)
+        let goodput =
+          float_of_int (!delivered * Bytes.length payload) /. max 1e-9 !round_s
+        in
+        Obs.Metrics.observe h_goodput (goodput /. 1e6);
+        let fp = Sim.footprint t in
+        let heap_bytes = (Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8) in
+        say "  %-14s %6.2f %5.2f %9.2f %9.2f %7.1f %7.4f %10.1f %8.2f/s %8d\n" label
+          churn byz setup_s
+          (!round_s /. float_of_int qrounds)
+          anon_mean ident_prob
+          (float_of_int !dep_bytes /. 1e6)
+          (goodput /. 1e6)
+          (heap_bytes / (1024 * 1024));
+        if n = 100_000 then mixnet_anchor := Some (goodput, heap_bytes);
+        Obj
+          [
+            ("label", Str label);
+            ("n", Int n);
+            ("churn", Num churn);
+            ("byz", Num byz);
+            ("query_rounds", Int qrounds);
+            ("setup_seconds", Num setup_s);
+            ("cround_seconds", Num (!round_s /. float_of_int (qrounds * cfg.Sim.hops + qrounds)));
+            ("round_seconds", Num (!round_s /. float_of_int qrounds));
+            ("messages", Int !sent);
+            ("delivered", Int !delivered);
+            ("anonymity_mean", Num anon_mean);
+            ("identification_probability", Num ident_prob);
+            ("deposited_bytes", Int !dep_bytes);
+            ("goodput_bytes_per_s", Num goodput);
+            ("slot_capacity", Int fp.Sim.slot_capacity);
+            ("arena_bytes", Int fp.Sim.arena_bytes);
+            ("top_heap_bytes", Int heap_bytes);
+          ]
+      in
+      Obs.with_enabled (fun () ->
+          let cells = ref [] in
+          let add c = cells := c :: !cells in
+          (* Churn x Byzantine sweep at n=10^4: the Fig 7/8 axes. *)
+          List.iter
+            (fun churn ->
+              List.iter
+                (fun byz ->
+                  add
+                    (run_cell
+                       ~label:(Printf.sprintf "n10k-c%g-b%g" churn byz)
+                       ~n:10_000 ~degree:2 ~churn ~byz ~qrounds:1 ~verify_sample:0
+                       ~anon_sample:0))
+                [ 0.0; 0.02; 0.1 ])
+            [ 0.0; 0.05 ];
+          (* The n=10^5 anchor: sampled verification and closure, two
+             query rounds — the cell the --check gate reruns. *)
+          add
+            (run_cell ~label:"n100k" ~n:100_000 ~degree:1 ~churn:0.01 ~byz:0.02
+               ~qrounds:2 ~verify_sample:101 ~anon_sample:13);
+          (* The 10^6 flagship: the paper's Fig 9 scale.  Skipped under
+             --check (minutes of runtime); the gate instead asserts the
+             committed record has it. *)
+          if not check_mode then
+            add
+              (run_cell ~label:"n1000k" ~n:1_000_000 ~degree:1 ~churn:0.01 ~byz:0.02
+                 ~qrounds:2 ~verify_sample:1009 ~anon_sample:101);
+          [ ("payload_bytes", Int (Bytes.length payload)); ("cells", List (List.rev !cells)) ]))
+
+(* ------------------------------------------------------------------ *)
 (* Lint: the full-repo static-analysis pass                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -817,4 +955,73 @@ let () =
           measured reference_ns speedup;
       say "check: montgomery forward at N=8192: %.0f ns vs %.0f ns committed (%.2fx >= 2x) ok\n"
         measured reference_ns speedup
+  end
+
+(* ------------------------------------------------------------------ *)
+(* --check: the mixnet memory/throughput gate                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Reruns the reduced-N mixnet cells (the section above skips the 10^6
+   flagship under --check) and compares the n=10^5 anchor against the
+   committed BENCH_pr7.json: top-heap must stay under 2x the committed
+   bytes (a leak regression at this scale at least doubles it) and
+   goodput must hold 0.6x the committed rate (generous to scheduler
+   noise — losing the arena path costs far more than that).  Also
+   asserts the committed record still carries the flagship cell, so
+   the 10^6 measurement of record cannot silently vanish. *)
+let () =
+  if check_mode && wants "mixnet" then begin
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check: " ^ s); exit 1) fmt in
+    let ( >>= ) o f = Option.bind o f in
+    let doc =
+      let rec find_root dir =
+        if Sys.file_exists (Filename.concat dir "BENCH_pr7.json") then Some dir
+        else
+          let parent = Filename.dirname dir in
+          if String.equal parent dir then None else find_root parent
+      in
+      match find_root (Sys.getcwd ()) with
+      | None -> fail "BENCH_pr7.json not found upward of %s" (Sys.getcwd ())
+      | Some root ->
+        let path = Filename.concat root "BENCH_pr7.json" in
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (match Json.parse s with
+        | Error e -> fail "BENCH_pr7.json does not parse: %s" e
+        | Ok doc -> doc)
+    in
+    let cells =
+      match Json.member "sections" doc >>= Json.member "mixnet" >>= Json.member "cells" with
+      | Some (List cells) -> cells
+      | _ -> fail "BENCH_pr7.json has no mixnet cells"
+    in
+    let cell label =
+      List.find_opt
+        (fun c -> match Json.member "label" c with Some (Str l) -> String.equal l label | _ -> false)
+        cells
+    in
+    if cell "n1000k" = None then fail "BENCH_pr7.json lost the n=10^6 flagship cell";
+    let committed_goodput, committed_heap =
+      match
+        ( cell "n100k" >>= Json.member "goodput_bytes_per_s",
+          cell "n100k" >>= Json.member "top_heap_bytes" )
+      with
+      | Some (Num g), Some (Int h) -> (g, h)
+      | _ -> fail "BENCH_pr7.json anchor cell n100k is missing goodput or heap"
+    in
+    match !mixnet_anchor with
+    | None -> fail "mixnet section did not run the n=10^5 anchor"
+    | Some (goodput, heap) ->
+      if heap > 2 * committed_heap then
+        fail "mixnet anchor top-heap %d MB vs %d MB committed (> 2x ceiling)"
+          (heap / (1024 * 1024))
+          (committed_heap / (1024 * 1024));
+      if goodput < 0.6 *. committed_goodput then
+        fail "mixnet anchor goodput %.2f MB/s vs %.2f MB/s committed (< 0.6x floor)"
+          (goodput /. 1e6) (committed_goodput /. 1e6);
+      say "check: mixnet anchor heap %d MB <= 2x %d MB, goodput %.2f MB/s >= 0.6x %.2f MB/s ok\n"
+        (heap / (1024 * 1024))
+        (committed_heap / (1024 * 1024))
+        (goodput /. 1e6) (committed_goodput /. 1e6)
   end

@@ -64,18 +64,28 @@ let block ~key ~nonce ~counter =
   done;
   out
 
-let encrypt ~key ~nonce ?(counter = 1) data =
-  let len = Bytes.length data in
-  let out = Bytes.create len in
+let xor_into ~key ~nonce ?(counter = 1) ~src ~src_pos ~dst ~dst_pos len =
+  if
+    src_pos < 0 || dst_pos < 0 || len < 0
+    || src_pos + len > Bytes.length src
+    || dst_pos + len > Bytes.length dst
+  then invalid_arg "Chacha20.xor_into: range out of bounds";
   let nblocks = (len + 63) / 64 in
   for b = 0 to nblocks - 1 do
     let ks = block ~key ~nonce ~counter:(counter + b) in
     let off = b * 64 in
     let chunk = min 64 (len - off) in
     for i = 0 to chunk - 1 do
-      Bytes.set_uint8 out (off + i) (Bytes.get_uint8 data (off + i) lxor Bytes.get_uint8 ks i)
+      Bytes.set_uint8 dst
+        (dst_pos + off + i)
+        (Bytes.get_uint8 src (src_pos + off + i) lxor Bytes.get_uint8 ks i)
     done
-  done;
+  done
+
+let encrypt ~key ~nonce ?(counter = 1) data =
+  let len = Bytes.length data in
+  let out = Bytes.create len in
+  xor_into ~key ~nonce ~counter ~src:data ~src_pos:0 ~dst:out ~dst_pos:0 len;
   out
 
 let nonce_of_round round =

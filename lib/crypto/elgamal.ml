@@ -25,6 +25,17 @@ let generate rng =
   let pk = Bigint.mod_pow g x p in
   (pk, { x; pk })
 
+let generate_insecure rng =
+  (* A uniform group-range element instead of g^x: skips the modexp
+     (~500µs each), which dominates simulator creation at 10^6 devices.
+     The pk parses, fingerprints and range-checks like a real key, but
+     decryption under it fails — callers must never run PEnc exchanges
+     against these keys (the mixnet gates this behind
+     [fast_keys && fast_setup]). *)
+  let x = Bigint.add (Bigint.random rng (Bigint.sub q Bigint.one)) Bigint.one in
+  let pk = Bigint.add (Bigint.random rng (Bigint.sub p Bigint.one)) Bigint.one in
+  (pk, { x; pk })
+
 let encode_element e =
   let b = Bigint.to_bytes_be e in
   let out = Bytes.make group_bytes '\x00' in

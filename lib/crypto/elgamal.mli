@@ -15,6 +15,14 @@ type private_key
 
 val generate : Mycelium_util.Rng.t -> public_key * private_key
 
+val generate_insecure : Mycelium_util.Rng.t -> public_key * private_key
+(** A keypair whose public half is a uniform group-range element rather
+    than [g^x]: no modular exponentiation, so a million simulated
+    devices can be created in seconds. The key fingerprints and
+    serializes like a real one but cannot decrypt — strictly for
+    simulation paths that never exercise PEnc (the mixnet's
+    [fast_keys], valid only together with [fast_setup]). *)
+
 val encrypt : Mycelium_util.Rng.t -> public_key -> bytes -> bytes
 (** KEM-DEM: g^y || ChaCha20-Poly1305 under H(pk^y). *)
 

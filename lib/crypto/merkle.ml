@@ -7,11 +7,15 @@ type tree = {
 
 type proof = { index : int; leaf_count : int; siblings : bytes list }
 
-let leaf_hash leaf =
+let leaf_prefix = Bytes.make 1 '\x00'
+
+let leaf_hash_sub leaf ~pos ~len =
   let ctx = Sha256.init () in
-  Sha256.update ctx (Bytes.make 1 '\x00');
-  Sha256.update ctx leaf;
+  Sha256.update ctx leaf_prefix;
+  Sha256.update_sub ctx leaf ~pos ~len;
   Sha256.finalize ctx
+
+let leaf_hash leaf = leaf_hash_sub leaf ~pos:0 ~len:(Bytes.length leaf)
 
 let node_hash l r =
   let ctx = Sha256.init () in
@@ -26,12 +30,12 @@ let next_pow2 n =
   let rec go v = if v >= n then v else go (v * 2) in
   go 1
 
-let build leaves =
-  let n = Array.length leaves in
-  if n = 0 then invalid_arg "Merkle.build: no leaves";
+let build_hashed hashes =
+  let n = Array.length hashes in
+  if n = 0 then invalid_arg "Merkle.build_hashed: no leaves";
   let padded = next_pow2 n in
   let layer0 =
-    Array.init padded (fun i -> if i < n then leaf_hash leaves.(i) else empty_hash)
+    Array.init padded (fun i -> if i < n then hashes.(i) else empty_hash)
   in
   let rec build_up acc layer =
     if Array.length layer = 1 then List.rev (layer :: acc)
@@ -45,6 +49,8 @@ let build leaves =
     end
   in
   { levels = Array.of_list (build_up [] layer0); n_leaves = n }
+
+let build leaves = build_hashed (Array.map leaf_hash leaves)
 
 let root t = t.levels.(Array.length t.levels - 1).(0)
 let leaf_count t = t.n_leaves

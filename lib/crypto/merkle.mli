@@ -21,6 +21,12 @@ val build : bytes array -> tree
     leaf layer is padded to a power of two with a distinguished empty
     hash, so the tree shape is a function of [leaf_count] alone. *)
 
+val build_hashed : bytes array -> tree
+(** Build from precomputed {!leaf_hash} values. [build leaves] equals
+    [build_hashed (Array.map leaf_hash leaves)]; callers whose leaves
+    live packed in an arena hash them in place with {!leaf_hash_sub}
+    and build from the hashes, skipping the per-leaf copies. *)
+
 val root : tree -> bytes
 val leaf_count : tree -> int
 val depth : tree -> int
@@ -33,5 +39,9 @@ val verify : root:bytes -> leaf:bytes -> proof -> bool
     direction at level [i] equals bit [i] of [proof.index]. *)
 
 val leaf_hash : bytes -> bytes
+
+val leaf_hash_sub : bytes -> pos:int -> len:int -> bytes
+(** [leaf_hash] of the sub-range [pos, pos+len) without copying. *)
+
 val node_hash : bytes -> bytes -> bytes
 val empty_hash : bytes

@@ -88,30 +88,34 @@ let compress ctx block off =
   h.(6) <- (h.(6) + !g) land mask;
   h.(7) <- (h.(7) + !hh) land mask
 
-let update ctx data =
+let update_sub ctx data ~pos:start ~len =
   if ctx.finished then invalid_arg "Sha256.update: context already finalized";
-  let len = Bytes.length data in
+  if start < 0 || len < 0 || start + len > Bytes.length data then
+    invalid_arg "Sha256.update_sub: range out of bounds";
   ctx.total <- ctx.total + len;
-  let pos = ref 0 in
+  let pos = ref start in
+  let stop = start + len in
   (* Fill a partial block first. *)
   if ctx.buf_len > 0 then begin
     let take = min (64 - ctx.buf_len) len in
-    Bytes.blit data 0 ctx.buf ctx.buf_len take;
+    Bytes.blit data start ctx.buf ctx.buf_len take;
     ctx.buf_len <- ctx.buf_len + take;
-    pos := take;
+    pos := start + take;
     if ctx.buf_len = 64 then begin
       compress ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
-  while len - !pos >= 64 do
+  while stop - !pos >= 64 do
     compress ctx data !pos;
     pos := !pos + 64
   done;
-  if !pos < len then begin
-    Bytes.blit data !pos ctx.buf 0 (len - !pos);
-    ctx.buf_len <- len - !pos
+  if !pos < stop then begin
+    Bytes.blit data !pos ctx.buf 0 (stop - !pos);
+    ctx.buf_len <- stop - !pos
   end
+
+let update ctx data = update_sub ctx data ~pos:0 ~len:(Bytes.length data)
 
 let update_string ctx s = update ctx (Bytes.unsafe_of_string s)
 

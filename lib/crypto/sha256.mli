@@ -18,6 +18,13 @@ type ctx
 
 val init : unit -> ctx
 val update : ctx -> bytes -> unit
+
+val update_sub : ctx -> bytes -> pos:int -> len:int -> unit
+(** Hash a sub-range of [data] without copying it out first; equivalent
+    to [update ctx (Bytes.sub data pos len)]. For arena-packed callers
+    (mixnet mailbox commits) where a per-slot [Bytes.sub] per leaf
+    would dominate the allocation profile. *)
+
 val update_string : ctx -> string -> unit
 val finalize : ctx -> bytes
 (** May be called once per context. *)

@@ -15,6 +15,30 @@ let m_layers_peeled = Obs.Metrics.counter "onion.layers_peeled"
 let m_dummies = Obs.Metrics.counter "mixnet.dummies_uploaded"
 let h_anonymity = Obs.Metrics.histogram "mixnet.anonymity_set"
 
+(* Growable int vector: the simulator's workhorse container.  Reused
+   across rounds so steady-state forwarding allocates no per-slot
+   boxes. *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+  let clear v = v.n <- 0
+  let length v = v.n
+  let get v i = v.a.(i)
+
+  let push v x =
+    if v.n >= Array.length v.a then begin
+      let cap = max 16 (2 * Array.length v.a) in
+      let a = Array.make cap 0 in
+      Array.blit v.a 0 a 0 v.n;
+      v.a <- a
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let to_array v = Array.sub v.a 0 v.n
+end
+
 type config = {
   n_devices : int;
   pseudonyms_per_device : int;
@@ -26,7 +50,10 @@ type config = {
   churn : float;
   payload_bytes : int;
   fast_setup : bool;
+  fast_keys : bool;
   verify_proofs : bool;
+  verify_sample : int;
+  anon_sample : int;
   seed : int64;
 }
 
@@ -42,7 +69,10 @@ let default_config =
     churn = 0.;
     payload_bytes = 64;
     fast_setup = false;
+    fast_keys = false;
     verify_proofs = true;
+    verify_sample = 0;
+    anon_sample = 0;
     seed = 1L;
   }
 
@@ -53,31 +83,18 @@ type device = {
   malicious : bool;
 }
 
-type path = {
-  source : int;  (* device id *)
-  dest : int;  (* pseudonym number *)
-  msg_id : int;  (* logical message; replicas share it *)
-  path_hops : int array;  (* device ids *)
-  keys : bytes array;  (* symmetric key per hop *)
-  mutable dst_key : bytes;
-  link_ids : int64 array;  (* link i carries path id link_ids.(i) *)
-  mutable established : bool;
-}
-
-(* What a forwarder remembers from path setup (§3.4): incoming path id
-   -> key, outgoing path id, next pseudonym, and the stage (how many
-   hops from the source it sits). *)
-type route_entry = { key : bytes; out_id : int64; next_pseudo : int; stage : int }
-
-(* Observer bookkeeping: one record per mailbox slot. *)
-type slot_origin =
-  | Deposited of int  (* source device: round-0 deposits, visible links *)
-  | Forwarded_honest of int * int  (* (device, round): candidates = its downloads *)
-  | Forwarded_malicious of int  (* upstream slot id: mapping known to adversary *)
-  | Dummy_honest of int * int
-  | Dummy_malicious
-
-type slot = { sid : int; link_id : int64; body : bytes }
+(* Observer bookkeeping, one byte tag plus two ints per mailbox slot
+   (the former [slot_origin] variant, unboxed into the slot slab):
+     0  Deposited            a = source device
+     1  Forwarded_honest     a = device, b = C-round
+     2  Forwarded_malicious  a = upstream sid
+     3  Dummy_honest         a = device, b = C-round
+     4  Dummy_malicious *)
+let tag_deposited = 0
+let tag_fwd_honest = 1
+let tag_fwd_malicious = 2
+let tag_dummy_honest = 3
+let tag_dummy_malicious = 4
 
 type t = {
   cfg : config;
@@ -87,14 +104,45 @@ type t = {
   bulletin : Bulletin.t;
   beacon : bytes;
   mutable round : int;
-  mailboxes : slot list array;  (* indexed by pseudonym number *)
-  routes : (int64, route_entry) Hashtbl.t array;  (* per device *)
-  mutable paths : path list;
-  mutable next_sid : int;
+  (* Flat path store: field f of path p lives at p_f.(p); hop pseudonyms
+     at p_hops.(p*k .. p*k+k-1); the k hop keys then the destination AE
+     key packed at key_arena[p*(k+1)*32 ..].  Link i of path p carries
+     id p_base.(p) + i. *)
+  mutable n_paths : int;
+  mutable p_src : int array;
+  mutable p_dst : int array;
+  mutable p_msg : int array;
+  mutable p_hops : int array;
+  mutable p_base : int64 array;
+  mutable key_arena : Bytes.t;
+  (* Per-device forwarding duties, packed (pid lsl 4) lor stage; the
+     key, in/out links and next pseudonym all derive from the path
+     store, so a route entry is one immediate int. *)
+  routes : Ivec.t array;
+  mutable groups_cache : int array array option;
   mutable next_link : int64;
-  (* adversary view *)
-  origins : (int, slot_origin) Hashtbl.t;
-  downloads : (int * int, int list) Hashtbl.t;  (* (device, round) -> sids *)
+  (* Slot slab, reused across query rounds: sids restart at 0 each
+     round and index these arrays.  Bodies live in two ping-pong
+     arenas: the slot allocated as the j-th of its C-round owns bytes
+     [j*body_len, (j+1)*body_len) of the round's arena. *)
+  mutable next_sid : int;
+  mutable cur_base : int;  (* first sid of the C-round held in arena_cur *)
+  mutable body_len : int;
+  mutable s_link : int64 array;
+  mutable s_next : int array;  (* intrusive per-mailbox list, -1 ends *)
+  mutable s_tag : Bytes.t;
+  mutable s_a : int array;
+  mutable s_b : int array;
+  mutable arena_cur : Bytes.t;
+  mutable arena_next : Bytes.t;
+  mailbox_head : int array;  (* pseudonym -> newest sid, -1 empty *)
+  touched : Ivec.t;  (* non-empty mailboxes, tracked at deposit time *)
+  link_index : (int, int) Hashtbl.t;  (* link id -> sid, current C-round *)
+  (* adversary view, reset per query round *)
+  downloads : (int, int array) Hashtbl.t;  (* dev*k + stage-1 -> sids *)
+  mutable delivered_sid : int array;  (* pid -> final-stage sid, -1 none *)
+  scratch : Ivec.t;
+  scratch2 : Ivec.t;
   mutable last_deliveries : (int * int * bytes) list;
   mutable fault_hook : (round:int -> source:int -> dest:int -> copy:int -> bool) option;
 }
@@ -114,7 +162,12 @@ let sk_of t pseudo =
 let create cfg =
   if cfg.n_devices < 2 then invalid_arg "Sim.create: need at least two devices";
   if cfg.hops < 1 then invalid_arg "Sim.create: need at least one hop";
+  if cfg.hops > 15 then invalid_arg "Sim.create: at most 15 hops (packed route encoding)";
   if cfg.pseudonyms_per_device < 1 then invalid_arg "Sim.create: need at least one pseudonym";
+  if cfg.verify_sample < 0 || cfg.anon_sample < 0 then
+    invalid_arg "Sim.create: sampling strides must be non-negative";
+  if cfg.fast_keys && not cfg.fast_setup then
+    invalid_arg "Sim.create: fast_keys requires fast_setup (setup exercises PEnc)";
   let rng = Rng.create cfg.seed in
   let n_mal =
     int_of_float (Float.round (float_of_int cfg.n_devices *. cfg.malicious_fraction))
@@ -123,9 +176,10 @@ let create cfg =
   let mal_set = Hashtbl.create 16 in
   Array.iter (fun i -> Hashtbl.replace mal_set i ()) mal_ids;
   let p_count = cfg.pseudonyms_per_device in
+  let keygen = if cfg.fast_keys then Elgamal.generate_insecure else Elgamal.generate in
   let devices =
     Array.init cfg.n_devices (fun id ->
-        let keys = Array.init p_count (fun _ -> Elgamal.generate rng) in
+        let keys = Array.init p_count (fun _ -> keygen rng) in
         {
           id;
           keys;
@@ -159,13 +213,33 @@ let create cfg =
     bulletin;
     beacon;
     round = 0;
-    mailboxes = Array.make (cfg.n_devices * cfg.pseudonyms_per_device) [];
-    routes = Array.init cfg.n_devices (fun _ -> Hashtbl.create 16);
-    paths = [];
-    next_sid = 0;
+    n_paths = 0;
+    p_src = [||];
+    p_dst = [||];
+    p_msg = [||];
+    p_hops = [||];
+    p_base = [||];
+    key_arena = Bytes.create 0;
+    routes = Array.init cfg.n_devices (fun _ -> Ivec.create ());
+    groups_cache = None;
     next_link = 0L;
-    origins = Hashtbl.create 4096;
+    next_sid = 0;
+    cur_base = 0;
+    body_len = 1;
+    s_link = [||];
+    s_next = [||];
+    s_tag = Bytes.create 0;
+    s_a = [||];
+    s_b = [||];
+    arena_cur = Bytes.create 0;
+    arena_next = Bytes.create 0;
+    mailbox_head = Array.make (cfg.n_devices * p_count) (-1);
+    touched = Ivec.create ();
+    link_index = Hashtbl.create 4096;
     downloads = Hashtbl.create 4096;
+    delivered_sid = [||];
+    scratch = Ivec.create ();
+    scratch2 = Ivec.create ();
     last_deliveries = [];
     fault_hook = None;
   }
@@ -187,12 +261,32 @@ let audit_all t =
     t.devices;
   !ok
 
-let fresh_link t =
-  let v = t.next_link in
-  t.next_link <- Int64.add v 1L;
-  v
-
 let online t _device = not (Rng.bernoulli t.rng t.cfg.churn)
+
+(* ------------------------------------------------------------------ *)
+(* Path store                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let key_off t pid i = ((pid * (t.cfg.hops + 1)) + i) * Onion.layer_key_size
+let hop_key t pid i = Bytes.sub t.key_arena (key_off t pid i) Onion.layer_key_size
+let dest_key t pid = hop_key t pid t.cfg.hops
+
+let ensure_path_capacity t =
+  let k = t.cfg.hops in
+  let cap = Array.length t.p_src in
+  if t.n_paths >= cap then begin
+    let cap' = max 64 (2 * cap) in
+    let grow a = let b = Array.make cap' 0 in Array.blit a 0 b 0 cap; b in
+    t.p_src <- grow t.p_src;
+    t.p_dst <- grow t.p_dst;
+    t.p_msg <- grow t.p_msg;
+    t.p_hops <- (let b = Array.make (cap' * k) 0 in Array.blit t.p_hops 0 b 0 (cap * k); b);
+    t.p_base <- (let b = Array.make cap' 0L in Array.blit t.p_base 0 b 0 cap; b);
+    t.key_arena <-
+      (let b = Bytes.create (cap' * (k + 1) * Onion.layer_key_size) in
+       Bytes.blit t.key_arena 0 b 0 (Bytes.length t.key_arena);
+       b)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Path setup                                                          *)
@@ -214,28 +308,43 @@ let default_targets t =
 (* Run the telescoping extension for one path with real key exchanges.
    Relay delays/drops are sampled per traversed link; a malicious or
    persistently-offline relay during setup surfaces as a failed
-   extension, which the source detects by timeout and reports. *)
+   extension, which the source detects by timeout and reports.
+
+   The candidate path occupies slot [t.n_paths] of the flat store while
+   the handshake runs; only a successful extension commits it (and its
+   route entries).  A failed slot is simply overwritten by the next
+   attempt — but its Rng draws and link ids are consumed either way,
+   exactly as the legacy record-based code behaved. *)
 let establish_path t ~source ~dest ~msg_id =
   let k = t.cfg.hops in
   let hop_pseudos =
     Hopselect.draw_path t.rng ~beacon:t.beacon ~fraction:t.cfg.fraction ~hops:k
       ~total:(Vmap.size t.vmap)
   in
-  let path =
-    {
-      source;
-      dest;
-      msg_id;
-      path_hops = Array.copy hop_pseudos;
-      keys = Array.init k (fun _ -> Rng.bytes t.rng Onion.layer_key_size);
-      dst_key = Rng.bytes t.rng Onion.layer_key_size;
-      link_ids = Array.init (k + 1) (fun _ -> fresh_link t);
-      established = false;
-    }
+  ensure_path_capacity t;
+  let pid = t.n_paths in
+  Array.blit hop_pseudos 0 t.p_hops (pid * k) k;
+  (* One contiguous fill draws the identical stream as k+1 separate
+     32-byte draws: k hop keys, then the destination AE key. *)
+  Rng.fill t.rng t.key_arena ~pos:(key_off t pid 0)
+    ~len:((k + 1) * Onion.layer_key_size);
+  let base = t.next_link in
+  t.next_link <- Int64.add base (Int64.of_int (k + 1));
+  let commit () =
+    t.p_src.(pid) <- source;
+    t.p_dst.(pid) <- dest;
+    t.p_msg.(pid) <- msg_id;
+    t.p_base.(pid) <- base;
+    t.n_paths <- pid + 1;
+    t.groups_cache <- None;
+    for i = 0 to k - 1 do
+      let dev = device_of t hop_pseudos.(i) in
+      Ivec.push t.routes.(dev) ((pid lsl 4) lor (i + 1))
+    done
   in
   if t.cfg.fast_setup then begin
-    path.established <- true;
-    Ok path
+    commit ();
+    Ok pid
   end
   else begin
     let m1_root = Vmap.m1_root t.vmap in
@@ -258,23 +367,24 @@ let establish_path t ~source ~dest ~msg_id =
              — dropping here would only deny themselves observations. *)
           let failed = ref false in
           for j = 0 to i - 2 do
-            let relay = t.devices.(device_of t path.path_hops.(j)) in
-            if (not (online t relay.id)) && not (online t relay.id) then failed := true
+            let relay = device_of t hop_pseudos.(j) in
+            if (not (online t relay)) && not (online t relay) then failed := true
           done;
           !failed
         in
         if relay_failure then Error (`Dropped_at i)
         else begin
-          let looker = if i = 1 then source else path.path_hops.(i - 2) in
+          let looker = if i = 1 then source else hop_pseudos.(i - 2) in
           match lookup_pk looker hop_pseudos.(i - 1) with
           | None -> Error (`Bad_proof i)
           | Some hop_pk ->
             (* PEnc the fresh symmetric key to the hop; the hop decrypts
                and acknowledges. *)
-            let sealed = Elgamal.encrypt t.rng hop_pk path.keys.(i - 1) in
-            let hop_sk = sk_of t path.path_hops.(i - 1) in
+            let key = hop_key t pid (i - 1) in
+            let sealed = Elgamal.encrypt t.rng hop_pk key in
+            let hop_sk = sk_of t hop_pseudos.(i - 1) in
             (match Elgamal.decrypt hop_sk sealed with
-            | Some key when Bytes.equal key path.keys.(i - 1) -> extend (i + 1)
+            | Some k' when Bytes.equal k' key -> extend (i + 1)
             | Some _ | None -> Error (`Bad_crypto i))
         end
       end
@@ -285,30 +395,17 @@ let establish_path t ~source ~dest ~msg_id =
       (* Final step: the last hop looks up the destination's key and the
          source establishes the end-to-end AE key (used for the §3.5
          inner layer). *)
-      match lookup_pk path.path_hops.(k - 1) dest with
+      match lookup_pk hop_pseudos.(k - 1) dest with
       | None -> Error (`Bad_proof (k + 1))
       | Some dst_pk -> (
-        let sealed = Elgamal.encrypt t.rng dst_pk path.dst_key in
+        let dkey = dest_key t pid in
+        let sealed = Elgamal.encrypt t.rng dst_pk dkey in
         match Elgamal.decrypt (sk_of t dest) sealed with
-        | Some key when Bytes.equal key path.dst_key ->
-          path.established <- true;
-          Ok path
+        | Some k' when Bytes.equal k' dkey ->
+          commit ();
+          Ok pid
         | Some _ | None -> Error (`Bad_crypto (k + 1))))
   end
-  |> function
-  | Ok _ when path.established -> Ok path
-  | Ok _ -> Error `Incomplete
-  | Error e -> Error e
-
-let install_routes t path =
-  let k = t.cfg.hops in
-  for i = 0 to k - 1 do
-    let dev = device_of t path.path_hops.(i) in
-    let next_pseudo = if i = k - 1 then path.dest else path.path_hops.(i + 1) in
-    Hashtbl.replace t.routes.(dev)
-      path.link_ids.(i)
-      { key = path.keys.(i); out_id = path.link_ids.(i + 1); next_pseudo; stage = i + 1 }
-  done
 
 let setup_paths ?targets t =
   Obs.span "mixnet.setup" ~attrs:[ ("hops", Obs.Json.Int t.cfg.hops) ] @@ fun () ->
@@ -324,10 +421,7 @@ let setup_paths ?targets t =
           for _replica = 1 to t.cfg.replicas do
             incr requested;
             match establish_path t ~source ~dest ~msg_id with
-            | Ok path ->
-              incr established;
-              install_routes t path;
-              t.paths <- path :: t.paths
+            | Ok _pid -> incr established
             | Error _ ->
               incr failed;
               incr complaints;
@@ -348,6 +442,142 @@ let setup_paths ?targets t =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Mailboxes and C-round commits                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_slab t cap =
+  let cur = Array.length t.s_next in
+  if cap > cur then begin
+    let cap' = max 1024 (max cap (2 * cur)) in
+    t.s_link <- (let b = Array.make cap' 0L in Array.blit t.s_link 0 b 0 cur; b);
+    t.s_next <- (let b = Array.make cap' (-1) in Array.blit t.s_next 0 b 0 cur; b);
+    t.s_a <- (let b = Array.make cap' 0 in Array.blit t.s_a 0 b 0 cur; b);
+    t.s_b <- (let b = Array.make cap' 0 in Array.blit t.s_b 0 b 0 cur; b);
+    t.s_tag <-
+      (let b = Bytes.make cap' '\x00' in
+       Bytes.blit t.s_tag 0 b 0 (Bytes.length t.s_tag);
+       b)
+  end
+
+let ensure_arena_next t len =
+  if Bytes.length t.arena_next < len then begin
+    let len' = max 4096 (max len (2 * Bytes.length t.arena_next)) in
+    let b = Bytes.create len' in
+    (* dummies already written this round must survive the growth *)
+    Bytes.blit t.arena_next 0 b 0 (Bytes.length t.arena_next);
+    t.arena_next <- b
+  end
+
+let swap_arenas t ~new_base =
+  let tmp = t.arena_cur in
+  t.arena_cur <- t.arena_next;
+  t.arena_next <- tmp;
+  t.cur_base <- new_base
+
+(* Deposit slot [sid] (whose body is already in place in the incoming
+   arena) into [pseudo]'s mailbox.  Non-empty mailboxes are tracked
+   incrementally here, so the commit never rescans the mailbox array. *)
+let mailbox_push t ~pseudo ~link sid =
+  if t.mailbox_head.(pseudo) < 0 then Ivec.push t.touched pseudo;
+  t.s_next.(sid) <- t.mailbox_head.(pseudo);
+  t.mailbox_head.(pseudo) <- sid;
+  t.s_link.(sid) <- link;
+  Hashtbl.replace t.link_index (Int64.to_int link) sid;
+  if Obs.enabled () then Obs.Metrics.add m_deposited_bytes t.body_len
+
+let clear_mailboxes t =
+  for i = 0 to Ivec.length t.touched - 1 do
+    t.mailbox_head.(Ivec.get t.touched i) <- -1
+  done;
+  Ivec.clear t.touched;
+  Hashtbl.clear t.link_index
+
+(* O(1) slot lookup by link id, replacing the per-route linear scan of
+   the device's mailbox lists.  Link ids are globally unique and a slot
+   under link l only ever lands in the mailbox of the device holding
+   the route entry for l, so the global index answers exactly the
+   former own-mailbox search.  The [Int64.equal] re-check keeps the
+   comparison typed end to end. *)
+let find_slot t link =
+  match Hashtbl.find_opt t.link_index (Int64.to_int link) with
+  | Some sid when Int64.equal t.s_link.(sid) link -> Some sid
+  | Some _ | None -> None
+
+(* Commit this round's mailboxes to the bulletin (§3.4) and verify
+   inclusion proofs, playing the devices' checks: every non-empty
+   mailbox when [verify_sample <= 1], else a deterministic stride over
+   them.  Tree building is sharded over the pool; each task hashes its
+   mailbox's slots straight out of the body arena. *)
+let commit_round t pool =
+  let nb = Ivec.length t.touched in
+  if nb > 0 then begin
+    let boxes = Ivec.to_array t.touched in
+    Array.sort Int.compare boxes;
+    let verify = t.cfg.verify_proofs in
+    let stride = if verify && t.cfg.verify_sample > 1 then t.cfg.verify_sample else 1 in
+    let arena = t.arena_cur
+    and blen = t.body_len
+    and base = t.cur_base
+    and s_next = t.s_next
+    and head = t.mailbox_head in
+    let jobs =
+      Array.mapi (fun i pseudo -> (pseudo, verify && (stride = 1 || i mod stride = 0))) boxes
+    in
+    let results =
+      Pool.map_array pool
+        (fun (pseudo, sampled) ->
+          let cnt =
+            let c = ref 0 and sid = ref head.(pseudo) in
+            while !sid >= 0 do
+              incr c;
+              sid := s_next.(!sid)
+            done;
+            !c
+          in
+          let hashes = Array.make cnt Merkle.empty_hash in
+          let first_off = ref 0 in
+          let sid = ref head.(pseudo) in
+          for j = 0 to cnt - 1 do
+            let off = (!sid - base) * blen in
+            if j = 0 then first_off := off;
+            hashes.(j) <- Merkle.leaf_hash_sub arena ~pos:off ~len:blen;
+            sid := s_next.(!sid)
+          done;
+          let tree = Merkle.build_hashed hashes in
+          let check =
+            if sampled then Some (Merkle.prove tree 0, Bytes.sub arena !first_off blen)
+            else None
+          in
+          (Merkle.root tree, check))
+        jobs
+    in
+    let round_tree = Merkle.build (Array.map fst results) in
+    ignore
+      (Bulletin.post t.bulletin ~author:"aggregator"
+         (Bytes.cat (Bytes.of_string (Printf.sprintf "round %d " t.round)) (Merkle.root round_tree)));
+    Array.iter
+      (fun (root, check) ->
+        match check with
+        | Some (proof, leaf) ->
+          if not (Merkle.verify ~root ~leaf proof) then
+            failwith "Sim.commit_round: aggregator produced an invalid proof"
+        | None -> ())
+      results
+  end
+
+let record_download t dev ~key =
+  let p = t.cfg.pseudonyms_per_device in
+  Ivec.clear t.scratch2;
+  for j = 0 to p - 1 do
+    let sid = ref t.mailbox_head.((dev * p) + j) in
+    while !sid >= 0 do
+      Ivec.push t.scratch2 !sid;
+      sid := t.s_next.(!sid)
+    done
+  done;
+  Hashtbl.replace t.downloads key (Ivec.to_array t.scratch2)
+
+(* ------------------------------------------------------------------ *)
 (* Forwarding                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -360,309 +590,60 @@ type round_stats = {
   dummies_uploaded : int;
   identified : int;
   anonymity_sets : int array;
+  deposited_bytes : int;
   rounds_used : int;
 }
 
-let fresh_sid t =
-  let v = t.next_sid in
-  t.next_sid <- v + 1;
-  v
+(* Established paths grouped by logical message, in the iteration order
+   of the legacy per-round hash table (same keys, same insertion
+   sequence, so the replay — churn draws, fault-hook consults, stats
+   order — is unchanged).  Paths only change at [setup_paths], so the
+   grouping is cached. *)
+let groups_of t =
+  match t.groups_cache with
+  | Some g -> g
+  | None ->
+    let by_message = Hashtbl.create 256 in
+    for pid = t.n_paths - 1 downto 0 do
+      let m = t.p_msg.(pid) in
+      Hashtbl.replace by_message m
+        (pid :: Option.value ~default:[] (Hashtbl.find_opt by_message m))
+    done;
+    let acc = ref [] in
+    (* lint: allow determinism — unseeded Hashtbl iteration is reproducible
+       for a fixed insertion sequence, and messages are inserted in a fixed
+       order; the group order matches the legacy per-round construction *)
+    Hashtbl.iter (fun _msg pids -> acc := Array.of_list pids :: !acc) by_message;
+    let g = Array.of_list (List.rev !acc) in
+    t.groups_cache <- Some g;
+    g
 
-let deposit t ~pseudo ~link_id ~body ~origin =
-  if Obs.enabled () then Obs.Metrics.add m_deposited_bytes (Bytes.length body);
-  let sid = fresh_sid t in
-  Hashtbl.replace t.origins sid origin;
-  t.mailboxes.(pseudo) <- { sid; link_id; body } :: t.mailboxes.(pseudo);
-  sid
+(* ------------------------------------------------------------------ *)
+(* Adversary analysis                                                  *)
+(* ------------------------------------------------------------------ *)
 
-(* Commit this round's mailboxes to the bulletin (§3.4) and optionally
-   verify one inclusion proof per non-empty mailbox, playing the
-   devices' checks. *)
-let commit_round t =
-  let nonempty =
-    Array.to_seq t.mailboxes
-    |> Seq.filter (fun slots -> slots <> [])
-    |> Seq.map (fun slots -> Array.of_list (List.map (fun s -> s.body) slots))
-    |> Array.of_seq
-  in
-  if Array.length nonempty > 0 then begin
-    let mailbox_trees = Array.map Merkle.build nonempty in
-    let round_tree = Merkle.build (Array.map Merkle.root mailbox_trees) in
-    ignore
-      (Bulletin.post t.bulletin ~author:"aggregator"
-         (Bytes.cat (Bytes.of_string (Printf.sprintf "round %d " t.round)) (Merkle.root round_tree)));
-    if t.cfg.verify_proofs then
-      Array.iteri
-        (fun i tree ->
-          let proof = Merkle.prove tree 0 in
-          if not (Merkle.verify ~root:(Merkle.root tree) ~leaf:nonempty.(i).(0) proof) then
-            failwith "Sim.commit_round: aggregator produced an invalid proof")
-        mailbox_trees
-  end
+(* Candidate-sender sets, scale-aware (DESIGN.md §12): [Full] for
+   "no information", a sorted array while the set stays below the
+   density threshold (~n/64, where the bitset becomes the cheaper
+   representation), a bitset with a cached popcount above it.  At small
+   n everything densifies immediately and the arithmetic matches the
+   former all-bitset code ([Full] behaves as the all-ones set). *)
+type cset = Full | Sparse of int array | Dense of Bytes.t * int
 
-let record_download t dev sids = Hashtbl.replace t.downloads (dev, t.round) sids
+type analysis = {
+  a_messages : int;
+  a_delivered : int;
+  a_lost : int;
+  a_copies_delivered : int;
+  a_copies_lost : int;
+  a_identified : int;
+  a_anon : int array;
+}
 
-let run_query_round_impl t ~payload_of =
+let analyze t ~groups ~query_round ~n =
   let k = t.cfg.hops in
-  let query_round = t.round in
-  let pool = Pool.default () in
-  (* Group established paths by logical message. *)
-  let by_message = Hashtbl.create 256 in
-  List.iter
-    (fun p ->
-      if p.established then
-        Hashtbl.replace by_message p.msg_id
-          (p :: Option.value ~default:[] (Hashtbl.find_opt by_message p.msg_id)))
-    t.paths;
-  (* Round 0: deposits, in three phases so the result never depends on
-     the domain count.  Phase 1 (sequential) makes every Rng draw
-     (sender churn) and fault-hook consult in the original iteration
-     order.  Phase 2 runs the expensive crypto — payload construction,
-     inner AE layer, onion wrapping — on the pool; [payload_of] must be
-     pure (see the mli).  Phase 3 (sequential) deposits the surviving
-     copies in the original order, so sid allocation is unchanged. *)
-  let msg_groups = ref [] in
-  (* lint: allow determinism — unseeded Hashtbl iteration is reproducible
-     for a fixed insertion sequence, and messages are inserted in sid
-     order; phase 3 re-sorts deposits into the original order anyway *)
-  Hashtbl.iter
-    (fun _msg paths ->
-      match paths with
-      | [] -> ()
-      | first :: _ ->
-        if online t first.source then begin
-          let copies =
-            List.mapi
-              (fun copy p ->
-                (* Injected transit loss: the copy vanishes on its first
-                   link (the replicas are the protocol's own redundancy
-                   against exactly this). *)
-                let injected_drop =
-                  match t.fault_hook with
-                  | Some hook -> hook ~round:query_round ~source:p.source ~dest:p.dest ~copy
-                  | None -> false
-                in
-                (p, injected_drop))
-              paths
-          in
-          msg_groups := copies :: !msg_groups
-        end)
-    by_message;
-  let built =
-    Obs.span "mixnet.deposit" @@ fun () ->
-    Pool.map_array pool
-      (fun copies ->
-        match copies with
-        | [] -> []
-        | (first, _) :: _ ->
-          (* Replica copies share one logical payload; each copy seals
-             and wraps it under its own path keys.  The inner layer is
-             computed for dropped copies too: the dummy length probe
-             below must see it, exactly as the sequential code did. *)
-          let payload = payload_of ~source:first.source ~dest:first.dest in
-          List.map
-            (fun (p, dropped) ->
-              let inner = Onion.seal_inner ~key:p.dst_key ~round:query_round payload in
-              let onion =
-                if dropped then None
-                else Some (Onion.wrap ~hop_keys:(Array.to_list p.keys) ~round:query_round inner)
-              in
-              (p, Bytes.length payload, Bytes.length inner, onion))
-            copies)
-      (Array.of_list (List.rev !msg_groups))
-  in
-  let payload_len = ref None in
-  (* Probe one payload for the dummy length. *)
-  let body_len = ref 0 in
-  Array.iter
-    (fun copies ->
-      List.iter
-        (fun (p, plen, inner_len, onion) ->
-          (match !payload_len with
-          | None -> payload_len := Some plen
-          | Some l ->
-            if l <> plen then
-              invalid_arg "Sim.run_query_round_with: payloads must have equal length");
-          if !body_len = 0 then body_len := inner_len;
-          match onion with
-          | None -> ()
-          | Some onion ->
-            ignore
-              (deposit t ~pseudo:p.path_hops.(0) ~link_id:p.link_ids.(0) ~body:onion
-                 ~origin:(Deposited p.source)))
-        copies)
-    built;
-  let body_len = max 1 !body_len in
-  commit_round t;
-  t.round <- t.round + 1;
-  let dummies = ref 0 in
-  (* Rounds 1..k: forwarding. A device fetches all of its pseudonyms'
-     mailboxes. *)
-  for stage = 1 to k do
-    Obs.span "mixnet.stage" ~attrs:[ ("stage", Obs.Json.Int stage) ] @@ fun () ->
-    (* Same three-phase shape as round 0: the sequential pass replays
-       the exact Rng stream (churn draws, mixing shuffles, dummy bodies)
-       and allocates sids in the original shuffled order; only the
-       layer-peeling of honest forwards — pure symmetric crypto — is
-       deferred to the pool and patched back in below. *)
-    let deposits = ref [] in
-    let peel_tasks = ref [] in
-    let n_peel = ref 0 in
-    Array.iteri
-      (fun dev (_ : device) ->
-        let slots =
-          List.concat
-            (List.init t.cfg.pseudonyms_per_device (fun j ->
-                 t.mailboxes.(own_pseudo t dev + j)))
-        in
-        let expected =
-          (* lint: allow determinism — per-device route table, deterministic
-             insertion sequence; fold order is reproducible run to run *)
-          Hashtbl.fold
-            (fun link_id entry acc -> if entry.stage = stage then (link_id, entry) :: acc else acc)
-            t.routes.(dev) []
-        in
-        if expected <> [] then begin
-          let device = t.devices.(dev) in
-          if online t dev then begin
-            record_download t dev (List.map (fun s -> s.sid) slots);
-            (* Process in a random order: the mixing step. *)
-            let expected = Array.of_list expected in
-            Rng.shuffle t.rng expected;
-            Array.iter
-              (fun (link_id, entry) ->
-                let found = List.find_opt (fun s -> s.link_id = link_id) slots in
-                match found with
-                | Some s when not device.malicious ->
-                  let sid = fresh_sid t in
-                  Hashtbl.replace t.origins sid (Forwarded_honest (dev, t.round));
-                  let idx = !n_peel in
-                  incr n_peel;
-                  peel_tasks := (entry.key, s.body) :: !peel_tasks;
-                  deposits := (entry.next_pseudo, entry.out_id, `Peel idx, sid) :: !deposits
-                | Some s ->
-                  (* Byzantine: reveal the mapping to the adversary and
-                     covertly drop, masking with a dummy (§3.5). *)
-                  incr dummies;
-                  let sid = fresh_sid t in
-                  Hashtbl.replace t.origins sid (Forwarded_malicious s.sid);
-                  deposits :=
-                    (entry.next_pseudo, entry.out_id, `Body (Onion.dummy t.rng ~length:body_len), sid)
-                    :: !deposits
-                | None when not device.malicious ->
-                  (* Missing input: cover with a dummy so the traffic
-                     pattern is unchanged (§3.5). *)
-                  incr dummies;
-                  let sid = fresh_sid t in
-                  Hashtbl.replace t.origins sid (Dummy_honest (dev, t.round));
-                  deposits :=
-                    (entry.next_pseudo, entry.out_id, `Body (Onion.dummy t.rng ~length:body_len), sid)
-                    :: !deposits
-                | None ->
-                  incr dummies;
-                  let sid = fresh_sid t in
-                  Hashtbl.replace t.origins sid Dummy_malicious;
-                  deposits :=
-                    (entry.next_pseudo, entry.out_id, `Body (Onion.dummy t.rng ~length:body_len), sid)
-                    :: !deposits)
-              expected
-          end
-        end)
-      t.devices;
-    let peeled =
-      Pool.map_array pool
-        (fun (key, body) -> Onion.peel_layer ~key ~round:query_round body)
-        (Array.of_list (List.rev !peel_tasks))
-    in
-    if Obs.enabled () then Obs.Metrics.add m_layers_peeled (Array.length peeled);
-    (* Clear processed mailboxes, apply deposits. *)
-    Array.iteri (fun i _ -> t.mailboxes.(i) <- []) t.mailboxes;
-    List.iter
-      (fun (pseudo, link_id, body, sid) ->
-        let body = match body with `Body b -> b | `Peel i -> peeled.(i) in
-        if Obs.enabled () then Obs.Metrics.add m_deposited_bytes (Bytes.length body);
-        t.mailboxes.(pseudo) <- { sid; link_id; body } :: t.mailboxes.(pseudo))
-      !deposits;
-    commit_round t;
-    t.round <- t.round + 1
-  done;
-  (* Destinations pick up.  Slot lookup and replica dedup stay
-     sequential in the original message order; the AE open of each
-     found copy runs on the pool. *)
-  let delivered_sids = Hashtbl.create 256 in
-  let deliveries = ref [] in
-  let pickup = ref [] in
-  (* lint: allow determinism — iteration over messages inserted in sid
-     order; delivery is re-sequenced by the sequential deposit phase *)
-  Hashtbl.iter
-    (fun _msg paths ->
-      let entries =
-        List.map
-          (fun p ->
-            let final_link = p.link_ids.(k) in
-            (p, List.find_opt (fun s -> s.link_id = final_link) t.mailboxes.(p.dest)))
-          paths
-      in
-      pickup := entries :: !pickup)
-    by_message;
-  let pickup = List.rev !pickup in
-  let opened =
-    Obs.span "mixnet.pickup" @@ fun () ->
-    Pool.map_array pool
-      (fun (key, body) -> Onion.open_inner ~key ~round:query_round body)
-      (Array.of_list
-         (List.concat_map
-            (List.filter_map (fun (p, slot) ->
-                 Option.map (fun s -> (p.dst_key, s.body)) slot))
-            pickup))
-  in
-  let next_open = ref 0 in
-  List.iter
-    (fun entries ->
-      let got_one = ref false in
-      List.iter
-        (fun ((p : path), slot) ->
-          match slot with
-          | None -> ()
-          | Some s -> (
-            let result = opened.(!next_open) in
-            incr next_open;
-            match result with
-            | Some body ->
-              Hashtbl.replace delivered_sids p.link_ids.(k) s.sid;
-              (* The destination deduplicates replica copies. *)
-              if not !got_one then begin
-                got_one := true;
-                deliveries := (p.source, p.dest, body) :: !deliveries
-              end
-            | None -> ()))
-        entries)
-    pickup;
-  Array.iteri (fun i _ -> t.mailboxes.(i) <- []) t.mailboxes;
-  t.last_deliveries <- !deliveries;
-  (* ---- adversary analysis ---- *)
-  let n = t.cfg.n_devices in
+  let dense_threshold = max 8 (n / 64) in
   let set_bytes = (n + 7) / 8 in
-  let memo = Hashtbl.create 1024 in
-  let singleton i =
-    let b = Bytes.make set_bytes '\x00' in
-    Bytes.set_uint8 b (i / 8) (1 lsl (i mod 8));
-    b
-  in
-  let union a b =
-    let out = Bytes.create set_bytes in
-    for i = 0 to set_bytes - 1 do
-      Bytes.set_uint8 out i (Bytes.get_uint8 a i lor Bytes.get_uint8 b i)
-    done;
-    out
-  in
-  let inter a b =
-    let out = Bytes.create set_bytes in
-    for i = 0 to set_bytes - 1 do
-      Bytes.set_uint8 out i (Bytes.get_uint8 a i land Bytes.get_uint8 b i)
-    done;
-    out
-  in
   let popcount b =
     let c = ref 0 in
     for i = 0 to set_bytes - 1 do
@@ -674,75 +655,499 @@ let run_query_round_impl t ~payload_of =
     done;
     !c
   in
-  let full =
-    let b = Bytes.make set_bytes '\xff' in
-    b
+  let set_bit b x =
+    Bytes.set_uint8 b (x / 8) (Bytes.get_uint8 b (x / 8) lor (1 lsl (x mod 8)))
   in
-  let rec candidates sid =
-    match Hashtbl.find_opt memo sid with
+  let mem_set s x =
+    match s with
+    | Full -> true
+    | Dense (b, _) -> Bytes.get_uint8 b (x / 8) land (1 lsl (x mod 8)) <> 0
+    | Sparse a ->
+      let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref false in
+      while (not !found) && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        if a.(mid) = x then found := true
+        else if a.(mid) < x then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+  in
+  let of_sorted a =
+    if Array.length a >= dense_threshold then begin
+      let b = Bytes.make set_bytes '\x00' in
+      Array.iter (set_bit b) a;
+      Dense (b, Array.length a)
+    end
+    else Sparse a
+  in
+  let sort_dedup a =
+    Array.sort Int.compare a;
+    let m = ref 0 in
+    Array.iteri
+      (fun i x ->
+        if i = 0 || x <> a.(!m - 1) then begin
+          a.(!m) <- x;
+          incr m
+        end)
+      a;
+    Array.sub a 0 !m
+  in
+  let union_list sets =
+    if Array.exists (fun s -> match s with Full -> true | _ -> false) sets then Full
+    else if Array.for_all (fun s -> match s with Sparse _ -> true | _ -> false) sets
+    then begin
+      let total =
+        Array.fold_left
+          (fun acc s -> match s with Sparse a -> acc + Array.length a | _ -> acc)
+          0 sets
+      in
+      let buf = Array.make (max 1 total) 0 in
+      let pos = ref 0 in
+      Array.iter
+        (function
+          | Sparse a ->
+            Array.blit a 0 buf !pos (Array.length a);
+            pos := !pos + Array.length a
+          | _ -> ())
+        sets;
+      of_sorted (sort_dedup (Array.sub buf 0 total))
+    end
+    else begin
+      let b = Bytes.make set_bytes '\x00' in
+      Array.iter
+        (function
+          | Sparse a -> Array.iter (set_bit b) a
+          | Dense (d, _) ->
+            for i = 0 to set_bytes - 1 do
+              Bytes.set_uint8 b i (Bytes.get_uint8 b i lor Bytes.get_uint8 d i)
+            done
+          | Full -> ())
+        sets;
+      Dense (b, popcount b)
+    end
+  in
+  let sparse_filter a other =
+    let buf = Array.make (max 1 (Array.length a)) 0 in
+    let m = ref 0 in
+    Array.iter
+      (fun x ->
+        if mem_set other x then begin
+          buf.(!m) <- x;
+          incr m
+        end)
+      a;
+    Sparse (Array.sub buf 0 !m)
+  in
+  let inter2 a b =
+    match (a, b) with
+    | Full, x | x, Full -> x
+    | Sparse sa, other -> sparse_filter sa other
+    | other, Sparse sb -> sparse_filter sb other
+    | Dense (da, _), Dense (db, _) ->
+      let c = Bytes.create set_bytes in
+      for i = 0 to set_bytes - 1 do
+        Bytes.set_uint8 c i (Bytes.get_uint8 da i land Bytes.get_uint8 db i)
+      done;
+      Dense (c, popcount c)
+  in
+  let size_set = function Full -> n | Sparse a -> Array.length a | Dense (_, pc) -> pc in
+  (* Backward closure (§6.3).  Memoized per (device, C-round): the
+     candidates of every slot a device re-uploaded in round r depend
+     only on its round-r download set, not on the slot.  The recursion
+     terminates without a cycle-break: a malicious forward points at a
+     strictly earlier sid, and a download set only contains sids from
+     strictly earlier C-rounds. *)
+  let memo = Hashtbl.create 1024 in
+  let rec cand_sid sid =
+    match Bytes.get_uint8 t.s_tag sid with
+    | 0 (* Deposited *) -> Sparse [| t.s_a.(sid) |]
+    | 2 (* Forwarded_malicious *) -> cand_sid t.s_a.(sid)
+    | 1 | 3 (* Forwarded_honest / Dummy_honest *) ->
+      let off = t.s_b.(sid) - query_round - 1 in
+      if off < 0 || off >= k then Full else dev_round ((t.s_a.(sid) * k) + off)
+    | _ (* Dummy_malicious *) -> Full
+  and dev_round key =
+    match Hashtbl.find_opt memo key with
     | Some v -> v
     | None ->
-      Hashtbl.replace memo sid full (* break cycles conservatively *);
       let v =
-        match Hashtbl.find_opt t.origins sid with
-        | Some (Deposited src) -> singleton src
-        | Some (Forwarded_malicious upstream) -> candidates upstream
-        | Some (Forwarded_honest (dev, round)) | Some (Dummy_honest (dev, round)) -> (
-          match Hashtbl.find_opt t.downloads (dev, round) with
-          | Some sids ->
-            List.fold_left
-              (fun acc s -> union acc (candidates s))
-              (Bytes.make set_bytes '\x00')
-              sids
-          | None -> full)
-        | Some Dummy_malicious | None -> full
+        match Hashtbl.find_opt t.downloads key with
+        | Some sids -> union_list (Array.map cand_sid sids)
+        | None -> Full
       in
-      Hashtbl.replace memo sid v;
+      Hashtbl.replace memo key v;
       v
   in
   (* Per logical message: delivery, anonymity, identification. *)
   let messages_sent = ref 0 and delivered = ref 0 and lost = ref 0 in
   let copies_delivered = ref 0 and copies_lost = ref 0 and identified = ref 0 in
   let anon = ref [] in
-  (* lint: allow determinism — per-message counters commute; the anon list
-     is only consumed through its sorted summary statistics *)
-  Hashtbl.iter
-    (fun _msg paths ->
+  let anon_stride = max 1 t.cfg.anon_sample in
+  Array.iter
+    (fun pids ->
       incr messages_sent;
-      let arrived =
-        List.filter_map (fun p -> Hashtbl.find_opt delivered_sids p.link_ids.(k)) paths
-      in
-      copies_delivered := !copies_delivered + List.length arrived;
-      copies_lost := !copies_lost + List.length paths - List.length arrived;
-      if arrived = [] then incr lost
+      let n_arrived = ref 0 in
+      Array.iter (fun pid -> if t.delivered_sid.(pid) >= 0 then incr n_arrived) pids;
+      copies_delivered := !copies_delivered + !n_arrived;
+      copies_lost := !copies_lost + Array.length pids - !n_arrived;
+      if !n_arrived = 0 then incr lost
       else begin
-        incr delivered;
         (* Replica intersection (§6.3): the adversary links the copies
-           and intersects their candidate sets. *)
-        let sets = List.map candidates arrived in
-        let inter_set = List.fold_left inter full sets in
-        anon := min n (popcount inter_set) :: !anon
+           and intersects their candidate sets.  With [anon_sample > 1]
+           only every stride-th delivered message is closed over; the
+           delivery and identification accounting still covers all. *)
+        if !delivered mod anon_stride = 0 then begin
+          let acc = ref Full in
+          Array.iter
+            (fun pid ->
+              let sid = t.delivered_sid.(pid) in
+              if sid >= 0 then acc := inter2 !acc (cand_sid sid))
+            pids;
+          anon := min n (size_set !acc) :: !anon
+        end;
+        incr delivered
       end;
       (* Full identification: a replica path made of malicious hops. *)
       let fully_malicious =
-        List.exists
-          (fun p -> Array.for_all (fun h -> t.devices.(device_of t h).malicious) p.path_hops)
-          paths
+        Array.exists
+          (fun pid ->
+            let all = ref true in
+            for i = 0 to k - 1 do
+              if not t.devices.(device_of t t.p_hops.((pid * k) + i)).malicious then
+                all := false
+            done;
+            !all)
+          pids
       in
       if fully_malicious then incr identified)
-    by_message;
-  (* Account for the response direction too: a query round is 2k+2
-     C-rounds in total; we simulated the outbound k+1. *)
+    groups;
+  {
+    a_messages = !messages_sent;
+    a_delivered = !delivered;
+    a_lost = !lost;
+    a_copies_delivered = !copies_delivered;
+    a_copies_lost = !copies_lost;
+    a_identified = !identified;
+    a_anon = Array.of_list !anon;
+  }
+
+let run_query_round_impl t ~payload_of =
+  let k = t.cfg.hops in
+  let query_round = t.round in
+  let pool = Pool.default () in
+  let ksz = Onion.layer_key_size in
+  let groups = groups_of t in
+  let ng = Array.length groups in
+  (* Per-query-round lifecycle: sids restart at 0, the observer tables
+     are emptied, delivery marks reset.  The slab, arenas and download
+     table keep their high-water capacity, so repeated rounds reach a
+     fixed footprint instead of growing without bound. *)
+  t.next_sid <- 0;
+  t.cur_base <- 0;
+  Hashtbl.clear t.downloads;
+  if Array.length t.delivered_sid < t.n_paths then
+    t.delivered_sid <- Array.make (max 1 t.n_paths) (-1)
+  else Array.fill t.delivered_sid 0 (Array.length t.delivered_sid) (-1);
+  clear_mailboxes t;
+  let deposits_count = ref 0 in
+  (* ---- Round 0: deposits ----
+     Three phases, so the result never depends on the domain count.
+     Phase 1 (sequential) makes every Rng draw (sender churn) and
+     fault-hook consult in the original iteration order and lays out
+     the arena.  Phase 2 runs the expensive crypto — payload
+     construction, inner AE layer, onion wrapping — on the pool,
+     each task writing its copies' disjoint arena ranges; [payload_of]
+     must be pure (see the mli).  Phase 3 (sequential) links the slots
+     into the mailboxes in the original order. *)
+  let g_online = Array.make (max 1 ng) false in
+  let g_offs = Array.make (max 1 ng) [||] in  (* per-copy slot index, -1 dropped *)
+  let dep_pid = Ivec.create () in
+  Array.iteri
+    (fun gi pids ->
+      let p0 = pids.(0) in
+      if online t (t.p_src.(p0)) then begin
+        g_online.(gi) <- true;
+        let offs = Array.make (Array.length pids) (-1) in
+        Array.iteri
+          (fun copy pid ->
+            (* Injected transit loss: the copy vanishes on its first
+               link (the replicas are the protocol's own redundancy
+               against exactly this). *)
+            let injected_drop =
+              match t.fault_hook with
+              | Some hook ->
+                hook ~round:query_round ~source:(t.p_src.(pid)) ~dest:(t.p_dst.(pid)) ~copy
+              | None -> false
+            in
+            if not injected_drop then begin
+              offs.(copy) <- Ivec.length dep_pid;
+              Ivec.push dep_pid pid
+            end)
+          pids;
+        g_offs.(gi) <- offs
+      end)
+    groups;
+  (* Probe the first sending group's payload once for the slot length;
+     every slot of a round shares it, so arena offsets are just
+     slot * body_len. *)
+  let probe_plen =
+    let r = ref (-1) and gi = ref 0 in
+    while !r < 0 && !gi < ng do
+      if g_online.(!gi) then begin
+        let p0 = groups.(!gi).(0) in
+        r := Bytes.length (payload_of ~source:(t.p_src.(p0)) ~dest:(t.p_dst.(p0)))
+      end;
+      incr gi
+    done;
+    !r
+  in
+  t.body_len <- (if probe_plen < 0 then 1 else probe_plen + Onion.inner_overhead);
+  let n_dep = Ivec.length dep_pid in
+  (* Capacity planning from the (round-invariant) path and route
+     tables rather than this round's churn-dependent deposit counts:
+     the slab and arenas hit their high-water marks in the first
+     query round and [footprint] stays flat thereafter.  Stage [s]
+     can deposit at most one slot per route entry tagged [s]. *)
+  let stage_counts = Array.make (k + 1) 0 in
+  Array.iter
+    (fun rv ->
+      for i = 0 to Ivec.length rv - 1 do
+        let s = Ivec.get rv i land 0xF in
+        stage_counts.(s) <- stage_counts.(s) + 1
+      done)
+    t.routes;
+  ensure_slab t (t.n_paths + Array.fold_left ( + ) 0 stage_counts);
+  ensure_arena_next t (t.n_paths * t.body_len);
+  for i = 0 to n_dep - 1 do
+    Bytes.set_uint8 t.s_tag i tag_deposited;
+    t.s_a.(i) <- t.p_src.(Ivec.get dep_pid i)
+  done;
+  t.next_sid <- n_dep;
+  let wrap_tasks =
+    let acc = ref [] in
+    Array.iteri
+      (fun gi pids -> if g_online.(gi) then acc := (pids, g_offs.(gi)) :: !acc)
+      groups;
+    Array.of_list (List.rev !acc)
+  in
+  let blen = t.body_len
+  and arena_out = t.arena_next
+  and karena = t.key_arena
+  and p_src = t.p_src
+  and p_dst = t.p_dst in
+  let wrap_res =
+    Obs.span "mixnet.deposit" @@ fun () ->
+    Pool.map_array pool
+      (fun (pids, offs) ->
+        let p0 = pids.(0) in
+        let payload = payload_of ~source:p_src.(p0) ~dest:p_dst.(p0) in
+        let plen = Bytes.length payload in
+        (* Guard the arena: a task whose payload length disagrees with
+           the probe writes nothing; the merge raises. *)
+        if plen <> probe_plen then plen
+        else begin
+          Array.iteri
+            (fun copy pid ->
+              let slot = offs.(copy) in
+              if slot >= 0 then begin
+                let koff i = ((pid * (k + 1)) + i) * ksz in
+                let dkey = Bytes.sub karena (koff k) ksz in
+                let inner = Onion.seal_inner ~key:dkey ~round:query_round payload in
+                let hop_keys = Array.init k (fun i -> Bytes.sub karena (koff i) ksz) in
+                Onion.wrap_into ~hop_keys ~round:query_round ~inner ~dst:arena_out
+                  ~dst_pos:(slot * blen)
+              end)
+            pids;
+          plen
+        end)
+      wrap_tasks
+  in
+  Array.iter
+    (fun plen ->
+      if plen <> probe_plen then
+        invalid_arg "Sim.run_query_round_with: payloads must have equal length")
+    wrap_res;
+  swap_arenas t ~new_base:0;
+  for i = 0 to n_dep - 1 do
+    let pid = Ivec.get dep_pid i in
+    mailbox_push t ~pseudo:(t.p_hops.(pid * k)) ~link:(t.p_base.(pid)) i
+  done;
+  deposits_count := n_dep;
+  commit_round t pool;
+  t.round <- t.round + 1;
+  (* ---- Rounds 1..k: forwarding ----
+     Same three-phase shape: the sequential pass replays the exact Rng
+     stream (churn draws, mixing shuffles, dummy bodies) and allocates
+     sids in the original shuffled order; only the layer-peeling of
+     honest forwards — pure symmetric crypto — runs on the pool,
+     straight from the previous round's arena into the next one's. *)
+  let dummies = ref 0 in
+  for stage = 1 to k do
+    Obs.span "mixnet.stage" ~attrs:[ ("stage", Obs.Json.Int stage) ] @@ fun () ->
+    let new_base = t.next_sid in
+    ensure_arena_next t (stage_counts.(stage) * t.body_len);
+    let dep_route = Ivec.create () in  (* deposit order -> packed route *)
+    let peel_pids = Ivec.create () in
+    let peel_srcs = Ivec.create () in
+    let peel_dsts = Ivec.create () in
+    for dev = 0 to t.cfg.n_devices - 1 do
+      Ivec.clear t.scratch;
+      let rv = t.routes.(dev) in
+      for i = 0 to Ivec.length rv - 1 do
+        let e = Ivec.get rv i in
+        if e land 0xF = stage then Ivec.push t.scratch e
+      done;
+      if Ivec.length t.scratch > 0 then begin
+        let malicious = t.devices.(dev).malicious in
+        if online t dev then begin
+          record_download t dev ~key:((dev * k) + (stage - 1));
+          (* Process in a random order: the mixing step. *)
+          let expected = Ivec.to_array t.scratch in
+          Rng.shuffle t.rng expected;
+          Array.iter
+            (fun e ->
+              let pid = e lsr 4 in
+              let in_link = Int64.add t.p_base.(pid) (Int64.of_int (stage - 1)) in
+              let sid = t.next_sid in
+              t.next_sid <- sid + 1;
+              ensure_slab t t.next_sid;
+              let off = (sid - new_base) * t.body_len in
+              ensure_arena_next t (off + t.body_len);
+              (match find_slot t in_link with
+              | Some src_sid when not malicious ->
+                Bytes.set_uint8 t.s_tag sid tag_fwd_honest;
+                t.s_a.(sid) <- dev;
+                t.s_b.(sid) <- t.round;
+                Ivec.push peel_pids pid;
+                Ivec.push peel_srcs src_sid;
+                Ivec.push peel_dsts sid
+              | Some src_sid ->
+                (* Byzantine: reveal the mapping to the adversary and
+                   covertly drop, masking with a dummy (§3.5). *)
+                incr dummies;
+                Bytes.set_uint8 t.s_tag sid tag_fwd_malicious;
+                t.s_a.(sid) <- src_sid;
+                Onion.dummy_into t.rng ~dst:t.arena_next ~dst_pos:off ~length:t.body_len
+              | None ->
+                (* Missing input: cover with a dummy so the traffic
+                   pattern is unchanged (§3.5). *)
+                incr dummies;
+                if malicious then Bytes.set_uint8 t.s_tag sid tag_dummy_malicious
+                else begin
+                  Bytes.set_uint8 t.s_tag sid tag_dummy_honest;
+                  t.s_a.(sid) <- dev;
+                  t.s_b.(sid) <- t.round
+                end;
+                Onion.dummy_into t.rng ~dst:t.arena_next ~dst_pos:off ~length:t.body_len);
+              Ivec.push dep_route e)
+            expected
+        end
+      end
+    done;
+    let n_peel = Ivec.length peel_pids in
+    let peel_jobs =
+      Array.init n_peel (fun i ->
+          (Ivec.get peel_pids i, Ivec.get peel_srcs i, Ivec.get peel_dsts i))
+    in
+    let arena_src = t.arena_cur
+    and arena_dst = t.arena_next
+    and blen = t.body_len
+    and base_src = t.cur_base
+    and karena = t.key_arena
+    and st = stage - 1 in
+    ignore
+      (Pool.map_array pool
+         (fun (pid, src_sid, dst_sid) ->
+           let key = Bytes.sub karena (((pid * (k + 1)) + st) * ksz) ksz in
+           Onion.peel_into ~key ~round:query_round ~src:arena_src
+             ~src_pos:((src_sid - base_src) * blen)
+             ~dst:arena_dst
+             ~dst_pos:((dst_sid - new_base) * blen)
+             blen)
+         peel_jobs);
+    if Obs.enabled () then Obs.Metrics.add m_layers_peeled n_peel;
+    (* Clear processed mailboxes, link the new deposits in. *)
+    clear_mailboxes t;
+    swap_arenas t ~new_base;
+    for i = 0 to Ivec.length dep_route - 1 do
+      let e = Ivec.get dep_route i in
+      let pid = e lsr 4 in
+      let out_link = Int64.add t.p_base.(pid) (Int64.of_int stage) in
+      let next_pseudo =
+        if stage = k then t.p_dst.(pid) else t.p_hops.((pid * k) + stage)
+      in
+      mailbox_push t ~pseudo:next_pseudo ~link:out_link (new_base + i)
+    done;
+    deposits_count := !deposits_count + Ivec.length dep_route;
+    commit_round t pool;
+    t.round <- t.round + 1
+  done;
+  (* ---- Destinations pick up ----
+     Slot lookup and replica dedup stay sequential in the original
+     message order; the AE open of each found copy runs on the pool. *)
+  let final_link pid = Int64.add t.p_base.(pid) (Int64.of_int k) in
+  let open_pids = Ivec.create () and open_sids = Ivec.create () in
+  Array.iter
+    (fun pids ->
+      Array.iter
+        (fun pid ->
+          match find_slot t (final_link pid) with
+          | Some sid ->
+            Ivec.push open_pids pid;
+            Ivec.push open_sids sid
+          | None -> ())
+        pids)
+    groups;
+  let arena_in = t.arena_cur and base_in = t.cur_base and blen = t.body_len in
+  let opened =
+    Obs.span "mixnet.pickup" @@ fun () ->
+    Pool.map_array pool
+      (fun (pid, sid) ->
+        let key = Bytes.sub karena (((pid * (k + 1)) + k) * ksz) ksz in
+        let body = Bytes.sub arena_in ((sid - base_in) * blen) blen in
+        Onion.open_inner ~key ~round:query_round body)
+      (Array.init (Ivec.length open_pids) (fun i ->
+           (Ivec.get open_pids i, Ivec.get open_sids i)))
+  in
+  let deliveries = ref [] in
+  let next_open = ref 0 in
+  Array.iter
+    (fun pids ->
+      let got_one = ref false in
+      Array.iter
+        (fun pid ->
+          match find_slot t (final_link pid) with
+          | None -> ()
+          | Some sid -> (
+            let result = opened.(!next_open) in
+            incr next_open;
+            match result with
+            | Some body ->
+              t.delivered_sid.(pid) <- sid;
+              (* The destination deduplicates replica copies. *)
+              if not !got_one then begin
+                got_one := true;
+                deliveries := (t.p_src.(pid), t.p_dst.(pid), body) :: !deliveries
+              end
+            | None -> ()))
+        pids)
+    groups;
+  clear_mailboxes t;
+  t.last_deliveries <- !deliveries;
+  (* ---- adversary analysis ---- *)
+  let n = t.cfg.n_devices in
+  let stats = analyze t ~groups ~query_round ~n in
   t.round <- t.round + (k + 1);
   {
-    messages_sent = !messages_sent;
-    delivered = !delivered;
-    lost = !lost;
-    copies_delivered = !copies_delivered;
-    copies_lost = !copies_lost;
+    messages_sent = stats.a_messages;
+    delivered = stats.a_delivered;
+    lost = stats.a_lost;
+    copies_delivered = stats.a_copies_delivered;
+    copies_lost = stats.a_copies_lost;
     dummies_uploaded = !dummies;
-    identified = !identified;
-    anonymity_sets = Array.of_list !anon;
+    identified = stats.a_identified;
+    anonymity_sets = stats.a_anon;
+    deposited_bytes = !deposits_count * t.body_len;
     rounds_used = Model.forwarding_rounds ~hops:k;
   }
 
@@ -759,3 +1164,30 @@ let run_query_round t ~payload =
   run_query_round_with t ~payload_of:(fun ~source:_ ~dest:_ -> payload)
 
 let deliveries t = t.last_deliveries
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type footprint = {
+  established_paths : int;
+  route_entries : int;
+  slot_capacity : int;
+  arena_bytes : int;
+  key_bytes : int;
+  download_entries : int;
+  link_index_entries : int;
+  mailboxes_in_use : int;
+}
+
+let footprint t =
+  {
+    established_paths = t.n_paths;
+    route_entries = Array.fold_left (fun acc v -> acc + Ivec.length v) 0 t.routes;
+    slot_capacity = Array.length t.s_next;
+    arena_bytes = Bytes.length t.arena_cur + Bytes.length t.arena_next;
+    key_bytes = Bytes.length t.key_arena;
+    download_entries = Hashtbl.length t.downloads;
+    link_index_entries = Hashtbl.length t.link_index;
+    mailboxes_in_use = Ivec.length t.touched;
+  }

@@ -25,7 +25,12 @@
     public-key cryptography ([fast_setup = false]; C-round accounting
     follows §3.4's k^2+2k), or install the per-hop symmetric keys
     out of band ([fast_setup = true]) for large Monte Carlo runs where
-    only the forwarding phase is being measured. *)
+    only the forwarding phase is being measured.
+
+    Memory model (DESIGN.md §12): mailbox slots live in a flat slab
+    and their bodies in two ping-pong byte arenas reused across
+    C-rounds and query rounds, so a run's footprint is a function of
+    the configured scale, not of how many rounds it has executed. *)
 
 type config = {
   n_devices : int;
@@ -33,7 +38,7 @@ type config = {
       (** P: each device registers this many pseudonyms, numbered
           device-major (device d owns [d*P, (d+1)*P)); the M1/M2 bound
           the §3.3 audits enforce *)
-  hops : int;  (** k *)
+  hops : int;  (** k, at most 15 (packed route encoding) *)
   replicas : int;  (** r *)
   fraction : float;  (** f *)
   degree : int;  (** d: messages per device per query round *)
@@ -41,13 +46,31 @@ type config = {
   churn : float;  (** per-device per-round offline probability *)
   payload_bytes : int;
   fast_setup : bool;
+  fast_keys : bool;
+      (** draw device keypairs without the modular exponentiation;
+          the public keys parse, range-check and fingerprint but cannot
+          decrypt, so this is valid only together with [fast_setup]
+          (enforced by {!create}).  Changes the Rng stream relative to
+          [fast_keys = false]: a new mode, not a replay of the old one. *)
   verify_proofs : bool;  (** devices check mailbox MHT proofs *)
+  verify_sample : int;
+      (** 0 or 1: verify an inclusion proof for every non-empty mailbox
+          each C-round (the historical behaviour).  s > 1: verify a
+          deterministic 1-in-s stride over the non-empty mailboxes,
+          for large-n runs where building every proof dominates.  Never
+          consults the Rng, so it cannot shift any simulated outcome. *)
+  anon_sample : int;
+      (** 0 or 1: compute the §6.3 candidate-set closure for every
+          delivered message.  s > 1: close over every s-th delivered
+          message only ([round_stats.anonymity_sets] then holds the
+          sample); delivery and identification accounting always covers
+          all messages.  Never consults the Rng. *)
   seed : int64;
 }
 
 val default_config : config
 (** Figure 4's parameters at simulable scale: k=3, r=2, f=0.1, d=10,
-    2% malicious, no churn, n=500. *)
+    2% malicious, no churn, n=500; exact verification (no sampling). *)
 
 (* lint: allow interface — the simulator is a mutable world (mailboxes, routes, in-flight messages); structural comparison is meaningless *)
 type t
@@ -95,7 +118,13 @@ type round_stats = {
   copies_lost : int;
   dummies_uploaded : int;
   identified : int;  (** messages with a fully-malicious replica path *)
-  anonymity_sets : int array;  (** per delivered message, from the observer *)
+  anonymity_sets : int array;
+      (** per delivered message, from the observer (a 1-in-[anon_sample]
+          subsample of them when [anon_sample > 1]) *)
+  deposited_bytes : int;
+      (** bytes deposited across the round's C-rounds: every mailbox
+          slot, dummies included, at the round's uniform body length —
+          measured, independent of the Obs counters *)
   rounds_used : int;  (** k+1 C-rounds *)
 }
 
@@ -111,11 +140,31 @@ val run_query_round_with : t -> payload_of:(source:int -> dest:int -> bytes) -> 
     distinguishable; raises [Invalid_argument] otherwise.
 
     [payload_of] must be pure (same bytes for the same pair, no shared
-    mutable state): it is invoked once per logical message from the
-    parallel wrap phase, on an arbitrary pool domain.  Derive any
-    randomness it needs from a pre-split per-pair seed. *)
+    mutable state): it is invoked at least once per logical message
+    from the parallel wrap phase, on an arbitrary pool domain, and one
+    sending pair is probed an extra time sequentially to size the body
+    arena.  Derive any randomness it needs from a pre-split per-pair
+    seed. *)
 
 val deliveries : t -> (int * int * bytes) list
 (** [(source_device, dest_pseudonym, payload)] messages opened by their
     destinations in the last query round; lets callers (the vertex
     program runtime) consume actual message contents. *)
+
+type footprint = {
+  established_paths : int;
+  route_entries : int;  (** forwarding duties across all devices *)
+  slot_capacity : int;  (** slot-slab high-water mark, in slots *)
+  arena_bytes : int;  (** both body arenas *)
+  key_bytes : int;  (** packed per-path symmetric keys *)
+  download_entries : int;  (** observer download records held *)
+  link_index_entries : int;  (** live slots in the C-round link index *)
+  mailboxes_in_use : int;  (** currently non-empty mailboxes *)
+}
+
+val footprint : t -> footprint
+(** Sizes of the simulator's long-lived structures, for the bench
+    memory gate and the leak-regression tests: after any number of
+    query rounds at a fixed configuration, every field must be stable
+    (capacities at their high-water mark, per-round tables emptied or
+    constant). *)

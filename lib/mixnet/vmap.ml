@@ -10,7 +10,9 @@ type t = {
   m1 : Merkle.tree;
   m2 : Merkle.tree;
   m2_payloads : bytes array;
-  by_pseudonym : (string, int) Hashtbl.t;
+  by_pseudonym : (string, int) Hashtbl.t Lazy.t;
+      (* built on first reverse lookup: at 10^6 devices the index costs
+         ~150 MB of string keys, and forwarding-only runs never ask *)
   n_devices : int;
   max_pseudonyms : int;
 }
@@ -56,10 +58,14 @@ let assemble ~max_pseudonyms_per_device leaves =
         encode_m2_payload ~capacity:max_pseudonyms_per_device d (List.rev entries))
       per_device
   in
-  let by_pseudonym = Hashtbl.create (Array.length leaves) in
-  Array.iteri
-    (fun i l -> Hashtbl.replace by_pseudonym (Bytes.to_string l.pseudonym) i)
-    leaves;
+  let by_pseudonym =
+    lazy
+      (let tbl = Hashtbl.create (Array.length leaves) in
+       Array.iteri
+         (fun i l -> Hashtbl.replace tbl (Bytes.to_string l.pseudonym) i)
+         leaves;
+       tbl)
+  in
   {
     leaves;
     m1 = Merkle.build (Array.map encode_m1_leaf leaves);
@@ -122,7 +128,7 @@ let verify_lookup ~m1_root ~index l =
 
 let pub_of_lookup l = Elgamal.pub_of_bytes l.leaf.pk
 
-let index_of_pseudonym t h = Hashtbl.find_opt t.by_pseudonym (Bytes.to_string h)
+let index_of_pseudonym t h = Hashtbl.find_opt (Lazy.force t.by_pseudonym) (Bytes.to_string h)
 
 type m2_lookup = { payload : bytes; proof : Merkle.proof }
 

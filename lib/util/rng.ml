@@ -49,24 +49,28 @@ let float t =
   let v = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float v *. 0x1.0p-53
 
-let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bool t = Int64.equal (Int64.logand (next_int64 t) 1L) 1L
 
 let bernoulli t p = float t < p
 
-let bytes t n =
-  let b = Bytes.create n in
-  let full = n / 8 in
+let fill t b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then invalid_arg "Rng.fill";
+  let full = len / 8 in
   for i = 0 to full - 1 do
-    Bytes.set_int64_le b (i * 8) (next_int64 t)
+    Bytes.set_int64_le b (pos + (i * 8)) (next_int64 t)
   done;
-  let rem = n - (full * 8) in
+  let rem = len - (full * 8) in
   if rem > 0 then begin
     let v = ref (next_int64 t) in
     for i = 0 to rem - 1 do
-      Bytes.set_uint8 b ((full * 8) + i) (Int64.to_int (Int64.logand !v 0xFFL));
+      Bytes.set_uint8 b (pos + (full * 8) + i) (Int64.to_int (Int64.logand !v 0xFFL));
       v := Int64.shift_right_logical !v 8
     done
-  end;
+  end
+
+let bytes t n =
+  let b = Bytes.create n in
+  fill t b ~pos:0 ~len:n;
   b
 
 let shuffle t a =

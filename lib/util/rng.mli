@@ -73,6 +73,12 @@ val bernoulli : t -> float -> bool
 val bytes : t -> int -> bytes
 (** [bytes t n] is [n] fresh pseudo-random bytes. *)
 
+val fill : t -> Bytes.t -> pos:int -> len:int -> unit
+(** [fill t b ~pos ~len] writes [len] fresh pseudo-random bytes into
+    [b] at [pos] — the allocation-free form of {!bytes}: it draws the
+    same stream, so [fill] into a slice and [bytes] of the same length
+    advance the generator identically. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

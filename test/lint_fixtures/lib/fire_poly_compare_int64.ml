@@ -1,0 +1,5 @@
+(* Fixture: boxed-integer comparisons must trip the poly-compare rule. *)
+
+let is_one (x : int64) = x = 1L
+let at_zero (x : int32) = x = Int32.zero
+let masked (x : int64) = Int64.logand x 3L = 0L

@@ -1,0 +1,7 @@
+(* Fixture: the same boxed-integer patterns, suppressed or typed away. *)
+
+(* lint: allow poly-compare — fixture: wire format fixes the representation *)
+let is_one (x : int64) = x = 1L
+
+(* [Int64.to_int] narrows to an immediate, so no suppression is needed. *)
+let narrowed (x : int64) = Int64.to_int x = 1

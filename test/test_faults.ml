@@ -429,6 +429,51 @@ let test_chaos_through_mixnet () =
     (fun v -> checkb "bounded" true (v >= 0. && v <= float_of_int (Cg.population g)))
     r1.Runtime.noisy_bins
 
+let test_mixnet_arena_domains_identical () =
+  (* The arena/sharded forwarding path (DESIGN.md §12) carries the same
+     determinism contract as the query pipeline: a mixnet run with
+     churn, Byzantine forwarders, injected transit drops and sampled
+     verification must produce byte-identical deliveries and stats at
+     1, 2 and 8 domains — the sequential-decide / parallel-compute /
+     sequential-merge split leaves nothing to scheduling. *)
+  let cfg =
+    {
+      Sim.default_config with
+      Sim.n_devices = 120;
+      degree = 2;
+      hops = 3;
+      replicas = 2;
+      churn = 0.05;
+      malicious_fraction = 0.1;
+      fast_setup = true;
+      verify_sample = 3;
+      anon_sample = 2;
+      seed = 4242L;
+    }
+  in
+  let run domains =
+    Pool.with_domains domains (fun () ->
+        let t = Sim.create cfg in
+        ignore (Sim.setup_paths t);
+        Sim.set_fault_hook t
+          (Some
+             (fun ~round ~source ~dest ~copy -> (round + source + dest + copy) mod 7 = 0));
+        let r1 = Sim.run_query_round t ~payload:(Bytes.of_string "chaos-a") in
+        let r2 = Sim.run_query_round t ~payload:(Bytes.of_string "chaos-b") in
+        (r1, r2, Sim.deliveries t))
+  in
+  let a1, a2, del1 = run 1 in
+  checkb "hook dropped copies" true (a1.Sim.copies_lost > 0);
+  List.iter
+    (fun d ->
+      let b1, b2, del = run d in
+      checkb (Printf.sprintf "round-1 stats identical at %d domains" d) true (b1 = a1);
+      checkb (Printf.sprintf "round-2 stats identical at %d domains" d) true (b2 = a2);
+      checkb
+        (Printf.sprintf "deliveries byte-identical at %d domains" d)
+        true (del = del1))
+    [ 2; 8 ]
+
 let test_parallel_domains_identical () =
   (* The determinism contract of the parallel layer, checked where it
      matters most: a chaotic run (drops, churn, forgeries, a committee
@@ -531,6 +576,8 @@ let () =
           Alcotest.test_case "chaos through the mixnet" `Quick test_chaos_through_mixnet;
           Alcotest.test_case "identical across domain counts" `Quick
             test_parallel_domains_identical;
+          Alcotest.test_case "mixnet arena identical across domains" `Quick
+            test_mixnet_arena_domains_identical;
           Alcotest.test_case "no faults, empty report" `Quick test_no_faults_empty_report;
         ] );
     ]

@@ -48,6 +48,15 @@ let test_poly_compare_fires () =
     [ ("poly-compare", 5); ("poly-compare", 6); ("poly-compare", 7); ("poly-compare", 8) ]
     (site_list (only "fire_poly_compare.ml" r.violations))
 
+let test_poly_compare_int64_fires () =
+  (* The boxed-integer extension: suffixed literals are no longer
+     immediate, and Int64/Int32 constants and application results are
+     evidently structured. *)
+  let r = Lazy.force lib_report in
+  Alcotest.check sites "poly-compare int64 sites"
+    [ ("poly-compare", 3); ("poly-compare", 4); ("poly-compare", 5) ]
+    (site_list (only "fire_poly_compare_int64.ml" r.violations))
+
 let test_determinism_fires () =
   let r = Lazy.force lib_report in
   Alcotest.check sites "determinism sites"
@@ -102,8 +111,9 @@ let test_suppressions_silence () =
     (fun file ->
       Alcotest.check sites (file ^ " has no live violations") []
         (site_list (only file r.violations)))
-    [ "suppressed_poly_compare.ml"; "suppressed_determinism.ml";
-      "suppressed_rng_capture.ml"; "suppressed_interface.mli" ];
+    [ "suppressed_poly_compare.ml"; "suppressed_poly_compare_int64.ml";
+      "suppressed_determinism.ml"; "suppressed_rng_capture.ml";
+      "suppressed_interface.mli" ];
   Alcotest.check sites "suppressed_obs_guard.ml has no live violations" []
     (site_list (only "suppressed_obs_guard.ml" h.violations));
   Alcotest.check sites "suppressed_obs_guard_ba.ml has no live violations" []
@@ -116,6 +126,9 @@ let test_suppressions_are_counted () =
   Alcotest.check sites "poly-compare suppressions recorded"
     [ ("poly-compare", 6); ("poly-compare", 8) ]
     (site_list (only "suppressed_poly_compare.ml" r.suppressed));
+  Alcotest.check sites "poly-compare int64 suppression recorded"
+    [ ("poly-compare", 4) ]
+    (site_list (only "suppressed_poly_compare_int64.ml" r.suppressed));
   Alcotest.check sites "determinism suppression recorded"
     [ ("determinism", 4) ]
     (site_list (only "suppressed_determinism.ml" r.suppressed));
@@ -250,6 +263,7 @@ let () =
       ( "rules-fire",
         [
           Alcotest.test_case "poly-compare" `Quick test_poly_compare_fires;
+          Alcotest.test_case "poly-compare-int64" `Quick test_poly_compare_int64_fires;
           Alcotest.test_case "determinism" `Quick test_determinism_fires;
           Alcotest.test_case "rng-capture" `Quick test_rng_capture_fires;
           Alcotest.test_case "interface" `Quick test_interface_fires;

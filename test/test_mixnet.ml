@@ -486,6 +486,91 @@ let test_sim_repeated_rounds () =
     checkb "anonymity does not erode" true (m2 >= m1 *. 0.9 && m3 >= m1 *. 0.9)
   | _ -> Alcotest.fail "expected three rounds"
 
+let test_sim_footprint_stable () =
+  (* Leak regression: [run_query_round] owns a per-round lifecycle —
+     slot ids, origin tags, downloads and mailboxes all reset — so the
+     simulator's long-lived structures stop growing once the slot slab
+     and arenas reach their high-water mark in round one.  With zero
+     churn the rounds are also deterministically identical, so the
+     per-round stats must repeat exactly. *)
+  let t =
+    Sim.create
+      {
+        small_cfg with
+        Sim.malicious_fraction = 0.1;
+        churn = 0.;
+        fast_setup = true;
+        seed = 21L;
+      }
+  in
+  ignore (Sim.setup_paths t);
+  let run i = Sim.run_query_round t ~payload:(Bytes.of_string (string_of_int i)) in
+  let r1 = run 1 in
+  let f1 = Sim.footprint t in
+  let r2 = run 2 in
+  let r3 = run 3 in
+  let r4 = run 4 in
+  let r5 = run 5 in
+  ignore r2;
+  ignore r3;
+  ignore r4;
+  let f5 = Sim.footprint t in
+  checki "paths stable" f1.Sim.established_paths f5.Sim.established_paths;
+  checki "route entries stable" f1.Sim.route_entries f5.Sim.route_entries;
+  checki "slot slab at high-water mark" f1.Sim.slot_capacity f5.Sim.slot_capacity;
+  checki "arenas at high-water mark" f1.Sim.arena_bytes f5.Sim.arena_bytes;
+  checki "key arena stable" f1.Sim.key_bytes f5.Sim.key_bytes;
+  checki "downloads bounded per round" f1.Sim.download_entries f5.Sim.download_entries;
+  checki "link index drained" 0 f5.Sim.link_index_entries;
+  checki "mailboxes drained" 0 f5.Sim.mailboxes_in_use;
+  (* Churn-free rounds replay exactly: any drift here means per-round
+     state leaked into the next round's decisions. *)
+  checki "delivered stable" r1.Sim.delivered r5.Sim.delivered;
+  checki "dummies stable" r1.Sim.dummies_uploaded r5.Sim.dummies_uploaded;
+  checki "deposited bytes stable" r1.Sim.deposited_bytes r5.Sim.deposited_bytes
+
+let test_sim_acceptance_100k () =
+  (* ISSUE.md acceptance cell: a 10^5-device, 2-query-round run under
+     a fixed heap bound.  [fast_keys] swaps key generation for the
+     insecure-but-fast variant (538µs -> ~0 per path) and sampling
+     caps the observer's verification and anonymity work; the Gc
+     ceiling below is the documented "memory-bounded streaming" claim
+     at this scale (see DESIGN.md §12). *)
+  let n = 100_000 in
+  let t =
+    Sim.create
+      {
+        Sim.default_config with
+        Sim.n_devices = n;
+        degree = 1;
+        hops = 3;
+        replicas = 2;
+        churn = 0.01;
+        malicious_fraction = 0.02;
+        fraction = 0.1;
+        fast_setup = true;
+        fast_keys = true;
+        verify_sample = 101;
+        anon_sample = 13;
+        seed = 7L;
+      }
+  in
+  let s = Sim.setup_paths t in
+  checkb "most paths established" true (s.Sim.paths_established > s.Sim.paths_requested * 9 / 10);
+  let r1 = Sim.run_query_round t ~payload:(Bytes.of_string "acceptance-1") in
+  let f1 = Sim.footprint t in
+  let r2 = Sim.run_query_round t ~payload:(Bytes.of_string "acceptance-2") in
+  let f2 = Sim.footprint t in
+  checkb "round 1 delivers" true (r1.Sim.delivered > r1.Sim.messages_sent * 9 / 10);
+  checkb "round 2 delivers" true (r2.Sim.delivered > r2.Sim.messages_sent * 9 / 10);
+  checki "slot slab stable across rounds" f1.Sim.slot_capacity f2.Sim.slot_capacity;
+  checki "arenas stable across rounds" f1.Sim.arena_bytes f2.Sim.arena_bytes;
+  let heap_bytes = (Gc.stat ()).Gc.top_heap_words * (Sys.word_size / 8) in
+  checkb
+    (Printf.sprintf "top heap %d MB under 2 GB budget" (heap_bytes / (1024 * 1024)))
+    true
+    (heap_bytes < 2 * 1024 * 1024 * 1024)
+
 let test_sim_rounds_advance_clock () =
   let t = Sim.create { small_cfg with Sim.fast_setup = true } in
   ignore (Sim.setup_paths t);
@@ -564,5 +649,7 @@ let () =
           Alcotest.test_case "repeated rounds keep anonymity" `Quick test_sim_repeated_rounds;
           Alcotest.test_case "rounds advance the clock" `Quick test_sim_rounds_advance_clock;
           Alcotest.test_case "explicit targets" `Quick test_sim_explicit_targets;
+          Alcotest.test_case "footprint stable over rounds" `Quick test_sim_footprint_stable;
+          Alcotest.test_case "100k acceptance under heap bound" `Slow test_sim_acceptance_100k;
         ] );
     ]

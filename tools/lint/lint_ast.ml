@@ -62,10 +62,12 @@ let rec strip e =
    constructors and polymorphic variants (immediate enums), and
    int-returning applications.  Float literals are deliberately NOT
    immediate: [x = 0.0] is a NaN trap and must go through
-   [Float.equal]. *)
+   [Float.equal].  Suffixed integer literals (1L, 0l, 3n) are NOT
+   immediate either: Int64/Int32/Nativeint values are boxed, so
+   [x = 1L] walks structure and belongs to [Int64.equal]. *)
 let rec evidently_immediate e =
   match (strip e).pexp_desc with
-  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_string _) -> true
+  | Pexp_constant (Pconst_integer (_, None) | Pconst_char _ | Pconst_string _) -> true
   | Pexp_construct (_, None) -> true
   | Pexp_variant (_, None) -> true
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
@@ -78,12 +80,21 @@ let rec evidently_immediate e =
 
 (* Operands that evidently carry structure a polymorphic [=] would
    walk: literal records/tuples/arrays, constructors and variants with
-   payloads (covers list cells), float literals, lazy values, closures
-   and the result of an unknown (non-arithmetic) function call. *)
+   payloads (covers list cells), float literals, boxed-integer
+   literals (1L, 0l, 3n) and Int64/Int32/Nativeint module constants,
+   lazy values, closures and the result of an unknown (non-arithmetic)
+   function call. *)
 let evidently_structured e =
   match (strip e).pexp_desc with
   | Pexp_record _ | Pexp_tuple _ | Pexp_array _ -> true
   | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constant (Pconst_integer (_, Some ('l' | 'L' | 'n'))) -> true
+  | Pexp_ident { txt; _ } -> (
+    match norm_path txt with
+    (* a bare module constant like [Int64.zero] on one side of [=]
+       means the comparison is over boxed integers *)
+    | [ ("Int64" | "Int32" | "Nativeint"); _ ] -> true
+    | _ -> false)
   | Pexp_construct (_, Some _) | Pexp_variant (_, Some _) -> true
   | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> true
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
