@@ -306,6 +306,120 @@ let () =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: sampler overhead, recorder throughput, ledger appends    *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR8 instrumentation has three costs worth tracking: the
+   background sampler stealing cycles from the query (measured at off /
+   10ms / 1ms periods on the same end-to-end fixture, with the release
+   checked identical across settings), the flight recorder's lock-free
+   note path, and the ledger's append+flush.  The 1ms overhead and
+   recorder throughput gate against BENCH_pr8.json under --check. *)
+let telemetry_measured = ref None
+
+let () =
+  section "telemetry" (fun () ->
+      let best_of n f =
+        let best = ref infinity and last = ref None in
+        for _ = 1 to n do
+          let s, r = f () in
+          if s < !best then best := s;
+          last := Some r
+        done;
+        (!best, Option.get !last)
+      in
+      let with_sampler period f =
+        match period with
+        | None -> f ()
+        | Some p ->
+          Obs.Sampler.start ~period_s:p ();
+          Fun.protect ~finally:Obs.Sampler.stop f
+      in
+      ignore (time_query None);
+      (* warm *)
+      let off_s, off_r = best_of 3 (fun () -> with_sampler None (fun () -> time_query None)) in
+      let s10_s, s10_r =
+        best_of 3 (fun () -> with_sampler (Some 0.010) (fun () -> time_query None))
+      in
+      let s1_s, s1_r =
+        best_of 3 (fun () -> with_sampler (Some 0.001) (fun () -> time_query None))
+      in
+      if
+        off_r.Runtime.noisy_bins <> s10_r.Runtime.noisy_bins
+        || off_r.Runtime.noisy_bins <> s1_r.Runtime.noisy_bins
+      then failwith "bench telemetry: query result differs with the sampler running";
+      let pct s = (s /. off_s -. 1.0) *. 100.0 in
+      let ticks = Obs.Sampler.tick_count () in
+      (* Recorder throughput: the hot [note] path (fetch_and_add plus a
+         slot write) at a realistic detail size, ring wrapping freely. *)
+      Obs.Recorder.enable ~capacity:4096 ();
+      let n_events = 200_000 in
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to n_events do
+        Obs.Recorder.note ~detail:[ ("round", Int i); ("source", Int 7) ] "bench.event"
+      done;
+      let rec_s = Unix.gettimeofday () -. t0 in
+      let events_per_s = float_of_int n_events /. rec_s in
+      Obs.Recorder.disable ();
+      Obs.Recorder.clear ();
+      (* Ledger append: one realistic record per call, flushed each
+         time (the durability the audit trail promises). *)
+      let path = Filename.temp_file "mycelium_bench_ledger" ".jsonl" in
+      let l = Obs.Ledger.open_ path in
+      let n_rec = 2_000 in
+      let record i =
+        Obj
+          [
+            ("schema", Str "mycelium-ledger/1");
+            ("query", Int i);
+            ("name", Str "bench");
+            ("status", Str "ok");
+            ("charged", Bool true);
+            ("epsilon", Num 0.5);
+            ( "phases",
+              Obj
+                [
+                  ("gather_s", Num 0.0123);
+                  ("aggregate_s", Num 0.0456);
+                  ("summation_s", Num 0.0078);
+                  ("decrypt_s", Num 0.0009);
+                ] );
+            ("budget_spent", Num (0.5 *. float_of_int i));
+          ]
+      in
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to n_rec do
+        Obs.Ledger.append l (record i)
+      done;
+      let led_s = Unix.gettimeofday () -. t0 in
+      Obs.Ledger.close l;
+      Sys.remove path;
+      let append_us = led_s *. 1e6 /. float_of_int n_rec in
+      telemetry_measured := Some (pct s1_s, events_per_s);
+      say "\n";
+      say "=== Telemetry: sampler / flight recorder / audit ledger ===\n";
+      say "  sampler off         %8.2f ms\n" (off_s *. 1e3);
+      say "  sampler @ 10 ms     %8.2f ms  (%+.1f%%)\n" (s10_s *. 1e3) (pct s10_s);
+      say "  sampler @ 1 ms      %8.2f ms  (%+.1f%%, %d ticks total)\n" (s1_s *. 1e3)
+        (pct s1_s) ticks;
+      say "  recorder note       %8.0f ns/event  (%.2f M events/s)\n"
+        (rec_s *. 1e9 /. float_of_int n_events)
+        (events_per_s /. 1e6);
+      say "  ledger append       %8.2f us/record (flushed)\n" append_us;
+      [
+        ("sampler_off_ms", Num (off_s *. 1e3));
+        ("sampler_10ms_ms", Num (s10_s *. 1e3));
+        ("sampler_10ms_overhead_pct", Num (pct s10_s));
+        ("sampler_1ms_ms", Num (s1_s *. 1e3));
+        ("sampler_1ms_overhead_pct", Num (pct s1_s));
+        ("sampler_ticks", Int ticks);
+        ("recorder_events_per_s", Num events_per_s);
+        ("recorder_event_ns", Num (rec_s *. 1e9 /. float_of_int n_events));
+        ("ledger_append_us", Num append_us);
+        ("ledger_records", Int n_rec);
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Ringops: the ring backend, old representation vs new               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1024,4 +1138,60 @@ let () =
         (heap / (1024 * 1024))
         (committed_heap / (1024 * 1024))
         (goodput /. 1e6) (committed_goodput /. 1e6)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* --check: the telemetry gate                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares the telemetry section against the committed BENCH_pr8.json:
+   the 1ms-sampler overhead may drift at most 10 percentage points
+   above the committed figure (the sampler must stay in the noise of a
+   ~100ms query), and the recorder's note throughput must hold 0.2x the
+   committed rate (losing the lock-free path costs an order of
+   magnitude, well past that floor).  Both thresholds are generous to
+   scheduler noise on shared CI hosts. *)
+let () =
+  if check_mode && wants "telemetry" then begin
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check: " ^ s); exit 1) fmt in
+    let ( >>= ) o f = Option.bind o f in
+    let doc =
+      let rec find_root dir =
+        if Sys.file_exists (Filename.concat dir "BENCH_pr8.json") then Some dir
+        else
+          let parent = Filename.dirname dir in
+          if String.equal parent dir then None else find_root parent
+      in
+      match find_root (Sys.getcwd ()) with
+      | None -> fail "BENCH_pr8.json not found upward of %s" (Sys.getcwd ())
+      | Some root ->
+        let path = Filename.concat root "BENCH_pr8.json" in
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (match Json.parse s with
+        | Error e -> fail "BENCH_pr8.json does not parse: %s" e
+        | Ok doc -> doc)
+    in
+    let sec = Json.member "sections" doc >>= Json.member "telemetry" in
+    let committed_pct, committed_rate =
+      match
+        ( sec >>= Json.member "sampler_1ms_overhead_pct",
+          sec >>= Json.member "recorder_events_per_s" )
+      with
+      | Some (Num p), Some (Num r) -> (p, r)
+      | _ -> fail "BENCH_pr8.json telemetry section is missing its gate fields"
+    in
+    match !telemetry_measured with
+    | None -> fail "telemetry section did not run"
+    | Some (pct, rate) ->
+      if pct > committed_pct +. 10.0 then
+        fail "sampler @ 1ms overhead %.1f%% vs %.1f%% committed (> +10 point ceiling)" pct
+          committed_pct;
+      if rate < 0.2 *. committed_rate then
+        fail "recorder throughput %.2f M events/s vs %.2f M committed (< 0.2x floor)"
+          (rate /. 1e6) (committed_rate /. 1e6);
+      say
+        "check: telemetry sampler %.1f%% <= %.1f%%+10, recorder %.2f M/s >= 0.2x %.2f M/s ok\n"
+        pct committed_pct (rate /. 1e6) (committed_rate /. 1e6)
   end

@@ -5,6 +5,7 @@
      dune exec bin/mycelium_cli.exe -- analyze "SELECT ..."
      dune exec bin/mycelium_cli.exe -- run --population 30 --epsilon 1.0 "SELECT ..."
      dune exec bin/mycelium_cli.exe -- corpus
+     dune exec bin/mycelium_cli.exe -- audit ledger.jsonl
 *)
 
 module Rng = Mycelium_util.Rng
@@ -99,7 +100,45 @@ let run_cmd =
              chunks, degradation counters, ...) after the query. Enables the \
              instrumentation; results are identical either way.")
   in
-  let run population degree epsilon seed plaintext trace_file metrics src =
+  let ledger_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append one audit record per query to $(docv) (JSONL; summarize with \
+             $(b,mycelium audit)). Results are identical either way.")
+  in
+  let flight_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder: structured events (spans, fault injections, \
+             retries, decryption fallbacks) are kept in a bounded ring and dumped to \
+             $(docv) when a fault fires or the process exits.")
+  in
+  let prometheus_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prometheus" ] ~docv:"FILE"
+          ~doc:
+            "After the query, write the metrics registry and sampled time series to \
+             $(docv) in Prometheus text exposition format.")
+  in
+  let sample_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-ms" ] ~docv:"MS"
+          ~doc:
+            "Start the background telemetry sampler with a $(docv)-millisecond period \
+             (GC, pool, mixnet and fault-report gauges into fixed-capacity rings).")
+  in
+  let run population degree epsilon seed plaintext trace_file metrics ledger_file
+      flight_file prometheus_file sample_ms src =
     let src = resolve_query src in
     let rng = Rng.create (Int64.of_int seed) in
     let graph =
@@ -120,12 +159,21 @@ let run_cmd =
           0)
     end
     else begin
+      (match flight_file with
+      | Some path ->
+        Obs.Recorder.enable ();
+        Obs.Recorder.arm path
+      | None -> ());
+      (match sample_ms with
+      | Some ms -> Obs.Sampler.start ~period_s:(float_of_int (max 1 ms) /. 1000.) ()
+      | None -> ());
       let sys =
         Runtime.init
           { Runtime.default_config with
             Runtime.params = Params.test_small;
             degree_bound = degree;
-            trace = trace_file <> None || metrics
+            trace = trace_file <> None || metrics || prometheus_file <> None;
+            ledger = ledger_file
           }
           graph
       in
@@ -141,6 +189,21 @@ let run_cmd =
           Printf.printf "(trace: %d spans written to %s)\n" (Obs.span_count ()) path
         | None -> ());
         if metrics then print_string (Obs.metrics_table ());
+        Obs.Sampler.stop ();
+        (match prometheus_file with
+        | Some path ->
+          Obs.write_prometheus path;
+          Printf.printf "(prometheus exposition written to %s)\n" path
+        | None -> ());
+        (match flight_file with
+        | Some path ->
+          Obs.Recorder.flush ();
+          Printf.printf "(flight recorder: %d events, dump at %s)\n"
+            (Obs.Recorder.recorded ()) path
+        | None -> ());
+        (match ledger_file with
+        | Some path -> Printf.printf "(audit ledger appended to %s)\n" path
+        | None -> ());
         0
       | Error (Runtime.Parse_error m) -> Printf.eprintf "parse error: %s\n" m; 1
       | Error (Runtime.Analysis_error m) -> Printf.eprintf "analysis error: %s\n" m; 1
@@ -152,7 +215,45 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ population $ degree $ epsilon $ seed $ plaintext $ trace_file $ metrics
-      $ query_arg)
+      $ ledger_file $ flight_file $ prometheus_file $ sample_ms $ query_arg)
+
+(* --- audit --------------------------------------------------------- *)
+
+let audit_cmd =
+  let doc = "Summarize an audit ledger (per-query privacy spend, written by run --ledger)." in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Ledger JSONL file.")
+  in
+  let run file =
+    match Obs.Ledger.read file with
+    | Error e ->
+      Printf.eprintf "audit: %s: %s\n" file e;
+      1
+    | Ok records ->
+      let s = Obs.Ledger.summarize records in
+      Printf.printf "ledger:            %s\n" file;
+      Printf.printf "queries:           %d (ok %d, rejected %d, errored %d)\n"
+        s.Obs.Ledger.records s.Obs.Ledger.ok s.Obs.Ledger.rejected s.Obs.Ledger.errored;
+      Printf.printf "epsilon spent:     %.6g\n" s.Obs.Ledger.epsilon_spent;
+      if s.Obs.Ledger.uncharged > 0 then
+        Printf.printf "uncharged:         %d (epsilon = infinity, exact release)\n"
+          s.Obs.Ledger.uncharged;
+      (match (s.Obs.Ledger.budget_total, s.Obs.Ledger.budget_remaining) with
+      | Some total, Some remaining ->
+        Printf.printf "budget:            %.6g total, %.6g remaining\n" total remaining
+      | _ -> ());
+      if s.Obs.Ledger.by_name <> [] then begin
+        Printf.printf "per query name:\n";
+        List.iter
+          (fun (name, runs, eps) ->
+            Printf.printf "  %-24s %4d run%s  epsilon %.6g\n" name runs
+              (if runs = 1 then " " else "s")
+              eps)
+          s.Obs.Ledger.by_name
+      end;
+      0
+  in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ file)
 
 (* --- corpus -------------------------------------------------------- *)
 
@@ -170,4 +271,4 @@ let corpus_cmd =
 let () =
   let doc = "Mycelium: large-scale distributed graph queries with differential privacy" in
   let info = Cmd.info "mycelium" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; corpus_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; corpus_cmd; audit_cmd ]))

@@ -10,9 +10,9 @@ module Obs = Mycelium_obs.Obs
    homomorphic multiply (the dominant cost), one span per 64 calls.
    Call sites guard on [Obs.enabled] so the disabled path is a single
    branch with no allocation. *)
-let m_encrypts = Obs.Metrics.counter "bgv.encrypts"
-let m_ct_muls = Obs.Metrics.counter "bgv.ciphertext_muls"
-let m_relins = Obs.Metrics.counter "bgv.relinearizations"
+let m_encrypts = Obs.Metrics.counter Obs.Names.bgv_encrypts
+let m_ct_muls = Obs.Metrics.counter Obs.Names.bgv_ciphertext_muls
+let m_relins = Obs.Metrics.counter Obs.Names.bgv_relinearizations
 let ct_mul_sampler = Obs.sampler ~every:64
 
 type ctx = { p : Params.t; basis : Rns.t; fresh_noise_bits : float }

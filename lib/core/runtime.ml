@@ -42,6 +42,11 @@ type config = {
           process ([MYCELIUM_TRACE=1] also enables it). Never affects
           results: spans and metrics observe the pipeline but do not
           touch its Rng streams or data. *)
+  ledger : string option;
+      (** append one audit record per query to this JSONL file
+          ([MYCELIUM_LEDGER=<path>] overrides; see DESIGN.md §13 for
+          the schema).  Like tracing, the ledger observes the pipeline
+          and never feeds back into results. *)
 }
 
 let default_config =
@@ -59,6 +64,7 @@ let default_config =
     faults = None;
     domains = 1;
     trace = false;
+    ledger = None;
   }
 
 (* Every parallel task derives its own Rng from a fresh per-phase seed
@@ -82,6 +88,8 @@ type t = {
   bulletin : Bulletin.t;
   mixnet : Sim.t option;
   mutable mixnet_ready : bool;
+  ledger : Obs.Ledger.t option;
+  mutable queries_run : int;
 }
 
 let public_key t = t.pk
@@ -141,6 +149,11 @@ let init cfg graph =
     bulletin = Bulletin.create ();
     mixnet;
     mixnet_ready = false;
+    ledger =
+      (match Sys.getenv_opt "MYCELIUM_LEDGER" with
+      | Some p when not (String.equal p "") -> Some (Obs.Ledger.open_ p)
+      | Some _ | None -> Option.map Obs.Ledger.open_ cfg.ledger);
+    queries_run = 0;
   }
 
 type query_error =
@@ -157,7 +170,12 @@ type query_result = {
   discarded_contributions : int;
   origins_included : int;
   committee_generation : int;
+  committee_shares : int;
+      (* decryption shares actually combined for the release *)
   mixnet_losses : int;
+  mixnet_bytes : int;
+      (* bytes deposited at aggregator mailboxes this query (0 over the
+         abstract channel) *)
   c_rounds : int;
       (* communication cost in C-rounds: 2*hops vertex-program rounds,
          each k_mix+1 C-rounds (§3.5, §6.3) *)
@@ -182,7 +200,7 @@ let unpad b =
 
 (* Collect, for every origin, the verified neighbor rows — either over
    the abstract channel or through the mixnet. Returns
-   (rows per origin, discarded count, transit losses). *)
+   (rows per origin, discarded count, transit losses, mixnet bytes). *)
 let gather_rows t inj info =
   let n = Cg.population t.graph in
   let pool = Pool.default () in
@@ -190,7 +208,7 @@ let gather_rows t inj info =
      derived from stable (contributor, destination) coordinates: builds
      can run on any domain in any order with identical output. *)
   let gather_seed = Rng.int64 t.rng in
-  let discarded = ref 0 and losses = ref 0 in
+  let discarded = ref 0 and losses = ref 0 and mix_bytes = ref 0 in
   let build_for rng dest_dev edge =
     if t.byzantine.(dest_dev) then
       (* Over-weighted value with a forged proof (§4.6's attack). *)
@@ -251,7 +269,8 @@ let gather_rows t inj info =
         pad_to frame (Contribution.to_bytes (build_for (task_rng gather_seed source dest) source edge))
       end
     in
-    let (_ : Sim.round_stats) = Sim.run_query_round_with mix ~payload_of in
+    let stats = Sim.run_query_round_with mix ~payload_of in
+    mix_bytes := stats.Sim.deposited_bytes;
     Sim.set_fault_hook mix None;
     let delivered = Array.of_list (Sim.deliveries mix) in
     (* Count expected edge messages that did not arrive. *)
@@ -346,9 +365,28 @@ let gather_rows t inj info =
         let origin, m, edge = tasks.(i) in
         if ok then rows.(origin) <- (m, edge, row) :: rows.(origin) else incr discarded)
       built);
-  (rows, !discarded, !losses)
+  (rows, !discarded, !losses, !mix_bytes)
 
-let run_query_ast ?(epsilon = 1.0) t query =
+(* Wall-clock phase durations and the charge latch for the audit
+   ledger.  Diagnostic only: filled in as the pipeline runs, read once
+   when the ledger record is written, never fed back into results. *)
+type phase_times = {
+  mutable gather_s : float;
+  mutable aggregate_s : float;
+  mutable summation_s : float;
+  mutable decrypt_s : float;
+  mutable charged : bool;
+      (* set exactly when [Dp.budget_charge] succeeds, so the ledger
+         reflects spend even for queries that fail after the charge *)
+}
+
+let timed set f =
+  let t0 = Obs.now_s () in
+  let r = f () in
+  set (Obs.now_s () -. t0);
+  r
+
+let run_query_ast_inner ~epsilon ~ph t query =
   let ( let* ) = Result.bind in
   let* info =
     match Analysis.analyze ~degree_bound:t.cfg.degree_bound query with
@@ -372,7 +410,9 @@ let run_query_ast ?(epsilon = 1.0) t query =
     if epsilon = Float.infinity then Ok ()
     else begin
       match Dp.budget_charge t.budget epsilon with
-      | Ok () -> Ok ()
+      | Ok () ->
+        ph.charged <- true;
+        Ok ()
       | Error (`Exhausted r) -> Error (Budget_exhausted r)
     end
   in
@@ -394,10 +434,13 @@ let run_query_ast ?(epsilon = 1.0) t query =
   (* One injector per query: the plan's decisions are stateless, the
      injector only accumulates the degradation report. *)
   let inj = Injector.create (Option.value t.cfg.faults ~default:Fault_plan.none) in
-  let rows, discarded_rows, mixnet_losses =
-    Obs.span "query.gather"
-      ~attrs:[ ("hops", Obs.Json.Int query.Ast.hops) ]
-      (fun () -> gather_rows t inj info)
+  let rows, discarded_rows, mixnet_losses, mixnet_bytes =
+    timed
+      (fun dt -> ph.gather_s <- dt)
+      (fun () ->
+        Obs.span "query.gather"
+          ~attrs:[ ("hops", Obs.Json.Int query.Ast.hops) ]
+          (fun () -> gather_rows t inj info))
   in
   (* Every origin aggregates its neighborhood and submits; Byzantine
      origins submit garbage with forged transcript proofs. *)
@@ -487,6 +530,7 @@ let run_query_ast ?(epsilon = 1.0) t query =
   let agg_seed = Rng.int64 t.rng in
   let pool = Pool.default () in
   let outcomes =
+    timed (fun dt -> ph.aggregate_s <- dt) @@ fun () ->
     Obs.span "query.aggregate" ~attrs:[ ("origins", Obs.Json.Int n) ] @@ fun () ->
     Pool.init pool n (fun origin ->
         (* lint: allow rng-capture — task_rng is the rng.mli pre-split
@@ -550,9 +594,12 @@ let run_query_ast ?(epsilon = 1.0) t query =
        exactly once; the root goes on the bulletin board. *)
     let leaves = Array.of_list !origin_cts in
     let tree =
-      Obs.span "query.summation"
-        ~attrs:[ ("leaves", Obs.Json.Int (Array.length leaves)) ]
-        (fun () -> Summation_tree.build leaves)
+      timed
+        (fun dt -> ph.summation_s <- dt)
+        (fun () ->
+          Obs.span "query.summation"
+            ~attrs:[ ("leaves", Obs.Json.Int (Array.length leaves)) ]
+            (fun () -> Summation_tree.build leaves))
     in
     ignore (Bulletin.post t.bulletin ~author:"aggregator" (Summation_tree.root_hash tree));
     (* Play one device's audit as a self-check of the commitment. *)
@@ -598,8 +645,12 @@ let run_query_ast ?(epsilon = 1.0) t query =
     in
     if Injector.active inj then Injector.note_excluded_committee inj (List.length excluded);
     (match
-       Obs.span "query.decrypt" (fun () ->
-           Committee.decrypt_and_release ~excluded t.comm t.rng t.ctx ~info ~epsilon linear)
+       timed
+         (fun dt -> ph.decrypt_s <- dt)
+         (fun () ->
+           Obs.span "query.decrypt" (fun () ->
+               Committee.decrypt_and_release ~excluded t.comm t.rng t.ctx ~info ~epsilon
+                 linear))
      with
     | Error e -> Error (Pipeline_error e)
     | Ok release ->
@@ -618,10 +669,117 @@ let run_query_ast ?(epsilon = 1.0) t query =
           discarded_contributions = !discarded;
           origins_included = !origins_included;
           committee_generation = Committee.generation t.comm - 1;
+          committee_shares = Array.length release.Committee.participants;
           mixnet_losses;
+          mixnet_bytes;
           c_rounds = 2 * query.Ast.hops * (mix_hops + 1);
           degradation = Injector.report inj;
         })
+
+let degradation_json (r : Injector.report) =
+  Obs.Json.Obj
+    [
+      ("substituted_contributions", Obs.Json.Int r.Injector.substituted_contributions);
+      ("dropped_messages", Obs.Json.Int r.Injector.dropped_messages);
+      ("delayed_messages", Obs.Json.Int r.Injector.delayed_messages);
+      ("channel_retries", Obs.Json.Int r.Injector.channel_retries);
+      ("backoff_units", Obs.Json.Int r.Injector.backoff_units);
+      ("excluded_committee_members", Obs.Json.Int r.Injector.excluded_committee_members);
+      ("forged_rejected", Obs.Json.Int r.Injector.forged_rejected);
+      ("aggregator_restarts", Obs.Json.Int r.Injector.aggregator_restarts);
+      ("decryption_attempts", Obs.Json.Int r.Injector.decryption_attempts);
+    ]
+
+(* One append-only audit record per query (DESIGN.md §13).  [epsilon]
+   is [Null] unless the budget charge actually happened, so summing the
+   "epsilon" field over a ledger reproduces [Dp.budget_spent] exactly —
+   including queries that failed after the charge.  (It also keeps the
+   encoding total: epsilon = infinity is never charged, and IEEE
+   infinities are not representable in JSON.) *)
+let ledger_entry t ~qid ~query ~epsilon ~ph res =
+  let open Obs.Json in
+  let status, error_kind =
+    match res with
+    | Ok _ -> ("ok", None)
+    | Error (Budget_exhausted _) -> ("rejected", Some "budget_exhausted")
+    | Error (Parse_error _) -> ("error", Some "parse")
+    | Error (Analysis_error _) -> ("error", Some "analysis")
+    | Error (Infeasible _) -> ("error", Some "infeasible")
+    | Error (Pipeline_error _) -> ("error", Some "pipeline")
+  in
+  let accounting_fields =
+    match t.cfg.accounting with
+    | Dp.Basic -> [ ("accounting", Str "basic") ]
+    | Dp.Advanced { delta } -> [ ("accounting", Str "advanced"); ("delta", Num delta) ]
+  in
+  let result_fields =
+    match res with
+    | Ok r ->
+      [
+        ("sensitivity", Num r.info.Analysis.sensitivity);
+        ( "clip",
+          match r.info.Analysis.clip with
+          | Some (lo, hi) -> List [ Num lo; Num hi ]
+          | None -> Null );
+        ("influence_bound", Int r.info.Analysis.influence_bound);
+        ("origins_included", Int r.origins_included);
+        ("discarded_contributions", Int r.discarded_contributions);
+        ("mixnet_bytes", Int r.mixnet_bytes);
+        ("mixnet_losses", Int r.mixnet_losses);
+        ("c_rounds", Int r.c_rounds);
+        ( "committee",
+          Obj
+            [
+              ("size", Int t.cfg.committee_size);
+              ("threshold", Int t.cfg.committee_threshold);
+              ("shares_used", Int r.committee_shares);
+              ("generation", Int r.committee_generation);
+            ] );
+        ("degradation", degradation_json r.degradation);
+      ]
+    | Error _ -> (
+      match error_kind with Some k -> [ ("error", Str k) ] | None -> [])
+  in
+  Obj
+    ([
+       ("schema", Str "mycelium-ledger/1");
+       ("query", Int qid);
+       ("name", Str query.Ast.name);
+       ("hops", Int query.Ast.hops);
+       ("status", Str status);
+       ("charged", Bool ph.charged);
+       ("epsilon", if ph.charged then Num epsilon else Null);
+       ("degree_bound", Int t.cfg.degree_bound);
+     ]
+    @ accounting_fields
+    @ [
+        ( "phases",
+          Obj
+            [
+              ("gather_s", Num ph.gather_s);
+              ("aggregate_s", Num ph.aggregate_s);
+              ("summation_s", Num ph.summation_s);
+              ("decrypt_s", Num ph.decrypt_s);
+            ] );
+      ]
+    @ result_fields
+    @ [
+        ("budget_total", Num t.cfg.epsilon_budget);
+        ("budget_spent", Num (Dp.budget_spent t.budget));
+        ("budget_remaining", Num (Dp.budget_remaining t.budget));
+      ])
+
+let run_query_ast ?(epsilon = 1.0) t query =
+  t.queries_run <- t.queries_run + 1;
+  let qid = t.queries_run in
+  let ph =
+    { gather_s = 0.; aggregate_s = 0.; summation_s = 0.; decrypt_s = 0.; charged = false }
+  in
+  let res = run_query_ast_inner ~epsilon ~ph t query in
+  (match t.ledger with
+  | Some l -> Obs.Ledger.append l (ledger_entry t ~qid ~query ~epsilon ~ph res)
+  | None -> ());
+  res
 
 let run_query ?epsilon t src =
   match Parser.parse src with

@@ -64,6 +64,15 @@ type config = {
           never affects results: query results, DP noise and
           degradation reports are byte-identical with tracing on or
           off. *)
+  ledger : string option;
+      (** append one audit record per executed query — budget charge,
+          clipping and degree bounds, per-phase wall-clock, degradation
+          report, mixnet bytes and committee shares used — to this
+          JSONL file (schema ["mycelium-ledger/1"]; DESIGN.md §13);
+          default [None]. The [MYCELIUM_LEDGER] environment variable
+          overrides it. Summarize with [mycelium audit <file>]. Like
+          tracing, the ledger observes the pipeline and never feeds
+          back into results. *)
 }
 
 val default_config : config
@@ -99,7 +108,14 @@ type query_result = {
   discarded_contributions : int;  (** rows rejected by ZKP checks *)
   origins_included : int;
   committee_generation : int;
+  committee_shares : int;
+      (** decryption shares actually combined for the release (>=
+          threshold + 1; fewer than the committee size when crashed
+          members were excluded) *)
   mixnet_losses : int;  (** rows lost in transit (mixnet mode only) *)
+  mixnet_bytes : int;
+      (** bytes deposited at aggregator mailboxes for this query's
+          round (0 over the abstract channel) *)
   c_rounds : int;
       (** C-rounds the query's communication occupies: 2*hops
           vertex-program rounds of k_mix+1 C-rounds each (§3.5); with

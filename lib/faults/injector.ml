@@ -3,16 +3,21 @@ module Obs = Mycelium_obs.Obs
 (* Every report counter mirrors into the observability registry (same
    names under the [faults.] prefix) so degradation shows up next to
    the tracing/metrics view of a run.  Metric updates are no-ops while
-   tracing is disabled; the report itself is always exact. *)
-let m_substituted = Obs.Metrics.counter "faults.substituted_contributions"
-let m_dropped = Obs.Metrics.counter "faults.dropped_messages"
-let m_delayed = Obs.Metrics.counter "faults.delayed_messages"
-let m_retries = Obs.Metrics.counter "faults.channel_retries"
-let m_backoff = Obs.Metrics.counter "faults.backoff_units"
-let m_excluded = Obs.Metrics.counter "faults.excluded_committee_members"
-let m_forged_rejected = Obs.Metrics.counter "faults.forged_rejected"
-let m_restarts = Obs.Metrics.counter "faults.aggregator_restarts"
-let m_decrypt_attempts = Obs.Metrics.counter "faults.decryption_attempts"
+   tracing is disabled; the report itself is always exact.
+
+   Each injected fault is additionally noted in the flight recorder
+   and [trigger]ed, so an armed recorder turns a chaos failure into a
+   replayable post-mortem dump.  Both calls are one atomic load while
+   the recorder is off. *)
+let m_substituted = Obs.Metrics.counter Obs.Names.faults_substituted_contributions
+let m_dropped = Obs.Metrics.counter Obs.Names.faults_dropped_messages
+let m_delayed = Obs.Metrics.counter Obs.Names.faults_delayed_messages
+let m_retries = Obs.Metrics.counter Obs.Names.faults_channel_retries
+let m_backoff = Obs.Metrics.counter Obs.Names.faults_backoff_units
+let m_excluded = Obs.Metrics.counter Obs.Names.faults_excluded_committee_members
+let m_forged_rejected = Obs.Metrics.counter Obs.Names.faults_forged_rejected
+let m_restarts = Obs.Metrics.counter Obs.Names.faults_aggregator_restarts
+let m_decrypt_attempts = Obs.Metrics.counter Obs.Names.faults_decryption_attempts
 
 type report = {
   substituted_contributions : int;
@@ -52,9 +57,32 @@ let pp_report fmt r =
 
 let report_to_string r = Format.asprintf "%a" pp_report r
 
+(* Note a fault event and signal the recorder's post-mortem latch. *)
+let recorded kind detail =
+  Obs.Recorder.note ~detail kind;
+  Obs.Recorder.trigger ()
+
 type t = { plan : Fault_plan.t; mutable r : report }
 
-let create plan = { plan; r = empty_report }
+let create plan =
+  let t = { plan; r = empty_report } in
+  (* The live injector's exact report is sampled (counters in the
+     metrics registry only move while tracing is on); replacing the
+     source on each [create] keeps it pointed at the current query. *)
+  Obs.Sampler.register_source ~name:"faults" (fun () ->
+      let r = t.r in
+      [
+        (Obs.Names.faults_substituted_contributions, float_of_int r.substituted_contributions);
+        (Obs.Names.faults_dropped_messages, float_of_int r.dropped_messages);
+        (Obs.Names.faults_delayed_messages, float_of_int r.delayed_messages);
+        (Obs.Names.faults_channel_retries, float_of_int r.channel_retries);
+        (Obs.Names.faults_backoff_units, float_of_int r.backoff_units);
+        (Obs.Names.faults_excluded_committee_members, float_of_int r.excluded_committee_members);
+        (Obs.Names.faults_forged_rejected, float_of_int r.forged_rejected);
+        (Obs.Names.faults_aggregator_restarts, float_of_int r.aggregator_restarts);
+        (Obs.Names.faults_decryption_attempts, float_of_int r.decryption_attempts);
+      ]);
+  t
 let plan t = t.plan
 let report t = t.r
 let active t = not (Fault_plan.is_none t.plan)
@@ -76,11 +104,26 @@ let send t ~round ~source ~dest =
           };
         Obs.Metrics.incr m_dropped;
         Obs.Metrics.add m_backoff backoff;
+        recorded "fault.drop"
+          [
+            ("round", Obs.Json.Int round);
+            ("source", Obs.Json.Int source);
+            ("dest", Obs.Json.Int dest);
+            ("attempts", Obs.Json.Int attempt);
+            ("backoff_units", Obs.Json.Int backoff);
+          ];
         false
       end
       else begin
         t.r <- { t.r with channel_retries = t.r.channel_retries + 1 };
         Obs.Metrics.incr m_retries;
+        recorded "fault.retry"
+          [
+            ("round", Obs.Json.Int round);
+            ("source", Obs.Json.Int source);
+            ("dest", Obs.Json.Int dest);
+            ("attempt", Obs.Json.Int attempt);
+          ];
         attempt_send (attempt + 1)
       end
     end
@@ -88,9 +131,18 @@ let send t ~round ~source ~dest =
       let backoff = Fault_plan.backoff_units t.plan ~attempts:attempt in
       t.r <- { t.r with backoff_units = t.r.backoff_units + backoff };
       Obs.Metrics.add m_backoff backoff;
+      if backoff > 0 then
+        recorded "fault.backoff"
+          [ ("round", Obs.Json.Int round); ("units", Obs.Json.Int backoff) ];
       if Fault_plan.send_delay t.plan ~round ~source ~dest > 0 then begin
         t.r <- { t.r with delayed_messages = t.r.delayed_messages + 1 };
-        Obs.Metrics.incr m_delayed
+        Obs.Metrics.incr m_delayed;
+        recorded "fault.delay"
+          [
+            ("round", Obs.Json.Int round);
+            ("source", Obs.Json.Int source);
+            ("dest", Obs.Json.Int dest);
+          ]
       end;
       true
     end
@@ -99,24 +151,32 @@ let send t ~round ~source ~dest =
 
 let note_dropped t =
   t.r <- { t.r with dropped_messages = t.r.dropped_messages + 1 };
-  Obs.Metrics.incr m_dropped
+  Obs.Metrics.incr m_dropped;
+  recorded "fault.drop" []
 
 let note_substituted t =
   t.r <- { t.r with substituted_contributions = t.r.substituted_contributions + 1 };
-  Obs.Metrics.incr m_substituted
+  Obs.Metrics.incr m_substituted;
+  recorded "fault.substituted" []
 
 let note_excluded_committee t n =
   t.r <- { t.r with excluded_committee_members = t.r.excluded_committee_members + n };
-  Obs.Metrics.add m_excluded n
+  Obs.Metrics.add m_excluded n;
+  if n > 0 then recorded "fault.excluded_committee" [ ("members", Obs.Json.Int n) ]
 
 let note_forged_rejected t =
   t.r <- { t.r with forged_rejected = t.r.forged_rejected + 1 };
-  Obs.Metrics.incr m_forged_rejected
+  Obs.Metrics.incr m_forged_rejected;
+  recorded "fault.forged_rejected" []
 
 let note_aggregator_restart t =
   t.r <- { t.r with aggregator_restarts = t.r.aggregator_restarts + 1 };
-  Obs.Metrics.incr m_restarts
+  Obs.Metrics.incr m_restarts;
+  recorded "fault.aggregator_restart" []
 
 let note_decryption_attempts t n =
   t.r <- { t.r with decryption_attempts = t.r.decryption_attempts + n };
-  Obs.Metrics.add m_decrypt_attempts n
+  Obs.Metrics.add m_decrypt_attempts n;
+  (* Only an actual fallback (more than one threshold-decryption
+     attempt) is a fault-class event. *)
+  if n > 1 then recorded "decrypt.fallback" [ ("attempts", Obs.Json.Int n) ]

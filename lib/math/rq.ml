@@ -7,8 +7,8 @@ module Obs = Mycelium_obs.Obs
    multiplications so a trace shows where ring time goes without a
    span per call.  The call sites guard on [Obs.enabled] so the
    disabled path costs one branch and allocates nothing. *)
-let m_limb_ntt_muls = Obs.Metrics.counter "rq.limb_ntt_muls"
-let m_limb_transforms = Obs.Metrics.counter "rq.limb_transforms"
+let m_limb_ntt_muls = Obs.Metrics.counter Obs.Names.rq_limb_ntt_muls
+let m_limb_transforms = Obs.Metrics.counter Obs.Names.rq_limb_transforms
 let mul_sampler = Obs.sampler ~every:64
 let dot_sampler = Obs.sampler ~every:64
 

@@ -10,10 +10,10 @@ module Obs = Mycelium_obs.Obs
    and bytes deposited at the aggregator's mailboxes, and a histogram
    of per-message anonymity-set sizes.  None of it touches the Rng or
    the protocol state, so results are identical with tracing on/off. *)
-let m_deposited_bytes = Obs.Metrics.counter "mixnet.deposited_bytes"
-let m_layers_peeled = Obs.Metrics.counter "onion.layers_peeled"
-let m_dummies = Obs.Metrics.counter "mixnet.dummies_uploaded"
-let h_anonymity = Obs.Metrics.histogram "mixnet.anonymity_set"
+let m_deposited_bytes = Obs.Metrics.counter Obs.Names.mixnet_deposited_bytes
+let m_layers_peeled = Obs.Metrics.counter Obs.Names.onion_layers_peeled
+let m_dummies = Obs.Metrics.counter Obs.Names.mixnet_dummies_uploaded
+let h_anonymity = Obs.Metrics.histogram Obs.Names.mixnet_anonymity_set
 
 (* Growable int vector: the simulator's workhorse container.  Reused
    across rounds so steady-state forwarding allocates no per-slot
@@ -243,6 +243,24 @@ let create cfg =
     last_deliveries = [];
     fault_hook = None;
   }
+  |> fun t ->
+  (* Footprint telemetry for the background sampler.  The source reads
+     mutable sizing fields without locks: a torn read can only yield a
+     slightly stale point, and the sampler never feeds back into the
+     simulation.  Registration replaces the previous simulator's
+     source, keeping the series pointed at the live instance. *)
+  Obs.Sampler.register_source ~name:"mixnet" (fun () ->
+      [
+        (Obs.Names.mixnet_established_paths, float_of_int t.n_paths);
+        ( Obs.Names.mixnet_arena_bytes,
+          float_of_int (Bytes.length t.arena_cur + Bytes.length t.arena_next) );
+        (Obs.Names.mixnet_key_bytes, float_of_int (Bytes.length t.key_arena));
+        ( Obs.Names.mixnet_route_entries,
+          float_of_int
+            (Array.fold_left (fun acc v -> acc + Ivec.length v) 0 t.routes) );
+        (Obs.Names.mixnet_mailboxes_in_use, float_of_int (Ivec.length t.touched));
+      ]);
+  t
 
 let set_fault_hook t hook = t.fault_hook <- hook
 

@@ -1,19 +1,24 @@
-(* Structured tracing + metrics for the query pipeline.
+(* Structured tracing + metrics + continuous telemetry for the query
+   pipeline.
 
-   Design constraints (see DESIGN.md §8):
+   Design constraints (see DESIGN.md §8 and §13):
    - The disabled path of every instrumentation point is a single load
-     of [enabled_flag] plus a branch; no allocation, no clock read, no
-     atomic write happens unless tracing is on.  The flag is write-once
-     configuration: it is set from MYCELIUM_TRACE at startup or by
-     [enable]/[with_enabled] before a run, never mid-phase.
+     of one atomic flag plus a branch; no allocation, no clock read, no
+     atomic write happens unless that subsystem is on.  Spans check
+     [live_flag] (tracing or the flight recorder), metric updates check
+     [enabled_flag], [Recorder.note] checks the recorder flag, and the
+     background sampler runs on its own thread so instrumented code
+     never pays for it at all.  The flags are write-once configuration:
+     set from the environment at startup or by [enable] / [Recorder.
+     enable] / [Sampler.start] before a run, never mid-phase.
    - Span recording is per-domain: each domain owns a growable buffer
      reached through Domain.DLS, so instrumented code inside Pool
      workers records without taking any lock (the global registry
      mutex is touched once per domain, at first use).
    - Observability never draws from any [Rng.t] and never feeds back
      into results: query output, DP noise and degradation reports are
-     byte-identical with tracing on or off.  Timestamps exist only in
-     exported traces. *)
+     byte-identical with tracing, recorder and sampler on or off.
+     Timestamps exist only in exported traces. *)
 
 (* ------------------------------------------------------------------ *)
 (* JSON (the one encoder/parser in the tree; bench and the exporters   *)
@@ -55,14 +60,15 @@ module Json = struct
       s;
     Buffer.add_char buf '"'
 
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.6f" f
+
   let rec to_buf buf = function
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int i -> Buffer.add_string buf (string_of_int i)
-    | Num f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string buf (Printf.sprintf "%.1f" f)
-      else Buffer.add_string buf (Printf.sprintf "%.6f" f)
+    | Num f -> Buffer.add_string buf (num_to_string f)
     | Str s -> add_escaped buf s
     | List xs ->
       Buffer.add_char buf '[';
@@ -88,12 +94,55 @@ module Json = struct
     to_buf buf j;
     Buffer.contents buf
 
+  (* Streamed emission: the document is written piece by piece through
+     a reused scratch buffer (needed only for string escaping), so the
+     peak allocation is one escaped string, not the whole document. *)
+  let to_channel oc j =
+    let scratch = Buffer.create 64 in
+    let str s =
+      Buffer.clear scratch;
+      add_escaped scratch s;
+      Buffer.output_buffer oc scratch
+    in
+    let rec go = function
+      | Null -> output_string oc "null"
+      | Bool b -> output_string oc (if b then "true" else "false")
+      | Int i -> output_string oc (string_of_int i)
+      | Num f -> output_string oc (num_to_string f)
+      | Str s -> str s
+      | List xs ->
+        output_char oc '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then output_char oc ',';
+            go x)
+          xs;
+        output_char oc ']'
+      | Obj kvs ->
+        output_char oc '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then output_char oc ',';
+            str k;
+            output_char oc ':';
+            go v)
+          kvs;
+        output_char oc '}'
+    in
+    go j
+
   exception Parse_fail of string
+
+  (* Maximum container nesting the parser accepts.  The recursive
+     descent would otherwise turn "[[[[…" into a stack overflow — a
+     hard crash rather than an [Error] — and the flight-recorder /
+     ledger files make the parser load-bearing for untrusted input. *)
+  let max_depth = 512
 
   (* A small strict parser, enough to round-trip everything the emitter
      above produces (the exporter tests lean on this).  \uXXXX escapes
-     decode to a single byte for code points < 256 and to '?' above
-     (the emitter only writes them for control characters). *)
+     decode to UTF-8; surrogate pairs combine into one code point, and
+     lone or misordered surrogates are an error. *)
   let parse s =
     let n = String.length s in
     let pos = ref 0 in
@@ -120,6 +169,43 @@ module Json = struct
       end
       else fail (Printf.sprintf "expected %s" lit)
     in
+    (* Exactly four hex digits; [int_of_string "0x…"] would accept
+       OCaml-isms like underscores. *)
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = ref 0 in
+      for k = 0 to 3 do
+        let c = s.[!pos + k] in
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail "bad \\u escape"
+        in
+        v := (!v lsl 4) lor d
+      done;
+      pos := !pos + 4;
+      !v
+    in
+    let add_utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
     let parse_string () =
       expect '"';
       let buf = Buffer.create 16 in
@@ -142,13 +228,25 @@ module Json = struct
             | 't' -> Buffer.add_char buf '\t'; advance ()
             | 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
-              | Some _ -> Buffer.add_char buf '?'
-              | None -> fail "bad \\u escape");
-              pos := !pos + 4
+              let code = hex4 () in
+              let cp =
+                if code >= 0xD800 && code <= 0xDBFF then begin
+                  (* High surrogate: only valid immediately followed by
+                     an escaped low surrogate. *)
+                  if
+                    not (!pos + 2 <= n && Char.equal s.[!pos] '\\'
+                        && Char.equal s.[!pos + 1] 'u')
+                  then fail "unpaired high surrogate";
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo < 0xDC00 || lo > 0xDFFF then fail "unpaired high surrogate";
+                  0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+                end
+                else if code >= 0xDC00 && code <= 0xDFFF then
+                  fail "unpaired low surrogate"
+                else code
+              in
+              add_utf8 buf cp
             | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
             go ()
           | c -> Buffer.add_char buf c; advance (); go ()
@@ -183,7 +281,8 @@ module Json = struct
           | None -> fail "bad number")
       end
     in
-    let rec parse_value () =
+    let rec parse_value depth =
+      if depth > max_depth then fail "nesting too deep";
       skip_ws ();
       match peek () with
       | Some '{' ->
@@ -199,7 +298,7 @@ module Json = struct
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -221,7 +320,7 @@ module Json = struct
         end
         else begin
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -243,7 +342,7 @@ module Json = struct
       | None -> fail "unexpected end of input"
     in
     match
-      let v = parse_value () in
+      let v = parse_value 0 in
       skip_ws ();
       if !pos <> n then fail "trailing garbage";
       v
@@ -258,18 +357,32 @@ module Json = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* The switch                                                          *)
+(* The switches                                                        *)
 (* ------------------------------------------------------------------ *)
 
 (* lint: allow determinism — wall-clock feeds span timestamps only; trace
    content is diagnostic and never enters query results *)
 let now () = Unix.gettimeofday ()
 
-let enabled_flag =
-  Atomic.make
-    (match Sys.getenv_opt "MYCELIUM_TRACE" with
-    | Some ("1" | "true" | "on" | "yes") -> true
-    | Some _ | None -> false)
+let env_truthy var =
+  match Sys.getenv_opt var with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
+
+let enabled_flag = Atomic.make (env_truthy "MYCELIUM_TRACE")
+
+(* Flight-recorder switch lives next to the tracing switch so the span
+   fast path can check one derived flag (below) for both. *)
+let recorder_flag = Atomic.make (env_truthy "MYCELIUM_RECORDER")
+
+(* [live_flag] = tracing or recording: the single load on the span fast
+   path.  Recomputed by every flag setter (they are rare, configuration
+   events); never flipped mid-phase. *)
+let live_flag =
+  Atomic.make (Atomic.get enabled_flag || Atomic.get recorder_flag)
+
+let refresh_live () =
+  Atomic.set live_flag (Atomic.get enabled_flag || Atomic.get recorder_flag)
 
 let enabled () = Atomic.get enabled_flag
 
@@ -277,13 +390,252 @@ let enabled () = Atomic.get enabled_flag
    (or process start, for MYCELIUM_TRACE). *)
 let epoch = Atomic.make (now ())
 
+let now_s () = now () -. Atomic.get epoch
+let elapsed_ns () = int_of_float (now_s () *. 1e9)
+
 let enable () =
   if not (Atomic.get enabled_flag) then begin
     Atomic.set epoch (now ());
     Atomic.set enabled_flag true
-  end
+  end;
+  refresh_live ()
 
-let disable () = Atomic.set enabled_flag false
+let disable () =
+  Atomic.set enabled_flag false;
+  refresh_live ()
+
+(* ------------------------------------------------------------------ *)
+(* Metric-name registry                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Every metric or time-series name used by library code is declared
+   here; mycelium-lint's obs-guard rule flags registrations that pass a
+   bare string literal instead of one of these constants, so the full
+   vocabulary of exported names stays greppable in one place.  Bench
+   and test executables are free zones and may register ad-hoc names. *)
+module Names = struct
+  (* lib/math — ring layer *)
+  let rq_limb_ntt_muls = "rq.limb_ntt_muls"
+  let rq_limb_transforms = "rq.limb_transforms"
+
+  (* lib/bgv *)
+  let bgv_encrypts = "bgv.encrypts"
+  let bgv_ciphertext_muls = "bgv.ciphertext_muls"
+  let bgv_relinearizations = "bgv.relinearizations"
+
+  (* lib/parallel *)
+  let pool_chunks_run = "pool.chunks_run"
+  let pool_task_exceptions = "pool.task_exceptions"
+  let pool_domains = "pool.domains"
+  let pool_tasks_run = "pool.tasks_run"
+  let pool_exceptions_caught = "pool.exceptions_caught"
+
+  (* lib/faults — mirrors of [Injector.report] *)
+  let faults_substituted_contributions = "faults.substituted_contributions"
+  let faults_dropped_messages = "faults.dropped_messages"
+  let faults_delayed_messages = "faults.delayed_messages"
+  let faults_channel_retries = "faults.channel_retries"
+  let faults_backoff_units = "faults.backoff_units"
+  let faults_excluded_committee_members = "faults.excluded_committee_members"
+  let faults_forged_rejected = "faults.forged_rejected"
+  let faults_aggregator_restarts = "faults.aggregator_restarts"
+  let faults_decryption_attempts = "faults.decryption_attempts"
+
+  (* lib/mixnet *)
+  let mixnet_deposited_bytes = "mixnet.deposited_bytes"
+  let onion_layers_peeled = "onion.layers_peeled"
+  let mixnet_dummies_uploaded = "mixnet.dummies_uploaded"
+  let mixnet_anonymity_set = "mixnet.anonymity_set"
+  let mixnet_established_paths = "mixnet.established_paths"
+  let mixnet_arena_bytes = "mixnet.arena_bytes"
+  let mixnet_key_bytes = "mixnet.key_bytes"
+  let mixnet_route_entries = "mixnet.route_entries"
+  let mixnet_mailboxes_in_use = "mixnet.mailboxes_in_use"
+
+  (* Sampler built-ins (Gc.quick_stat) *)
+  let gc_top_heap_words = "gc.top_heap_words"
+  let gc_heap_words = "gc.heap_words"
+  let gc_minor_collections = "gc.minor_collections"
+  let gc_major_collections = "gc.major_collections"
+  let gc_promoted_words = "gc.promoted_words"
+
+  let all =
+    [
+      rq_limb_ntt_muls;
+      rq_limb_transforms;
+      bgv_encrypts;
+      bgv_ciphertext_muls;
+      bgv_relinearizations;
+      pool_chunks_run;
+      pool_task_exceptions;
+      pool_domains;
+      pool_tasks_run;
+      pool_exceptions_caught;
+      faults_substituted_contributions;
+      faults_dropped_messages;
+      faults_delayed_messages;
+      faults_channel_retries;
+      faults_backoff_units;
+      faults_excluded_committee_members;
+      faults_forged_rejected;
+      faults_aggregator_restarts;
+      faults_decryption_attempts;
+      mixnet_deposited_bytes;
+      onion_layers_peeled;
+      mixnet_dummies_uploaded;
+      mixnet_anonymity_set;
+      mixnet_established_paths;
+      mixnet_arena_bytes;
+      mixnet_key_bytes;
+      mixnet_route_entries;
+      mixnet_mailboxes_in_use;
+      gc_top_heap_words;
+      gc_heap_words;
+      gc_minor_collections;
+      gc_major_collections;
+      gc_promoted_words;
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A lock-free bounded ring of the last N structured events.  Writers
+   claim a slot with one [fetch_and_add] and store an immutable event
+   record into it; a torn read can at worst surface a slightly stale
+   event in a dump (each slot holds either [None] or one complete
+   event, never a partial one).  The ring is dumped to a self-contained
+   JSON file automatically when a fault fires ([trigger], wired into
+   [Injector]) and when the process dies (at_exit / uncaught-exception
+   handler at the bottom of this file). *)
+module Recorder = struct
+  type event = {
+    ev_seq : int;  (* global claim order *)
+    ev_ns : int;  (* nanoseconds since the trace epoch *)
+    ev_dom : int;  (* recording domain *)
+    ev_kind : string;
+    ev_detail : (string * Json.t) list;
+  }
+
+  let default_capacity = 1024
+  let ring : event option array Atomic.t = Atomic.make (Array.make default_capacity None)
+  let cursor = Atomic.make 0
+
+  let recording () = Atomic.get recorder_flag
+  let capacity () = Array.length (Atomic.get ring)
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Obs.Recorder: capacity must be >= 1";
+    Atomic.set ring (Array.make n None);
+    Atomic.set cursor 0
+
+  let clear () =
+    Atomic.set ring (Array.make (capacity ()) None);
+    Atomic.set cursor 0
+
+  (* Armed dump path + post-mortem state.  [dirty] is set by every
+     [note] so an exit-time [flush] rewrites the file with the final
+     ring; [fired] makes the first fault after [arm] write immediately
+     (the dump survives even a later hard crash). *)
+  let dump_path : string option Atomic.t =
+    Atomic.make
+      (match Sys.getenv_opt "MYCELIUM_RECORDER_DUMP" with
+      | Some p when not (String.equal p "") -> Some p
+      | Some _ | None -> None)
+
+  let dirty = Atomic.make false
+  let fired = Atomic.make false
+
+  let enable ?capacity () =
+    (match capacity with Some n -> set_capacity n | None -> ());
+    Atomic.set recorder_flag true;
+    refresh_live ()
+
+  let disable () =
+    Atomic.set recorder_flag false;
+    refresh_live ()
+
+  let note ?(detail = []) kind =
+    if Atomic.get recorder_flag then begin
+      let r = Atomic.get ring in
+      let seq = Atomic.fetch_and_add cursor 1 in
+      r.(seq mod Array.length r) <-
+        Some
+          {
+            ev_seq = seq;
+            ev_ns = elapsed_ns ();
+            ev_dom = (Domain.self () :> int);
+            ev_kind = kind;
+            ev_detail = detail;
+          };
+      Atomic.set dirty true
+    end
+
+  let events () =
+    let r = Atomic.get ring in
+    Array.to_list r
+    |> List.filter_map Fun.id
+    |> List.sort (fun a b -> Int.compare a.ev_seq b.ev_seq)
+
+  let recorded () = Atomic.get cursor
+
+  let event_json e =
+    Json.Obj
+      [
+        ("seq", Json.Int e.ev_seq);
+        ("ns", Json.Int e.ev_ns);
+        ("dom", Json.Int e.ev_dom);
+        ("kind", Json.Str e.ev_kind);
+        ("detail", Json.Obj e.ev_detail);
+      ]
+
+  let to_json () =
+    let total = Atomic.get cursor in
+    Json.Obj
+      [
+        ("schema", Json.Str "mycelium-flight/1");
+        ("capacity", Json.Int (capacity ()));
+        ("recorded", Json.Int total);
+        ("dropped", Json.Int (max 0 (total - capacity ())));
+        ("events", Json.List (List.map event_json (events ())));
+      ]
+
+  let dump_string () = Json.to_string (to_json ())
+
+  let write path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Json.to_channel oc (to_json ()))
+
+  let arm path =
+    Atomic.set dump_path (Some path);
+    Atomic.set fired false;
+    Atomic.set dirty false
+
+  let disarm () = Atomic.set dump_path None
+
+  (* Dump failures must never mask the fault that triggered them. *)
+  let try_write p = try write p with Sys_error _ -> ()
+
+  let flush () =
+    match Atomic.get dump_path with
+    | Some p when Atomic.get dirty ->
+      Atomic.set dirty false;
+      try_write p
+    | Some _ | None -> ()
+
+  let trigger () =
+    if Atomic.get recorder_flag then begin
+      Atomic.set dirty true;
+      match Atomic.get dump_path with
+      | Some p when Atomic.compare_and_set fired false true ->
+        Atomic.set dirty false;
+        try_write p
+      | Some _ | None -> ()
+    end
+end
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -354,28 +706,45 @@ let record_exit (b, sp) =
   b.depth <- b.depth - 1;
   sp.sp_end <- now () -. Atomic.get epoch
 
+let span_slow attrs name f =
+  let tracing = Atomic.get enabled_flag in
+  let recording = Recorder.recording () in
+  if recording then Recorder.note ~detail:[ ("name", Json.Str name) ] "span.open";
+  let t0 = if recording then now () else 0. in
+  let open_sp = if tracing then Some (record_enter name attrs) else None in
+  Fun.protect
+    ~finally:(fun () ->
+      (match open_sp with Some o -> record_exit o | None -> ());
+      if recording then
+        Recorder.note
+          ~detail:
+            [ ("name", Json.Str name); ("ms", Json.Num ((now () -. t0) *. 1e3)) ]
+          "span.close")
+    f
+
 let span ?(attrs = []) name f =
-  if not (Atomic.get enabled_flag) then f ()
-  else begin
-    let open_sp = record_enter name attrs in
-    Fun.protect ~finally:(fun () -> record_exit open_sp) f
-  end
+  if not (Atomic.get live_flag) then f () else span_slow attrs name f
 
 (* Hot-op sampling: record one span for every [every]-th call through
    the sampler; all other calls (and every call while disabled) just
    run [f].  The counter only advances while tracing is on, so the
-   disabled path stays a branch. *)
+   disabled path stays a branch.  Sampled hot-op spans are trace-only:
+   they never land in the flight recorder. *)
 type sampler = { every : int; calls : int Atomic.t }
 
 let sampler ~every =
   if every < 1 then invalid_arg "Obs.sampler: every must be >= 1";
   { every; calls = Atomic.make 0 }
 
-let sampled_span s ?attrs name f =
+let sampled_span s ?(attrs = []) name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let k = Atomic.fetch_and_add s.calls 1 in
-    if k mod s.every = 0 then span ?attrs name f else f ()
+    if k mod s.every = 0 then begin
+      let open_sp = record_enter name attrs in
+      Fun.protect ~finally:(fun () -> record_exit open_sp) f
+    end
+    else f ()
   end
 
 let all_spans () =
@@ -554,12 +923,223 @@ module Metrics = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Time series                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed-capacity rings of (ns-since-epoch, value) points, one per
+   registered series.  The writer is normally the sampler thread; a
+   per-series mutex keeps snapshots coherent without touching any
+   instrumented hot path (no library code records points inline). *)
+module Timeseries = struct
+  type series = {
+    s_name : string;
+    s_cap : int;
+    s_ts : int array;
+    s_vs : float array;
+    mutable s_total : int;  (* points ever recorded *)
+    s_mu : Mutex.t;
+  }
+
+  let default_capacity = 240
+  let table : (string, series) Hashtbl.t = Hashtbl.create 32
+  let table_mutex = Mutex.create ()
+
+  let register ?(capacity = default_capacity) name =
+    if capacity < 1 then invalid_arg "Obs.Timeseries.register: capacity must be >= 1";
+    Mutex.lock table_mutex;
+    let s =
+      match Hashtbl.find_opt table name with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            s_name = name;
+            s_cap = capacity;
+            s_ts = Array.make capacity 0;
+            s_vs = Array.make capacity 0.;
+            s_total = 0;
+            s_mu = Mutex.create ();
+          }
+        in
+        Hashtbl.replace table name s;
+        s
+    in
+    Mutex.unlock table_mutex;
+    s
+
+  let name s = s.s_name
+  let capacity s = s.s_cap
+
+  let record s v =
+    let ns = elapsed_ns () in
+    Mutex.lock s.s_mu;
+    let i = s.s_total mod s.s_cap in
+    s.s_ts.(i) <- ns;
+    s.s_vs.(i) <- v;
+    s.s_total <- s.s_total + 1;
+    Mutex.unlock s.s_mu
+
+  let total s =
+    Mutex.lock s.s_mu;
+    let t = s.s_total in
+    Mutex.unlock s.s_mu;
+    t
+
+  (* Oldest-first snapshot of the ring's live window. *)
+  let points s =
+    Mutex.lock s.s_mu;
+    let kept = min s.s_total s.s_cap in
+    let first = s.s_total - kept in
+    let out =
+      Array.init kept (fun k ->
+          let i = (first + k) mod s.s_cap in
+          (s.s_ts.(i), s.s_vs.(i)))
+    in
+    Mutex.unlock s.s_mu;
+    out
+
+  let last s =
+    Mutex.lock s.s_mu;
+    let r =
+      if s.s_total = 0 then None
+      else begin
+        let i = (s.s_total - 1) mod s.s_cap in
+        Some (s.s_ts.(i), s.s_vs.(i))
+      end
+    in
+    Mutex.unlock s.s_mu;
+    r
+
+  let sorted_series () =
+    Mutex.lock table_mutex;
+    (* lint: allow determinism — fold order is erased by the sort below *)
+    let all = Hashtbl.fold (fun name s acc -> (name, s) :: acc) table [] in
+    Mutex.unlock table_mutex;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+  let reset_values () =
+    Mutex.lock table_mutex;
+    (* lint: allow determinism — per-entry reset is order-insensitive *)
+    Hashtbl.iter
+      (fun _ s ->
+        Mutex.lock s.s_mu;
+        s.s_total <- 0;
+        Mutex.unlock s.s_mu)
+      table;
+    Mutex.unlock table_mutex
+
+  let to_json () =
+    Json.Obj
+      (List.map
+         (fun (name, s) ->
+           let pts = points s in
+           ( name,
+             Json.Obj
+               [
+                 ("capacity", Json.Int s.s_cap);
+                 ("total", Json.Int (total s));
+                 ( "points",
+                   Json.List
+                     (Array.to_list
+                        (Array.map
+                           (fun (ns, v) -> Json.List [ Json.Int ns; Json.Num v ])
+                           pts)) );
+               ] ))
+         (sorted_series ()))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Background sampler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One ticker thread (off by default) that appends a point per
+   registered series every period: Gc.quick_stat built-ins plus any
+   registered sources (the pool, each live mixnet simulator and each
+   fault injector register one).  Instrumented code pays nothing for
+   the sampler — it runs entirely on its own thread — and sources only
+   read shared state, so results stay byte-identical with it on. *)
+module Sampler = struct
+  let running = Atomic.make false
+  let period = Atomic.make 0.01
+  let ticks = Atomic.make 0
+
+  let sources : (string * (unit -> (string * float) list)) list ref = ref []
+  let sources_mu = Mutex.create ()
+
+  let register_source ~name f =
+    Mutex.lock sources_mu;
+    sources := (name, f) :: List.filter (fun (n, _) -> not (String.equal n name)) !sources;
+    Mutex.unlock sources_mu
+
+  let source_names () =
+    Mutex.lock sources_mu;
+    let names = List.map fst !sources in
+    Mutex.unlock sources_mu;
+    List.sort String.compare names
+
+  let record name v = Timeseries.record (Timeseries.register name) v
+
+  let sample_once () =
+    let s = Gc.quick_stat () in
+    record Names.gc_top_heap_words (float_of_int s.Gc.top_heap_words);
+    record Names.gc_heap_words (float_of_int s.Gc.heap_words);
+    record Names.gc_minor_collections (float_of_int s.Gc.minor_collections);
+    record Names.gc_major_collections (float_of_int s.Gc.major_collections);
+    record Names.gc_promoted_words s.Gc.promoted_words;
+    Mutex.lock sources_mu;
+    let srcs = !sources in
+    Mutex.unlock sources_mu;
+    List.iter
+      (fun (_, f) ->
+        (* A failing source must never take the process down: telemetry
+           is strictly best-effort. *)
+        match f () with
+        | pairs -> List.iter (fun (n, v) -> record n v) pairs
+        | exception _ -> ())
+      srcs;
+    Atomic.incr ticks
+
+  let worker : Thread.t option ref = ref None
+  let worker_mu = Mutex.create ()
+
+  let rec loop () =
+    if Atomic.get running then begin
+      sample_once ();
+      Thread.delay (Atomic.get period);
+      loop ()
+    end
+
+  let start ?(period_s = 0.01) () =
+    if period_s <= 0. then invalid_arg "Obs.Sampler.start: period must be positive";
+    if Atomic.compare_and_set running false true then begin
+      Atomic.set period period_s;
+      Mutex.lock worker_mu;
+      worker := Some (Thread.create loop ());
+      Mutex.unlock worker_mu
+    end
+
+  let stop () =
+    if Atomic.compare_and_set running true false then begin
+      Mutex.lock worker_mu;
+      let t = !worker in
+      worker := None;
+      Mutex.unlock worker_mu;
+      Option.iter Thread.join t
+    end
+
+  let active () = Atomic.get running
+  let tick_count () = Atomic.get ticks
+end
+
+(* ------------------------------------------------------------------ *)
 (* Reset / scoping                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Clear every recorded span and every metric value (registrations
-   survive).  Must only be called while no instrumented parallel work
-   is in flight. *)
+(* Clear every recorded span, metric value and time-series window
+   (registrations survive; the flight-recorder ring is left alone — it
+   is a post-mortem artifact cleared explicitly via [Recorder.clear]).
+   Must only be called while no instrumented parallel work is in
+   flight. *)
 let reset () =
   Mutex.lock registry_mutex;
   let bufs = !registry in
@@ -572,12 +1152,13 @@ let reset () =
       b.seq <- 0)
     bufs;
   Metrics.reset_values ();
+  Timeseries.reset_values ();
   Atomic.set epoch (now ())
 
 let with_enabled f =
   let was = Atomic.get enabled_flag in
   enable ();
-  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag was) f
+  Fun.protect ~finally:(fun () -> if not was then disable ()) f
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
@@ -623,37 +1204,286 @@ let console_tree () =
 (* Chrome trace_event JSON, loadable in about://tracing or Perfetto:
    one complete ("X") event per span, ts/dur in microseconds, tid = the
    recording domain. *)
-let chrome_trace () =
-  let events =
-    List.map
-      (fun sp ->
-        Json.Obj
-          [
-            ("name", Json.Str sp.sp_name);
-            ("cat", Json.Str "mycelium");
-            ("ph", Json.Str "X");
-            ("ts", Json.Num (sp.sp_start *. 1e6));
-            ("dur", Json.Num (duration_s sp *. 1e6));
-            ("pid", Json.Int 0);
-            ("tid", Json.Int sp.sp_dom);
-            ("args", Json.Obj sp.sp_attrs);
-          ])
-      (all_spans ())
-  in
+let span_event sp =
   Json.Obj
     [
-      ("traceEvents", Json.List events);
+      ("name", Json.Str sp.sp_name);
+      ("cat", Json.Str "mycelium");
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (sp.sp_start *. 1e6));
+      ("dur", Json.Num (duration_s sp *. 1e6));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int sp.sp_dom);
+      ("args", Json.Obj sp.sp_attrs);
+    ]
+
+let chrome_trace () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map span_event (all_spans ())));
       ("displayTimeUnit", Json.Str "ms");
       ("otherData", Json.Obj [ ("tool", Json.Str "mycelium-obs") ]);
     ]
 
-let chrome_trace_string () = Json.to_string (chrome_trace ())
+(* Streamed writer: one event is rendered at a time through a reused
+   scratch buffer, so a 10^6-device trace never materializes as one
+   string.  The string API below is a thin wrapper over the same
+   stream. *)
+let chrome_trace_stream emit =
+  emit "{\"traceEvents\":[";
+  let scratch = Buffer.create 256 in
+  List.iteri
+    (fun i sp ->
+      if i > 0 then emit ",";
+      Buffer.clear scratch;
+      Json.to_buf scratch (span_event sp);
+      emit (Buffer.contents scratch))
+    (all_spans ());
+  emit "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"mycelium-obs\"}}"
+
+let chrome_trace_to_channel oc = chrome_trace_stream (output_string oc)
+
+let chrome_trace_string () =
+  let buf = Buffer.create 4096 in
+  chrome_trace_stream (Buffer.add_string buf);
+  Buffer.contents buf
 
 let write_chrome_trace path =
   let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (chrome_trace_string ()))
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> chrome_trace_to_channel oc)
 
 let metrics_json = Metrics.to_json
 let metrics_table = Metrics.to_table
+let timeseries_json = Timeseries.to_json
+
+let telemetry_json () =
+  Json.Obj [ ("metrics", metrics_json ()); ("timeseries", timeseries_json ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One snapshot in the text exposition format: every metric as its own
+   family (dots mangled to underscores under a [mycelium_] prefix,
+   histograms with cumulative [le] buckets), and the latest point of
+   every time series as one [mycelium_timeseries] gauge family keyed by
+   a [series] label. *)
+let prometheus_name name =
+  let b = Bytes.of_string ("mycelium_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let prometheus_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus_stream emit =
+  let line fmt = Printf.ksprintf (fun s -> emit s; emit "\n") fmt in
+  List.iter
+    (fun (name, m) ->
+      let p = prometheus_name name in
+      match m with
+      | Metrics.C c ->
+        line "# TYPE %s counter" p;
+        line "%s %d" p (Metrics.value c)
+      | Metrics.G g ->
+        line "# TYPE %s gauge" p;
+        line "%s %s" p (prometheus_num (Metrics.gauge_value g))
+      | Metrics.H h ->
+        line "# TYPE %s histogram" p;
+        let counts = Metrics.histogram_counts h in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            if i < Array.length counts - 1 then
+              line "%s_bucket{le=\"%s\"} %d" p
+                (prometheus_num h.Metrics.bounds.(i))
+                !cum)
+          counts;
+        line "%s_bucket{le=\"+Inf\"} %d" p !cum;
+        line "%s_sum %s" p (prometheus_num (Metrics.histogram_sum h));
+        line "%s_count %d" p !cum)
+    (Metrics.sorted_metrics ());
+  let series = Timeseries.sorted_series () in
+  let live =
+    List.filter (fun (_, s) -> Option.is_some (Timeseries.last s)) series
+  in
+  match live with
+  | [] -> ()
+  | _ :: _ ->
+    line "# TYPE mycelium_timeseries gauge";
+    List.iter
+      (fun (name, s) ->
+        match Timeseries.last s with
+        | Some (_, v) -> line "mycelium_timeseries{series=\"%s\"} %s" name (prometheus_num v)
+        | None -> ())
+      live
+
+let prometheus_to_channel oc = prometheus_stream (output_string oc)
+
+let prometheus_string () =
+  let buf = Buffer.create 2048 in
+  prometheus_stream (Buffer.add_string buf);
+  Buffer.contents buf
+
+let write_prometheus path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> prometheus_to_channel oc)
+
+(* ------------------------------------------------------------------ *)
+(* Audit ledger                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Append-only JSONL: one self-contained record per runtime query,
+   flushed per line so a crash loses at most the in-flight record.  The
+   reading side (the [mycelium audit] verb and tests) parses and
+   summarizes cumulative per-user budget spend. *)
+module Ledger = struct
+  type t = { l_path : string; oc : out_channel; mu : Mutex.t }
+
+  let open_ path =
+    {
+      l_path = path;
+      oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path;
+      mu = Mutex.create ();
+    }
+
+  let path t = t.l_path
+
+  let append t j =
+    Mutex.lock t.mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mu)
+      (fun () ->
+        Json.to_channel t.oc j;
+        output_char t.oc '\n';
+        flush t.oc)
+
+  let close t = close_out t.oc
+
+  let read path =
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | line ->
+              if String.equal (String.trim line) "" then go (lineno + 1) acc
+              else begin
+                match Json.parse line with
+                | Ok j -> go (lineno + 1) (j :: acc)
+                | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+              end
+          in
+          go 1 [])
+
+  type summary = {
+    records : int;
+    ok : int;
+    rejected : int;
+    errored : int;
+    epsilon_spent : float;  (* sum of charged per-query epsilons *)
+    uncharged : int;  (* infinite-epsilon (uncharged) queries *)
+    by_name : (string * int * float) list;  (* query name, runs, epsilon *)
+    budget_total : float option;
+    budget_remaining : float option;
+  }
+
+  let num_of = function Json.Num f -> Some f | Json.Int i -> Some (float_of_int i) | _ -> None
+
+  let summarize entries =
+    let records = List.length entries in
+    let ok = ref 0 and rejected = ref 0 and errored = ref 0 in
+    let spent = ref 0. in
+    let uncharged = ref 0 in
+    let by_name : (string, int * float) Hashtbl.t = Hashtbl.create 8 in
+    let name_order = ref [] in
+    let budget_total = ref None and budget_remaining = ref None in
+    List.iter
+      (fun e ->
+        (match Json.member "status" e with
+        | Some (Json.Str "ok") -> incr ok
+        | Some (Json.Str "rejected") -> incr rejected
+        | Some _ | None -> incr errored);
+        let charged =
+          match Json.member "charged" e with Some (Json.Bool b) -> b | _ -> false
+        in
+        let eps =
+          match Option.bind (Json.member "epsilon" e) num_of with
+          | Some f -> f
+          | None -> 0.
+        in
+        if charged then spent := !spent +. eps
+        else if
+          match Json.member "status" e with Some (Json.Str "ok") -> true | _ -> false
+        then incr uncharged;
+        (match Json.member "name" e with
+        | Some (Json.Str name) ->
+          let n, s =
+            match Hashtbl.find_opt by_name name with Some p -> p | None -> (0, 0.)
+          in
+          if n = 0 then name_order := name :: !name_order;
+          Hashtbl.replace by_name name (n + 1, s +. (if charged then eps else 0.))
+        | Some _ | None -> ());
+        (match Option.bind (Json.member "budget_total" e) num_of with
+        | Some f -> budget_total := Some f
+        | None -> ());
+        match Option.bind (Json.member "budget_remaining" e) num_of with
+        | Some f -> budget_remaining := Some f
+        | None -> ())
+      entries;
+    {
+      records;
+      ok = !ok;
+      rejected = !rejected;
+      errored = !errored;
+      epsilon_spent = !spent;
+      uncharged = !uncharged;
+      by_name =
+        List.rev_map
+          (fun name ->
+            let n, s = Hashtbl.find by_name name in
+            (name, n, s))
+          !name_order;
+      budget_total = !budget_total;
+      budget_remaining = !budget_remaining;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Process hooks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Flight-recorder dumps survive process death: the armed dump file is
+   rewritten from the final ring at exit, and an uncaught exception is
+   recorded as its own event before the default handler prints it.
+   Both are no-ops unless the recorder ran with a dump path armed. *)
+let () =
+  at_exit (fun () ->
+      Sampler.stop ();
+      Recorder.flush ());
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      Recorder.note ~detail:[ ("exn", Json.Str (Printexc.to_string exn)) ]
+        "process.uncaught";
+      Recorder.trigger ();
+      Recorder.flush ();
+      Printexc.default_uncaught_exception_handler exn bt)
+
+(* MYCELIUM_SAMPLE_MS=<n> starts the background sampler at startup. *)
+let () =
+  match Sys.getenv_opt "MYCELIUM_SAMPLE_MS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some ms when ms > 0 -> Sampler.start ~period_s:(float_of_int ms /. 1000.) ()
+    | Some _ | None -> ())
+  | None -> ()

@@ -1,28 +1,37 @@
-(** Structured tracing + metrics for the query pipeline (DESIGN.md §8).
+(** Structured tracing, metrics and continuous telemetry for the query
+    pipeline (DESIGN.md §8 and §13).
 
     {b The overhead contract.}  Every instrumentation point —
     [span], [sampled_span], and each [Metrics] update — starts with a
-    single load of the enabled flag and a conditional branch.  While
-    tracing is disabled nothing else happens: no allocation, no clock
-    read, no atomic write.  The flag is write-once configuration (the
-    [MYCELIUM_TRACE] environment variable at startup, or [enable] /
-    [with_enabled] before a run); it is never flipped mid-phase.
+    single load of one atomic flag and a conditional branch.  While the
+    relevant subsystem is disabled nothing else happens: no allocation,
+    no clock read, no atomic write.  [span] checks a derived flag that
+    is on when tracing {e or} the flight recorder is on; metric updates
+    and [sampled_span] check the tracing flag; [Recorder.note] checks
+    the recorder flag.  The background [Sampler] runs on its own thread
+    and adds zero work to instrumented code.  The flags are write-once
+    configuration ([MYCELIUM_TRACE] / [MYCELIUM_RECORDER] /
+    [MYCELIUM_SAMPLE_MS] at startup, or the corresponding enable
+    functions before a run); they are never flipped mid-phase.
 
     {b Domain safety.}  Spans are recorded into a per-domain buffer
     reached through [Domain.DLS]; recording takes no lock (a global
     registry mutex is touched once per domain, on its first span), so
     instrumented code is safe inside [Pool] workers.  Metrics are
-    shared [Atomic] cells.  Exporters ([console_tree], [chrome_trace],
-    [metrics_json]) read every domain's buffer and must only be called
-    while no instrumented parallel work is in flight.
+    shared [Atomic] cells, the flight recorder is a lock-free ring.
+    Exporters ([console_tree], [chrome_trace], [metrics_json], the
+    Prometheus dump) read every domain's buffer and must only be
+    called while no instrumented parallel work is in flight.
 
     {b Determinism.}  Observability never draws from an [Rng.t] and
     never feeds back into computation: query results, DP noise and
-    degradation reports are byte-identical with tracing on or off.
-    Timestamps exist only in exported traces, never in results. *)
+    degradation reports are byte-identical with tracing, recorder and
+    sampler on or off.  Timestamps exist only in exported traces,
+    never in results. *)
 
 (** Minimal JSON — the one encoder (and parser) in the tree; the bench
-    harness and the exporters share it. *)
+    harness, the exporters, the flight recorder and the audit ledger
+    share it. *)
 module Json : sig
   type t =
     | Null
@@ -40,10 +49,20 @@ module Json : sig
   val to_buf : Buffer.t -> t -> unit
   val to_string : t -> string
 
+  val to_channel : out_channel -> t -> unit
+  (** Stream the document to a channel without materializing it as one
+      string; peak allocation is a single escaped string. *)
+
+  val max_depth : int
+  (** Maximum container nesting [parse] accepts (deeper input is an
+      [Error], not a stack overflow). *)
+
   val parse : string -> (t, string) result
   (** Strict parser covering everything [to_string] emits; used by the
-      exporter round-trip tests.  [\uXXXX] escapes above 255 decode to
-      ['?']. *)
+      exporter round-trip tests and the ledger / flight-recorder
+      readers.  [\uXXXX] escapes decode to UTF-8; surrogate pairs
+      combine into one code point, and lone or misordered surrogates
+      are rejected. *)
 
   val member : string -> t -> t option
   (** [member k (Obj kvs)] is the value bound to [k], if any. *)
@@ -63,9 +82,59 @@ val with_enabled : (unit -> 'a) -> 'a
 (** Run with tracing forced on, restoring the previous state after. *)
 
 val reset : unit -> unit
-(** Clear all recorded spans and metric values (registrations survive)
-    and restart the trace epoch.  Only call while no instrumented
-    parallel work is in flight. *)
+(** Clear all recorded spans, metric values and time-series windows
+    (registrations survive; the flight-recorder ring is kept — clear it
+    with [Recorder.clear]) and restart the trace epoch.  Only call
+    while no instrumented parallel work is in flight. *)
+
+val now_s : unit -> float
+(** Seconds since the trace epoch (wall clock; diagnostic only — never
+    feed this into results). *)
+
+(** {1 Metric-name registry} *)
+
+(** Every metric / time-series name used by library code, in one
+    module: registrations in [lib/] and [bin/] must draw names from
+    here (enforced by mycelium-lint's obs-guard rule); bench and test
+    executables may register ad-hoc names. *)
+module Names : sig
+  val rq_limb_ntt_muls : string
+  val rq_limb_transforms : string
+  val bgv_encrypts : string
+  val bgv_ciphertext_muls : string
+  val bgv_relinearizations : string
+  val pool_chunks_run : string
+  val pool_task_exceptions : string
+  val pool_domains : string
+  val pool_tasks_run : string
+  val pool_exceptions_caught : string
+  val faults_substituted_contributions : string
+  val faults_dropped_messages : string
+  val faults_delayed_messages : string
+  val faults_channel_retries : string
+  val faults_backoff_units : string
+  val faults_excluded_committee_members : string
+  val faults_forged_rejected : string
+  val faults_aggregator_restarts : string
+  val faults_decryption_attempts : string
+  val mixnet_deposited_bytes : string
+  val onion_layers_peeled : string
+  val mixnet_dummies_uploaded : string
+  val mixnet_anonymity_set : string
+  val mixnet_established_paths : string
+  val mixnet_arena_bytes : string
+  val mixnet_key_bytes : string
+  val mixnet_route_entries : string
+  val mixnet_mailboxes_in_use : string
+  val gc_top_heap_words : string
+  val gc_heap_words : string
+  val gc_minor_collections : string
+  val gc_major_collections : string
+  val gc_promoted_words : string
+
+  val all : string list
+  (** Every name above, for docs and exhaustiveness tests. *)
+end
 
 (** {1 Spans} *)
 
@@ -81,8 +150,9 @@ type span = {
 
 val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], recording a hierarchical span around it
-    when tracing is enabled.  Exceptions propagate; the span is closed
-    either way. *)
+    when tracing is enabled and a [span.open]/[span.close] event pair
+    in the flight recorder when that is enabled.  Exceptions propagate;
+    the span is closed either way. *)
 
 type sampler
 
@@ -91,6 +161,7 @@ val sampler : every:int -> sampler
     record one span per [every] calls instead of one per call. *)
 
 val sampled_span : sampler -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Trace-only (hot-op spans never land in the flight recorder). *)
 
 val all_spans : unit -> span list
 (** Every recorded span, sorted by start time. *)
@@ -106,7 +177,8 @@ module Metrics : sig
 
   val counter : string -> counter
   (** Registry lookup-or-create; a name is bound to one metric kind
-      for the process lifetime. *)
+      for the process lifetime.  Library code must pass a [Names]
+      constant (obs-guard enforces this). *)
 
   val incr : counter -> unit
   val add : counter -> int -> unit
@@ -137,6 +209,170 @@ module Metrics : sig
   val to_table : unit -> string
 end
 
+(** {1 Time series} *)
+
+(** Fixed-capacity rings of [(ns-since-epoch, value)] points, one per
+    registered series; the background [Sampler] is the usual writer. *)
+module Timeseries : sig
+  type series
+
+  val default_capacity : int
+  (** 240 points per ring unless overridden. *)
+
+  val register : ?capacity:int -> string -> series
+  (** Lookup-or-create; [capacity] only applies on first registration. *)
+
+  val name : series -> string
+  val capacity : series -> int
+
+  val record : series -> float -> unit
+  (** Append a point stamped with the current ns-since-epoch, evicting
+      the oldest point once the ring is full. *)
+
+  val points : series -> (int * float) array
+  (** Oldest-first snapshot of the live window. *)
+
+  val last : series -> (int * float) option
+  val total : series -> int
+  (** Points ever recorded (>= the window length). *)
+
+  val to_json : unit -> Json.t
+  (** Every series: capacity, total, and the live window. *)
+end
+
+(** {1 Background sampler} *)
+
+(** One ticker thread (off by default; [MYCELIUM_SAMPLE_MS=<n>] starts
+    it at startup) appending a point per series every period:
+    [Gc.quick_stat] built-ins plus registered sources (the pool, each
+    live mixnet simulator, each fault injector).  Instrumented code
+    pays nothing — sampling happens entirely on the ticker thread, and
+    sources only read shared state. *)
+module Sampler : sig
+  val start : ?period_s:float -> unit -> unit
+  (** Start the ticker (default period 10 ms); idempotent while
+      running. *)
+
+  val stop : unit -> unit
+  (** Stop and join the ticker thread; idempotent. *)
+
+  val active : unit -> bool
+
+  val register_source : name:string -> (unit -> (string * float) list) -> unit
+  (** Register (or replace, by [name]) a source polled once per tick;
+      it returns [(series_name, value)] pairs.  Exceptions from a
+      source are swallowed: telemetry is strictly best-effort. *)
+
+  val source_names : unit -> string list
+
+  val sample_once : unit -> unit
+  (** Take one sample synchronously (used by tests and the CLI for a
+      final snapshot). *)
+
+  val tick_count : unit -> int
+end
+
+(** {1 Flight recorder} *)
+
+(** A lock-free bounded ring of the last N structured events — span
+    open/close, fault injections, retry/backoff decisions, threshold-
+    decryption fallbacks — dumped to a self-contained JSON file when a
+    fault fires ([trigger], wired into [Injector]) and when the process
+    dies (at_exit / uncaught-exception handler).  Enable with
+    [MYCELIUM_RECORDER=1]; arm the dump file with
+    [MYCELIUM_RECORDER_DUMP=<path>] or [arm]. *)
+module Recorder : sig
+  type event = {
+    ev_seq : int;  (** global claim order *)
+    ev_ns : int;  (** nanoseconds since the trace epoch *)
+    ev_dom : int;  (** recording domain *)
+    ev_kind : string;
+    ev_detail : (string * Json.t) list;
+  }
+
+  val default_capacity : int
+
+  val enable : ?capacity:int -> unit -> unit
+  (** Turn the recorder on; [capacity] (default 1024) resizes and
+      clears the ring first. *)
+
+  val disable : unit -> unit
+  val recording : unit -> bool
+  val capacity : unit -> int
+  val clear : unit -> unit
+
+  val note : ?detail:(string * Json.t) list -> string -> unit
+  (** Record one event; a single flag load + branch while disabled. *)
+
+  val arm : string -> unit
+  (** Arm automatic dumps to the given path (resets the
+      first-fault-writes-immediately latch). *)
+
+  val disarm : unit -> unit
+
+  val trigger : unit -> unit
+  (** Signal that a fault fired: the first trigger after [arm] writes
+      the dump immediately; later events are folded into the exit-time
+      rewrite. *)
+
+  val flush : unit -> unit
+  (** Rewrite the armed dump from the current ring if anything was
+      recorded since the last write. *)
+
+  val events : unit -> event list
+  (** Ring contents, oldest first. *)
+
+  val recorded : unit -> int
+  (** Events ever noted (>= ring length). *)
+
+  val to_json : unit -> Json.t
+  (** Self-contained dump: schema, capacity, recorded/dropped counts,
+      events. *)
+
+  val dump_string : unit -> string
+  val write : string -> unit
+end
+
+(** {1 Audit ledger} *)
+
+(** Append-only JSONL of per-query audit records (one line per runtime
+    query, flushed per line).  [read]/[summarize] back the
+    [mycelium audit] CLI verb. *)
+module Ledger : sig
+  (* lint: allow interface — a ledger handle owns an out_channel and a
+     mutex; identity is the only meaningful equality *)
+  type t
+
+  val open_ : string -> t
+  (** Open (append, create) a ledger file. *)
+
+  val path : t -> string
+
+  val append : t -> Json.t -> unit
+  (** Write one record as a single line and flush. *)
+
+  val close : t -> unit
+
+  val read : string -> (Json.t list, string) result
+  (** Parse every non-empty line; the first malformed line is an
+      [Error] naming its line number. *)
+
+  type summary = {
+    records : int;
+    ok : int;
+    rejected : int;
+    errored : int;
+    epsilon_spent : float;  (** sum of charged per-query epsilons *)
+    uncharged : int;  (** infinite-epsilon (uncharged) ok queries *)
+    by_name : (string * int * float) list;
+        (** query name, runs, epsilon charged — first-seen order *)
+    budget_total : float option;  (** from the last record carrying it *)
+    budget_remaining : float option;
+  }
+
+  val summarize : Json.t list -> summary
+end
+
 (** {1 Exporters} *)
 
 val console_tree : unit -> string
@@ -147,8 +383,29 @@ val chrome_trace : unit -> Json.t
     microseconds, tid = recording domain) — loadable in
     [about://tracing] and Perfetto. *)
 
+val chrome_trace_to_channel : out_channel -> unit
+(** Stream the trace one event at a time — a 10^6-device trace never
+    materializes as one string. *)
+
 val chrome_trace_string : unit -> string
+(** Thin wrapper over the streamed writer. *)
+
 val write_chrome_trace : string -> unit
 
 val metrics_json : unit -> Json.t
 val metrics_table : unit -> string
+
+val timeseries_json : unit -> Json.t
+(** The [Timeseries] section on its own. *)
+
+val telemetry_json : unit -> Json.t
+(** [{ "metrics": …, "timeseries": … }]. *)
+
+val prometheus_to_channel : out_channel -> unit
+(** Prometheus text exposition: each metric as a [mycelium_]-prefixed
+    family ([# TYPE] lines, cumulative [le] buckets for histograms) and
+    the latest point of every time series as one
+    [mycelium_timeseries{series="…"}] gauge family. *)
+
+val prometheus_string : unit -> string
+val write_prometheus : string -> unit

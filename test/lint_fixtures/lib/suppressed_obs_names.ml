@@ -1,0 +1,5 @@
+(* Fixture: an ad-hoc name, consciously suppressed. *)
+
+let c =
+  (* lint: allow obs-guard — fixture: experiment-local scratch metric *)
+  Obs.Metrics.counter "scratch.counter"

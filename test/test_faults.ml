@@ -22,6 +22,8 @@ module Sim = Mycelium_mixnet.Sim
 module Fault_plan = Mycelium_faults.Fault_plan
 module Injector = Mycelium_faults.Injector
 module Pool = Mycelium_parallel.Pool
+module Obs = Mycelium_obs.Obs
+module Json = Mycelium_obs.Obs.Json
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -527,6 +529,90 @@ let test_parallel_domains_identical () =
         [ 1; 8 ])
     [ "reference"; "montgomery" ]
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder under chaos                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every injected fault notes an event and triggers the armed
+   recorder, so each fault class must leave a parseable post-mortem
+   dump carrying its own event kind. *)
+let flight_classes =
+  [
+    ("drop", Fault_plan.make ~drop_rate:0.5 ~seed:chaos_seed (), "fault.drop");
+    ("delay", Fault_plan.make ~delay_rate:0.5 ~seed:chaos_seed (), "fault.delay");
+    ("churn", Fault_plan.make ~churn_rate:0.5 ~seed:chaos_seed (), "fault.substituted");
+    ("forge", Fault_plan.make ~forge_rate:0.5 ~seed:chaos_seed (), "fault.forged_rejected");
+    ( "committee-crash",
+      Fault_plan.make ~crashed_committee:[ 1; 5; 8 ] ~seed:chaos_seed (),
+      "fault.excluded_committee" );
+    ( "aggregator-restart",
+      Fault_plan.make ~aggregator_restarts:2 ~seed:chaos_seed (),
+      "fault.aggregator_restart" );
+  ]
+
+let test_chaos_flight_dumps () =
+  List.iter
+    (fun (name, plan, kind) ->
+      let path = Filename.temp_file "chaos_flight" ".json" in
+      Sys.remove path;
+      Obs.Recorder.enable ~capacity:4096 ();
+      Obs.Recorder.arm path;
+      let _sys, (_ : Runtime.query_result) = run_chaos plan in
+      Obs.Recorder.flush ();
+      Obs.Recorder.disarm ();
+      Obs.Recorder.disable ();
+      Obs.Recorder.clear ();
+      checkb (name ^ ": dump produced") true (Sys.file_exists path);
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove path;
+      match Json.parse s with
+      | Error e -> Alcotest.failf "%s: dump does not re-parse: %s" name e
+      | Ok doc ->
+        checkb (name ^ ": flight schema") true
+          (Json.member "schema" doc = Some (Json.Str "mycelium-flight/1"));
+        let kinds =
+          match Json.member "events" doc with
+          | Some (Json.List evs) ->
+            List.filter_map
+              (fun e ->
+                match Json.member "kind" e with Some (Json.Str k) -> Some k | _ -> None)
+              evs
+          | _ -> Alcotest.failf "%s: dump has no events array" name
+        in
+        checkb (name ^ ": dump carries " ^ kind) true (List.mem kind kinds))
+    flight_classes
+
+let test_recorder_identical_releases () =
+  (* The recorder rides the same contract as tracing: enabling it must
+     not move a single released byte, at any domain count. *)
+  let plan =
+    Fault_plan.make ~drop_rate:0.2 ~churn_rate:0.1 ~forge_rate:0.1
+      ~crashed_committee:[ 2 ] ~aggregator_restarts:1 ~seed:chaos_seed ()
+  in
+  let run ~recorder domains =
+    Pool.with_domains domains (fun () ->
+        if recorder then Obs.Recorder.enable ~capacity:4096 ();
+        let _sys, r = run_chaos plan in
+        if recorder then begin
+          checkb "chaos run recorded events" true (Obs.Recorder.recorded () > 0);
+          Obs.Recorder.disable ();
+          Obs.Recorder.clear ()
+        end;
+        (r.Runtime.noisy_bins, r.Runtime.degradation))
+  in
+  let bins1, rep1 = run ~recorder:false 1 in
+  List.iter
+    (fun d ->
+      let off_bins, off_rep = run ~recorder:false d in
+      let on_bins, on_rep = run ~recorder:true d in
+      checkb (Printf.sprintf "recorder off: identical at %d domains" d) true
+        (off_bins = bins1 && Injector.report_equal off_rep rep1);
+      checkb (Printf.sprintf "recorder on: identical at %d domains" d) true
+        (on_bins = bins1 && Injector.report_equal on_rep rep1))
+    [ 1; 2; 8 ]
+
 let test_no_faults_empty_report () =
   (* faults = None and faults = Some none-plan both report empty and
      release the exact oracle. *)
@@ -579,5 +665,11 @@ let () =
           Alcotest.test_case "mixnet arena identical across domains" `Quick
             test_mixnet_arena_domains_identical;
           Alcotest.test_case "no faults, empty report" `Quick test_no_faults_empty_report;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "dump per fault class" `Quick test_chaos_flight_dumps;
+          Alcotest.test_case "recorder on/off identical releases" `Quick
+            test_recorder_identical_releases;
         ] );
     ]

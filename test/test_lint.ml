@@ -89,6 +89,16 @@ let test_obs_guard_fires () =
     [ ("obs-guard", 7) ]
     (site_list (only "fire_obs_guard_ba.ml" r.violations))
 
+let test_obs_names_fires () =
+  (* The registry half of obs-guard, live in the plain-lib zone: every
+     registration head (counter/gauge/histogram/Timeseries.register,
+     bare or fully qualified) with an inline literal fires; the
+     Obs.Names-drawn registration on the last line stays silent. *)
+  let r = Lazy.force lib_report in
+  Alcotest.check sites "obs-names sites"
+    [ ("obs-guard", 3); ("obs-guard", 4); ("obs-guard", 5); ("obs-guard", 6) ]
+    (site_list (only "fire_obs_names.ml" r.violations))
+
 let test_clean_files_are_clean () =
   let r = Lazy.force lib_report in
   Alcotest.check sites "clean.ml" [] (site_list (only "clean.ml" r.violations));
@@ -113,7 +123,7 @@ let test_suppressions_silence () =
         (site_list (only file r.violations)))
     [ "suppressed_poly_compare.ml"; "suppressed_poly_compare_int64.ml";
       "suppressed_determinism.ml"; "suppressed_rng_capture.ml";
-      "suppressed_interface.mli" ];
+      "suppressed_interface.mli"; "suppressed_obs_names.ml" ];
   Alcotest.check sites "suppressed_obs_guard.ml has no live violations" []
     (site_list (only "suppressed_obs_guard.ml" h.violations));
   Alcotest.check sites "suppressed_obs_guard_ba.ml has no live violations" []
@@ -138,6 +148,9 @@ let test_suppressions_are_counted () =
   Alcotest.check sites "interface suppression recorded"
     [ ("interface", 4) ]
     (site_list (only "suppressed_interface.mli" r.suppressed));
+  Alcotest.check sites "obs-names suppression recorded"
+    [ ("obs-guard", 5) ]
+    (site_list (only "suppressed_obs_names.ml" r.suppressed));
   Alcotest.check sites "obs-guard suppression recorded"
     [ ("obs-guard", 5) ]
     (site_list (only "suppressed_obs_guard.ml" h.suppressed));
@@ -268,6 +281,7 @@ let () =
           Alcotest.test_case "rng-capture" `Quick test_rng_capture_fires;
           Alcotest.test_case "interface" `Quick test_interface_fires;
           Alcotest.test_case "obs-guard" `Quick test_obs_guard_fires;
+          Alcotest.test_case "obs-names" `Quick test_obs_names_fires;
           Alcotest.test_case "clean-files" `Quick test_clean_files_are_clean;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
         ] );

@@ -59,6 +59,66 @@ let test_json_member () =
   checkb "member misses absent keys" true (Json.member "absent" sample_json = None);
   checkb "member on non-objects" true (Json.member "x" (Json.Int 1) = None)
 
+let test_json_escapes () =
+  (* \uXXXX escapes decode to UTF-8, surrogate pairs combine, and the
+     emitter's control-character escapes survive a round trip. *)
+  let parse_exn s =
+    match Json.parse s with Ok v -> v | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  checkb "BMP escape" true (parse_exn {|"\u00e9"|} = Json.Str "\xc3\xa9");
+  checkb "ASCII escape" true (parse_exn {|"\u0041"|} = Json.Str "A");
+  checkb "three-byte escape" true (parse_exn {|"\u20ac"|} = Json.Str "\xe2\x82\xac");
+  checkb "surrogate pair -> U+1F600" true
+    (parse_exn {|"\ud83d\ude00"|} = Json.Str "\xf0\x9f\x98\x80");
+  (* Embedded NUL: escaped on output, preserved through a round trip. *)
+  let nul = Json.Str "a\x00b" in
+  checkb "NUL survives a round trip" true (Json.parse (Json.to_string nul) = Ok nul);
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted %S" s
+      | Error _ -> ())
+    [
+      {|"\ud83d"|} (* lone high surrogate *);
+      {|"\ude00"|} (* lone low surrogate *);
+      {|"\ud83dA"|} (* high surrogate followed by a non-surrogate *);
+      {|"\u12g4"|} (* non-hex digit *);
+      {|"\u1_34"|} (* OCaml literal underscore is not JSON hex *);
+      {|"\u123"|} (* truncated *);
+    ]
+
+let test_json_depth_limit () =
+  let nested n = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  (match Json.parse (nested 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 100 should parse: %s" e);
+  (match Json.parse (nested 511) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 511 should parse: %s" e);
+  (match Json.parse (nested 5000) with
+  | Ok _ -> Alcotest.fail "parser accepted 5000 levels of nesting"
+  | Error _ -> ());
+  (* Same limit through object nesting. *)
+  let deep_obj n =
+    String.concat ""
+      [ String.concat "" (List.init n (fun _ -> "{\"k\":")); "1"; String.make n '}' ]
+  in
+  match Json.parse (deep_obj 5000) with
+  | Ok _ -> Alcotest.fail "parser accepted 5000 levels of object nesting"
+  | Error _ -> ()
+
+let test_json_to_channel () =
+  (* The streaming writer emits byte-identical output to to_string. *)
+  let path = Filename.temp_file "obs_json" ".json" in
+  let oc = open_out_bin path in
+  Json.to_channel oc sample_json;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  checkb "to_channel matches to_string" true (String.equal s (Json.to_string sample_json))
+
 (* ------------------------------------------------------------------ *)
 (* Histogram bucket math                                               *)
 (* ------------------------------------------------------------------ *)
@@ -98,6 +158,156 @@ let test_counter_gauge () =
   checki "disabled incr is a no-op" 5 (Obs.Metrics.value c);
   checkb "same name returns the same metric" true
     (Obs.Metrics.value (Obs.Metrics.counter "test.counter") = 5)
+
+(* ------------------------------------------------------------------ *)
+(* Time-series rings and the background sampler                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeseries_ring () =
+  let s = Obs.Timeseries.register ~capacity:4 "test.ring" in
+  checki "ring capacity" 4 (Obs.Timeseries.capacity s);
+  checkb "empty last" true (Obs.Timeseries.last s = None);
+  for i = 1 to 10 do
+    Obs.Timeseries.record s (float_of_int i)
+  done;
+  checki "total counts every record" 10 (Obs.Timeseries.total s);
+  let pts = Obs.Timeseries.points s in
+  checki "window holds capacity points" 4 (Array.length pts);
+  checkb "oldest-first window is 7..10" true
+    (Array.map snd pts = [| 7.; 8.; 9.; 10. |]);
+  (match Obs.Timeseries.last s with
+  | Some (_, v) -> checkb "last is the newest" true (v = 10.)
+  | None -> Alcotest.fail "last missing");
+  (* timestamps monotone non-decreasing *)
+  let ts = Array.map fst pts in
+  Array.iteri (fun i t -> if i > 0 then checkb "ns monotone" true (ts.(i - 1) <= t)) ts;
+  checkb "register is lookup-or-create" true
+    (Obs.Timeseries.total (Obs.Timeseries.register "test.ring") = 10)
+
+let test_sampler_sources () =
+  let calls = ref 0 in
+  Obs.Sampler.register_source ~name:"test-src" (fun () ->
+      incr calls;
+      [ ("test.sampled", float_of_int !calls) ]);
+  checkb "source registered" true (List.mem "test-src" (Obs.Sampler.source_names ()));
+  (* replace-by-name: a second registration under the same name wins *)
+  Obs.Sampler.register_source ~name:"test-src" (fun () ->
+      incr calls;
+      [ ("test.sampled", float_of_int !calls) ]);
+  let before = List.length (Obs.Sampler.source_names ()) in
+  Obs.Sampler.register_source ~name:"test-src" (fun () -> [ ("test.sampled", 0.) ]);
+  checki "replacement does not grow the registry" before
+    (List.length (Obs.Sampler.source_names ()));
+  Obs.Sampler.sample_once ();
+  let gc = Obs.Timeseries.register Obs.Names.gc_heap_words in
+  checkb "gc series sampled" true (Obs.Timeseries.total gc > 0);
+  let s = Obs.Timeseries.register "test.sampled" in
+  checkb "registered source sampled" true (Obs.Timeseries.total s > 0);
+  (* A raising source is swallowed, not propagated. *)
+  Obs.Sampler.register_source ~name:"test-broken" (fun () -> failwith "boom");
+  Obs.Sampler.sample_once ();
+  (* background thread: start, let it tick, stop; idempotent stop *)
+  let t0 = Obs.Sampler.tick_count () in
+  Obs.Sampler.start ~period_s:0.001 ();
+  checkb "sampler active" true (Obs.Sampler.active ());
+  Thread.delay 0.05;
+  Obs.Sampler.stop ();
+  Obs.Sampler.stop ();
+  checkb "sampler stopped" false (Obs.Sampler.active ());
+  checkb "ticker advanced" true (Obs.Sampler.tick_count () > t0)
+
+let test_prometheus_export () =
+  Obs.with_enabled (fun () ->
+      Obs.reset ();
+      Obs.Metrics.incr (Obs.Metrics.counter "test.prom.counter");
+      Obs.Metrics.set (Obs.Metrics.gauge "test.prom.gauge") 2.5;
+      let h = Obs.Metrics.histogram ~buckets:[| 1.; 2. |] "test.prom.hist" in
+      List.iter (Obs.Metrics.observe h) [ 0.5; 1.5; 3.0 ];
+      Obs.Timeseries.record (Obs.Timeseries.register "test.prom.series") 7.25;
+      let s = Obs.prometheus_string () in
+      let has needle =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      checkb "counter TYPE line" true (has "# TYPE mycelium_test_prom_counter counter");
+      checkb "counter sample" true (has "mycelium_test_prom_counter 1");
+      checkb "gauge sample" true (has "mycelium_test_prom_gauge 2.5");
+      checkb "histogram TYPE line" true (has "# TYPE mycelium_test_prom_hist histogram");
+      checkb "cumulative le bucket" true (has "mycelium_test_prom_hist_bucket{le=\"2\"} 2");
+      checkb "+Inf bucket" true (has "mycelium_test_prom_hist_bucket{le=\"+Inf\"} 3");
+      checkb "histogram count" true (has "mycelium_test_prom_hist_count 3");
+      checkb "timeseries family" true
+        (has "mycelium_timeseries{series=\"test.prom.series\"} 7.25");
+      (* Streaming export is byte-identical to the string. *)
+      let path = Filename.temp_file "obs_prom" ".txt" in
+      Obs.write_prometheus path;
+      let ic = open_in_bin path in
+      let file = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove path;
+      checkb "write_prometheus matches prometheus_string" true (String.equal file s))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_ring () =
+  Obs.Recorder.enable ~capacity:8 ();
+  checkb "recording" true (Obs.Recorder.recording ());
+  checki "capacity applied" 8 (Obs.Recorder.capacity ());
+  for i = 1 to 20 do
+    Obs.Recorder.note ~detail:[ ("i", Json.Int i) ] "test.ev"
+  done;
+  checki "recorded counts every note" 20 (Obs.Recorder.recorded ());
+  let evs = Obs.Recorder.events () in
+  checki "ring keeps the last capacity events" 8 (List.length evs);
+  let seqs = List.map (fun (e : Obs.Recorder.event) -> e.Obs.Recorder.ev_seq) evs in
+  checkb "oldest-first, the final window" true (seqs = [ 12; 13; 14; 15; 16; 17; 18; 19 ]);
+  (* Dump round-trips through the hardened parser. *)
+  (match Json.parse (Obs.Recorder.dump_string ()) with
+  | Error e -> Alcotest.failf "dump does not re-parse: %s" e
+  | Ok doc ->
+    checkb "schema" true (Json.member "schema" doc = Some (Json.Str "mycelium-flight/1"));
+    checkb "dropped = recorded - window" true (Json.member "dropped" doc = Some (Json.Int 12)));
+  (* Disabled note is a no-op. *)
+  Obs.Recorder.disable ();
+  Obs.Recorder.note "test.ghost";
+  checki "disabled note records nothing" 20 (Obs.Recorder.recorded ());
+  Obs.Recorder.clear ()
+
+let test_recorder_autodump () =
+  let path = Filename.temp_file "obs_flight" ".json" in
+  Sys.remove path;
+  Obs.Recorder.enable ~capacity:16 ();
+  Obs.Recorder.arm path;
+  checkb "no dump before any trigger" false (Sys.file_exists path);
+  Obs.Recorder.note ~detail:[ ("round", Json.Int 1) ] "fault.drop";
+  Obs.Recorder.trigger ();
+  checkb "first trigger writes immediately" true (Sys.file_exists path);
+  (* Later events fold into the exit-time rewrite via flush. *)
+  Obs.Recorder.note "fault.retry";
+  Obs.Recorder.flush ();
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Obs.Recorder.disarm ();
+  Obs.Recorder.disable ();
+  Obs.Recorder.clear ();
+  match Json.parse s with
+  | Error e -> Alcotest.failf "auto-dump does not re-parse: %s" e
+  | Ok doc ->
+    let kinds =
+      match Json.member "events" doc with
+      | Some (Json.List evs) ->
+        List.filter_map
+          (fun e -> match Json.member "kind" e with Some (Json.Str k) -> Some k | _ -> None)
+          evs
+      | _ -> Alcotest.fail "dump has no events array"
+    in
+    checkb "dump holds the fault event" true (List.mem "fault.drop" kinds);
+    checkb "flush folded the later event in" true (List.mem "fault.retry" kinds)
 
 (* ------------------------------------------------------------------ *)
 (* Span recording under the pool                                       *)
@@ -316,6 +526,76 @@ let test_exported_trace () =
     | Ok _ -> ()
     | Error e -> Alcotest.failf "metrics JSON does not re-parse: %s" e)
 
+(* ------------------------------------------------------------------ *)
+(* Audit ledger: exact budget accounting                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ledger_exact_totals () =
+  let path = Filename.temp_file "obs_ledger" ".jsonl" in
+  Sys.remove path;
+  Obs.disable ();
+  let sys =
+    Runtime.init
+      { Runtime.default_config with
+        Runtime.params = Params.test_small;
+        degree_bound = 4;
+        epsilon_budget = 2.5;
+        ledger = Some path
+      }
+      (small_graph ())
+  in
+  let q = (Corpus.find "Q5").Corpus.sql in
+  checkb "first charged query ok" true
+    (Result.is_ok (Runtime.run_query ~epsilon:1.0 sys q));
+  checkb "infinite-epsilon query ok" true
+    (Result.is_ok (Runtime.run_query ~epsilon:infinity sys q));
+  checkb "second charged query ok" true
+    (Result.is_ok (Runtime.run_query ~epsilon:0.75 sys q));
+  (* Q1 is infeasible under test_small parameters: an errored query
+     that still lands in the ledger. *)
+  (match Runtime.run_query ~epsilon:0.25 sys (Corpus.find "Q1").Corpus.sql with
+  | Error (Runtime.Infeasible _) -> ()
+  | Ok _ -> Alcotest.fail "Q1 should be infeasible under test_small"
+  | Error _ -> Alcotest.fail "Q1 failed for an unexpected reason");
+  (match Runtime.run_query ~epsilon:5.0 sys q with
+  | Error (Runtime.Budget_exhausted _) -> ()
+  | Ok _ -> Alcotest.fail "over-budget query should be rejected"
+  | Error _ -> Alcotest.fail "over-budget query failed for the wrong reason");
+  (* A parse failure never reaches the executor, so no record. *)
+  (match Runtime.run_query sys "SELECT" with
+  | Error (Runtime.Parse_error _) -> ()
+  | _ -> Alcotest.fail "malformed query should be a parse error");
+  let records =
+    match Obs.Ledger.read path with
+    | Ok rs -> rs
+    | Error e -> Alcotest.failf "ledger does not re-parse: %s" e
+  in
+  Sys.remove path;
+  checki "one record per executed query" 5 (List.length records);
+  let s = Obs.Ledger.summarize records in
+  checki "ok queries" 3 s.Obs.Ledger.ok;
+  checki "rejected queries" 1 s.Obs.Ledger.rejected;
+  checki "errored queries" 1 s.Obs.Ledger.errored;
+  checki "uncharged (infinite-epsilon) queries" 1 s.Obs.Ledger.uncharged;
+  (* The acceptance bar: summing the ledger's charged epsilons
+     reproduces the accountant bit for bit. *)
+  let spent = Mycelium_dp.Dp.budget_spent (Runtime.budget sys) in
+  checkb "ledger sum equals Dp.budget_spent exactly" true
+    (s.Obs.Ledger.epsilon_spent = spent);
+  (match s.Obs.Ledger.budget_total with
+  | Some b -> checkb "budget_total carried through" true (b = 2.5)
+  | None -> Alcotest.fail "budget_total missing");
+  (match s.Obs.Ledger.budget_remaining with
+  | Some r ->
+    checkb "budget_remaining tracks the accountant" true
+      (r = Mycelium_dp.Dp.budget_remaining (Runtime.budget sys))
+  | None -> Alcotest.fail "budget_remaining missing");
+  (* Per-name rollup covers every distinct query name. *)
+  checkb "by_name covers each query name" true
+    (List.length s.Obs.Ledger.by_name >= 1);
+  let total_runs = List.fold_left (fun a (_, n, _) -> a + n) 0 s.Obs.Ledger.by_name in
+  checki "by_name runs sum to the record count" 5 total_runs
+
 let () =
   Alcotest.run "obs"
     [
@@ -324,11 +604,25 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "rejects malformed input" `Quick test_json_rejects;
           Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "unicode escapes and NUL" `Quick test_json_escapes;
+          Alcotest.test_case "depth limit" `Quick test_json_depth_limit;
+          Alcotest.test_case "streaming writer" `Quick test_json_to_channel;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "histogram buckets" `Quick test_histogram;
           Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "ring window" `Quick test_timeseries_ring;
+          Alcotest.test_case "sampler sources and ticker" `Quick test_sampler_sources;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_export;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "bounded ring and dump" `Quick test_recorder_ring;
+          Alcotest.test_case "armed auto-dump" `Quick test_recorder_autodump;
         ] );
       ( "spans",
         [
@@ -344,5 +638,9 @@ let () =
             test_identical_on_off;
           Alcotest.test_case "exported trace re-parses with all phases" `Slow
             test_exported_trace;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "exact budget accounting" `Slow test_ledger_exact_totals;
         ] );
     ]

@@ -1,0 +1,152 @@
+(* benchdiff: compare two bench --json documents section by section.
+
+     dune exec tools/benchdiff/benchdiff.exe -- BENCH_pr7.json BENCH_pr8.json
+     dune exec tools/benchdiff/benchdiff.exe -- --gate 25 old.json new.json
+
+   Every numeric leaf present in both documents is compared and printed
+   with its relative change, grouped by section and sorted by magnitude
+   within each.  Leaves present on only one side are listed so a
+   vanished measurement cannot pass silently.  With --gate PCT the exit
+   status is 1 when any shared leaf moved by more than PCT percent —
+   useful as a coarse regression tripwire between committed records
+   (time-like metrics regress upward, throughput-like downward; the
+   gate is direction-agnostic on purpose, a big move either way is
+   worth a look). *)
+
+module Json = Mycelium_obs.Obs.Json
+
+let usage () =
+  prerr_endline "usage: benchdiff [--gate PCT] OLD.json NEW.json";
+  exit 2
+
+let gate, old_path, new_path =
+  let rec parse gate = function
+    | "--gate" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some g when g > 0. -> parse (Some g) rest
+      | Some _ | None -> usage ())
+    | [ a; b ] -> (gate, a, b)
+    | _ -> usage ()
+  in
+  parse None (List.tl (Array.to_list Sys.argv))
+
+let load path =
+  let ic = try open_in_bin path with Sys_error e -> prerr_endline ("benchdiff: " ^ e); exit 2 in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.parse s with
+  | Ok doc -> doc
+  | Error e ->
+    Printf.eprintf "benchdiff: %s does not parse: %s\n" path e;
+    exit 2
+
+(* Flatten every numeric leaf to a dotted path.  Lists index by a
+   stable key when their elements carry one (the bench documents label
+   rows with "degree", "label" or "domains"), falling back to the
+   position, so reordered rows still line up. *)
+let rec flatten prefix j acc =
+  match j with
+  | Json.Int i -> (prefix, float_of_int i) :: acc
+  | Json.Num v -> (prefix, v) :: acc
+  | Json.Obj fields ->
+    List.fold_left (fun acc (k, v) -> flatten (prefix ^ "." ^ k) v acc) acc fields
+  | Json.List elts ->
+    let key_of e =
+      let field k =
+        match Json.member k e with
+        | Some (Json.Str s) -> Some s
+        | Some (Json.Int i) -> Some (string_of_int i)
+        | _ -> None
+      in
+      match (field "label", field "degree", field "domains") with
+      | Some l, _, _ -> Some l
+      | None, Some d, _ -> Some d
+      | None, None, Some d -> Some d
+      | None, None, None -> None
+    in
+    List.fold_left
+      (fun (i, acc) e ->
+        let k = match key_of e with Some k -> k | None -> string_of_int i in
+        (i + 1, flatten (prefix ^ "[" ^ k ^ "]") e acc))
+      (0, acc) elts
+    |> snd
+  | Json.Null | Json.Bool _ | Json.Str _ -> acc
+
+let section_of path =
+  (* "sections.telemetry.sampler_off_ms" -> "telemetry" *)
+  match String.split_on_char '.' path with
+  | "" :: "sections" :: s :: _ -> s
+  | _ -> "(top)"
+
+let () =
+  let old_doc = load old_path and new_doc = load new_path in
+  let olds = flatten "" old_doc [] and news = flatten "" new_doc [] in
+  let old_tbl = Hashtbl.create 64 in
+  List.iter (fun (p, v) -> Hashtbl.replace old_tbl p v) olds;
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun (p, v) -> Hashtbl.replace new_tbl p v) news;
+  let shared =
+    List.filter_map
+      (fun (p, nv) ->
+        match Hashtbl.find_opt old_tbl p with
+        | Some ov -> Some (p, ov, nv)
+        | None -> None)
+      news
+  in
+  let only_old = List.filter (fun (p, _) -> not (Hashtbl.mem new_tbl p)) olds in
+  let only_new = List.filter (fun (p, _) -> not (Hashtbl.mem old_tbl p)) news in
+  let delta_pct ov nv =
+    if Float.abs ov < 1e-12 then if Float.abs nv < 1e-12 then 0. else Float.infinity
+    else (nv -. ov) /. Float.abs ov *. 100.
+  in
+  Printf.printf "benchdiff: %s -> %s\n" old_path new_path;
+  Printf.printf "  shared numeric leaves: %d  (only old: %d, only new: %d)\n"
+    (List.length shared) (List.length only_old) (List.length only_new);
+  let by_section = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (p, ov, nv) ->
+      let s = section_of p in
+      if not (Hashtbl.mem by_section s) then order := s :: !order;
+      Hashtbl.replace by_section s ((p, ov, nv) :: Option.value ~default:[] (Hashtbl.find_opt by_section s)))
+    shared;
+  let worst = ref 0. in
+  List.iter
+    (fun s ->
+      let rows = Hashtbl.find by_section s in
+      let rows =
+        List.sort
+          (fun (_, ov1, nv1) (_, ov2, nv2) ->
+            Float.compare (Float.abs (delta_pct ov2 nv2)) (Float.abs (delta_pct ov1 nv1)))
+          rows
+      in
+      Printf.printf "  [%s]\n" s;
+      List.iter
+        (fun (p, ov, nv) ->
+          let d = delta_pct ov nv in
+          if Float.abs d > Float.abs !worst then worst := d;
+          Printf.printf "    %-64s %14.6g -> %14.6g  %+8.1f%%\n" p ov nv d)
+        rows)
+    (List.rev !order);
+  let list_only tag l =
+    if l <> [] then begin
+      Printf.printf "  %s:\n" tag;
+      List.iter (fun (p, v) -> Printf.printf "    %-64s %14.6g\n" p v) l
+    end
+  in
+  list_only "only in old" only_old;
+  list_only "only in new" only_new;
+  match gate with
+  | None -> ()
+  | Some g ->
+    let over =
+      List.filter (fun (_, ov, nv) -> Float.abs (delta_pct ov nv) > g) shared
+    in
+    if over <> [] then begin
+      Printf.printf "gate: %d leaf(s) moved more than %.0f%%:\n" (List.length over) g;
+      List.iter
+        (fun (p, ov, nv) -> Printf.printf "  %-64s %+8.1f%%\n" p (delta_pct ov nv))
+        over;
+      exit 1
+    end
+    else Printf.printf "gate: no leaf moved more than %.0f%% ok\n" g

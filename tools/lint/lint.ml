@@ -212,11 +212,12 @@ let read_file path =
 let ml_rules_for zone : (file:string -> Parsetree.structure -> violation list) list =
   let r1 = Lint_rules.poly_compare and r2 = Lint_rules.determinism in
   let r3 = Lint_rules.rng_capture and r4 = Lint_rules.obs_guard in
+  let r5 = Lint_rules.obs_metric_names in
   match zone with
-  | Lib -> [ r1; r2; r3 ]
-  | Lib_hot -> [ r1; r2; r3; r4 ]
-  | Lib_rng -> [ r1; r3 ]
-  | Bin -> [ r2; r3 ]
+  | Lib -> [ r1; r2; r3; r5 ]
+  | Lib_hot -> [ r1; r2; r3; r4; r5 ]
+  | Lib_rng -> [ r1; r3; r5 ]
+  | Bin -> [ r2; r3; r5 ]
   | Bench | Test -> [ r3 ]
 
 (* Lint one source text.  Returns (violations, suppressed). *)

@@ -309,6 +309,54 @@ let obs_guard ~file str =
   !out
 
 (* ------------------------------------------------------------------ *)
+(* Rule 4b: obs-guard — the metric-name registry                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Library and CLI code must draw metric and time-series names from
+   [Obs.Names] instead of inline string literals: the registry is what
+   keeps the Prometheus exposition, the sampler sources and the
+   DESIGN.md §8 taxonomy in sync, and a literal typo silently forks a
+   series.  Bench and test zones keep their ad-hoc names.  Reported
+   under the obs-guard rule id (it is the same contract), so the
+   existing suppression comments apply. *)
+
+let obs_register_heads path =
+  match List.rev path with
+  | ("counter" | "gauge" | "histogram") :: "Metrics" :: ("Obs" :: _ | [])
+  | "register" :: "Timeseries" :: ("Obs" :: _ | []) ->
+    true
+  | _ -> false
+
+let obs_metric_names ~file str =
+  let out = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+            when obs_register_heads (norm_path txt) -> (
+            let unlabelled =
+              List.find_opt (function Asttypes.Nolabel, _ -> true | _ -> false) args
+            in
+            match unlabelled with
+            | Some (_, { pexp_desc = Pexp_constant (Pconst_string _); pexp_loc; _ }) ->
+              out :=
+                viol "obs-guard" file pexp_loc
+                  "metric registered with an inline string literal; draw the name \
+                   from Obs.Names so the registry, the Prometheus exposition and \
+                   DESIGN.md §8 stay in sync"
+                :: !out
+            | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it str;
+  !out
+
+(* ------------------------------------------------------------------ *)
 (* Rule 5: interface — the signature half                             *)
 (* ------------------------------------------------------------------ *)
 
