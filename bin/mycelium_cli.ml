@@ -5,6 +5,7 @@
      dune exec bin/mycelium_cli.exe -- analyze "SELECT ..."
      dune exec bin/mycelium_cli.exe -- run --population 30 --epsilon 1.0 "SELECT ..."
      dune exec bin/mycelium_cli.exe -- corpus
+     dune exec bin/mycelium_cli.exe -- serve workload.jsonl --batch-size 8
      dune exec bin/mycelium_cli.exe -- audit ledger.jsonl
 *)
 
@@ -20,6 +21,9 @@ module Params = Mycelium_bgv.Params
 module Runtime = Mycelium_core.Runtime
 module Engine = Mycelium_baseline.Engine
 module Obs = Mycelium_obs.Obs
+module Serve = Mycelium_serve.Serve
+module Accountant = Mycelium_serve.Accountant
+module Agg_cache = Mycelium_serve.Agg_cache
 
 open Cmdliner
 
@@ -217,6 +221,202 @@ let run_cmd =
       const run $ population $ degree $ epsilon $ seed $ plaintext $ trace_file $ metrics
       $ ledger_file $ flight_file $ prometheus_file $ sample_ms $ query_arg)
 
+(* --- serve --------------------------------------------------------- *)
+
+(* One workload line: {"user": "...", "epsilon": 0.5, "query": "Q5",
+   "arrival": 1.25} — query is a corpus id or inline SQL, arrival (in
+   seconds, monotone) drives the batch deadline and defaults to 0. *)
+let parse_workload_line lineno line =
+  match Obs.Json.parse line with
+  | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+  | Ok json ->
+    let str k = match Obs.Json.member k json with Some (Obs.Json.Str s) -> Some s | _ -> None in
+    let num k =
+      match Obs.Json.member k json with
+      | Some (Obs.Json.Num f) -> Some f
+      | Some (Obs.Json.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    (match (str "user", str "query") with
+    | Some user, Some q ->
+      let epsilon = Option.value ~default:1.0 (num "epsilon") in
+      let epsilon = if epsilon <= 0. then Float.infinity else epsilon in
+      let arrival = Option.value ~default:0.0 (num "arrival") in
+      Ok (arrival, { Serve.user; epsilon; sql = resolve_query q })
+    | _ -> Error (Printf.sprintf "line %d: needs \"user\" and \"query\" fields" lineno))
+
+let serve_cmd =
+  let doc =
+    "Serve a workload file through the batching scheduler: admitted queries share one \
+     mixnet round-trip and one committee decryption session per batch, repeated query \
+     shapes hit the encrypted-aggregate cache, and each analyst draws from their own \
+     privacy budget."
+  in
+  let workload_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "JSONL workload: one {\"user\", \"epsilon\", \"query\", \"arrival\"} object \
+             per line; \"query\" is a corpus id (Q1..Q10) or inline SQL.")
+  in
+  let population =
+    Arg.(value & opt int 30 & info [ "population"; "n" ] ~doc:"Number of devices.")
+  in
+  let degree = Arg.(value & opt int 4 & info [ "degree"; "d" ] ~doc:"Degree bound d.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed (graph, DP noise streams).") in
+  let batch_size =
+    Arg.(value & opt int 8 & info [ "batch-size" ] ~doc:"Flush a batch at this many admitted members.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 1.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Flush when the oldest pending member has waited this long on the workload's arrival clock.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 64 & info [ "cache-capacity" ] ~doc:"Encrypted-aggregate cache entries (0 disables).")
+  in
+  let user_budget =
+    Arg.(value & opt float 10.0 & info [ "user-budget" ] ~doc:"Per-analyst total epsilon.")
+  in
+  let no_budget =
+    Arg.(
+      value & flag
+      & info [ "no-budget" ]
+          ~doc:
+            "Admit epsilon <= 0 (infinite-epsilon, exact-release) queries. Without this \
+             flag the scheduler rejects them: a serving layer does not release \
+             unbudgeted results.")
+  in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record a trace and write Chrome trace_event format to $(docv). Results are identical either way.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry (serve.* admission, batch and cache counters included) after the workload.")
+  in
+  let ledger_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Append one audit record per batch member to $(docv) (summarize with $(b,mycelium audit)).")
+  in
+  let run workload population degree seed batch_size deadline cache_capacity user_budget
+      no_budget trace_file metrics ledger_file =
+    let lines =
+      let ic = open_in workload in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc n =
+            match input_line ic with
+            | line ->
+              let acc = if String.trim line = "" then acc else (n, line) :: acc in
+              go acc (n + 1)
+            | exception End_of_file -> List.rev acc
+          in
+          go [] 1)
+    in
+    let requests =
+      List.filter_map
+        (fun (n, line) ->
+          match parse_workload_line n line with
+          | Ok r -> Some r
+          | Error e ->
+            Printf.eprintf "serve: %s: %s\n" workload e;
+            exit 1)
+        lines
+    in
+    let rng = Rng.create (Int64.of_int seed) in
+    let graph =
+      Cg.generate
+        { Cg.default_config with Cg.population; degree_bound = degree; extra_contact_rate = 1.5 }
+        rng
+    in
+    let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng graph in
+    let sys =
+      Runtime.init
+        { Runtime.default_config with
+          Runtime.params = Params.test_small;
+          degree_bound = degree;
+          seed = Int64.of_int seed;
+          epsilon_budget = Float.max_float;
+          trace = trace_file <> None || metrics;
+          ledger = ledger_file
+        }
+        graph
+    in
+    let srv =
+      Serve.create
+        ~config:
+          { Serve.batch_size;
+            deadline_s = deadline;
+            per_user_budget = user_budget;
+            accounting = Mycelium_dp.Dp.Basic;
+            cache_capacity;
+            allow_unbudgeted = no_budget;
+            seed = Int64.of_int seed
+          }
+        sys
+    in
+    let admitted = ref 0 and rejected = ref 0 in
+    let print_responses rs =
+      List.iter
+        (fun r ->
+          match r.Serve.outcome with
+          | Ok qr ->
+            Printf.printf "#%d %s %s [%s]\n" r.Serve.seq r.Serve.user r.Serve.query_name
+              (if r.Serve.cache_hit then "cache hit" else "fresh");
+            print_result qr.Runtime.result
+          | Error e ->
+            Printf.printf "#%d %s %s failed: %s\n" r.Serve.seq r.Serve.user
+              r.Serve.query_name
+              (Serve.rejection_to_string (Serve.Invalid e)))
+        rs
+    in
+    List.iter
+      (fun (arrival, req) ->
+        let adm, flushed = Serve.submit srv ~arrival req in
+        (match adm with
+        | Serve.Queued _ -> incr admitted
+        | Serve.Rejected r ->
+          incr rejected;
+          Printf.printf "rejected %s: %s\n" req.Serve.user (Serve.rejection_to_string r));
+        print_responses flushed)
+      requests;
+    print_responses (Serve.drain srv);
+    Printf.printf "(admitted %d, rejected %d; cache: %d entries, %d evictions)\n" !admitted
+      !rejected
+      (Agg_cache.length (Serve.cache srv))
+      (Agg_cache.evictions (Serve.cache srv));
+    let acct = Serve.accountant srv in
+    List.iter
+      (fun user ->
+        Printf.printf "(budget %-12s spent %.6g of %.6g)\n" user (Accountant.spent acct ~user)
+          (Accountant.per_user_total acct))
+      (Accountant.users acct);
+    (match trace_file with
+    | Some path ->
+      Obs.write_chrome_trace path;
+      Printf.printf "(trace: %d spans written to %s)\n" (Obs.span_count ()) path
+    | None -> ());
+    if metrics then print_string (Obs.metrics_table ());
+    (match ledger_file with
+    | Some path -> Printf.printf "(audit ledger appended to %s)\n" path
+    | None -> ());
+    0
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ workload_arg $ population $ degree $ seed $ batch_size $ deadline
+      $ cache_capacity $ user_budget $ no_budget $ trace_file $ metrics $ ledger_file)
+
 (* --- audit --------------------------------------------------------- *)
 
 let audit_cmd =
@@ -271,4 +471,4 @@ let corpus_cmd =
 let () =
   let doc = "Mycelium: large-scale distributed graph queries with differential privacy" in
   let info = Cmd.info "mycelium" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; corpus_cmd; audit_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; serve_cmd; corpus_cmd; audit_cmd ]))

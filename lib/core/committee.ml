@@ -1,5 +1,6 @@
 module Rng = Mycelium_util.Rng
 module Bgv = Mycelium_bgv.Bgv
+module Params = Mycelium_bgv.Params
 module Plaintext = Mycelium_bgv.Plaintext
 module Shamir = Mycelium_secrets.Shamir
 module Vsr = Mycelium_secrets.Vsr
@@ -74,45 +75,152 @@ let rec recruit rng ~candidates ~needed ~churn ~max_attempts ~attempt =
     else recruit rng ~candidates ~needed ~churn ~max_attempts ~attempt:(attempt + 1)
   end
 
-let decrypt_and_release ?(churn = 0.) ?(max_attempts = 10) ?(excluded = []) t rng ctx
-    ~info ~epsilon ct =
+(* The §4.4 final processing, shared by the single-query and batched
+   decryption paths: calibrated Laplace noise per histogram bin for
+   HISTO, per group sum for GSUM, drawn from [noise_rng]. *)
+let release_from_counts ~noise_rng ~info ~epsilon ~participants ~attempts counts =
+  let sensitivity = info.Analysis.sensitivity in
+  match info.Analysis.query.Ast.output with
+  | Ast.Histo _ ->
+    (* Laplace noise on every bin before anything leaves the MPC. *)
+    let noisy_bins = Dp.release_histogram noise_rng ~sensitivity ~epsilon counts in
+    Ok { noisy_bins; result = Semantics.decode info noisy_bins; participants; attempts }
+  | Ast.Gsum _ ->
+    (* The committee computes the clipped sums from the exact bins
+       (§4.4's formula) and noises each group's output once. *)
+    let exact = Array.map float_of_int counts in
+    (match Semantics.decode info exact with
+    | Semantics.Sums groups ->
+      let noised =
+        Array.map
+          (fun (label, v) -> (label, Dp.release_sum noise_rng ~sensitivity ~epsilon v))
+          groups
+      in
+      Ok { noisy_bins = exact; result = Semantics.Sums noised; participants; attempts }
+    | Semantics.Histogram _ -> Error "decode mismatch: GSUM query decoded to histogram")
+
+let recruit_and_decrypt ?(churn = 0.) ?(max_attempts = 10) ?(excluded = []) t rng ctx ct =
+  let candidates =
+    List.filter (fun i -> not (List.exists (Int.equal i) excluded)) (List.init t.size Fun.id)
+  in
+  match recruit rng ~candidates ~needed:(t.thresh + 1) ~churn ~max_attempts ~attempt:1 with
+  | None -> Error "committee liveness failure: too few members reachable"
+  | Some (idx, attempts) ->
+    let live = List.map (fun i -> t.shares.(i)) (Array.to_list idx) in
+    (match Threshold.decrypt ctx rng ~threshold:t.thresh ~live ct with
+    | Error e -> Error e
+    | Ok (pt, participants) -> Ok (pt, participants, attempts))
+
+let decrypt_and_release ?churn ?max_attempts ?excluded t rng ctx ~info ~epsilon ct =
   Obs.span "committee.decrypt"
     ~attrs:[ ("size", Obs.Json.Int t.size); ("threshold", Obs.Json.Int t.thresh) ]
   @@ fun () ->
   if Bgv.degree ct <> 1 then Error "ciphertext must be relinearized to degree 1"
-  else begin
-    let candidates =
-      List.filter (fun i -> not (List.exists (Int.equal i) excluded)) (List.init t.size Fun.id)
-    in
-    match recruit rng ~candidates ~needed:(t.thresh + 1) ~churn ~max_attempts ~attempt:1 with
-    | None -> Error "committee liveness failure: too few members reachable"
-    | Some (idx, attempts) ->
-    let live = List.map (fun i -> t.shares.(i)) (Array.to_list idx) in
-    match Threshold.decrypt ctx rng ~threshold:t.thresh ~live ct with
+  else
+    match recruit_and_decrypt ?churn ?max_attempts ?excluded t rng ctx ct with
     | Error e -> Error e
-    | Ok (pt, participants) ->
-    let total_bins = info.Analysis.layout.Analysis.total_bins in
-    let counts = Array.init total_bins (fun i -> Plaintext.coeff pt i) in
-    let sensitivity = info.Analysis.sensitivity in
-    match info.Analysis.query.Ast.output with
-    | Ast.Histo _ ->
-      (* Laplace noise on every bin before anything leaves the MPC. *)
-      let noisy_bins = Dp.release_histogram rng ~sensitivity ~epsilon counts in
-      Ok { noisy_bins; result = Semantics.decode info noisy_bins; participants; attempts }
-    | Ast.Gsum _ ->
-      (* The committee computes the clipped sums from the exact bins
-         (§4.4's formula) and noises each group's output once. *)
-      let exact = Array.map float_of_int counts in
-      (match Semantics.decode info exact with
-      | Semantics.Sums groups ->
-        let noised =
-          Array.map
-            (fun (label, v) -> (label, Dp.release_sum rng ~sensitivity ~epsilon v))
-            groups
+    | Ok (pt, participants, attempts) ->
+      let total_bins = info.Analysis.layout.Analysis.total_bins in
+      let counts = Array.init total_bins (fun i -> Plaintext.coeff pt i) in
+      release_from_counts ~noise_rng:rng ~info ~epsilon ~participants ~attempts counts
+
+type batch_member = {
+  b_info : Analysis.info;
+  b_epsilon : float;
+  b_noise_rng : Rng.t;
+}
+
+(* One threshold-decryption session for a whole batch: member [i]'s
+   (relinearized) aggregate is shifted into its own window of the
+   plaintext ring by a homomorphic multiplication with the monomial
+   x^offset_i — exponent arithmetic moves bin b to bin offset_i + b —
+   the shifted ciphertexts are summed, and the single combined
+   ciphertext is decrypted by one recruited committee. The coefficient
+   vector of the decrypted plaintext is the concatenation of every
+   member's exact bins, sliced back apart per member.
+
+   Exactness is what makes the sharing safe: Shamir reconstruction
+   yields the same plaintext for any threshold+1 live shares, and the
+   windows are disjoint with no negacyclic wrap (enforced by the
+   [sum total_bins <= N] check), so each member's sliced counts are
+   bit-identical to what its own solo decryption session would have
+   produced. Per-member DP noise then comes from the member's own
+   [b_noise_rng], never a shared stream — so released bytes cannot
+   depend on who else shared the session. *)
+let decrypt_batch ?churn ?max_attempts ?excluded t rng ctx ~members =
+  Obs.span "committee.decrypt_batch"
+    ~attrs:
+      [
+        ("size", Obs.Json.Int t.size);
+        ("threshold", Obs.Json.Int t.thresh);
+        ("members", Obs.Json.Int (List.length members));
+      ]
+  @@ fun () ->
+  match members with
+  | [] -> invalid_arg "Committee.decrypt_batch: empty batch"
+  | members ->
+    if List.exists (fun (_, ct) -> Bgv.degree ct <> 1) members then
+      Error "ciphertext must be relinearized to degree 1"
+    else begin
+      let ring_degree = (Bgv.params ctx).Params.degree in
+      let plain_modulus = Bgv.plain_modulus ctx in
+      (* Disjoint plaintext windows: member i owns
+         [offset_i, offset_i + total_bins_i). *)
+      let offsets =
+        let next = ref 0 in
+        List.map
+          (fun (m, _) ->
+            let o = !next in
+            next := o + m.b_info.Analysis.layout.Analysis.total_bins;
+            o)
+          members
+      in
+      let total =
+        List.fold_left
+          (fun acc (m, _) -> acc + m.b_info.Analysis.layout.Analysis.total_bins)
+          0 members
+      in
+      if total > ring_degree then
+        Error
+          (Printf.sprintf
+             "batch overflows the plaintext ring: %d bins > degree %d" total
+             ring_degree)
+      else begin
+        let combined =
+          List.fold_left2
+            (fun acc (_, ct) offset ->
+              let shifted =
+                if offset = 0 then ct
+                else
+                  Bgv.mul_plain ctx ct
+                    (Plaintext.monomial ~plain_modulus ~degree:ring_degree
+                       ~exponent:offset)
+              in
+              match acc with None -> Some shifted | Some a -> Some (Bgv.add a shifted))
+            None members offsets
         in
-        Ok { noisy_bins = exact; result = Semantics.Sums noised; participants; attempts }
-      | Semantics.Histogram _ -> Error "decode mismatch: GSUM query decoded to histogram")
-  end
+        let combined = Option.get combined in
+        match recruit_and_decrypt ?churn ?max_attempts ?excluded t rng ctx combined with
+        | Error e -> Error e
+        | Ok (pt, participants, attempts) ->
+          let releases =
+            List.map2
+              (fun (m, _) offset ->
+                let bins = m.b_info.Analysis.layout.Analysis.total_bins in
+                let counts = Array.init bins (fun i -> Plaintext.coeff pt (offset + i)) in
+                release_from_counts ~noise_rng:m.b_noise_rng ~info:m.b_info
+                  ~epsilon:m.b_epsilon ~participants ~attempts counts)
+              members offsets
+          in
+          (* Either every member releases or the whole session fails. *)
+          let rec collect acc = function
+            | [] -> Ok (List.rev acc)
+            | Ok r :: rest -> collect (r :: acc) rest
+            | Error e :: _ -> Error e
+          in
+          collect [] releases
+      end
+    end
 
 let reconstruct_for_tests t ctx =
   Threshold.reconstruct_secret_key ctx

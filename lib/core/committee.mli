@@ -66,6 +66,39 @@ val decrypt_and_release :
     the remaining live shares. Fails if the ciphertext is not degree 1
     or liveness never recovers. *)
 
+type batch_member = {
+  b_info : Mycelium_query.Analysis.info;
+  b_epsilon : float;
+  b_noise_rng : Mycelium_util.Rng.t;
+      (** the member's own noise stream — never shared across the
+          batch, so a member's released bytes cannot depend on who
+          else shared the decryption session *)
+}
+
+val decrypt_batch :
+  ?churn:float ->
+  ?max_attempts:int ->
+  ?excluded:int list ->
+  t ->
+  Mycelium_util.Rng.t ->
+  Mycelium_bgv.Bgv.ctx ->
+  members:(batch_member * Mycelium_bgv.Bgv.ciphertext) list ->
+  (release list, string) result
+(** One committee threshold-decryption session shared by a whole batch:
+    each member's relinearized aggregate is shifted into a disjoint
+    window of the plaintext ring (homomorphic multiplication by the
+    monomial x^offset), the shifted ciphertexts are summed, the single
+    combined ciphertext is decrypted once, and the concatenated
+    coefficient vector is sliced back apart per member. Threshold
+    reconstruction is exact for any threshold+1 live shares and the
+    windows cannot wrap (the call fails if the batch's total bin count
+    exceeds the ring degree N), so each member's sliced counts — and
+    therefore its noised release, drawn from its own [b_noise_rng] —
+    are bit-identical to a solo {!decrypt_and_release} session seeded
+    with the same noise stream. [rng] drives only recruitment and the
+    decryption smudging noise, neither of which can move a released
+    byte. Raises [Invalid_argument] on an empty batch. *)
+
 val reconstruct_for_tests : t -> Mycelium_bgv.Bgv.ctx -> Mycelium_bgv.Bgv.secret_key
 (** Rebuild the secret key from shares — the committee-capture failure
     mode, available so tests can compare against direct decryption. *)

@@ -93,6 +93,7 @@ type t = {
 }
 
 let public_key t = t.pk
+let config t = t.cfg
 let committee t = t.comm
 let budget t = t.budget
 let graph t = t.graph
@@ -386,7 +387,11 @@ let timed set f =
   set (Obs.now_s () -. t0);
   r
 
-let run_query_ast_inner ~epsilon ~ph t query =
+(* Static admission checks, shared by the single-query path and the
+   batched serving path: analysis, parameter feasibility, predicate
+   placement and the multi-hop restrictions.  Pure — never touches the
+   budget or any Rng stream. *)
+let validate_query t query =
   let ( let* ) = Result.bind in
   let* info =
     match Analysis.analyze ~degree_bound:t.cfg.degree_bound query with
@@ -405,18 +410,6 @@ let run_query_ast_inner ~epsilon ~ph t query =
     | Error e -> Error (Analysis_error e)
   in
   let* () =
-    (* epsilon = infinity means "release exactly" — a debugging mode
-       that bypasses privacy entirely, so it is not budget-charged. *)
-    if epsilon = Float.infinity then Ok ()
-    else begin
-      match Dp.budget_charge t.budget epsilon with
-      | Ok () ->
-        ph.charged <- true;
-        Ok ()
-      | Error (`Exhausted r) -> Error (Budget_exhausted r)
-    end
-  in
-  let* () =
     (* The spanning-tree engine covers the paper's multi-hop query
        class (Q1-style ungrouped counts/sums); §4.5's sequences and
        GROUP BY packing are 1-hop constructs. *)
@@ -431,6 +424,23 @@ let run_query_ast_inner ~epsilon ~ph t query =
            "multi-hop queries support only ungrouped aggregation without cross-column comparisons")
     else Ok ()
   in
+  Ok info
+
+let rec run_query_ast_inner ~epsilon ~ph t query =
+  let ( let* ) = Result.bind in
+  let* info = validate_query t query in
+  let* () =
+    (* epsilon = infinity means "release exactly" — a debugging mode
+       that bypasses privacy entirely, so it is not budget-charged. *)
+    if epsilon = Float.infinity then Ok ()
+    else begin
+      match Dp.budget_charge t.budget epsilon with
+      | Ok () ->
+        ph.charged <- true;
+        Ok ()
+      | Error (`Exhausted r) -> Error (Budget_exhausted r)
+    end
+  in
   (* One injector per query: the plan's decisions are stateless, the
      injector only accumulates the degradation report. *)
   let inj = Injector.create (Option.value t.cfg.faults ~default:Fault_plan.none) in
@@ -442,8 +452,56 @@ let run_query_ast_inner ~epsilon ~ph t query =
           ~attrs:[ ("hops", Obs.Json.Int query.Ast.hops) ]
           (fun () -> gather_rows t inj info))
   in
-  (* Every origin aggregates its neighborhood and submits; Byzantine
-     origins submit garbage with forged transcript proofs. *)
+  let* linear, origins_included, discarded =
+    aggregate_phase ~ph t inj info rows ~discarded_rows
+  in
+  (* Crashed committee members never answer; decryption still
+     succeeds with any threshold+1 of the remaining live shares. *)
+  let excluded =
+    Fault_plan.crashed_members (Injector.plan inj)
+      ~size:(Committee.committee_size t.comm)
+  in
+  if Injector.active inj then Injector.note_excluded_committee inj (List.length excluded);
+  (match
+     timed
+       (fun dt -> ph.decrypt_s <- dt)
+       (fun () ->
+         Obs.span "query.decrypt" (fun () ->
+             Committee.decrypt_and_release ~excluded t.comm t.rng t.ctx ~info ~epsilon
+               linear))
+   with
+  | Error e -> Error (Pipeline_error e)
+  | Ok release ->
+    if Injector.active inj then
+      Injector.note_decryption_attempts inj release.Committee.attempts;
+    (* Rotate the committee for the next query (§4.2). *)
+    t.comm <- Committee.rotate t.comm t.rng ~population:(Cg.population t.graph);
+    let mix_hops =
+      match t.cfg.route_through_mixnet with Some c -> c.Sim.hops | None -> 3
+    in
+    Ok
+      {
+        info;
+        result = release.Committee.result;
+        noisy_bins = release.Committee.noisy_bins;
+        discarded_contributions = discarded;
+        origins_included;
+        committee_generation = Committee.generation t.comm - 1;
+        committee_shares = Array.length release.Committee.participants;
+        mixnet_losses;
+        mixnet_bytes;
+        c_rounds = 2 * query.Ast.hops * (mix_hops + 1);
+        degradation = Injector.report inj;
+      })
+
+(* Every origin aggregates its neighborhood and submits (Byzantine
+   origins submit garbage with forged transcript proofs), then the
+   aggregator builds the §4.2 summation tree — probe audit and restart
+   drill included — and performs the §5 deferred relinearization.
+   Shared by the single-query path and the batched serving path.
+   Returns the degree-1 aggregate, origins included and the total
+   discarded count. *)
+and aggregate_phase ~ph t inj info rows ~discarded_rows =
   let n = Cg.population t.graph in
   let discarded = ref discarded_rows in
   let origin_cts = ref [] in
@@ -637,44 +695,7 @@ let run_query_ast_inner ~epsilon ~ph t query =
     let linear =
       if Bgv.degree sum <= 1 then sum else Bgv.relinearize t.ctx t.relin sum
     in
-    (* Crashed committee members never answer; decryption still
-       succeeds with any threshold+1 of the remaining live shares. *)
-    let excluded =
-      Fault_plan.crashed_members (Injector.plan inj)
-        ~size:(Committee.committee_size t.comm)
-    in
-    if Injector.active inj then Injector.note_excluded_committee inj (List.length excluded);
-    (match
-       timed
-         (fun dt -> ph.decrypt_s <- dt)
-         (fun () ->
-           Obs.span "query.decrypt" (fun () ->
-               Committee.decrypt_and_release ~excluded t.comm t.rng t.ctx ~info ~epsilon
-                 linear))
-     with
-    | Error e -> Error (Pipeline_error e)
-    | Ok release ->
-      if Injector.active inj then
-        Injector.note_decryption_attempts inj release.Committee.attempts;
-      (* Rotate the committee for the next query (§4.2). *)
-      t.comm <- Committee.rotate t.comm t.rng ~population:n;
-      let mix_hops =
-        match t.cfg.route_through_mixnet with Some c -> c.Sim.hops | None -> 3
-      in
-      Ok
-        {
-          info;
-          result = release.Committee.result;
-          noisy_bins = release.Committee.noisy_bins;
-          discarded_contributions = !discarded;
-          origins_included = !origins_included;
-          committee_generation = Committee.generation t.comm - 1;
-          committee_shares = Array.length release.Committee.participants;
-          mixnet_losses;
-          mixnet_bytes;
-          c_rounds = 2 * query.Ast.hops * (mix_hops + 1);
-          degradation = Injector.report inj;
-        })
+    Ok (linear, !origins_included, !discarded)
 
 let degradation_json (r : Injector.report) =
   Obs.Json.Obj
@@ -785,5 +806,444 @@ let run_query ?epsilon t src =
   match Parser.parse src with
   | Error e -> Error (Parse_error (Printf.sprintf "at %d: %s" e.Parser.position e.Parser.message))
   | Ok q -> run_query_ast ?epsilon t q
+
+(* ------------------------------------------------------------------ *)
+(* Batched serving entry points (DESIGN.md §14)                        *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  p_info : Analysis.info;
+  p_ct : Bgv.ciphertext;
+  p_origins_included : int;
+  p_discarded : int;
+  p_mixnet_losses : int;
+  p_mixnet_bytes : int;
+  p_degradation : Injector.report;
+}
+
+type batch_item = {
+  bi_query : Ast.t;
+  bi_epsilon : float;
+  bi_noise_seed : int64;
+  bi_fault_round : int;
+  bi_cached : prepared option;
+}
+
+let prepared_info p = p.p_info
+
+(* Gather rows for several 1-hop queries in a single mixnet query
+   round: each (source, dest) message carries the concatenation of one
+   padded frame per batch member, so the whole batch pays one
+   round-trip of C-rounds instead of one per query.
+
+   Injected transit loss is applied per member at slice time, from the
+   member's own logical fault coordinate [bi_fault_round] — a pure
+   function of the member's identity, never of the shared physical
+   round counter — replaying the per-replica-copy drop semantics of
+   the single-query path.  This is what makes a member's gathered rows
+   (and so its released bytes) independent of who shares the physical
+   round: the same member in a batch of one or a batch of eight sees
+   the same drop decisions.  (The simulator's own churn/malicious
+   losses, when configured, remain physical and hit the whole
+   concatenated frame.) *)
+let gather_rows_mixnet_batch t mix members =
+  (* members : (info, injector, fault_round) array; every query in it
+     has hops = 1 (checked by the caller). *)
+  let n = Cg.population t.graph in
+  let pool = Pool.default () in
+  let k = Array.length members in
+  if not t.mixnet_ready then begin
+    let targets =
+      Array.init n (fun v ->
+          let neigh = List.map fst (Cg.neighbors t.graph v) in
+          let neigh = List.filteri (fun i _ -> i < t.cfg.degree_bound) neigh in
+          let pad = t.cfg.degree_bound - List.length neigh in
+          Array.of_list (neigh @ List.init (max 0 pad) (fun _ -> v)))
+    in
+    ignore (Sim.setup_paths ~targets mix);
+    t.mixnet_ready <- true
+  end;
+  (* §6.3 default-value substitution for churned senders, decided up
+     front from each member's plan so its report does not depend on
+     delivery outcomes. *)
+  Array.iter
+    (fun (_, inj, _) ->
+      if Injector.active inj then
+        for v = 0 to n - 1 do
+          if not (Injector.device_offline inj ~device:v) then
+            List.iter
+              (fun (u, _) ->
+                if Injector.device_offline inj ~device:u then
+                  Injector.note_substituted inj)
+              (Cg.neighbors t.graph v)
+        done)
+    members;
+  let frames = Array.map (fun (info, _, _) -> Contribution.wire_size t.ctx info) members in
+  let padded = Array.map (fun f -> f + 4) frames in
+  let offsets = Array.make k 0 in
+  for i = 1 to k - 1 do
+    offsets.(i) <- offsets.(i - 1) + padded.(i - 1)
+  done;
+  let body_len = offsets.(k - 1) + padded.(k - 1) in
+  let gather_seeds = Array.map (fun _ -> Rng.int64 t.rng) members in
+  let build_for info rng contributor edge =
+    if t.byzantine.(contributor) then
+      Contribution.build_malicious t.ctx rng t.pk info ~exponent:1 ~coeff:200
+    else
+      Contribution.build t.srs t.ctx rng t.pk info
+        ~dest:(Cg.vertex t.graph contributor) ~edge
+  in
+  (* Pure per-pair payload (the simulator probes and parallelizes it):
+     one padded frame per member, concatenated at fixed offsets. *)
+  let payload_of ~source ~dest =
+    let out = Bytes.create body_len in
+    Array.iteri
+      (fun i (info, _, _) ->
+        let frame =
+          if source = dest then pad_to frames.(i) (Bytes.make 1 '\x00')
+          else
+            pad_to frames.(i)
+              (Contribution.to_bytes
+                 (build_for info (task_rng gather_seeds.(i) source dest) source
+                    (Cg.edge t.graph source dest)))
+        in
+        Bytes.blit frame 0 out offsets.(i) padded.(i))
+      members;
+    out
+  in
+  let stats = Sim.run_query_round_with mix ~payload_of in
+  let delivered = Array.of_list (Sim.deliveries mix) in
+  let replicas =
+    match t.cfg.route_through_mixnet with Some c -> c.Sim.replicas | None -> 1
+  in
+  let expected = Cg.edge_count t.graph * 2 in
+  (* Parse + ZKP-verify every member's slice of every delivery in
+     parallel (pure given the bytes and the stateless plan decisions),
+     then fold the verdicts in delivery order per member so counters
+     and per-origin row order never depend on the domain count. *)
+  let verdicts =
+    Pool.map_array pool
+      (fun (src, dst, body) ->
+        if src = dst then Array.make k `Self_loop
+        else
+          Array.mapi
+            (fun i (info, inj, fault_round) ->
+              let dropped_copies =
+                if not (Injector.active inj) then 0
+                else begin
+                  let d = ref 0 in
+                  for copy = 0 to replicas - 1 do
+                    if
+                      Fault_plan.send_dropped (Injector.plan inj) ~round:fault_round
+                        ~source:src ~dest:dst ~attempt:copy
+                    then incr d
+                  done;
+                  !d
+                end
+              in
+              if dropped_copies >= replicas then `Lost dropped_copies
+              else if Injector.device_offline inj ~device:src then `Offline dropped_copies
+              else begin
+                let slice = Bytes.sub body offsets.(i) padded.(i) in
+                match Option.bind (unpad slice) (Contribution.of_bytes t.ctx) with
+                | Some row ->
+                  if Contribution.verify t.srs t.ctx info row then `Row (dropped_copies, row)
+                  else `Bad_proof dropped_copies
+                | None -> `Bad_bytes dropped_copies
+              end)
+            members)
+      delivered
+  in
+  Array.init k (fun i ->
+      let _, inj, _ = members.(i) in
+      let rows = Array.make n [] in
+      let discarded = ref 0 and arrived = ref 0 in
+      let note_drops c =
+        if Injector.active inj then
+          for _ = 1 to c do
+            Injector.note_dropped inj
+          done
+      in
+      Array.iteri
+        (fun j verdict_row ->
+          let src, dst, _ = delivered.(j) in
+          match verdict_row.(i) with
+          | `Self_loop -> ()
+          | `Lost c -> note_drops c
+          | `Offline c ->
+            note_drops c;
+            incr arrived
+          | `Row (c, row) ->
+            note_drops c;
+            incr arrived;
+            rows.(dst) <- (src, Cg.edge t.graph dst src, row) :: rows.(dst)
+          | `Bad_proof c ->
+            note_drops c;
+            incr arrived;
+            incr discarded
+          | `Bad_bytes c ->
+            note_drops c;
+            incr discarded)
+        verdicts;
+      (* The shared round's deposited bytes are attributed in
+         proportion to each member's share of the frame. *)
+      let bytes_share = stats.Sim.deposited_bytes * padded.(i) / body_len in
+      (rows, !discarded, expected - !arrived, bytes_share))
+
+let run_batch t items =
+  match items with
+  | [] -> []
+  | _ :: _ ->
+    let items = Array.of_list items in
+    let k = Array.length items in
+    let qids =
+      Array.map
+        (fun _ ->
+          t.queries_run <- t.queries_run + 1;
+          t.queries_run)
+        items
+    in
+    let phs =
+      Array.map
+        (fun _ ->
+          {
+            gather_s = 0.;
+            aggregate_s = 0.;
+            summation_s = 0.;
+            decrypt_s = 0.;
+            charged = false;
+          })
+        items
+    in
+    (* Admission: static validation, then the budget charge — both in
+       submission order, so the rejection order under a full budget is
+       deterministic. epsilon = infinity keeps the legacy "release
+       exactly, never charged" debug semantics; the serving layer
+       refuses to admit it without an explicit override. *)
+    let states =
+      Array.mapi
+        (fun i it ->
+          match validate_query t it.bi_query with
+          | Error e -> Error e
+          | Ok info ->
+            if it.bi_epsilon = Float.infinity then Ok info
+            else begin
+              match Dp.budget_charge t.budget it.bi_epsilon with
+              | Ok () ->
+                phs.(i).charged <- true;
+                Ok info
+              | Error (`Exhausted r) -> Error (Budget_exhausted r)
+            end)
+        items
+    in
+    let injs =
+      Array.map
+        (fun _ -> Injector.create (Option.value t.cfg.faults ~default:Fault_plan.none))
+        items
+    in
+    (* Members that still need gather + aggregation (a cache hit skips
+       both). 1-hop members share one mixnet round when the runtime
+       routes through the mixnet; everything else gathers over the
+       abstract channel, whose fault decisions are already
+       coordinate-pure (never round-counter dependent). *)
+    let fresh =
+      List.filter_map
+        (fun i ->
+          match (states.(i), items.(i).bi_cached) with
+          | Ok info, None -> Some (i, info)
+          | Ok _, Some _ | Error _, _ -> None)
+        (List.init k Fun.id)
+    in
+    let mix_members, abstract_members =
+      match t.mixnet with
+      | Some _ -> List.partition (fun (_, info) -> info.Analysis.query.Ast.hops = 1) fresh
+      | None -> ([], fresh)
+    in
+    let gathered = Hashtbl.create 8 in
+    (match (t.mixnet, mix_members) with
+    | Some mix, _ :: _ ->
+      let arr =
+        Array.of_list
+          (List.map
+             (fun (i, info) -> (info, injs.(i), items.(i).bi_fault_round))
+             mix_members)
+      in
+      let weights =
+        List.map (fun (_, info) -> Contribution.wire_size t.ctx info + 4) mix_members
+      in
+      let total_w = List.fold_left ( + ) 0 weights in
+      let t0 = Obs.now_s () in
+      let per =
+        Obs.span "batch.gather"
+          ~attrs:[ ("members", Obs.Json.Int (List.length mix_members)) ]
+          (fun () -> gather_rows_mixnet_batch t mix arr)
+      in
+      let dt = Obs.now_s () -. t0 in
+      List.iteri
+        (fun j (i, _) ->
+          (* The shared round-trip's wall clock is attributed in
+             proportion to each member's share of the frame bytes. *)
+          phs.(i).gather_s <-
+            dt *. float_of_int (List.nth weights j) /. float_of_int total_w;
+          Hashtbl.replace gathered i per.(j))
+        mix_members
+    | Some _, [] | None, _ -> ());
+    List.iter
+      (fun (i, info) ->
+        let g =
+          timed
+            (fun dt -> phs.(i).gather_s <- dt)
+            (fun () ->
+              Obs.span "query.gather"
+                ~attrs:[ ("hops", Obs.Json.Int info.Analysis.query.Ast.hops) ]
+                (fun () -> gather_rows t injs.(i) info))
+        in
+        Hashtbl.replace gathered i g)
+      abstract_members;
+    (* Aggregation per member: each member's summation tree is its own,
+       timed individually — only the genuinely shared phases (the
+       gather round-trip, the decryption session) are split. *)
+    let prepareds = Array.make k None in
+    Array.iteri
+      (fun i it ->
+        match states.(i) with
+        | Error _ -> ()
+        | Ok info -> (
+          match it.bi_cached with
+          | Some p -> prepareds.(i) <- Some p
+          | None -> (
+            match Hashtbl.find_opt gathered i with
+            | None -> ()
+            | Some (rows, discarded_rows, losses, bytes) -> (
+              match aggregate_phase ~ph:phs.(i) t injs.(i) info rows ~discarded_rows with
+              | Error e -> states.(i) <- Error e
+              | Ok (linear, origins, discarded) ->
+                prepareds.(i) <-
+                  Some
+                    {
+                      p_info = info;
+                      p_ct = linear;
+                      p_origins_included = origins;
+                      p_discarded = discarded;
+                      p_mixnet_losses = losses;
+                      p_mixnet_bytes = bytes;
+                      p_degradation = Injector.report injs.(i);
+                    }))))
+      items;
+    (* One committee threshold-decryption session for the whole batch,
+       cached members included. *)
+    let results = Array.make k None in
+    let decrypt_idx =
+      List.filter_map
+        (fun i -> match prepareds.(i) with Some p -> Some (i, p) | None -> None)
+        (List.init k Fun.id)
+    in
+    (match decrypt_idx with
+    | [] -> ()
+    | _ :: _ ->
+      let plan = Option.value t.cfg.faults ~default:Fault_plan.none in
+      let excluded =
+        Fault_plan.crashed_members plan ~size:(Committee.committee_size t.comm)
+      in
+      List.iter
+        (fun (i, _) ->
+          if Injector.active injs.(i) then
+            Injector.note_excluded_committee injs.(i) (List.length excluded))
+        decrypt_idx;
+      let members =
+        List.map
+          (fun (i, p) ->
+            ( {
+                Committee.b_info = p.p_info;
+                b_epsilon = items.(i).bi_epsilon;
+                b_noise_rng = Rng.create items.(i).bi_noise_seed;
+              },
+              p.p_ct ))
+          decrypt_idx
+      in
+      let total_bins =
+        List.fold_left
+          (fun acc (_, p) -> acc + p.p_info.Analysis.layout.Analysis.total_bins)
+          0 decrypt_idx
+      in
+      let t0 = Obs.now_s () in
+      let res =
+        Obs.span "batch.decrypt"
+          ~attrs:[ ("members", Obs.Json.Int (List.length members)) ]
+          (fun () -> Committee.decrypt_batch ~excluded t.comm t.rng t.ctx ~members)
+      in
+      let dt = Obs.now_s () -. t0 in
+      List.iter
+        (fun (i, p) ->
+          (* The shared session's wall clock is attributed in proportion
+             to each member's share of the concatenated plaintext
+             windows. *)
+          phs.(i).decrypt_s <-
+            dt
+            *. float_of_int p.p_info.Analysis.layout.Analysis.total_bins
+            /. float_of_int total_bins)
+        decrypt_idx;
+      (match res with
+      | Error e ->
+        List.iter (fun (i, _) -> states.(i) <- Error (Pipeline_error e)) decrypt_idx
+      | Ok releases ->
+        t.comm <- Committee.rotate t.comm t.rng ~population:(Cg.population t.graph);
+        let mix_hops =
+          match t.cfg.route_through_mixnet with Some c -> c.Sim.hops | None -> 3
+        in
+        List.iter2
+          (fun (i, p) (release : Committee.release) ->
+            if Injector.active injs.(i) then
+              Injector.note_decryption_attempts injs.(i) release.Committee.attempts;
+            let degradation =
+              (* A cache hit never re-runs gather, so its degradation
+                 report is the frozen snapshot of the execution that
+                 filled the cache (deterministic: a recomputation would
+                 reproduce it decision for decision). *)
+              match items.(i).bi_cached with
+              | Some cached -> cached.p_degradation
+              | None -> Injector.report injs.(i)
+            in
+            results.(i) <-
+              Some
+                ( {
+                    info = p.p_info;
+                    result = release.Committee.result;
+                    noisy_bins = release.Committee.noisy_bins;
+                    discarded_contributions = p.p_discarded;
+                    origins_included = p.p_origins_included;
+                    committee_generation = Committee.generation t.comm - 1;
+                    committee_shares = Array.length release.Committee.participants;
+                    mixnet_losses = p.p_mixnet_losses;
+                    mixnet_bytes = p.p_mixnet_bytes;
+                    c_rounds = 2 * items.(i).bi_query.Ast.hops * (mix_hops + 1);
+                    degradation;
+                  },
+                  p ))
+          decrypt_idx releases));
+    let out =
+      List.init k (fun i ->
+          match results.(i) with
+          | Some rp -> Ok rp
+          | None -> (
+            match states.(i) with
+            | Error e -> Error e
+            | Ok _ -> Error (Pipeline_error "batch member was not decrypted")))
+    in
+    (* One mycelium-ledger/1 row per batch member, in submission order,
+       with its own charged epsilon and its (proportionally attributed)
+       phase durations — summing the "epsilon" field over the ledger
+       still reproduces [Dp.budget_spent] bit for bit. *)
+    (match t.ledger with
+    | Some l ->
+      List.iteri
+        (fun i res ->
+          let res = Result.map (fun (r, _) -> r) res in
+          Obs.Ledger.append l
+            (ledger_entry t ~qid:qids.(i) ~query:items.(i).bi_query
+               ~epsilon:items.(i).bi_epsilon ~ph:phs.(i) res))
+        out
+    | None -> ());
+    out
 
 let exact_bins_for_tests t info = Semantics.global_histogram info t.graph

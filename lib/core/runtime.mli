@@ -90,6 +90,7 @@ val init : config -> Mycelium_graph.Contact_graph.t -> t
     {!graph} returns the clipped graph the queries actually run over. *)
 
 val public_key : t -> Mycelium_bgv.Bgv.public_key
+val config : t -> config
 val committee : t -> Committee.t
 val budget : t -> Mycelium_dp.Dp.budget
 val graph : t -> Mycelium_graph.Contact_graph.t
@@ -137,3 +138,65 @@ val run_query_ast :
 val exact_bins_for_tests : t -> Mycelium_query.Analysis.info -> int array
 (** The plaintext oracle on the same graph (for equality checks with
     epsilon = infinity). *)
+
+(** {2 Batched serving entry points (DESIGN.md §14)}
+
+    The serving layer ({!Mycelium_serve}) executes admitted queries in
+    batches: one mixnet round-trip gathers the rows of every 1-hop
+    member at once, aggregation stays per member, and one committee
+    threshold-decryption session releases the whole batch. The member
+    contract that makes batching invisible in the released bytes: a
+    member's DP noise comes from its own [bi_noise_seed] stream and its
+    injected transit faults from its own [bi_fault_round] coordinate,
+    both pure functions of the member's identity — never of the batch
+    composition, the physical round counter or the shared session. *)
+
+type prepared
+(** A member's gather + aggregation output, ready for (repeated)
+    decryption: the relinearized degree-1 aggregate plus the counters
+    its execution produced. This is what the serving layer's
+    encrypted-aggregate cache stores — the ciphertext stays valid
+    across committee rotations because VSR redistributes shares of the
+    same key. *)
+
+val prepared_info : prepared -> Mycelium_query.Analysis.info
+
+type batch_item = {
+  bi_query : Mycelium_query.Ast.t;
+  bi_epsilon : float;
+      (** charged against {!budget} at admission, in submission order;
+          [infinity] keeps the legacy "release exactly, never charged"
+          debug semantics (the serving layer refuses it without an
+          explicit override) *)
+  bi_noise_seed : int64;
+      (** seed of the member's private DP-noise stream *)
+  bi_fault_round : int;
+      (** the member's logical transit-fault coordinate, fed to
+          {!Mycelium_faults.Fault_plan.send_dropped} in place of the
+          shared physical mixnet round *)
+  bi_cached : prepared option;
+      (** a cache hit: skip gather and aggregation, go straight to the
+          shared decryption session *)
+}
+
+val validate_query :
+  t -> Mycelium_query.Ast.t -> (Mycelium_query.Analysis.info, query_error) result
+(** The static admission checks of the pipeline (analysis, parameter
+    feasibility, predicate placement, multi-hop restrictions), without
+    executing anything. Pure: never touches the budget or any Rng
+    stream. *)
+
+val run_batch :
+  t -> batch_item list -> (query_result * prepared, query_error) result list
+(** Execute a batch end-to-end; the result list is parallel to the
+    input. Per member: admission (validation, then the budget charge in
+    submission order — the deterministic rejection order), gather
+    (1-hop members share one mixnet round when the runtime routes
+    through the mixnet), per-member aggregation, then one shared
+    {!Committee.decrypt_batch} session and a single committee rotation.
+    Each member gets its own [mycelium-ledger/1] row with its own
+    charged epsilon; the genuinely shared phase durations (gather
+    round-trip, decryption session) are attributed proportionally —
+    by frame-byte share for gather, by plaintext-window share for
+    decryption — while per-member phases are timed individually.
+    Returns the member's {!prepared} so a caller can cache it. *)

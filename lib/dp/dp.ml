@@ -66,10 +66,25 @@ let above_threshold_query t value =
 
 let above_threshold_exhausted t = t.exhausted
 
+(* The accountant keeps running sums so a charge is O(1) regardless of
+   how many queries came before, and serializes chargers behind a mutex
+   so concurrent admission (the serving layer's accountant fans charges
+   in from many queries) can never over-admit past [total].
+
+   The sums accumulate in charge order — oldest first.  This matters
+   for Basic accounting: [Obs.Ledger.summarize] folds the charged
+   epsilons in file order (also oldest first), and the audit contract
+   says that fold reproduces [budget_spent] bit for bit.  Floating
+   addition is not associative, so both sides must add in the same
+   order. *)
 type budget = {
   total : float;
   accounting : accounting;
-  mutable history : float list;
+  lock : Mutex.t;
+  mutable history : float list;  (* newest first, for [budget_history] *)
+  mutable sum : float;           (* Σ eps, oldest-first accumulation *)
+  mutable sum_sq : float;        (* Σ eps², for Advanced *)
+  mutable linear : float;        (* Σ eps (e^eps - 1), for Advanced *)
 }
 
 let budget_create ?(accounting = Basic) ~total () =
@@ -78,18 +93,46 @@ let budget_create ?(accounting = Basic) ~total () =
   | Advanced { delta } when delta <= 0. || delta >= 1. ->
     invalid_arg "Dp.budget_create: delta must be in (0,1)"
   | Advanced _ | Basic -> ());
-  { total; accounting; history = [] }
+  {
+    total;
+    accounting;
+    lock = Mutex.create ();
+    history = [];
+    sum = 0.;
+    sum_sq = 0.;
+    linear = 0.;
+  }
 
-let budget_spent b = composed_epsilon b.accounting b.history
-let budget_remaining b = b.total -. budget_spent b
+let composed_of_sums accounting ~sum ~sum_sq ~linear =
+  match accounting with
+  | Basic -> sum
+  | Advanced { delta } -> sqrt (2. *. log (1. /. delta) *. sum_sq) +. linear
+
+let with_lock b f =
+  Mutex.lock b.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock b.lock) f
+
+let spent_locked b =
+  composed_of_sums b.accounting ~sum:b.sum ~sum_sq:b.sum_sq ~linear:b.linear
+
+let budget_spent b = with_lock b (fun () -> spent_locked b)
+let budget_remaining b = with_lock b (fun () -> b.total -. spent_locked b)
 
 let budget_charge b eps =
   if eps <= 0. then invalid_arg "Dp.budget_charge: epsilon must be positive";
-  let would_be = composed_epsilon b.accounting (eps :: b.history) in
-  if would_be > b.total +. 1e-12 then Error (`Exhausted (budget_remaining b))
-  else begin
-    b.history <- eps :: b.history;
-    Ok ()
-  end
+  with_lock b (fun () ->
+      let sum = b.sum +. eps in
+      let sum_sq = b.sum_sq +. (eps *. eps) in
+      let linear = b.linear +. (eps *. (exp eps -. 1.)) in
+      let would_be = composed_of_sums b.accounting ~sum ~sum_sq ~linear in
+      if would_be > b.total +. 1e-12 then
+        Error (`Exhausted (b.total -. spent_locked b))
+      else begin
+        b.history <- eps :: b.history;
+        b.sum <- sum;
+        b.sum_sq <- sum_sq;
+        b.linear <- linear;
+        Ok ()
+      end)
 
-let budget_history b = b.history
+let budget_history b = with_lock b (fun () -> b.history)

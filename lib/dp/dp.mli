@@ -49,6 +49,12 @@ type accounting =
           delta. *)
 
 type budget
+(** The accountant is thread-safe: charges and reads serialize behind
+    an internal mutex, and the composition state is kept as O(1)
+    running sums (accumulated in charge order, oldest first — the same
+    order [Obs.Ledger.summarize] folds in, so audit totals reproduce
+    [budget_spent] bit for bit). Concurrent chargers can therefore
+    never jointly overdraw [total]. *)
 
 val budget_create : ?accounting:accounting -> total:float -> unit -> budget
 
@@ -57,7 +63,8 @@ val budget_spent : budget -> float
 
 val budget_charge : budget -> float -> (unit, [ `Exhausted of float ]) result
 (** Deduct the full epsilon of a query ("safe but conservative", §4.4);
-    fails, charging nothing, if it would overdraw. *)
+    fails, charging nothing, if it would overdraw. Atomic: check and
+    deduction happen under one lock acquisition. *)
 
 val budget_history : budget -> float list
 (** Charges so far, newest first. *)

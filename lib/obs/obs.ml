@@ -452,6 +452,15 @@ module Names = struct
   let mixnet_route_entries = "mixnet.route_entries"
   let mixnet_mailboxes_in_use = "mixnet.mailboxes_in_use"
 
+  (* lib/serve — the batched serving layer *)
+  let serve_admitted = "serve.admitted"
+  let serve_rejected = "serve.rejected"
+  let serve_batches = "serve.batches"
+  let serve_batch_members = "serve.batch_members"
+  let serve_cache_hits = "serve.cache_hits"
+  let serve_cache_misses = "serve.cache_misses"
+  let serve_cache_evictions = "serve.cache_evictions"
+
   (* Sampler built-ins (Gc.quick_stat) *)
   let gc_top_heap_words = "gc.top_heap_words"
   let gc_heap_words = "gc.heap_words"
@@ -489,6 +498,13 @@ module Names = struct
       mixnet_key_bytes;
       mixnet_route_entries;
       mixnet_mailboxes_in_use;
+      serve_admitted;
+      serve_rejected;
+      serve_batches;
+      serve_batch_members;
+      serve_cache_hits;
+      serve_cache_misses;
+      serve_cache_evictions;
       gc_top_heap_words;
       gc_heap_words;
       gc_minor_collections;

@@ -126,6 +126,13 @@ module Names : sig
   val mixnet_key_bytes : string
   val mixnet_route_entries : string
   val mixnet_mailboxes_in_use : string
+  val serve_admitted : string
+  val serve_rejected : string
+  val serve_batches : string
+  val serve_batch_members : string
+  val serve_cache_hits : string
+  val serve_cache_misses : string
+  val serve_cache_evictions : string
   val gc_top_heap_words : string
   val gc_heap_words : string
   val gc_minor_collections : string

@@ -1,0 +1,41 @@
+(** The serving layer's encrypted-aggregate cache (DESIGN.md §14):
+    maps (neighborhood signature, clip/degree bounds, query shape) to a
+    {!Mycelium_core.Runtime.prepared} — the relinearized aggregate a
+    repeated ego-centric query can decrypt directly, skipping gather
+    and aggregation entirely. Cached ciphertexts stay decryptable
+    across committee rotations because VSR redistributes shares of the
+    same key.
+
+    Eviction is deterministic LRU: the use clock is a strictly monotone
+    tick, so the victim is a pure function of the operation sequence.
+    Hits, misses and evictions are counted in [Obs] under
+    [serve.cache_hits] / [serve.cache_misses] / [serve.cache_evictions]. *)
+
+(* lint: allow interface — the cache owns mutable recency state and
+   Obs counters; handles are compared by identity only *)
+type t
+
+val create : capacity:int -> graph:Mycelium_graph.Contact_graph.t -> t
+(** [capacity = 0] disables the cache: every {!find} misses, {!put} is
+    a no-op. The graph is digested once into the neighborhood
+    signature every key embeds. *)
+
+val key :
+  t -> Mycelium_query.Ast.t -> info:Mycelium_query.Analysis.info -> string
+(** The composite cache key; the query's analyst-chosen name is
+    blanked so equal-shaped queries share an entry. *)
+
+val fault_round_of_key : string -> int
+(** The member's logical transit-fault coordinate
+    ({!Mycelium_core.Runtime.batch_item.bi_fault_round}), derived from
+    the key digest — a pure function of the query shape, so a
+    recomputation after a miss replays the identical drop decisions
+    and reproduces the cached aggregate bit for bit. *)
+
+val find : t -> string -> Mycelium_core.Runtime.prepared option
+(** Counts a hit or a miss, and refreshes recency on hit. *)
+
+val put : t -> string -> Mycelium_core.Runtime.prepared -> unit
+
+val length : t -> int
+val evictions : t -> int

@@ -1,0 +1,80 @@
+(** The multi-query serving layer (DESIGN.md §14): a budget-gated
+    scheduler that accumulates admitted queries into batches sharing
+    one mixnet round-trip and one committee threshold-decryption
+    session, backed by the encrypted-aggregate cache ({!Agg_cache})
+    and the per-user admission accountant ({!Accountant}).
+
+    A batch flushes when it reaches [batch_size] members or when the
+    oldest pending member has waited [deadline_s] (checked against the
+    caller-supplied arrival clock, so scheduling is deterministic and
+    replayable from a workload file). Batching is invisible in the
+    released bytes: every member's DP noise comes from its own seed
+    stream ([seed] mixed with the member's admission sequence number)
+    and its injected transit faults from its own query-shape-derived
+    fault coordinate, so a query releases byte-identical results at
+    batch size 1 or 8, cache hit or miss. *)
+
+type config = {
+  batch_size : int;  (** flush when this many members are pending *)
+  deadline_s : float;
+      (** flush when the oldest pending member has waited this long on
+          the arrival clock *)
+  per_user_budget : float;  (** each analyst's total epsilon *)
+  accounting : Mycelium_dp.Dp.accounting;
+  cache_capacity : int;  (** 0 disables the encrypted-aggregate cache *)
+  allow_unbudgeted : bool;
+      (** admit [epsilon = infinity] queries (the single-query debug
+          semantics); off by default — a serving layer refuses to
+          release unbudgeted results *)
+  seed : int64;  (** root of the per-member DP-noise seed streams *)
+}
+
+val default_config : config
+(** batch 8, deadline 1.0, per-user budget 10 under Basic composition,
+    cache capacity 64, unbudgeted queries refused, seed 1. *)
+
+type request = { user : string; epsilon : float; sql : string }
+
+type rejection =
+  | Parse_rejected of string
+  | Invalid of Mycelium_core.Runtime.query_error
+  | Unbudgeted
+      (** [epsilon = infinity] without the [allow_unbudgeted] override *)
+  | Budget_rejected of float
+      (** the user's remaining budget; the rejected charge deducted
+          nothing *)
+
+type admission = Queued of int  (** the member's sequence number *) | Rejected of rejection
+
+type response = {
+  seq : int;
+  user : string;
+  query_name : string;
+  cache_hit : bool;
+  outcome :
+    (Mycelium_core.Runtime.query_result, Mycelium_core.Runtime.query_error) result;
+}
+
+(* lint: allow interface — the scheduler owns a runtime handle, the
+   accountant and the cache; handles are compared by identity only *)
+type t
+
+val create : ?config:config -> Mycelium_core.Runtime.t -> t
+
+val submit : t -> arrival:float -> request -> admission * response list
+(** Admit one request at time [arrival] (monotone, caller-supplied):
+    deadline-flush the queue if the oldest member timed out, then
+    parse, validate, gate unbudgeted queries and charge the user's
+    budget — all before any crypto work. The returned responses are
+    whatever batches flushed during this call (deadline or size
+    trigger), possibly including the new member. *)
+
+val drain : t -> response list
+(** Flush everything pending (end of workload / shutdown). Members run
+    in admission order, chunked by [batch_size] and by the ring
+    capacity of one decryption session. *)
+
+val pending_count : t -> int
+val accountant : t -> Accountant.t
+val cache : t -> Agg_cache.t
+val rejection_to_string : rejection -> string

@@ -1,0 +1,8 @@
+(* Fixture: serving-layer metrics — ad-hoc literals fire, the
+   registered serve.* names from Obs.Names stay silent. *)
+
+let bad = Obs.Metrics.counter "serve.adhoc_hits"
+let ok_admitted = Obs.Metrics.counter Obs.Names.serve_admitted
+let ok_batches = Obs.Metrics.counter Obs.Names.serve_batches
+let ok_hits = Obs.Metrics.counter Obs.Names.serve_cache_hits
+let ok_evictions = Obs.Metrics.counter Obs.Names.serve_cache_evictions

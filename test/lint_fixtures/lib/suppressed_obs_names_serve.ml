@@ -1,0 +1,5 @@
+(* Fixture: a serving-layer scratch metric, consciously suppressed. *)
+
+let c =
+  (* lint: allow obs-guard — fixture: serving-experiment scratch counter *)
+  Obs.Metrics.counter "serve.scratch"

@@ -1,0 +1,1 @@
+(* Fixture companion interface (keeps the missing-.mli check quiet). *)

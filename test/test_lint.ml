@@ -97,7 +97,12 @@ let test_obs_names_fires () =
   let r = Lazy.force lib_report in
   Alcotest.check sites "obs-names sites"
     [ ("obs-guard", 3); ("obs-guard", 4); ("obs-guard", 5); ("obs-guard", 6) ]
-    (site_list (only "fire_obs_names.ml" r.violations))
+    (site_list (only "fire_obs_names.ml" r.violations));
+  (* The PR9 serving-layer names: only the ad-hoc literal fires; the
+     four serve.* registrations drawn from Obs.Names stay silent. *)
+  Alcotest.check sites "obs-names serve sites"
+    [ ("obs-guard", 4) ]
+    (site_list (only "fire_obs_names_serve.ml" r.violations))
 
 let test_clean_files_are_clean () =
   let r = Lazy.force lib_report in
@@ -123,7 +128,8 @@ let test_suppressions_silence () =
         (site_list (only file r.violations)))
     [ "suppressed_poly_compare.ml"; "suppressed_poly_compare_int64.ml";
       "suppressed_determinism.ml"; "suppressed_rng_capture.ml";
-      "suppressed_interface.mli"; "suppressed_obs_names.ml" ];
+      "suppressed_interface.mli"; "suppressed_obs_names.ml";
+      "suppressed_obs_names_serve.ml" ];
   Alcotest.check sites "suppressed_obs_guard.ml has no live violations" []
     (site_list (only "suppressed_obs_guard.ml" h.violations));
   Alcotest.check sites "suppressed_obs_guard_ba.ml has no live violations" []
@@ -151,6 +157,9 @@ let test_suppressions_are_counted () =
   Alcotest.check sites "obs-names suppression recorded"
     [ ("obs-guard", 5) ]
     (site_list (only "suppressed_obs_names.ml" r.suppressed));
+  Alcotest.check sites "obs-names serve suppression recorded"
+    [ ("obs-guard", 5) ]
+    (site_list (only "suppressed_obs_names_serve.ml" r.suppressed));
   Alcotest.check sites "obs-guard suppression recorded"
     [ ("obs-guard", 5) ]
     (site_list (only "suppressed_obs_guard.ml" h.suppressed));

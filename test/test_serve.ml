@@ -1,0 +1,381 @@
+(* Serving-layer suite (DESIGN.md §14): the admission accountant under
+   concurrent submitters, the encrypted-aggregate cache's hit ≡ miss
+   byte-identity, and the acceptance cell of the batching design —
+   a workload released through batch-8 serving is byte-identical, per
+   member, to the same workload released one query at a time, with
+   faults injected, at 1/2/8 domains, tracing on or off. *)
+
+module Rng = Mycelium_util.Rng
+module Dp = Mycelium_dp.Dp
+module Cg = Mycelium_graph.Contact_graph
+module Epidemic = Mycelium_graph.Epidemic
+module Corpus = Mycelium_query.Corpus
+module Params = Mycelium_bgv.Params
+module Runtime = Mycelium_core.Runtime
+module Sim = Mycelium_mixnet.Sim
+module Fault_plan = Mycelium_faults.Fault_plan
+module Pool = Mycelium_parallel.Pool
+module Obs = Mycelium_obs.Obs
+module Serve = Mycelium_serve.Serve
+module Accountant = Mycelium_serve.Accountant
+module Agg_cache = Mycelium_serve.Agg_cache
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let small_graph ?(n = 16) ?(d = 4) ?(seed = 4242L) () =
+  let rng = Rng.create seed in
+  let g =
+    Cg.generate
+      { Cg.default_config with Cg.population = n; degree_bound = d; extra_contact_rate = 1.5 }
+      rng
+  in
+  let (_ : Epidemic.outcome) = Epidemic.run Epidemic.default_config rng g in
+  g
+
+(* The acceptance fixture: fast BGV parameters, faults on (transit
+   drops, device churn, one crashed committee member), every 1-hop
+   contribution routed through the mixnet. The mixnet's own churn and
+   malicious-node knobs stay off: those losses are physical per-round
+   events, while the injected fault plan is applied at each member's
+   logical fault coordinate — the determinism contract batching relies
+   on (DESIGN.md §14). *)
+let mix_cfg =
+  {
+    Sim.default_config with
+    Sim.hops = 2;
+    replicas = 2;
+    fraction = 0.4;
+    fast_setup = true;
+    verify_proofs = false;
+  }
+
+let serve_runtime ?(trace = false) ?ledger ?(faults = true) () =
+  let plan =
+    Fault_plan.make ~drop_rate:0.2 ~churn_rate:0.1 ~crashed_committee:[ 2 ] ~seed:7L ()
+  in
+  let cfg =
+    {
+      Runtime.default_config with
+      Runtime.params = Params.test_small;
+      degree_bound = 4;
+      faults = (if faults then Some plan else None);
+      route_through_mixnet = Some mix_cfg;
+      trace;
+      ledger;
+    }
+  in
+  Runtime.init cfg (small_graph ())
+
+(* A mixed six-query workload: three distinct shapes (Q5 histogram with
+   group-by, Q4 filtered histogram, Q8 GSUM), with Q5 and Q4 repeated
+   so a warm cache hits. *)
+let workload =
+  List.map
+    (fun (user, q) -> { Serve.user; epsilon = 0.3; sql = (Corpus.find q).Corpus.sql })
+    [ ("alice", "Q5"); ("bob", "Q4"); ("carol", "Q5"); ("alice", "Q8");
+      ("bob", "Q5"); ("carol", "Q4") ]
+
+let run_workload ?(trace = false) ?ledger ~batch_size ~cache_capacity () =
+  let rt = serve_runtime ~trace ?ledger () in
+  let config = { Serve.default_config with Serve.batch_size; cache_capacity } in
+  let srv = Serve.create ~config rt in
+  let responses = ref [] in
+  List.iteri
+    (fun i req ->
+      let adm, flushed = Serve.submit srv ~arrival:(float_of_int i *. 0.01) req in
+      (match adm with
+      | Serve.Queued _ -> ()
+      | Serve.Rejected r -> Alcotest.failf "unexpected rejection: %s" (Serve.rejection_to_string r));
+      responses := !responses @ flushed)
+    workload;
+  let responses = !responses @ Serve.drain srv in
+  (rt, srv, List.sort (fun a b -> compare a.Serve.seq b.Serve.seq) responses)
+
+let released r =
+  match r.Serve.outcome with
+  | Ok qr ->
+    (qr.Runtime.noisy_bins, qr.Runtime.mixnet_losses, qr.Runtime.discarded_contributions,
+     qr.Runtime.origins_included)
+  | Error _ -> Alcotest.failf "member %d errored" r.Serve.seq
+
+(* ------------------------------------------------------------------ *)
+(* Accountant                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* No over-admission under concurrent submitters: 4 domains hammer the
+   same three users; whatever interleaving happens, no user's admitted
+   total may exceed their budget, and the accountant's spent figure
+   must equal the sum of exactly the admitted charges. Swept over the
+   seed matrix the chaos tier uses. *)
+let test_accountant_concurrent_no_overadmission () =
+  List.iter
+    (fun seed ->
+      let total = 1.0 in
+      let acct = Accountant.create ~per_user_total:total () in
+      let n_domains = 4 and n_charges = 64 in
+      let worker d () =
+        let rng = Rng.create (Rng.mix64 seed (Int64.of_int d)) in
+        let admitted = Array.make 3 0.0 in
+        for _ = 1 to n_charges do
+          let u = Rng.int rng 3 in
+          let eps = 0.01 +. (0.1 *. Rng.float rng) in
+          match Accountant.charge acct ~user:(Printf.sprintf "u%d" u) eps with
+          | Ok () -> admitted.(u) <- admitted.(u) +. eps
+          | Error (`Exhausted _) -> ()
+        done;
+        admitted
+      in
+      let domains = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+      let per_domain = List.map Domain.join domains in
+      for u = 0 to 2 do
+        let user = Printf.sprintf "u%d" u in
+        let spent = Accountant.spent acct ~user in
+        checkb
+          (Printf.sprintf "seed %Ld user %s not over-admitted" seed user)
+          true
+          (spent <= total +. 1e-9);
+        let admitted_sum =
+          List.fold_left (fun a arr -> a +. arr.(u)) 0.0 per_domain
+        in
+        checkb
+          (Printf.sprintf "seed %Ld user %s spent = admitted sum" seed user)
+          true
+          (Float.abs (spent -. admitted_sum) < 1e-6);
+        checkb
+          (Printf.sprintf "seed %Ld user %s remaining consistent" seed user)
+          true
+          (Float.abs (Accountant.remaining acct ~user -. (total -. spent)) < 1e-6)
+      done)
+    [ 1L; 7L; 42L ]
+
+(* Single-threaded, the same request sequence produces the same
+   admit/reject decisions in the same order — the deterministic
+   rejection order the batch scheduler inherits. *)
+let test_accountant_rejection_order_deterministic () =
+  let sequence acct =
+    let rng = Rng.create 99L in
+    List.init 40 (fun _ ->
+        let u = Printf.sprintf "u%d" (Rng.int rng 2) in
+        let eps = 0.05 +. (0.2 *. Rng.float rng) in
+        match Accountant.charge acct ~user:u eps with
+        | Ok () -> `Admitted (u, eps)
+        | Error (`Exhausted r) -> `Rejected (u, r))
+  in
+  let a = sequence (Accountant.create ~per_user_total:1.0 ()) in
+  let b = sequence (Accountant.create ~per_user_total:1.0 ()) in
+  checkb "identical decision sequence" true (a = b);
+  checkb "some rejections happened" true
+    (List.exists (function `Rejected _ -> true | `Admitted _ -> false) a)
+
+(* ------------------------------------------------------------------ *)
+(* Admission gates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_unbudgeted_rejected () =
+  let rt = serve_runtime ~faults:false () in
+  let srv = Serve.create rt in
+  let req = { Serve.user = "alice"; epsilon = Float.infinity;
+              sql = (Corpus.find "Q5").Corpus.sql } in
+  (match Serve.submit srv ~arrival:0.0 req with
+  | Serve.Rejected Serve.Unbudgeted, [] -> ()
+  | Serve.Rejected r, _ ->
+    Alcotest.failf "wrong rejection: %s" (Serve.rejection_to_string r)
+  | Serve.Queued _, _ -> Alcotest.fail "infinite epsilon must not be admitted");
+  checki "nothing pending" 0 (Serve.pending_count srv);
+  (* The explicit override restores the single-query debug semantics:
+     admitted, released exactly, never charged. *)
+  let srv =
+    Serve.create
+      ~config:{ Serve.default_config with Serve.allow_unbudgeted = true }
+      (serve_runtime ~faults:false ())
+  in
+  match Serve.submit srv ~arrival:0.0 req with
+  | Serve.Queued _, _ -> (
+    match Serve.drain srv with
+    | [ { Serve.outcome = Ok _; _ } ] ->
+      checkb "unbudgeted query charged nothing" true
+        (Accountant.spent (Serve.accountant srv) ~user:"alice" = 0.0)
+    | _ -> Alcotest.fail "override run did not release")
+  | Serve.Rejected r, _ ->
+    Alcotest.failf "override rejected: %s" (Serve.rejection_to_string r)
+
+let test_user_budget_gates_admission () =
+  let rt = serve_runtime ~faults:false () in
+  let config = { Serve.default_config with Serve.per_user_budget = 0.5; batch_size = 32 } in
+  let srv = Serve.create ~config rt in
+  let q = (Corpus.find "Q5").Corpus.sql in
+  let submit user eps =
+    fst (Serve.submit srv ~arrival:0.0 { Serve.user; epsilon = eps; sql = q })
+  in
+  (match submit "alice" 0.3 with
+  | Serve.Queued _ -> ()
+  | Serve.Rejected r -> Alcotest.failf "first charge rejected: %s" (Serve.rejection_to_string r));
+  (match submit "alice" 0.3 with
+  | Serve.Rejected (Serve.Budget_rejected remaining) ->
+    checkb "rejection reports the remaining budget" true
+      (Float.abs (remaining -. 0.2) < 1e-9)
+  | _ -> Alcotest.fail "over-budget submit must be rejected");
+  (* The rejected charge deducted nothing, and another user is
+     unaffected. *)
+  (match submit "alice" 0.2 with
+  | Serve.Queued _ -> ()
+  | Serve.Rejected _ -> Alcotest.fail "exact-fit charge after rejection must be admitted");
+  match submit "bob" 0.5 with
+  | Serve.Queued _ -> checki "admitted members pending" 3 (Serve.pending_count srv)
+  | Serve.Rejected _ -> Alcotest.fail "bob's budget is his own"
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The cache acceptance bar: the same workload served with the cache
+   enabled releases byte-identical results to the cache-disabled run —
+   a hit's decrypted aggregate is indistinguishable from a fresh
+   gather + aggregation, because the member's noise seed and fault
+   coordinate never depended on which path produced the ciphertext. *)
+let test_cache_hit_byte_identical_to_miss () =
+  let _, _, cold = run_workload ~batch_size:3 ~cache_capacity:0 () in
+  let _, srv, warm = run_workload ~batch_size:3 ~cache_capacity:64 () in
+  checki "cold run: every member released" 6 (List.length cold);
+  checki "warm run: every member released" 6 (List.length warm);
+  checkb "warm run hit the cache" true
+    (List.exists (fun r -> r.Serve.cache_hit) warm);
+  checkb "cold run never hit" true
+    (List.for_all (fun r -> not r.Serve.cache_hit) cold);
+  List.iter2
+    (fun c w ->
+      checki "seq aligned" c.Serve.seq w.Serve.seq;
+      checkb
+        (Printf.sprintf "member %d: hit ≡ miss released bytes" c.Serve.seq)
+        true
+        (released c = released w))
+    cold warm;
+  (* Three shapes in the workload, all cached after the run. *)
+  checki "cache holds each distinct shape once" 3 (Agg_cache.length (Serve.cache srv))
+
+let test_cache_eviction_deterministic () =
+  let rt = serve_runtime ~faults:false () in
+  let cache = Agg_cache.create ~capacity:2 ~graph:(Runtime.graph rt) in
+  let prepared q =
+    let query = (Corpus.find q).Corpus.query in
+    let info =
+      match Runtime.validate_query rt query with
+      | Ok i -> i
+      | Error _ -> Alcotest.failf "%s did not validate" q
+    in
+    let key = Agg_cache.key cache query ~info in
+    let item =
+      {
+        Runtime.bi_query = query;
+        bi_epsilon = Float.infinity;
+        bi_noise_seed = 1L;
+        bi_fault_round = Agg_cache.fault_round_of_key key;
+        bi_cached = None;
+      }
+    in
+    match Runtime.run_batch rt [ item ] with
+    | [ Ok (_, p) ] -> (key, p)
+    | _ -> Alcotest.failf "%s did not run" q
+  in
+  let k5, p5 = prepared "Q5" and k4, p4 = prepared "Q4" and k8, p8 = prepared "Q8" in
+  Agg_cache.put cache k5 p5;
+  Agg_cache.put cache k4 p4;
+  (* Touch Q5 so Q4 is the LRU victim when Q8 arrives. *)
+  checkb "Q5 hits" true (Agg_cache.find cache k5 <> None);
+  Agg_cache.put cache k8 p8;
+  checki "capacity held" 2 (Agg_cache.length cache);
+  checki "one eviction" 1 (Agg_cache.evictions cache);
+  checkb "LRU victim was Q4" true (Agg_cache.find cache k4 = None);
+  checkb "Q5 survived" true (Agg_cache.find cache k5 <> None);
+  checkb "Q8 present" true (Agg_cache.find cache k8 <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Batched ≡ sequential acceptance cell                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole's correctness bar: the full faulted workload, released
+   through batch-8 serving (one shared mixnet round, one shared
+   decryption session, warm cache) is byte-identical per member to the
+   one-at-a-time release — at 1, 2 and 8 domains, tracing on or off. *)
+let test_batched_equals_sequential () =
+  let run ?(trace = false) ~batch_size ~domains () =
+    Pool.with_domains domains (fun () ->
+        let _, _, rs = run_workload ~trace ~batch_size ~cache_capacity:64 () in
+        List.map released rs)
+  in
+  let sequential = run ~batch_size:1 ~domains:1 () in
+  checki "sequential run released everything" 6 (List.length sequential);
+  let batched = run ~batch_size:8 ~domains:1 () in
+  checkb "batch-8 ≡ batch-1, per member" true (batched = sequential);
+  List.iter
+    (fun domains ->
+      checkb
+        (Printf.sprintf "batch-8 at %d domains ≡ sequential" domains)
+        true
+        (run ~batch_size:8 ~domains () = sequential))
+    [ 2; 8 ];
+  checkb "tracing does not move released bytes" true
+    (run ~trace:true ~batch_size:8 ~domains:1 () = sequential);
+  (* An intermediate batch size chunks the same members differently
+     but releases the same bytes. *)
+  checkb "batch-3 ≡ sequential" true (run ~batch_size:3 ~domains:1 () = sequential)
+
+(* ------------------------------------------------------------------ *)
+(* Ledger                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every batch member gets its own ledger row; summing the rows'
+   charged epsilons reproduces the runtime accountant bit for bit
+   (shared-phase durations are attributed proportionally, but epsilon
+   attribution is exact — each member's own charge). *)
+let test_batch_ledger_rows_audit_bit_for_bit () =
+  let path = Filename.temp_file "mycelium_serve_ledger" ".jsonl" in
+  let rt, _, responses = run_workload ~ledger:path ~batch_size:8 ~cache_capacity:64 () in
+  let records =
+    match Obs.Ledger.read path with
+    | Ok rs -> rs
+    | Error e -> Alcotest.failf "ledger does not re-parse: %s" e
+  in
+  Sys.remove path;
+  checki "one ledger row per batch member" (List.length responses) (List.length records);
+  let s = Obs.Ledger.summarize records in
+  checki "all members ok" (List.length responses) s.Obs.Ledger.ok;
+  checkb "ledger sum equals Dp.budget_spent exactly" true
+    (s.Obs.Ledger.epsilon_spent = Dp.budget_spent (Runtime.budget rt))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "accountant",
+        [
+          Alcotest.test_case "concurrent charges never over-admit" `Quick
+            test_accountant_concurrent_no_overadmission;
+          Alcotest.test_case "rejection order is deterministic" `Quick
+            test_accountant_rejection_order_deterministic;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "infinite epsilon refused without override" `Quick
+            test_unbudgeted_rejected;
+          Alcotest.test_case "per-user budget gates admission" `Quick
+            test_user_budget_gates_admission;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit ≡ miss released bytes" `Quick
+            test_cache_hit_byte_identical_to_miss;
+          Alcotest.test_case "LRU eviction is deterministic" `Quick
+            test_cache_eviction_deterministic;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batched ≡ sequential, faults on, 1/2/8 domains" `Quick
+            test_batched_equals_sequential;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "per-member rows audit bit-for-bit" `Quick
+            test_batch_ledger_rows_audit_bit_for_bit;
+        ] );
+    ]
