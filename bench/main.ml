@@ -42,9 +42,11 @@ module Injector = Mycelium_faults.Injector
 module Pool = Mycelium_parallel.Pool
 module Obs = Mycelium_obs.Obs
 
+(* --only takes one section id or a comma-separated list
+   ("--only serving,lint" runs both). *)
 let only =
   let rec find = function
-    | "--only" :: v :: _ -> Some v
+    | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
     | _ :: rest -> find rest
     | [] -> None
   in
@@ -54,7 +56,7 @@ let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
 let json_mode = Array.exists (fun a -> a = "--json") Sys.argv
 let check_mode = Array.exists (fun a -> a = "--check") Sys.argv
 
-let wants id = match only with None -> true | Some o -> o = id
+let wants id = match only with None -> true | Some ids -> List.mem id ids
 
 (* All human-readable output funnels through [say] so --json can keep
    stdout clean for the document. *)
@@ -471,6 +473,7 @@ let () =
               Serve.user = Printf.sprintf "analyst%d" i;
               epsilon = 0.25;
               sql = (Corpus.find shapes.(i mod Array.length shapes)).Corpus.sql;
+              name = Some shapes.(i mod Array.length shapes);
             })
       in
       let pass srv =
@@ -972,6 +975,10 @@ let () =
    cost of the gate is tracked alongside the code it gates.  Skipped
    gracefully when the sources are not reachable from the working
    directory (an installed binary run elsewhere). *)
+
+(* (cold_ms, warm_ms, warm summarizations) for the --check gate below. *)
+let analyze_cold_warm_ms = ref None
+
 let () =
   section "lint" (fun () ->
       let module Lint = Mycelium_lint.Lint in
@@ -1013,13 +1020,69 @@ let () =
         say "  violations %d, suppressed %d\n"
           (List.length report.Lint.violations)
           (List.length report.Lint.suppressed);
-        [
-          ("files", Int files);
-          ("ms", Num (dt *. 1e3));
-          ("files_per_s", Num (float_of_int files /. dt));
-          ("violations", Int (List.length report.Lint.violations));
-          ("suppressed", Int (List.length report.Lint.suppressed));
-        ])
+        let syntactic =
+          [
+            ("files", Int files);
+            ("ms", Num (dt *. 1e3));
+            ("files_per_s", Num (float_of_int files /. dt));
+            ("violations", Int (List.length report.Lint.violations));
+            ("suppressed", Int (List.length report.Lint.suppressed));
+          ]
+        in
+        (* The interprocedural analyzer over the built .cmt trees: one
+           cold run against a fresh summary cache, then warm runs (best
+           of three) that should skip every summarization.  Skipped
+           when the build tree is absent (installed binary, clean
+           checkout). *)
+        let build = Filename.concat root (Filename.concat "_build" "default") in
+        let aroots =
+          List.filter Sys.file_exists
+            [ Filename.concat build "lib"; Filename.concat build "bin" ]
+        in
+        let module A = Mycelium_lint.Analyze in
+        if aroots = [] || List.concat_map (fun r -> A.find_cmts r []) aroots = []
+        then begin
+          say "  (no .cmt build tree; analyzer cells skipped)\n";
+          syntactic @ [ ("analyze_skipped", Bool true) ]
+        end
+        else begin
+          let cache = Filename.temp_file "mycelium_analyze_bench" ".cache" in
+          Sys.remove cache;
+          Fun.protect
+            ~finally:(fun () -> if Sys.file_exists cache then Sys.remove cache)
+            (fun () ->
+              let timed () =
+                let t0 = Unix.gettimeofday () in
+                let res = A.run ~cache ~roots:aroots () in
+                (res, (Unix.gettimeofday () -. t0) *. 1e3)
+              in
+              let cold, cold_ms = timed () in
+              let warms = List.init 3 (fun _ -> timed ()) in
+              let warm, warm_ms =
+                List.fold_left
+                  (fun (br, bms) (r, ms) -> if ms < bms then (r, ms) else (br, bms))
+                  (List.hd warms) (List.tl warms)
+              in
+              analyze_cold_warm_ms := Some (cold_ms, warm_ms, warm.A.stats.A.sa_summarized);
+              let s = cold.A.stats in
+              say "=== Analyze: interprocedural privacy flow ===\n";
+              say "  %d modules, %d functions; cold %.1f ms, warm %.1f ms (%.2fx)\n"
+                s.A.sa_modules s.A.sa_functions cold_ms warm_ms (cold_ms /. warm_ms);
+              say "  violations %d, suppressed %d; warm cache hits %d/%d\n"
+                (List.length cold.A.report.Lint.violations)
+                (List.length cold.A.report.Lint.suppressed)
+                warm.A.stats.A.sa_cache_hits s.A.sa_modules;
+              syntactic
+              @ [
+                  ("analyze_modules", Int s.A.sa_modules);
+                  ("analyze_functions", Int s.A.sa_functions);
+                  ("analyze_cold_ms", Num cold_ms);
+                  ("analyze_warm_ms", Num warm_ms);
+                  ("analyze_warm_speedup", Num (cold_ms /. warm_ms));
+                  ("analyze_violations", Int (List.length cold.A.report.Lint.violations));
+                  ("analyze_suppressed", Int (List.length cold.A.report.Lint.suppressed));
+                ])
+        end)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
@@ -1189,6 +1252,28 @@ let () =
           measured reference_ns speedup;
       say "check: montgomery forward at N=8192: %.0f ns vs %.0f ns committed (%.2fx >= 2x) ok\n"
         measured reference_ns speedup
+  end
+
+(* ------------------------------------------------------------------ *)
+(* --check: the analyzer summary-cache gate                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The cache's reason to exist: a warm run must skip every
+   summarization and come in measurably under the cold run (best warm
+   of three against one cold, so scheduler noise cannot flip it). *)
+let () =
+  if check_mode && wants "lint" then begin
+    let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check: " ^ s); exit 1) fmt in
+    match !analyze_cold_warm_ms with
+    | None -> say "check: analyzer cells skipped (no build tree); cache gate not applicable\n"
+    | Some (cold_ms, warm_ms, warm_summarized) ->
+      if warm_summarized <> 0 then
+        fail "warm analyzer run re-summarized %d modules (want 0)" warm_summarized;
+      if warm_ms >= cold_ms *. 0.9 then
+        fail "warm analyzer run %.1f ms vs cold %.1f ms (< 1.11x; cache buys nothing)"
+          warm_ms cold_ms;
+      say "check: analyzer summary cache: cold %.1f ms, warm %.1f ms (%.2fx) ok\n"
+        cold_ms warm_ms (cold_ms /. warm_ms)
   end
 
 (* ------------------------------------------------------------------ *)

@@ -242,7 +242,10 @@ let parse_workload_line lineno line =
       let epsilon = Option.value ~default:1.0 (num "epsilon") in
       let epsilon = if epsilon <= 0. then Float.infinity else epsilon in
       let arrival = Option.value ~default:0.0 (num "arrival") in
-      Ok (arrival, { Serve.user; epsilon; sql = resolve_query q })
+      (* a corpus id doubles as the query's name, so ledger rows and
+         responses say "Q5", not the parser's "query" placeholder *)
+      let name = match Corpus.find q with _ -> Some q | exception Not_found -> None in
+      Ok (arrival, { Serve.user; epsilon; sql = resolve_query q; name })
     | _ -> Error (Printf.sprintf "line %d: needs \"user\" and \"query\" fields" lineno))
 
 let serve_cmd =

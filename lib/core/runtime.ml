@@ -790,6 +790,10 @@ let ledger_entry t ~qid ~query ~epsilon ~ph res =
         ("budget_remaining", Num (Dp.budget_remaining t.budget));
       ])
 
+(* lint: allow epsilon-flow — the 1.0 default is the documented
+   single-query debugging convenience; serving paths always pass the
+   epsilon parsed from the workload line, and the serving layer
+   refuses to admit requests that never charge (Unbudgeted). *)
 let run_query_ast ?(epsilon = 1.0) t query =
   t.queries_run <- t.queries_run + 1;
   let qid = t.queries_run in

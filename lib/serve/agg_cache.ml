@@ -15,6 +15,8 @@ type t = {
   table : (string, entry) Hashtbl.t;
   mutable clock : int;
   mutable evictions : int;
+  mutable hits : int;
+  mutable misses : int;
   c_hits : Obs.Metrics.counter;
   c_misses : Obs.Metrics.counter;
   c_evictions : Obs.Metrics.counter;
@@ -47,6 +49,8 @@ let create ~capacity ~graph =
     table = Hashtbl.create (max 16 capacity);
     clock = 0;
     evictions = 0;
+    hits = 0;
+    misses = 0;
     c_hits = Obs.Metrics.counter Obs.Names.serve_cache_hits;
     c_misses = Obs.Metrics.counter Obs.Names.serve_cache_misses;
     c_evictions = Obs.Metrics.counter Obs.Names.serve_cache_evictions;
@@ -77,6 +81,7 @@ let fault_round_of_key k =
 
 let find t k =
   if t.capacity = 0 then begin
+    t.misses <- t.misses + 1;
     Obs.Metrics.incr t.c_misses;
     None
   end
@@ -85,9 +90,11 @@ let find t k =
     | Some e ->
       t.clock <- t.clock + 1;
       e.e_last_use <- t.clock;
+      t.hits <- t.hits + 1;
       Obs.Metrics.incr t.c_hits;
       Some e.e_prepared
     | None ->
+      t.misses <- t.misses + 1;
       Obs.Metrics.incr t.c_misses;
       None
 
@@ -124,3 +131,5 @@ let put t k prepared =
 
 let length t = Hashtbl.length t.table
 let evictions t = t.evictions
+let hits t = t.hits
+let misses t = t.misses

@@ -39,3 +39,9 @@ val put : t -> string -> Mycelium_core.Runtime.prepared -> unit
 
 val length : t -> int
 val evictions : t -> int
+
+val hits : t -> int
+(** Per-instance lookup counters (the Obs [serve.cache_*] counters are
+    process-global); used by the scheduler's hit-accounting tests. *)
+
+val misses : t -> int

@@ -12,7 +12,12 @@
     stream ([seed] mixed with the member's admission sequence number)
     and its injected transit faults from its own query-shape-derived
     fault coordinate, so a query releases byte-identical results at
-    batch size 1 or 8, cache hit or miss. *)
+    batch size 1 or 8, cache hit or miss.
+
+    Duplicate query shapes arriving in the same batch also hit the
+    cache: a chunk runs in two passes — first occurrences compute and
+    write back, duplicates then decrypt the cached aggregate — and the
+    responses are re-merged in admission order. *)
 
 type config = {
   batch_size : int;  (** flush when this many members are pending *)
@@ -33,7 +38,17 @@ val default_config : config
 (** batch 8, deadline 1.0, per-user budget 10 under Basic composition,
     cache capacity 64, unbudgeted queries refused, seed 1. *)
 
-type request = { user : string; epsilon : float; sql : string }
+type request = {
+  user : string;
+  epsilon : float;
+  sql : string;
+  name : string option;
+      (** the analyst's query name (e.g. the corpus id), threaded to
+          the parser so audit-ledger rows and responses carry it
+          instead of the parser's ["query"] placeholder; [None] keeps
+          the placeholder.  Names never enter the cache key — equal
+          shapes share an entry regardless. *)
+}
 
 type rejection =
   | Parse_rejected of string

@@ -1,0 +1,20 @@
+(* dp-release fires: a Secret contact graph reaches a stdout sink
+   through a passthrough chain with no clip+noise on the way.  The
+   [released] twin below takes the sanctioned path — clip at the
+   graph, noise at the release — and must stay silent, proving the
+   sanitizer modelling, not just the taint propagation. *)
+
+module Cg = Mycelium_graph.Contact_graph
+module Dp = Mycelium_dp.Dp
+module Rng = Mycelium_util.Rng
+
+let leak () =
+  let g = Cg.generate Cg.default_config (Rng.create 7L) in
+  let first = List.hd (Cg.neighbors g 0) in
+  print_int (fst first)
+
+let released () =
+  let g = Cg.clip_to_degree_bound (Cg.generate Cg.default_config (Rng.create 7L)) in
+  let d = float_of_int (fst (List.hd (Cg.neighbors g 0))) in
+  let s = Dp.gsum_sensitivity ~clip_lo:0.0 ~clip_hi:64.0 ~neighborhood_bound:1 in
+  print_float (Dp.release_sum (Rng.create 8L) ~sensitivity:s ~epsilon:0.5 d)

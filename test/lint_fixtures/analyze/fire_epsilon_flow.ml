@@ -1,0 +1,12 @@
+(* epsilon-flow fires: a float literal reaches the epsilon position of
+   a budget charge — epsilons must originate from the parsed query
+   AST, never from code constants.  The violation is attributed at the
+   literal (its origin), so each constant is individually
+   suppressible.  [charge_parsed], whose epsilon is a parameter with
+   no constant provenance, must stay silent. *)
+
+module Dp = Mycelium_dp.Dp
+
+let charge_debug budget = Dp.budget_charge budget 0.125
+
+let charge_parsed budget eps = Dp.budget_charge budget eps

@@ -1,0 +1,35 @@
+(* pool-purity fires: the closure handed to [Pool.map_array] writes a
+   captured ref, so parallel tasks race on it.  The two twins below
+   are the sanctioned shapes and must stay silent: [disjoint] writes
+   only its own index of a shared array (disjoint-by-index), and
+   [sum] keeps the mutation in a sequential merge after the parallel
+   compute (sequential-decide / parallel-compute / sequential-merge). *)
+
+module Pool = Mycelium_parallel.Pool
+
+let race pool xs =
+  let total = ref 0 in
+  let _ys =
+    Pool.map_array pool
+      (fun x ->
+        total := !total + x;
+        x)
+      xs
+  in
+  !total
+
+let disjoint pool (out : int array) xs =
+  let _ys =
+    Pool.mapi_array pool
+      (fun i x ->
+        out.(i) <- x + 1;
+        x)
+      xs
+  in
+  out
+
+let sum pool xs =
+  let parts = Pool.map_array pool (fun x -> x * x) xs in
+  let total = ref 0 in
+  Array.iter (fun p -> total := !total + p) parts;
+  !total

@@ -1,0 +1,13 @@
+(* [Fire_budget_order.serve_entry_uncharged], silenced. *)
+
+module Bgv = Mycelium_bgv.Bgv
+module Params = Mycelium_bgv.Params
+module Dp = Mycelium_dp.Dp
+
+let serve_entry_uncharged budget eps =
+  (* lint: allow budget-order — fixture: deliberate pre-charge crypto,
+     proves the suppression machinery silences analyzer rules *)
+  let ctx = Bgv.make_ctx Params.paper in
+  match Dp.budget_charge budget eps with
+  | Ok () -> Some ctx
+  | Error (`Exhausted _) -> None

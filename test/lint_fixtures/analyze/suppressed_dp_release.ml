@@ -1,0 +1,13 @@
+(* The same leak as [Fire_dp_release.leak], silenced by the shared
+   comment-suppression machinery — proves `lint: allow` covers the
+   interprocedural rules too. *)
+
+module Cg = Mycelium_graph.Contact_graph
+module Rng = Mycelium_util.Rng
+
+let leak () =
+  let g = Cg.generate Cg.default_config (Rng.create 7L) in
+  let first = List.hd (Cg.neighbors g 0) in
+  (* lint: allow dp-release — fixture: deliberate leak, proves the
+     suppression machinery silences analyzer rules *)
+  print_int (fst first)

@@ -1,0 +1,7 @@
+(* [Fire_epsilon_flow.charge_debug], silenced at the literal. *)
+
+module Dp = Mycelium_dp.Dp
+
+(* lint: allow epsilon-flow — fixture: deliberate constant epsilon,
+   proves the suppression machinery silences analyzer rules *)
+let charge_debug budget = Dp.budget_charge budget 0.125

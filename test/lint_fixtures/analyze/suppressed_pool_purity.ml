@@ -1,0 +1,16 @@
+(* [Fire_pool_purity.race], silenced at the racing write. *)
+
+module Pool = Mycelium_parallel.Pool
+
+let race pool xs =
+  let total = ref 0 in
+  let _ys =
+    Pool.map_array pool
+      (fun x ->
+        (* lint: allow pool-purity — fixture: deliberate racing write,
+           proves the suppression machinery silences analyzer rules *)
+        total := !total + x;
+        x)
+      xs
+  in
+  !total

@@ -1,0 +1,217 @@
+(* mycelium-analyze suite (DESIGN.md §15): every interprocedural rule
+   is proven live against a compiled firing fixture — exact rule ids
+   and line numbers asserted out of the report — and proven
+   silenceable against a suppressed twin, so a regression in the
+   dataflow fixpoints, the policy, or the shared suppression machinery
+   turns the tree red.
+
+   The fixtures are a real bytecode library under
+   lint_fixtures/analyze/ (the analyzer consumes .cmt files, so unlike
+   the parse-only syntactic fixtures they must compile); the dune rule
+   deps on its .cma so the cmts exist before the suite runs.  The
+   suite runs from _build/default/test, so the build tree sits at
+   lint_fixtures/analyze/.analyze_fixtures.objs/byte and the copied
+   sources (for suppression comments) resolve from source root "..".
+
+   The cache cells exercise the persistent summary cache end to end:
+   cold run summarizes everything, warm run hits on every module and
+   reports identical violations, and flipping one cmt's digest
+   re-summarizes exactly that module. *)
+
+module A = Mycelium_lint.Analyze
+module L = Mycelium_lint.Lint
+module Json = Mycelium_obs.Obs.Json
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let sites = Alcotest.(list (pair string int))
+(* (rule, line) pairs in report order *)
+
+let site_list vs = List.map (fun (v : L.violation) -> (v.rule, v.line)) vs
+let only file vs = List.filter (fun (v : L.violation) -> Filename.basename v.file = file) vs
+
+let fixture_root = "lint_fixtures/analyze/.analyze_fixtures.objs/byte"
+let run () = A.run ~source_root:".." ~roots:[ fixture_root ] ()
+
+(* One run shared by the rule cells: the analyzer is deterministic and
+   the fixtures are fixed, so recomputing per cell would only slow the
+   suite down. *)
+let result = lazy (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Rules fire, with exact positions                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dp_release_fires () =
+  let r = (Lazy.force result).A.report in
+  Alcotest.check sites "secret reaches the sink at the print"
+    [ ("dp-release", 14) ]
+    (site_list (only "fire_dp_release.ml" r.L.violations));
+  (* the clip+noise twin in the same file stays silent: exactly one
+     violation in the file proves the sanitizer modelling *)
+  checki "released() is silent" 1
+    (List.length (only "fire_dp_release.ml" (r.L.violations @ r.L.suppressed)))
+
+let test_budget_order_fires () =
+  let r = (Lazy.force result).A.report in
+  Alcotest.check sites "crypto before the charge, at the make_ctx"
+    [ ("budget-order", 12) ]
+    (site_list (only "fire_budget_order.ml" r.L.violations));
+  checki "serve_entry_charged is silent" 1
+    (List.length (only "fire_budget_order.ml" (r.L.violations @ r.L.suppressed)))
+
+let test_epsilon_flow_fires () =
+  let r = (Lazy.force result).A.report in
+  Alcotest.check sites "attributed at the float literal's line"
+    [ ("epsilon-flow", 10) ]
+    (site_list (only "fire_epsilon_flow.ml" r.L.violations));
+  checki "charge_parsed is silent" 1
+    (List.length (only "fire_epsilon_flow.ml" (r.L.violations @ r.L.suppressed)))
+
+let test_pool_purity_fires () =
+  let r = (Lazy.force result).A.report in
+  Alcotest.check sites "at the racing write inside the closure"
+    [ ("pool-purity", 15) ]
+    (site_list (only "fire_pool_purity.ml" r.L.violations));
+  (* disjoint-by-index and sequential-merge twins stay silent *)
+  checki "disjoint/sum are silent" 1
+    (List.length (only "fire_pool_purity.ml" (r.L.violations @ r.L.suppressed)))
+
+(* ------------------------------------------------------------------ *)
+(* Suppression machinery covers analyzer rules                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppressed_twins () =
+  let r = (Lazy.force result).A.report in
+  List.iter
+    (fun (file, rule, line) ->
+      Alcotest.check sites
+        (rule ^ " suppressed at its exact site")
+        [ (rule, line) ]
+        (site_list (only file r.L.suppressed));
+      checki (rule ^ " has no unsuppressed leftovers") 0
+        (List.length (only file r.L.violations)))
+    [
+      ("suppressed_dp_release.ml", "dp-release", 13);
+      ("suppressed_budget_order.ml", "budget-order", 10);
+      ("suppressed_epsilon_flow.ml", "epsilon-flow", 7);
+      ("suppressed_pool_purity.ml", "pool-purity", 12);
+    ]
+
+let test_rule_table () =
+  let r = (Lazy.force result).A.report in
+  List.iter
+    (fun (rule, fired, suppressed) ->
+      checki (rule ^ " fired") 1 fired;
+      checki (rule ^ " suppressed") 1 suppressed)
+    (A.rule_table r)
+
+(* ------------------------------------------------------------------ *)
+(* JSON report shape                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let field name = function
+  | Json.Obj kvs -> List.assoc name kvs
+  | _ -> Alcotest.fail "expected a JSON object"
+
+let test_json_report () =
+  let res = Lazy.force result in
+  let j = A.json_of_result res in
+  checkb "tool tag" true (field "tool" j = Json.Str "mycelium-analyze");
+  checkb "violation count" true
+    (field "violation_count" j = Json.Int (List.length res.A.report.L.violations));
+  (match field "rules" j with
+  | Json.Obj rules ->
+    checki "all four rules tabulated" 4 (List.length rules);
+    List.iter
+      (fun (_, cell) ->
+        checkb "one violation per rule" true (field "violations" cell = Json.Int 1))
+      rules
+  | _ -> Alcotest.fail "rules is an object");
+  (* the JSON survives its own printer *)
+  checkb "serializes" true (String.length (Json.to_string j) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Summary cache: warm hits, digest invalidation                       *)
+(* ------------------------------------------------------------------ *)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+(* A private copy of the fixture cmts, so the digest-flip cell can
+   scribble on one without perturbing dune's build tree. *)
+let with_cmt_copy f =
+  let dir = Filename.temp_file "mycelium_analyze" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let cmts =
+        Sys.readdir fixture_root |> Array.to_list
+        |> List.filter (fun n -> Filename.check_suffix n ".cmt")
+        |> List.sort String.compare
+      in
+      List.iter
+        (fun n ->
+          write_bytes (Filename.concat dir n) (read_bytes (Filename.concat fixture_root n)))
+        cmts;
+      f dir (List.length cmts))
+
+let test_cache_warm_and_invalidation () =
+  with_cmt_copy (fun dir n ->
+      let cache = Filename.concat dir "summaries.cache" in
+      let run () = A.run ~cache ~source_root:".." ~roots:[ dir ] () in
+      let cold = run () in
+      checki "cold run summarizes every module" n cold.A.stats.A.sa_summarized;
+      checki "cold run has no hits" 0 cold.A.stats.A.sa_cache_hits;
+      let warm = run () in
+      checki "warm run hits every module" n warm.A.stats.A.sa_cache_hits;
+      checki "warm run summarizes nothing" 0 warm.A.stats.A.sa_summarized;
+      Alcotest.check sites "warm violations identical"
+        (site_list cold.A.report.L.violations)
+        (site_list warm.A.report.L.violations);
+      Alcotest.check sites "warm suppressions identical"
+        (site_list cold.A.report.L.suppressed)
+        (site_list warm.A.report.L.suppressed);
+      (* flip one cmt's digest: a trailing byte changes Digest.file but
+         not what Cmt_format.read_cmt parses *)
+      let victim = Filename.concat dir "analyze_fixtures__Fire_pool_purity.cmt" in
+      checkb "victim exists" true (Sys.file_exists victim);
+      write_bytes victim (read_bytes victim ^ "\x00");
+      let stale = run () in
+      checki "exactly the flipped module re-summarizes" 1 stale.A.stats.A.sa_summarized;
+      checki "the rest still hit" (n - 1) stale.A.stats.A.sa_cache_hits;
+      Alcotest.check sites "violations unchanged after re-summary"
+        (site_list cold.A.report.L.violations)
+        (site_list stale.A.report.L.violations))
+
+let () =
+  Alcotest.run "mycelium-analyze"
+    [
+      ( "rules-fire",
+        [
+          Alcotest.test_case "dp-release" `Quick test_dp_release_fires;
+          Alcotest.test_case "budget-order" `Quick test_budget_order_fires;
+          Alcotest.test_case "epsilon-flow" `Quick test_epsilon_flow_fires;
+          Alcotest.test_case "pool-purity" `Quick test_pool_purity_fires;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "suppressed-twins" `Quick test_suppressed_twins;
+          Alcotest.test_case "rule-table" `Quick test_rule_table;
+        ] );
+      ("json", [ Alcotest.test_case "report-shape" `Quick test_json_report ]);
+      ( "summary-cache",
+        [ Alcotest.test_case "warm-and-invalidation" `Quick test_cache_warm_and_invalidation ] );
+    ]

@@ -72,7 +72,8 @@ let serve_runtime ?(trace = false) ?ledger ?(faults = true) () =
    so a warm cache hits. *)
 let workload =
   List.map
-    (fun (user, q) -> { Serve.user; epsilon = 0.3; sql = (Corpus.find q).Corpus.sql })
+    (fun (user, q) ->
+      { Serve.user; epsilon = 0.3; sql = (Corpus.find q).Corpus.sql; name = Some q })
     [ ("alice", "Q5"); ("bob", "Q4"); ("carol", "Q5"); ("alice", "Q8");
       ("bob", "Q5"); ("carol", "Q4") ]
 
@@ -176,7 +177,7 @@ let test_unbudgeted_rejected () =
   let rt = serve_runtime ~faults:false () in
   let srv = Serve.create rt in
   let req = { Serve.user = "alice"; epsilon = Float.infinity;
-              sql = (Corpus.find "Q5").Corpus.sql } in
+              sql = (Corpus.find "Q5").Corpus.sql; name = Some "Q5" } in
   (match Serve.submit srv ~arrival:0.0 req with
   | Serve.Rejected Serve.Unbudgeted, [] -> ()
   | Serve.Rejected r, _ ->
@@ -206,7 +207,7 @@ let test_user_budget_gates_admission () =
   let srv = Serve.create ~config rt in
   let q = (Corpus.find "Q5").Corpus.sql in
   let submit user eps =
-    fst (Serve.submit srv ~arrival:0.0 { Serve.user; epsilon = eps; sql = q })
+    fst (Serve.submit srv ~arrival:0.0 { Serve.user; epsilon = eps; sql = q; name = None })
   in
   (match submit "alice" 0.3 with
   | Serve.Queued _ -> ()
@@ -253,6 +254,40 @@ let test_cache_hit_byte_identical_to_miss () =
     cold warm;
   (* Three shapes in the workload, all cached after the run. *)
   checki "cache holds each distinct shape once" 3 (Agg_cache.length (Serve.cache srv))
+
+(* Regression for intra-batch deduplication: with the whole six-member
+   workload flushed as one batch, the three members repeating an
+   earlier shape (Q5 twice more, Q4 once more) must still hit — the
+   chunk's first pass computes each distinct shape and writes back, the
+   second pass serves the duplicates from the cache.  Before the
+   two-pass split these were misses: every lookup happened before any
+   write-back. *)
+let test_cache_hits_within_one_batch () =
+  let _, srv, rs = run_workload ~batch_size:8 ~cache_capacity:64 () in
+  checki "every member released" 6 (List.length rs);
+  checki "duplicate shapes hit inside the batch" 3
+    (List.length (List.filter (fun r -> r.Serve.cache_hit) rs));
+  (* the hits must be the *duplicates* — the first occurrence of each
+     shape (seqs 0/1/3) computes and writes back, every later repeat
+     (seqs 2/4/5) decrypts the cached aggregate.  This pins the pass
+     ordering: evaluating the duplicates pass first would invert the
+     attribution while keeping the counts identical. *)
+  Alcotest.(check (list int))
+    "hits are exactly the later repeats" [ 2; 4; 5 ]
+    (List.filter_map
+       (fun r -> if r.Serve.cache_hit then Some r.Serve.seq else None)
+       rs);
+  let cache = Serve.cache srv in
+  checki "three hits counted" 3 (Agg_cache.hits cache);
+  checki "one miss per distinct shape" 3 (Agg_cache.misses cache);
+  (* duplicates answer under their own analyst-facing names *)
+  List.iter
+    (fun r ->
+      checkb
+        (Printf.sprintf "member %d carries a corpus name" r.Serve.seq)
+        true
+        (List.mem r.Serve.query_name [ "Q5"; "Q4"; "Q8" ]))
+    rs
 
 let test_cache_eviction_deterministic () =
   let rt = serve_runtime ~faults:false () in
@@ -342,7 +377,23 @@ let test_batch_ledger_rows_audit_bit_for_bit () =
   let s = Obs.Ledger.summarize records in
   checki "all members ok" (List.length responses) s.Obs.Ledger.ok;
   checkb "ledger sum equals Dp.budget_spent exactly" true
-    (s.Obs.Ledger.epsilon_spent = Dp.budget_spent (Runtime.budget rt))
+    (s.Obs.Ledger.epsilon_spent = Dp.budget_spent (Runtime.budget rt));
+  (* Each row names the analyst's actual query — the corpus id the
+     scheduler admitted — never the parser's "query" placeholder.
+     (Rows land in execution order: each chunk's compute pass precedes
+     its deferred duplicates, so the multiset is what is stable.) *)
+  let names =
+    List.map
+      (fun r ->
+        match Obs.Json.member "name" r with
+        | Some (Obs.Json.Str n) -> n
+        | _ -> Alcotest.fail "ledger row lacks a name")
+      records
+  in
+  Alcotest.(check (list string))
+    "rows carry the admitted corpus names"
+    [ "Q4"; "Q4"; "Q5"; "Q5"; "Q5"; "Q8" ]
+    (List.sort String.compare names)
 
 let () =
   Alcotest.run "serve"
@@ -365,6 +416,8 @@ let () =
         [
           Alcotest.test_case "hit ≡ miss released bytes" `Quick
             test_cache_hit_byte_identical_to_miss;
+          Alcotest.test_case "duplicate shapes hit within one batch" `Quick
+            test_cache_hits_within_one_batch;
           Alcotest.test_case "LRU eviction is deterministic" `Quick
             test_cache_eviction_deterministic;
         ] );

@@ -1,0 +1,62 @@
+(* mycelium-analyze CLI.
+
+     analyze_main.exe [--root DIR] [--source-root DIR] [--json PATH|-]
+                      [--cache PATH] [--stats] [ROOT...]
+
+   ROOTs are directories walked for [.cmt] files (default: lib bin —
+   build trees, so typically run from [_build/default] via [--root]).
+   [--cache] points at the persistent summary cache; [--stats] prints
+   the summary/cache/rule table.  Exits non-zero when unsuppressed
+   violations remain. *)
+
+module A = Mycelium_lint.Analyze
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse roots json cache stats srcroot = function
+    | "--root" :: dir :: rest ->
+      Sys.chdir dir;
+      parse roots json cache stats srcroot rest
+    | "--source-root" :: dir :: rest -> parse roots json cache stats dir rest
+    | "--json" :: path :: rest -> parse roots (Some path) cache stats srcroot rest
+    | "--cache" :: path :: rest -> parse roots json (Some path) stats srcroot rest
+    | "--stats" :: rest -> parse roots json cache true srcroot rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      prerr_endline ("mycelium-analyze: unknown option " ^ arg);
+      exit 2
+    | root :: rest -> parse (root :: roots) json cache stats srcroot rest
+    | [] -> (List.rev roots, json, cache, stats, srcroot)
+  in
+  let roots, json, cache, stats, source_root = parse [] None None false "." args in
+  let roots = if roots = [] then [ "lib"; "bin" ] else roots in
+  (* convenience: when run from the repo root, cmts live in _build *)
+  let roots =
+    List.map
+      (fun r ->
+        let built = Filename.concat (Filename.concat "_build" "default") r in
+        if Sys.file_exists r && A.find_cmts r [] <> [] then r
+        else if Sys.file_exists built then built
+        else r)
+      roots
+  in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        prerr_endline
+          ("mycelium-analyze: no such root: " ^ r
+         ^ " (run from the repo root or pass --root)");
+        exit 2
+      end)
+    roots;
+  let res = A.run ?cache ~source_root ~roots () in
+  print_string (A.console_of_result res);
+  if stats then print_string (A.stats_of_result res);
+  (match json with
+  | Some "-" -> print_endline (A.Json.to_string (A.json_of_result res))
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (A.Json.to_string (A.json_of_result res));
+    output_string oc "\n";
+    close_out oc
+  | None -> ());
+  if res.A.report.Mycelium_lint.Lint.violations <> [] then exit 1

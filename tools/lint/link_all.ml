@@ -1,0 +1,6 @@
+(* Nothing to run: this executable exists so that the @analyze rule
+   can depend on it, which makes dune build every mycelium library in
+   its (libraries ...) field — and building a library produces the
+   .cmt files the analyzer walks.  See tools/lint/dune. *)
+
+let () = ()

@@ -32,7 +32,14 @@ type report = {
 }
 
 let rule_ids =
-  [ "poly-compare"; "determinism"; "rng-capture"; "obs-guard"; "interface"; "parse-error" ]
+  [
+    "poly-compare"; "determinism"; "rng-capture"; "obs-guard"; "interface";
+    "parse-error";
+    (* the interprocedural rules of mycelium-analyze (Analyze);
+       suppression comments share one namespace with the syntactic
+       rules so a site reads the same either way *)
+    "dp-release"; "budget-order"; "epsilon-flow"; "pool-purity";
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Zones                                                              *)

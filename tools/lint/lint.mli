@@ -34,7 +34,30 @@ type report = {
 }
 
 val rule_ids : string list
-(** The closed set of rule identifiers accepted by suppressions. *)
+(** The closed set of rule identifiers accepted by suppressions —
+    both the syntactic rules of this module and the interprocedural
+    rules of [Analyze]. *)
+
+(** {2 Suppression machinery, shared with [Analyze]} *)
+
+type suppressions = {
+  file_level : string list;
+  by_line : (int * string) list;  (** (line, rule) *)
+  ranges : (string * int * int) list;  (** (rule, first, last) — attrs *)
+}
+
+val scan_comment_suppressions : string -> string list * (int * string) list
+(** [(file_level, by_line)] from the [(* lint: allow ... — reason *)]
+    comment forms of one source text.  The attribute form is
+    AST-positional and only available to the syntactic linter. *)
+
+val is_suppressed : suppressions -> violation -> bool
+
+val read_file : string -> string
+
+val compare_violations : violation -> violation -> int
+
+val json_of_violation : violation -> Json.t
 
 val zone_of_rel : string -> zone option
 (** Zone of a repo-root-relative path; [None] for files the linter
